@@ -1,0 +1,164 @@
+// Reproduces the paper's availability comparisons (Sect. 1, Sect. 5 /
+// Theorem 16): OPT_a is available whenever any alpha servers are up, versus
+// majority's (n+1)/2 and PQS's Theta(sqrt n) requirements.
+//
+// Series printed:
+//   (a) availability vs p at fixed n for each family (the motivating plot);
+//   (b) availability vs n at fixed p (the scaling story: OPT_a improves,
+//       majority collapses past p = 1/2);
+//   (c) an exhaustive small-n optimality audit: greedily grown random SQS
+//       never beat OPT_a (Theorem 16), and acceptance sets with sub-alpha
+//       configurations always lose (Lemma 15).
+
+#include <cstdio>
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/constructions.h"
+#include "uqs/grid.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+#include "uqs/pqs.h"
+#include "uqs/tree.h"
+#include "analysis/profile.h"
+#include "core/witness.h"
+#include "util/table.h"
+
+namespace sqs {
+namespace {
+
+void availability_vs_p() {
+  const int n = 64;
+  Table table({"p", "OPT_a a=1", "OPT_a a=2", "OPT_a a=4", "Majority",
+               "PQS l=1", "Grid 8x8", "Paths l=4 (k=40)", "Tree d=6 (n=63)"});
+  const OptAFamily a1(n, 1), a2(n, 2), a4(n, 4);
+  const MajorityFamily maj(n);
+  const PqsFamily pqs(n, 1.0);
+  const GridFamily grid(8, 8);
+  const PathsFamily paths(4);
+  const TreeFamily tree_qs(6);
+  for (double p : {0.05, 0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    table.add_row({Table::fmt(p, 2), Table::fmt(a1.availability(p), 6),
+                   Table::fmt(a2.availability(p), 6),
+                   Table::fmt(a4.availability(p), 6),
+                   Table::fmt(maj.availability(p), 6),
+                   Table::fmt(pqs.availability(p), 6),
+                   Table::fmt(grid.availability(p), 6),
+                   Table::fmt(paths.availability(p), 6),
+                   Table::fmt(tree_qs.availability(p), 6)});
+  }
+  table.print("Availability vs p (n=64; Paths uses its own k=40 universe)");
+}
+
+void availability_vs_n() {
+  const double p = 0.3;
+  Table table({"n", "OPT_a a=2 (1-avail)", "Majority (1-avail)",
+               "PQS l=1 (1-avail)"});
+  for (int n : {10, 20, 50, 100, 200, 500, 1000}) {
+    const OptAFamily a(n, 2);
+    const MajorityFamily maj(n);
+    const PqsFamily pqs(n, 1.0);
+    table.add_row({std::to_string(n),
+                   Table::fmt_sci(std::max(0.0, 1.0 - a.availability(p))),
+                   Table::fmt_sci(std::max(0.0, 1.0 - maj.availability(p))),
+                   Table::fmt_sci(std::max(0.0, 1.0 - pqs.availability(p)))});
+  }
+  table.print("Unavailability vs n at p=0.3 (all improve; OPT_a fastest)");
+
+  const double p_high = 0.6;
+  Table table2({"n", "OPT_a a=2", "Majority", "PQS l=1"});
+  for (int n : {10, 20, 50, 100, 200, 500}) {
+    table2.add_row({std::to_string(n),
+                    Table::fmt(OptAFamily(n, 2).availability(p_high), 6),
+                    Table::fmt(MajorityFamily(n).availability(p_high), 6),
+                    Table::fmt(PqsFamily(n, 1.0).availability(p_high), 6)});
+  }
+  table2.print("Availability vs n at p=0.6 (only OPT_a survives p > 1/2)");
+}
+
+void profile_table() {
+  // The acceptance profile P[live | exactly k up] — the paper's
+  // "available as long as ANY alpha servers are available" made literal.
+  const int n = 16;
+  const OptAFamily opt_a(n, 2);
+  const MajorityFamily maj(n);
+  const GridFamily grid(4, 4);
+  const WitnessFamily witness(n, 6, 2);
+  const AcceptanceProfile pa = acceptance_profile(opt_a, 0, Rng(1));
+  const AcceptanceProfile pm = acceptance_profile(maj, 0, Rng(1));
+  const AcceptanceProfile pg = acceptance_profile(grid, 0, Rng(1));
+  const AcceptanceProfile pw = acceptance_profile(witness, 0, Rng(1));
+  Table table({"k live", "OPT_a a=2", "Majority", "Grid 4x4", "Witness w=6,a=2"});
+  for (int k = 0; k <= n; k += 2) {
+    table.add_row({std::to_string(k),
+                   Table::fmt(pa.probability[static_cast<std::size_t>(k)], 3),
+                   Table::fmt(pm.probability[static_cast<std::size_t>(k)], 3),
+                   Table::fmt(pg.probability[static_cast<std::size_t>(k)], 3),
+                   Table::fmt(pw.probability[static_cast<std::size_t>(k)], 3)});
+  }
+  table.print("Acceptance profile P[live | k servers up], n=16 (exact)");
+  std::printf("  guaranteed-availability thresholds: OPT_a=%d, Majority=%d, "
+              "Grid=%d, Witness=%d\n",
+              pa.guaranteed_threshold(), pm.guaranteed_threshold(),
+              pg.guaranteed_threshold(), pw.guaranteed_threshold());
+}
+
+void optimality_audit() {
+  // Theorem 16 / Lemma 15 by exhaustive construction at small n.
+  Table table({"n", "alpha", "p", "Avail(OPT_a)",
+               "best random SQS found", "SQS w/ sub-alpha config"});
+  Rng rng(31337);
+  // alpha >= 2 so that a sub-alpha configuration (alpha-1 positives) is a
+  // legal signed set; for alpha = 1 the Lemma is vacuous (C_0 has no
+  // positive element).
+  for (const auto& [n, alpha] : {std::pair<int, int>{6, 2}, {7, 2}, {8, 3}}) {
+    const ExplicitSqs opt_a = opt_a_explicit(n, alpha);
+    const double p = 0.3;
+    // Random greedy SQS search.
+    double best_random = 0.0;
+    for (int trial = 0; trial < 200; ++trial) {
+      ExplicitSqs q(n, alpha);
+      for (int attempt = 0; attempt < 60; ++attempt) {
+        SignedSet s(n);
+        for (int i = 0; i < n; ++i) {
+          const auto roll = rng.next_below(3);
+          if (roll == 0) s.add_positive(i);
+          if (roll == 1) s.add_negative(i);
+        }
+        if (s.positive_count() > 0 && q.can_add(s)) q.add_quorum(s);
+      }
+      best_random = std::max(best_random, q.availability(p));
+    }
+    // Largest SQS forced to contain a sub-alpha configuration (Lemma 15):
+    // exactly alpha-1 servers up.
+    ExplicitSqs low(n, alpha);
+    low.add_quorum(Configuration(n, (1ull << (alpha - 1)) - 1).as_signed_set());
+    for (const auto& candidate : opt_a.quorums())
+      if (low.can_add(candidate)) low.add_quorum(candidate);
+
+    table.add_row({std::to_string(n), std::to_string(alpha), Table::fmt(p, 2),
+                   Table::fmt(opt_a.availability(p), 6),
+                   Table::fmt(best_random, 6),
+                   Table::fmt(low.availability(p), 6)});
+  }
+  table.print("Theorem 16 / Lemma 15 audit: nothing beats OPT_a");
+}
+
+}  // namespace
+}  // namespace sqs
+
+int main() {
+  std::printf("Availability study (Sect. 5, Theorem 16, Lemma 15).\n");
+  sqs::availability_vs_p();
+  sqs::availability_vs_n();
+  sqs::profile_table();
+  sqs::optimality_audit();
+  std::printf(
+      "\nShape checks vs the paper:\n"
+      "  * OPT_a available as long as any alpha servers live: availability\n"
+      "    ~1 even at p=0.8-0.9 for alpha=1-2 — impossible for majority/PQS.\n"
+      "  * Majority/Grid/Paths/PQS all collapse as p crosses 1/2.\n"
+      "  * No random SQS and no sub-alpha acceptance set exceeds OPT_a.\n");
+  return 0;
+}

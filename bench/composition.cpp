@@ -1,0 +1,103 @@
+// Reproduces the composition results (Sect. 7.2-7.3):
+//
+//   Theorem 42:     Load(UQ+OPT_a) <= Load(UQ) + (1 - Avail(UQ))
+//                   PC(UQ+OPT_a)   <= PC(UQ) + (1 - Avail(UQ)) k/(1-p)
+//                   Avail(UQ+OPT_a) = Avail(OPT_a)
+//   Theorem 45:     Paths PH(l): Load O(1/l), PC O(l), 1-Avail O(e^-l)
+//   Corollary 46:   sweeping l yields the optimal load/probe tradeoff while
+//                   availability stays pinned at OPT_a's optimum.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "probe/measurements.h"
+#include "uqs/grid.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+#include "util/table.h"
+
+namespace sqs {
+namespace {
+
+void paths_properties() {
+  const double p = 0.2;
+  Table table({"l", "k=2l(l+1)", "1-Avail(PH(l))", "E[probes]", "load",
+               "l*load (flat if O(1/l))", "probes/l (flat if O(l))"});
+  for (int l : {2, 3, 4, 6, 8}) {
+    const PathsFamily ph(l);
+    const ProbeMeasurement m = measure_probes(ph, p, 12000, Rng(l));
+    table.add_row({std::to_string(l), std::to_string(ph.universe_size()),
+                   Table::fmt_sci(1.0 - m.acquired.estimate()),
+                   Table::fmt(m.probes_overall.mean(), 2),
+                   Table::fmt(m.load(), 3),
+                   Table::fmt(l * m.load(), 2),
+                   Table::fmt(m.probes_overall.mean() / l, 2)});
+  }
+  table.print("Theorem 45: Paths PH(l) at p=0.2");
+}
+
+void theorem42_bounds() {
+  const double p = 0.15;
+  const int n = 80, alpha = 2;
+  Table table({"inner UQ", "Load(UQ)", "Load(comp)", "bound", "PC(UQ)",
+               "PC(comp)", "bound", "Avail(comp)=Avail(OPT_a)?"});
+  const OptAFamily opt_a(n, alpha);
+
+  auto check = [&](std::shared_ptr<QuorumFamily> uq) {
+    const ProbeMeasurement uq_m = measure_probes(*uq, p, 20000, Rng(11));
+    const CompositionFamily comp(uq, n, alpha);
+    const ProbeMeasurement comp_m = measure_probes(comp, p, 20000, Rng(12));
+    const double unavail = 1.0 - uq->availability(p);
+    const double load_bound = uq_m.load() + unavail;
+    const double pc_bound = uq_m.probes_overall.mean() +
+                            unavail * uq->universe_size() / (1.0 - p);
+    const bool avail_match =
+        std::abs(comp.availability(p) - opt_a.availability(p)) < 1e-12;
+    table.add_row({uq->name(), Table::fmt(uq_m.load(), 3),
+                   Table::fmt(comp_m.load(), 3), Table::fmt(load_bound, 3),
+                   Table::fmt(uq_m.probes_overall.mean(), 2),
+                   Table::fmt(comp_m.probes_overall.mean(), 2),
+                   Table::fmt(pc_bound, 2), avail_match ? "yes" : "NO"});
+  };
+  check(std::make_shared<MajorityFamily>(9));
+  check(std::make_shared<GridFamily>(4, 4));
+  check(std::make_shared<PathsFamily>(3));
+  check(std::make_shared<PathsFamily>(4));
+  table.print("Theorem 42 bounds at n=80, alpha=2, p=0.15");
+}
+
+void corollary46_sweep() {
+  // The load/probe tradeoff curve with availability held at the optimum.
+  const double p = 0.2;
+  const int alpha = 2;
+  Table table({"l", "x = E[probes]", "load", "x * load (Cor. 46: O(1))",
+               "1-Avail (composed)"});
+  for (int l : {2, 3, 4, 5, 6}) {
+    auto paths = std::make_shared<PathsFamily>(l);
+    const int n = paths->universe_size() + 20;
+    const CompositionFamily comp(paths, n, alpha);
+    const ProbeMeasurement m = measure_probes(comp, p, 12000, Rng(100 + l));
+    table.add_row({std::to_string(l), Table::fmt(m.probes_overall.mean(), 2),
+                   Table::fmt(m.load(), 3),
+                   Table::fmt(m.probes_overall.mean() * m.load(), 2),
+                   Table::fmt_sci(std::max(0.0, 1.0 - comp.availability(p)))});
+  }
+  table.print("Corollary 46: Paths(l)+OPT_a sweep at p=0.2, alpha=2");
+  std::printf(
+      "  load ~ c/x while availability is pinned at OPT_a's optimum: the\n"
+      "  product x*load stays O(1) across the sweep — the optimal tradeoff.\n");
+}
+
+}  // namespace
+}  // namespace sqs
+
+int main() {
+  std::printf("Composition study (Definition 40, Theorems 42/45, Corollary 46).\n");
+  sqs::paths_properties();
+  sqs::theorem42_bounds();
+  sqs::corollary46_sweep();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Figure 1: P[k simultaneous mismatches] vs k.
+//
+// The paper plots this statistic from the MIT RON1 and Duke TACT traces and
+// observes near-straight lines on a log scale — the signature of independent
+// mismatches (average correlation < 5%). We substitute two synthetic traces
+// with RON1-like and TACT-like parameters (documented in DESIGN.md), print
+// the measured series next to the exact independence prediction, and then
+// show the two failure modes the paper discusses: correlated partitions
+// (heavy tail) and lost-client observations with/without the filtering step
+// of [17].
+
+#include <cmath>
+#include <cstdio>
+
+#include "mismatch/trace_gen.h"
+#include "util/table.h"
+
+namespace sqs {
+namespace {
+
+constexpr std::size_t kMaxK = 6;
+
+TraceConfig ron1_like() {
+  TraceConfig config;
+  config.num_servers = 30;  // RON1 had ~30 wide-area nodes
+  config.num_observations = 2000000;
+  config.model.p = 0.03;
+  config.model.link_miss = 0.015;  // loss rate tuned for ~2-3% mismatch rate
+  return config;
+}
+
+TraceConfig tact_like() {
+  TraceConfig config;
+  config.num_servers = 8;  // TACT used a handful of replicas
+  config.num_observations = 2000000;
+  config.model.p = 0.02;
+  config.model.link_miss = 0.04;
+  return config;
+}
+
+void print_trace(const char* name, const TraceConfig& config, Rng rng) {
+  const MismatchHistogram hist = run_trace(config, rng);
+  const auto predicted = independent_prediction(config, kMaxK);
+  Table table({"k (simultaneous mismatches)", "P(k) measured",
+               "P(k) independence prediction", "log10 P(k)"});
+  for (std::size_t k = 1; k <= kMaxK; ++k) {
+    const double pk = hist.at(k);
+    table.add_row({std::to_string(k), Table::fmt_sci(pk),
+                   Table::fmt_sci(predicted[k]),
+                   pk > 0 ? Table::fmt(std::log10(pk), 2) : std::string("-inf")});
+  }
+  table.print(std::string("Fig. 1 [") + name + "]: mismatch histogram");
+  std::printf("  straight-line fit: slope(log10)=%.3f  max residual=%.3f "
+              "(near-zero residual => independent mismatches)\n",
+              hist.log10_slope(kMaxK), hist.max_log10_residual(kMaxK));
+}
+
+void print_violation_modes() {
+  // Mode A: correlated partitions.
+  TraceConfig partitioned = ron1_like();
+  partitioned.num_observations = 1000000;
+  partitioned.model.partition_rate = 0.005;
+  partitioned.model.partition_fraction = 0.4;
+  const MismatchHistogram heavy = run_trace(partitioned, Rng(0xF16));
+
+  TraceConfig clean = ron1_like();
+  clean.num_observations = 1000000;
+  const MismatchHistogram base = run_trace(clean, Rng(0xF16));
+
+  Table table({"k", "P(k) independent", "P(k) with 0.5% partitions"});
+  for (std::size_t k : {1u, 2u, 4u, 6u, 8u, 10u, 12u}) {
+    table.add_row({std::to_string(k), Table::fmt_sci(base.at(k)),
+                   Table::fmt_sci(heavy.at(k))});
+  }
+  table.print("Fig. 1 extension: correlated partitions bend the line (heavy tail)");
+
+  // Mode B: lost clients, with and without the [17] filtering step.
+  TraceConfig lost = ron1_like();
+  lost.num_observations = 1000000;
+  lost.client_loss_rate = 0.02;
+  lost.filter_lost_clients = false;
+  const MismatchHistogram unfiltered = run_trace(lost, Rng(0xF17));
+  lost.filter_lost_clients = true;
+  const MismatchHistogram filtered = run_trace(lost, Rng(0xF17));
+
+  Table table2({"k", "P(k) unfiltered", "P(k) filtered ([17] step)"});
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 24u, 29u}) {
+    table2.add_row({std::to_string(k), Table::fmt_sci(unfiltered.at(k)),
+                    Table::fmt_sci(filtered.at(k))});
+  }
+  table2.print(
+      "Fig. 1 extension: lost clients (2%) with vs without the filtering step");
+  std::printf("  filtered out %ld of %ld observations\n",
+              filtered.observations_filtered,
+              filtered.observations_filtered + filtered.observations_kept);
+}
+
+}  // namespace
+}  // namespace sqs
+
+int main() {
+  std::printf("Reproduction of Fig. 1 (Yu, Signed Quorum Systems, PODC'04).\n"
+              "Paper: RON1/TACT measurement traces; here: synthetic traces with\n"
+              "the same mechanism (independent link flaps), see DESIGN.md.\n");
+  sqs::print_trace("RON1-like", sqs::ron1_like(), sqs::Rng(0xF14));
+  sqs::print_trace("TACT-like", sqs::tact_like(), sqs::Rng(0xF15));
+  sqs::print_violation_modes();
+  std::printf("\nPaper claim: both curves near-linear on log scale => independence.\n"
+              "Expected shape reproduced iff the residual above is small and the\n"
+              "partitioned/unfiltered variants visibly bend upward in the tail.\n");
+  return 0;
+}

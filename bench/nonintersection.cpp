@@ -1,0 +1,125 @@
+// Reproduces the non-intersection guarantees of Sect. 4:
+//
+//   Theorem 9/12:  two clients with (deterministic or randomized)
+//                  non-adaptive strategies miss each other with probability
+//                  <= epsilon^(2 alpha);
+//   Theorem 44:    the composition's (adaptive, randomized) probe strategy
+//                  still bounds it by 2 epsilon^(2 alpha);
+//   and the failure mode: correlated mismatches (partitions) blow through
+//   the bound computed from the marginal epsilon — the reason the paper
+//   validates independence (Fig. 1) and filters partitioned clients.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "mismatch/exact.h"
+#include "mismatch/model.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+#include "util/table.h"
+
+namespace sqs {
+namespace {
+
+constexpr int kTrials = 400000;
+
+void theorem9_sweep() {
+  Table table({"alpha", "link miss m", "epsilon=2m/(1+m)",
+               "P[non-intersect] measured", "P[non-intersect] exact DP",
+               "bound eps^2a", "exact/bound"});
+  for (int alpha : {1, 2, 3}) {
+    for (double m : {0.1, 0.2, 0.3}) {
+      const OptDFamily fam(24, alpha);
+      MismatchModel model;
+      model.p = 0.1;
+      model.link_miss = m;
+      const NonintersectionStats stats = measure_nonintersection(
+          fam, model, kTrials, Rng(1000 + alpha * 10 + static_cast<int>(m * 100)));
+      const auto exact = exact_nonintersection(24, alpha, model.p, m,
+                                               opt_d_stop_rule(24, alpha));
+      table.add_row({std::to_string(alpha), Table::fmt(m, 2),
+                     Table::fmt(stats.epsilon, 4),
+                     Table::fmt_sci(stats.nonintersection.estimate()),
+                     Table::fmt_sci(exact.nonintersection),
+                     Table::fmt_sci(stats.bound),
+                     stats.bound > 0
+                         ? Table::fmt(exact.nonintersection / stats.bound, 3)
+                         : "-"});
+    }
+  }
+  table.print("Theorem 9: OPT_d (deterministic non-adaptive), n=24, p=0.1 — "
+              "exact/bound must stay <= 1");
+}
+
+void theorem44_composition() {
+  Table table({"inner UQ", "alpha", "epsilon", "P[non-intersect] measured",
+               "bound 2 eps^2a", "ratio"});
+  MismatchModel model;
+  model.p = 0.1;
+  model.link_miss = 0.25;
+  for (int alpha : {1, 2}) {
+    auto maj = std::make_shared<MajorityFamily>(4 * alpha - 1);
+    const CompositionFamily comp_maj(maj, 20, alpha);
+    const NonintersectionStats s1 = measure_nonintersection(
+        comp_maj, model, kTrials, Rng(7000 + alpha), /*bound_factor=*/2.0);
+    table.add_row({maj->name(), std::to_string(alpha), Table::fmt(s1.epsilon, 4),
+                   Table::fmt_sci(s1.nonintersection.estimate()),
+                   Table::fmt_sci(s1.bound),
+                   Table::fmt(s1.nonintersection.estimate() / s1.bound, 3)});
+  }
+  {
+    auto paths = std::make_shared<PathsFamily>(2);  // min quorum 4 >= 2a
+    const CompositionFamily comp(paths, 20, 2);
+    const NonintersectionStats s = measure_nonintersection(
+        comp, model, kTrials, Rng(7100), /*bound_factor=*/2.0);
+    table.add_row({paths->name(), "2", Table::fmt(s.epsilon, 4),
+                   Table::fmt_sci(s.nonintersection.estimate()),
+                   Table::fmt_sci(s.bound),
+                   Table::fmt(s.nonintersection.estimate() / s.bound, 3)});
+  }
+  table.print("Theorem 44: composed SQS (adaptive strategies), n=20 — "
+              "ratio must stay <= 1");
+}
+
+void correlated_break() {
+  Table table({"partition rate", "P[non-intersect] measured",
+               "iid bound eps^2a", "ratio (blows past 1)"});
+  for (double rate : {0.0, 0.05, 0.2, 0.5}) {
+    const OptDFamily fam(20, 1);
+    MismatchModel model;
+    model.p = 0.05;
+    model.link_miss = 0.02;
+    model.partition_rate = rate;
+    model.partition_fraction = 0.9;
+    const NonintersectionStats stats = measure_nonintersection(
+        fam, model, kTrials, Rng(9000 + static_cast<int>(rate * 100)));
+    table.add_row({Table::fmt(rate, 2),
+                   Table::fmt_sci(stats.nonintersection.estimate()),
+                   Table::fmt_sci(stats.bound),
+                   Table::fmt(stats.nonintersection.estimate() /
+                                  std::max(stats.bound, 1e-300),
+                              2)});
+  }
+  table.print("Independence violation: partitions vs the iid bound "
+              "(alpha=1, eps=0.039)");
+}
+
+}  // namespace
+}  // namespace sqs
+
+int main() {
+  std::printf("Non-intersection study (Sect. 4: Theorems 9/12/44).\n");
+  sqs::theorem9_sweep();
+  sqs::theorem44_composition();
+  sqs::correlated_break();
+  std::printf(
+      "\nShape checks vs the paper:\n"
+      "  * measured non-intersection <= eps^2a for OPT_d, <= 2 eps^2a for\n"
+      "    compositions (ratios <= 1, usually far below — the bound is loose);\n"
+      "  * the rate falls exponentially in alpha;\n"
+      "  * correlated partitions break the iid bound, motivating Fig. 1's\n"
+      "    validation and the filtering step.\n");
+  return 0;
+}

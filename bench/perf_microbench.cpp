@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks for the library's hot paths: quorum
+// acquisition via each family's probe strategy, pairwise SQS verification,
+// exact analyses, and the simulator's event loop. These are engineering
+// benchmarks (throughput of this implementation), complementing the
+// paper-reproduction harnesses in the sibling binaries.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "probe/engine.h"
+#include "probe/sequential_analysis.h"
+#include "probe/serverprobe.h"
+#include "sim/harness.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+
+namespace sqs {
+namespace {
+
+Configuration random_config(int n, double p, Rng& rng) {
+  Configuration c(Bitset(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) c.set_up(i, !rng.bernoulli(p));
+  return c;
+}
+
+void BM_OptDAcquisition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const OptDFamily fam(n, 2);
+  auto strategy = fam.make_probe_strategy();
+  Rng rng(1);
+  for (auto _ : state) {
+    Configuration c = random_config(n, 0.2, rng);
+    ConfigurationOracle oracle(&c);
+    benchmark::DoNotOptimize(run_probe(*strategy, oracle, nullptr).num_probes);
+  }
+}
+BENCHMARK(BM_OptDAcquisition)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MajorityAcquisition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const MajorityFamily fam(n);
+  auto strategy = fam.make_probe_strategy();
+  Rng rng(2);
+  for (auto _ : state) {
+    Configuration c = random_config(n, 0.2, rng);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(7);
+    benchmark::DoNotOptimize(run_probe(*strategy, oracle, &srng).num_probes);
+  }
+}
+BENCHMARK(BM_MajorityAcquisition)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PathsAcquisition(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  const PathsFamily fam(l);
+  auto strategy = fam.make_probe_strategy();
+  Rng rng(3);
+  for (auto _ : state) {
+    Configuration c = random_config(fam.universe_size(), 0.1, rng);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(9);
+    benchmark::DoNotOptimize(run_probe(*strategy, oracle, &srng).num_probes);
+  }
+}
+BENCHMARK(BM_PathsAcquisition)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CompositionAcquisition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto maj = std::make_shared<MajorityFamily>(9);
+  const CompositionFamily comp(maj, n, 2);
+  auto strategy = comp.make_probe_strategy();
+  Rng rng(4);
+  for (auto _ : state) {
+    Configuration c = random_config(n, 0.2, rng);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(11);
+    benchmark::DoNotOptimize(run_probe(*strategy, oracle, &srng).num_probes);
+  }
+}
+BENCHMARK(BM_CompositionAcquisition)->Arg(64)->Arg(256);
+
+void BM_SqsVerification(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ExplicitSqs d = opt_d_explicit(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(d.verify().has_value());
+  state.counters["quorums"] = static_cast<double>(d.num_quorums());
+}
+BENCHMARK(BM_SqsVerification)->Arg(8)->Arg(10);
+
+void BM_ServerProbeComplexity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(serverprobe_complexity(n, 3, 0.3));
+}
+BENCHMARK(BM_ServerProbeComplexity)->Arg(64)->Arg(512);
+
+void BM_SequentialAnalysisDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const StopRule rule = opt_d_stop_rule(n, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyze_sequential(n, 0.7, rule).expected_probes);
+}
+BENCHMARK(BM_SequentialAnalysisDp)->Arg(64)->Arg(512);
+
+void BM_RegisterExperimentSecond(benchmark::State& state) {
+  const OptDFamily fam(12, 2);
+  RegisterExperimentConfig config;
+  config.num_clients = 4;
+  config.duration = 10.0;
+  config.think_time = 0.2;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(run_register_experiment(fam, config).reads_ok);
+  }
+}
+BENCHMARK(BM_RegisterExperimentSecond);
+
+}  // namespace
+}  // namespace sqs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Sect. 4's open question, explored empirically.
+//
+// The paper proves "deterministic + non-adaptive" suffices for the
+// epsilon^(2 alpha) bound (Theorem 9), drops "deterministic" (Theorem 12),
+// proves the composition's adaptive strategy separately (Theorem 44), and
+// remarks that the exact necessary-and-sufficient conditions are unknown.
+// This bench measures P[non-intersection] for a spectrum of strategy
+// classes on the same mismatch model, mapping where the bound holds:
+//
+//   S1  OPT_d, one shared deterministic order            (Thm 9: holds)
+//   S2  OPT_d, per-client random orders                  (outside Thm 12's
+//       common-SQS hypothesis: fails — Sect. 6.3's same-order requirement)
+//   S3  OPT_a, per-client random orders                  (Thm 12: holds)
+//   S4  composition Majority+OPT_a (adaptive, randomized) (Thm 44: holds
+//       within 2 eps^2a)
+//   S5  witness model, shared deterministic order        (Thm 9: holds)
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "core/witness.h"
+#include "mismatch/model.h"
+#include "uqs/majority.h"
+#include "util/table.h"
+
+namespace sqs {
+namespace {
+
+// Per-client random order wrapper; early_acquire selects OPT_d's 2a stop
+// rule vs OPT_a's probe-everything rule (see tests/test_theorem12.cpp for
+// why the former leaves the common-SQS hypothesis).
+class ShuffledFamily : public OptDFamily {
+ public:
+  ShuffledFamily(int n, int alpha, bool early_acquire)
+      : OptDFamily(n, alpha), early_(early_acquire) {}
+
+  std::unique_ptr<ProbeStrategy> make_probe_strategy() const override {
+    class Strategy : public ProbeStrategy {
+     public:
+      Strategy(int n, int alpha, bool early) : n_(n), alpha_(alpha), early_(early) {
+        order_.resize(static_cast<std::size_t>(n));
+        std::iota(order_.begin(), order_.end(), 0);
+        reset(nullptr);
+      }
+      void reset(Rng* rng) override {
+        if (rng != nullptr) std::shuffle(order_.begin(), order_.end(), *rng);
+        observed_ = SignedSet(n_);
+        step_ = pos_ = 0;
+        status_ = ProbeStatus::kInProgress;
+      }
+      int universe_size() const override { return n_; }
+      ProbeStatus status() const override { return status_; }
+      int next_server() const override {
+        return order_[static_cast<std::size_t>(step_)];
+      }
+      void observe(int server, bool reached) override {
+        if (reached) {
+          observed_.add_positive(server);
+          ++pos_;
+        } else {
+          observed_.add_negative(server);
+        }
+        ++step_;
+        const int neg = step_ - pos_;
+        if (early_ && (pos_ >= 2 * alpha_ || pos_ >= n_ + alpha_ - step_)) {
+          status_ = ProbeStatus::kAcquired;
+        } else if (neg >= n_ + 1 - alpha_) {
+          status_ = ProbeStatus::kNoQuorum;
+        } else if (step_ == n_) {
+          status_ = pos_ >= alpha_ ? ProbeStatus::kAcquired
+                                   : ProbeStatus::kNoQuorum;
+        }
+      }
+      SignedSet acquired_quorum() const override { return observed_; }
+      bool is_adaptive() const override { return false; }
+      bool is_randomized() const override { return true; }
+
+     private:
+      int n_, alpha_;
+      bool early_;
+      std::vector<int> order_;
+      SignedSet observed_{0};
+      int step_ = 0, pos_ = 0;
+      ProbeStatus status_ = ProbeStatus::kInProgress;
+    };
+    return std::make_unique<Strategy>(universe_size(), alpha(), early_);
+  }
+
+ private:
+  bool early_;
+};
+
+}  // namespace
+}  // namespace sqs
+
+int main() {
+  using namespace sqs;
+  std::printf("Strategy-class map for the Sect. 4 bound (open-question probe).\n");
+  const int n = 16, alpha = 2;
+  MismatchModel model;
+  model.p = 0.1;
+  model.link_miss = 0.25;  // epsilon = 0.4, bound eps^4 = 0.0256
+  const int trials = 400000;
+
+  Table table({"strategy class", "properties", "measured P[non-int]",
+               "bound", "verdict"});
+  auto row = [&](const char* name, const char* props, const QuorumFamily& fam,
+                 double bound_factor) {
+    const NonintersectionStats stats = measure_nonintersection(
+        fam, model, trials, Rng(std::hash<std::string>{}(name)), bound_factor);
+    const bool holds = stats.nonintersection.wilson_low() <= stats.bound;
+    table.add_row({name, props,
+                   Table::fmt_sci(stats.nonintersection.estimate()),
+                   Table::fmt_sci(stats.bound),
+                   holds ? "holds" : "VIOLATED"});
+  };
+
+  row("S1 OPT_d shared order", "det., non-adaptive (Thm 9)",
+      OptDFamily(n, alpha), 1.0);
+  row("S2 OPT_d per-client orders", "rand., non-adaptive, NOT one SQS",
+      ShuffledFamily(n, alpha, /*early=*/true), 1.0);
+  row("S3 OPT_a per-client orders", "rand., non-adaptive (Thm 12)",
+      ShuffledFamily(n, alpha, /*early=*/false), 1.0);
+  {
+    auto maj = std::make_shared<MajorityFamily>(7);
+    row("S4 Majority(7)+OPT_a", "rand., adaptive (Thm 44, bound 2 eps^2a)",
+        CompositionFamily(maj, n, alpha), 2.0);
+  }
+  row("S5 witness model w=8", "det., non-adaptive (Thm 9)",
+      WitnessFamily(n, 8, alpha), 1.0);
+  table.print("P[non-intersection] by strategy class (n=16, a=2, eps=0.4)");
+  std::printf(
+      "\nReading: the bound needs non-adaptivity AND all realizable quorums\n"
+      "in one SQS. S2 satisfies the former but not the latter — per-client\n"
+      "orders make OPT_d prefixes incompatible — which is why Sect. 6.3\n"
+      "mandates a shared order. Adaptive strategies (S4) fall outside\n"
+      "Theorem 9/12 but the paper proves them separately (Theorem 44).\n");
+  return 0;
+}

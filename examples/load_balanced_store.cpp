@@ -1,0 +1,169 @@
+// A load-balanced replicated object store — the Sect. 6.3 / Sect. 7 story.
+//
+// Scenario: o objects replicated on the same n servers. Three deployments:
+//   (a) naive OPT_d, all objects share one probe order: the first server
+//       melts (load 1.0);
+//   (b) OPT_d with per-object rotated orders (Sect. 6.3): aggregate load is
+//       flat at ~E[probes]/n while keeping OPT_d's guarantees per object;
+//   (c) Paths(l) + OPT_a composition: per-acquisition load O(1/l) without
+//       needing many objects.
+// The example prints each deployment's per-server load histogram.
+//
+// Build and run:  ./build/examples/load_balanced_store
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "sim/store.h"
+#include "probe/engine.h"
+#include "uqs/paths.h"
+#include "util/table.h"
+
+namespace sqs {
+namespace {
+
+struct LoadProfile {
+  std::vector<double> per_server;
+  double max_load = 0.0;
+  double min_load = 0.0;
+  double mean_probes = 0.0;
+};
+
+// Runs `ops` acquisitions using strategies produced by `make_strategy(obj)`
+// for a random object each time, against i.i.d. failures.
+template <typename MakeStrategy>
+LoadProfile measure(int n, int num_objects, int ops, double p,
+                    MakeStrategy&& make_strategy, Rng rng) {
+  std::vector<long> counts(static_cast<std::size_t>(n), 0);
+  long probes = 0;
+  for (int t = 0; t < ops; ++t) {
+    const int object = static_cast<int>(rng.next_below(num_objects));
+    auto strategy = make_strategy(object);
+    Configuration c(Bitset(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i) c.set_up(i, !rng.bernoulli(p));
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(t);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    probes += record.num_probes;
+    record.probed.positive().for_each([&](std::size_t i) { ++counts[i]; });
+    record.probed.negative().for_each([&](std::size_t i) { ++counts[i]; });
+  }
+  LoadProfile profile;
+  profile.per_server.resize(static_cast<std::size_t>(n));
+  profile.min_load = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double f = static_cast<double>(counts[static_cast<std::size_t>(i)]) / ops;
+    profile.per_server[static_cast<std::size_t>(i)] = f;
+    profile.max_load = std::max(profile.max_load, f);
+    profile.min_load = std::min(profile.min_load, f);
+  }
+  profile.mean_probes = static_cast<double>(probes) / ops;
+  return profile;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::string out;
+  double hi = 0.0;
+  for (double v : values) hi = std::max(hi, v);
+  for (double v : values) {
+    const int idx = hi > 0 ? static_cast<int>(v / hi * 7.0 + 0.5) : 0;
+    out += levels[idx];
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace sqs
+
+int main() {
+  using namespace sqs;
+  const int n = 24, alpha = 2, num_objects = 24, ops = 60000;
+  const double p = 0.15;
+  std::printf("Load-balanced store: %d objects on %d servers, p=%.2f\n",
+              num_objects, n, p);
+
+  // (a) one shared OPT_d order.
+  const OptDFamily shared(n, alpha);
+  const LoadProfile naive = measure(
+      n, num_objects, ops, p, [&](int) { return shared.make_probe_strategy(); },
+      Rng(1));
+
+  // (b) rotated per-object orders.
+  std::vector<OptDFamily> rotated;
+  rotated.reserve(static_cast<std::size_t>(num_objects));
+  for (int o = 0; o < num_objects; ++o) {
+    OptDFamily fam(n, alpha);
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) order[static_cast<std::size_t>(j)] = (o + j) % n;
+    fam.set_probe_order(order);
+    rotated.push_back(std::move(fam));
+  }
+  const LoadProfile balanced = measure(
+      n, num_objects, ops, p,
+      [&](int o) { return rotated[static_cast<std::size_t>(o)].make_probe_strategy(); },
+      Rng(2));
+
+  // (c) Paths composition on its own k=24 universe (same n).
+  auto paths = std::make_shared<PathsFamily>(3);  // k = 24 == n
+  const CompositionFamily comp(paths, n, alpha);
+  const LoadProfile composed = measure(
+      n, num_objects, ops, p, [&](int) { return comp.make_probe_strategy(); },
+      Rng(3));
+
+  Table table({"deployment", "max server load", "min server load",
+               "E[probes]/op", "per-server profile"});
+  table.add_row({"(a) OPT_d shared order", Table::fmt(naive.max_load, 3),
+                 Table::fmt(naive.min_load, 3),
+                 Table::fmt(naive.mean_probes, 2), sparkline(naive.per_server)});
+  table.add_row({"(b) OPT_d rotated orders", Table::fmt(balanced.max_load, 3),
+                 Table::fmt(balanced.min_load, 3),
+                 Table::fmt(balanced.mean_probes, 2),
+                 sparkline(balanced.per_server)});
+  table.add_row({"(c) Paths(3)+OPT_a", Table::fmt(composed.max_load, 3),
+                 Table::fmt(composed.min_load, 3),
+                 Table::fmt(composed.mean_probes, 2),
+                 sparkline(composed.per_server)});
+  table.print("Per-server load under three deployments (direct probe engine)");
+
+  // The same rotation story on the full simulated stack: timeout-based
+  // probing, flapping links, live servers — per Sect. 6.3 the per-object
+  // guarantees are untouched while fleet load flattens.
+  StoreExperimentConfig sim_config;
+  sim_config.num_servers = n;
+  sim_config.num_objects = num_objects;
+  sim_config.alpha = alpha;
+  sim_config.num_clients = 8;
+  sim_config.duration = 600.0;
+  sim_config.server.mean_up = 17.0;
+  sim_config.server.mean_down = 3.0;  // p = 0.15 matching the static runs
+  sim_config.rotate_orders = false;
+  const StoreExperimentResult sim_shared = run_store_experiment(sim_config);
+  sim_config.rotate_orders = true;
+  const StoreExperimentResult sim_rotated = run_store_experiment(sim_config);
+  Table sim_table({"deployment", "availability", "max load", "min load",
+                   "probes/op", "stale reads"});
+  sim_table.add_row({"shared order (simulated)",
+                     Table::fmt(sim_shared.availability(), 4),
+                     Table::fmt(sim_shared.max_server_load(), 3),
+                     Table::fmt(sim_shared.min_server_load(), 3),
+                     Table::fmt(sim_shared.probes_per_op.mean(), 2),
+                     std::to_string(sim_shared.stale_reads)});
+  sim_table.add_row({"rotated orders (simulated)",
+                     Table::fmt(sim_rotated.availability(), 4),
+                     Table::fmt(sim_rotated.max_server_load(), 3),
+                     Table::fmt(sim_rotated.min_server_load(), 3),
+                     Table::fmt(sim_rotated.probes_per_op.mean(), 2),
+                     std::to_string(sim_rotated.stale_reads)});
+  sim_table.print("Same comparison on the discrete-event simulator");
+  std::printf(
+      "\nWhat to look for: (a) hammers the head of the shared order; (b)\n"
+      "flattens aggregate load to ~E[probes]/n = %.3f with identical\n"
+      "per-object guarantees; (c) achieves low per-acquisition load even\n"
+      "for a single object, at the price of more probes per op.\n",
+      balanced.mean_probes / n);
+  return 0;
+}

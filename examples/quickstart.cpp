@@ -1,0 +1,78 @@
+// Quickstart: the public API in five minutes.
+//
+//   1. Signed sets and the SQS compatibility predicate (Definition 3).
+//   2. Building and verifying an explicit SQS.
+//   3. The scalable constructions: OPT_a, OPT_d, UQ + OPT_a.
+//   4. Acquiring a quorum with a probe strategy against failures.
+//   5. Availability and probe-complexity numbers from the analysis API.
+//
+// Build and run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "core/explicit_sqs.h"
+#include "probe/engine.h"
+#include "probe/serverprobe.h"
+#include "uqs/majority.h"
+
+int main() {
+  using namespace sqs;
+
+  // --- 1. Signed sets -----------------------------------------------------
+  // The paper's introductory example over three servers: quorum {-1, 3}
+  // means "I could not reach server 1, and I reached server 3".
+  const SignedSet q1 = SignedSet::from_literals(3, {-1, 3});
+  const SignedSet q2 = SignedSet::from_literals(3, {1, -2, -3});
+  std::printf("q1 = %s, q2 = %s\n", q1.to_string().c_str(), q2.to_string().c_str());
+  std::printf("positive intersection: %s, dual overlap: %zu\n",
+              SignedSet::positively_intersects(q1, q2) ? "yes" : "no",
+              SignedSet::dual_overlap(q1, q2));
+
+  // --- 2. An explicit SQS -------------------------------------------------
+  ExplicitSqs tiny(3, /*alpha=*/1);
+  tiny.add_quorum(q1);
+  tiny.add_quorum(q2);
+  std::printf("{q1,q2} is a valid SQS with alpha=1: %s\n",
+              tiny.is_valid_sqs() ? "yes" : "no");
+  std::printf("its availability at p=0.2: %.4f\n", tiny.availability(0.2));
+
+  // --- 3. Scalable constructions ------------------------------------------
+  const int n = 50, alpha = 2;
+  const OptDFamily opt_d(n, alpha);
+  std::printf("\n%s: available as long as ANY %d of %d servers are up\n",
+              opt_d.name().c_str(), alpha, n);
+  std::printf("availability at p=0.4: %.6f (majority: %.6f)\n",
+              opt_d.availability(0.4), MajorityFamily(n).availability(0.4));
+
+  // --- 4. Acquire a quorum under failures ----------------------------------
+  // Knock out 40 of the 50 servers; OPT_d still finds a quorum, probing
+  // only a handful of servers.
+  Rng rng(7);
+  Configuration config(Bitset(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) config.set_up(i, rng.bernoulli(0.2));
+  std::printf("\nlive servers: %zu of %d\n", config.num_up(), n);
+
+  auto strategy = opt_d.make_probe_strategy();
+  ConfigurationOracle oracle(&config);
+  const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+  std::printf("acquired: %s after %d probes\n",
+              record.acquired ? "yes" : "no", record.num_probes);
+  if (record.acquired)
+    std::printf("quorum: %s\n", record.quorum.to_string().c_str());
+
+  // --- 5. Analysis ----------------------------------------------------------
+  std::printf("\nexpected probes (exact g(n)) at p=0.4: %.3f  (< 2a/(1-p) = %.3f)\n",
+              serverprobe_complexity(n, alpha, 0.4),
+              serverprobe_upper_bound(alpha, 0.4));
+
+  // Composition: majority over the first 9 servers for low load, OPT_a
+  // underneath for availability.
+  auto maj = std::make_shared<MajorityFamily>(9);
+  const CompositionFamily comp(maj, n, alpha);
+  std::printf("%s availability at p=0.4: %.6f\n", comp.name().c_str(),
+              comp.availability(0.4));
+  return 0;
+}

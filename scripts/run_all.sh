@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, every reproduction bench, and
+# every example. Outputs land in test_output.txt / bench_output.txt at the
+# repo root (the same files EXPERIMENTS.md quotes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+for e in build/examples/*; do "$e"; done

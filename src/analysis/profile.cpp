@@ -1,0 +1,86 @@
+#include "analysis/profile.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/binomial.h"
+
+namespace sqs {
+
+int AcceptanceProfile::guaranteed_threshold(double tolerance) const {
+  const int n = static_cast<int>(probability.size()) - 1;
+  int threshold = n + 1;
+  for (int k = n; k >= 0; --k) {
+    if (probability[static_cast<std::size_t>(k)] >= 1.0 - tolerance) {
+      threshold = k;
+    } else {
+      break;
+    }
+  }
+  return threshold;
+}
+
+int AcceptanceProfile::impossible_below(double tolerance) const {
+  int last_zero = -1;
+  for (std::size_t k = 0; k < probability.size(); ++k) {
+    if (probability[k] <= tolerance) {
+      last_zero = static_cast<int>(k);
+    } else {
+      break;
+    }
+  }
+  return last_zero;
+}
+
+AcceptanceProfile acceptance_profile(const QuorumFamily& family,
+                                     int samples_per_k, Rng rng) {
+  const int n = family.universe_size();
+  AcceptanceProfile out;
+  out.probability.assign(static_cast<std::size_t>(n) + 1, 0.0);
+
+  if (n <= 20) {
+    std::vector<long> accepted(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<long> total(static_cast<std::size_t>(n) + 1, 0);
+    for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+      Configuration config(n, mask);
+      const std::size_t k = config.num_up();
+      ++total[k];
+      if (family.accepts(config)) ++accepted[k];
+    }
+    for (int k = 0; k <= n; ++k)
+      out.probability[static_cast<std::size_t>(k)] =
+          static_cast<double>(accepted[static_cast<std::size_t>(k)]) /
+          static_cast<double>(total[static_cast<std::size_t>(k)]);
+    return out;
+  }
+
+  std::vector<int> ids(static_cast<std::size_t>(n));
+  for (int k = 0; k <= n; ++k) {
+    long accepted = 0;
+    for (int s = 0; s < samples_per_k; ++s) {
+      // Uniform k-subset via partial Fisher-Yates.
+      std::iota(ids.begin(), ids.end(), 0);
+      Configuration config(Bitset(static_cast<std::size_t>(n)));
+      for (int i = 0; i < k; ++i) {
+        const auto j =
+            i + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - i)));
+        std::swap(ids[static_cast<std::size_t>(i)], ids[static_cast<std::size_t>(j)]);
+        config.set_up(ids[static_cast<std::size_t>(i)], true);
+      }
+      if (family.accepts(config)) ++accepted;
+    }
+    out.probability[static_cast<std::size_t>(k)] =
+        static_cast<double>(accepted) / static_cast<double>(samples_per_k);
+  }
+  return out;
+}
+
+double availability_from_profile(const AcceptanceProfile& profile, double p) {
+  const int n = static_cast<int>(profile.probability.size()) - 1;
+  double total = 0.0;
+  for (int k = 0; k <= n; ++k)
+    total += binom_pmf(n, k, 1.0 - p) * profile.probability[static_cast<std::size_t>(k)];
+  return total;
+}
+
+}  // namespace sqs

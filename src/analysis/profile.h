@@ -1,0 +1,41 @@
+// Acceptance profiles: P[a live quorum exists | exactly k servers up].
+//
+// The paper's availability headline is really a statement about this
+// profile: OPT_a's is a step function jumping to 1 at k = alpha, majority's
+// jumps at (n+1)/2, grid/paths rise smoothly. The profile decomposes
+// availability as  Avail(p) = sum_k C(n,k)(1-p)^k p^(n-k) * profile[k],
+// and makes "available as long as ANY alpha servers are available" an
+// auditable property rather than a formula.
+
+#pragma once
+
+#include <vector>
+
+#include "core/quorum_family.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+struct AcceptanceProfile {
+  // profile[k] = P[accepts | exactly k up] (over the uniform choice of the
+  // k live servers). Exact for n <= 20, sampled otherwise.
+  std::vector<double> probability;
+
+  // Smallest k such that profile[j] == 1 for all j >= k (within tolerance):
+  // the guaranteed-availability threshold. OPT_a: alpha. Majority: n/2+1.
+  int guaranteed_threshold(double tolerance = 1e-9) const;
+  // Largest k with profile[k] == 0 (within tolerance): below this the
+  // system can never be live.
+  int impossible_below(double tolerance = 1e-9) const;
+};
+
+// Computes the profile. For n <= 20 every configuration is enumerated
+// (exact); otherwise `samples_per_k` uniform k-subsets are drawn per k.
+AcceptanceProfile acceptance_profile(const QuorumFamily& family,
+                                     int samples_per_k, Rng rng);
+
+// Recombines a profile with the binomial weights; equals availability(p)
+// exactly when the profile is exact.
+double availability_from_profile(const AcceptanceProfile& profile, double p);
+
+}  // namespace sqs

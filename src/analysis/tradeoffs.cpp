@@ -1,0 +1,37 @@
+#include "analysis/tradeoffs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqs {
+
+double uqs_unavailability_bound_from_load(double p, int n, double load) {
+  return std::pow(p, static_cast<double>(n) * load);
+}
+
+double uqs_unavailability_bound_from_probes(double p, double probe_complexity) {
+  return std::pow(p, probe_complexity);
+}
+
+double load_bound_from_probes(double probe_complexity) {
+  return probe_complexity > 0.0 ? 1.0 / probe_complexity : 1.0;
+}
+
+double sqs_load_lower_bound(int n, int min_quorum_size) {
+  const double x = static_cast<double>(min_quorum_size);
+  return std::max(x / static_cast<double>(n), 1.0 / x);
+}
+
+double sqs_load_floor(int n) {
+  return 1.0 / (2.0 * std::sqrt(static_cast<double>(n)));
+}
+
+double sqs_load_bound_from_probes(double expected_probes) {
+  return expected_probes > 0.0 ? 1.0 / (4.0 * expected_probes) : 1.0;
+}
+
+double truncated_probe_availability_ceiling(double p, int alpha) {
+  return 1.0 - std::pow(p - p * p, 2.0 * alpha - 1.0);
+}
+
+}  // namespace sqs

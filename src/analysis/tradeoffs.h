@@ -1,0 +1,44 @@
+// The quantitative tradeoffs the paper is framed around.
+//
+// For *strict* quorum systems, Naor–Wool's proofs give (Inequalities 1-3):
+//   (1)  1 - Avail >= p^(n * Load)
+//   (2)  1 - Avail >= p^(ProbeComplexity)
+//   (3)  Load      >= 1 / ProbeComplexity
+// SQS escapes (1) and (2) — the composition constructions achieve optimal
+// availability at probe complexity Theta(alpha) — but (3) survives in the
+// form of Theorem 38 / Corollary 39:
+//   Load_A >= max(x/n, 1/x)  (x = smallest quorum size)
+//   Load >= 1/(2 sqrt n)  and  Load >= 1/(4 PC_e*)  when Avail >= 1/2.
+
+#pragma once
+
+namespace sqs {
+
+// Inequality (1): lower bound on 1-availability of any strict quorum system
+// with the given load.
+double uqs_unavailability_bound_from_load(double p, int n, double load);
+
+// Inequality (2): lower bound on 1-availability of any strict quorum system
+// with the given probe complexity.
+double uqs_unavailability_bound_from_probes(double p, double probe_complexity);
+
+// Inequality (3): lower bound on the load of any quorum system with the
+// given probe complexity.
+double load_bound_from_probes(double probe_complexity);
+
+// Theorem 38: Load_A(Q) >= max(x/n, 1/x) for smallest quorum size x — holds
+// for SQS too (negate all negatives and apply the UQS bound).
+double sqs_load_lower_bound(int n, int min_quorum_size);
+
+// Corollary 39 (needs Avail >= 0.5): Load >= 1/(2 sqrt n).
+double sqs_load_floor(int n);
+
+// Corollary 39: Load >= 1 / (4 PC_e*).
+double sqs_load_bound_from_probes(double expected_probes);
+
+// Theorem 25's contrapositive, quantified: any SQS probed with at most
+// 2 alpha - 1 probes per acquisition has availability at most
+// 1 - (p - p^2)^(2 alpha - 1) regardless of n.
+double truncated_probe_availability_ceiling(double p, int alpha);
+
+}  // namespace sqs

@@ -1,0 +1,166 @@
+#include "core/composition.h"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "util/binomial.h"
+
+namespace sqs {
+
+CompositionFamily::CompositionFamily(std::shared_ptr<const QuorumFamily> uq,
+                                     int n, int alpha)
+    : uq_(std::move(uq)), k_(uq_->universe_size()), n_(n), alpha_(alpha) {
+  assert(uq_->is_strict() && "composition input must be an unsigned QS");
+  assert(k_ <= n_);
+  assert(uq_->min_quorum_size() >= 2 * alpha_ &&
+         "Definition 40 requires every UQ quorum to have size >= 2 alpha");
+}
+
+std::string CompositionFamily::name() const {
+  return uq_->name() + "+OPT_a(n=" + std::to_string(n_) +
+         ",a=" + std::to_string(alpha_) + ")";
+}
+
+bool CompositionFamily::accepts(const Configuration& config) const {
+  // Every UQ or LADC quorum needs >= 2 alpha >= alpha live servers, and
+  // OPT_a ⊆ the family, so acceptance reduces to OPT_a's predicate.
+  return config.num_up() >= static_cast<std::size_t>(alpha_);
+}
+
+double CompositionFamily::availability(double p) const {
+  return binom_tail_geq(n_, alpha_, 1.0 - p);
+}
+
+namespace {
+
+// Widens a signed set over the inner universe {0..k-1} to {0..n-1}.
+SignedSet widen(const SignedSet& inner, int n) {
+  SignedSet out(n);
+  inner.positive().for_each([&](std::size_t i) { out.add_positive(static_cast<int>(i)); });
+  inner.negative().for_each([&](std::size_t i) { out.add_negative(static_cast<int>(i)); });
+  return out;
+}
+
+class CompositionStrategy : public ProbeStrategy {
+ public:
+  CompositionStrategy(const QuorumFamily* uq, int k, int n, int alpha)
+      : uq_(uq), k_(k), n_(n), alpha_(alpha), inner_(uq->make_probe_strategy()) {
+    reset(nullptr);
+  }
+
+  void reset(Rng* rng) override {
+    inner_->reset(rng);
+    observed_ = SignedSet(n_);
+    results_.assign(static_cast<std::size_t>(n_), std::nullopt);
+    phase_ = 1;
+    prefix_idx_ = 0;
+    prefix_pos_ = 0;
+    total_pos_ = 0;
+    quorum_ = SignedSet(n_);
+    status_ = ProbeStatus::kInProgress;
+    sync_with_inner();
+  }
+
+  int universe_size() const override { return n_; }
+
+  ProbeStatus status() const override { return status_; }
+
+  int next_server() const override {
+    assert(status_ == ProbeStatus::kInProgress);
+    return phase_ == 1 ? inner_->next_server() : prefix_idx_;
+  }
+
+  void observe(int server, bool reached) override {
+    assert(status_ == ProbeStatus::kInProgress);
+    assert(!results_[static_cast<std::size_t>(server)].has_value());
+    results_[static_cast<std::size_t>(server)] = reached;
+    if (reached) {
+      observed_.add_positive(server);
+      ++total_pos_;
+    } else {
+      observed_.add_negative(server);
+    }
+    if (phase_ == 1) {
+      assert(server < k_);
+      inner_->observe(server, reached);
+      sync_with_inner();
+    } else {
+      advance_prefix();
+    }
+  }
+
+  SignedSet acquired_quorum() const override { return quorum_; }
+  bool is_adaptive() const override { return true; }
+  bool is_randomized() const override { return inner_->is_randomized(); }
+
+ private:
+  void sync_with_inner() {
+    switch (inner_->status()) {
+      case ProbeStatus::kInProgress:
+        break;
+      case ProbeStatus::kAcquired:
+        quorum_ = widen(inner_->acquired_quorum(), n_);
+        status_ = ProbeStatus::kAcquired;
+        break;
+      case ProbeStatus::kNoQuorum:
+        phase_ = 2;
+        advance_prefix();
+        break;
+    }
+  }
+
+  // Consumes every already-probed server at the head of the index order;
+  // stops at the first unprobed index (the next probe) or terminates.
+  void advance_prefix() {
+    while (prefix_idx_ < n_ && results_[static_cast<std::size_t>(prefix_idx_)].has_value()) {
+      if (*results_[static_cast<std::size_t>(prefix_idx_)]) ++prefix_pos_;
+      ++prefix_idx_;
+      if (prefix_pos_ >= k_) {
+        // The contiguous signed prefix is a LADC quorum (exactly k
+        // positives: the counter steps by one per server).
+        quorum_ = SignedSet(n_);
+        for (int i = 0; i < prefix_idx_; ++i) {
+          if (*results_[static_cast<std::size_t>(i)]) {
+            quorum_.add_positive(i);
+          } else {
+            quorum_.add_negative(i);
+          }
+        }
+        status_ = ProbeStatus::kAcquired;
+        return;
+      }
+    }
+    if (prefix_idx_ >= n_) {
+      // Phase 3: all servers probed; fall back to OPT_a.
+      if (total_pos_ >= alpha_) {
+        quorum_ = observed_;
+        status_ = ProbeStatus::kAcquired;
+      } else {
+        status_ = ProbeStatus::kNoQuorum;
+      }
+    }
+  }
+
+  const QuorumFamily* uq_;
+  int k_;
+  int n_;
+  int alpha_;
+  std::unique_ptr<ProbeStrategy> inner_;
+  SignedSet observed_{0};
+  SignedSet quorum_{0};
+  std::vector<std::optional<bool>> results_;
+  int phase_ = 1;
+  int prefix_idx_ = 0;
+  int prefix_pos_ = 0;
+  int total_pos_ = 0;
+  ProbeStatus status_ = ProbeStatus::kInProgress;
+};
+
+}  // namespace
+
+std::unique_ptr<ProbeStrategy> CompositionFamily::make_probe_strategy() const {
+  return std::make_unique<CompositionStrategy>(uq_.get(), k_, n_, alpha_);
+}
+
+}  // namespace sqs

@@ -1,0 +1,56 @@
+// Composition of a strict quorum system with OPT_a (Definition 40).
+//
+// Given a strict (unsigned) quorum system UQ over servers {0..k-1} whose
+// smallest quorum has size >= 2 alpha, the composition UQ + OPT_a over
+// {0..n-1} is the signed set system
+//
+//     UQ  ∪  (∪_{i=k..n} LADC_i)  ∪  OPT_a
+//
+// where LADC_i is the set of full sign assignments over the prefix {0..i-1}
+// with exactly k positives (the "cushion" between UQ and OPT_a that keeps
+// probe complexity bounded). Theorem 42: the result is an SQS with OPT_a's
+// availability, and load / expected probe complexity within
+// (1 - Avail(UQ))-sized additive terms of UQ's — which is how SQS breaks
+// tradeoff inequalities (1) and (2).
+//
+// The probe strategy is the three-phase algorithm of Theorem 42's proof:
+//   1. run UQ's own strategy on {0..k-1}; return if it acquires;
+//   2. sweep servers 0..n-1 in index order (reusing phase-1 results) until
+//      the contiguous prefix holds k positives (a LADC quorum);
+//   3. after all n servers: >= alpha positives means an OPT_a quorum.
+
+#pragma once
+
+#include <memory>
+
+#include "core/quorum_family.h"
+
+namespace sqs {
+
+class CompositionFamily : public QuorumFamily {
+ public:
+  // `uq` must be strict, over a universe k <= n, with min quorum size
+  // >= 2 alpha (asserted).
+  CompositionFamily(std::shared_ptr<const QuorumFamily> uq, int n, int alpha);
+
+  const QuorumFamily& inner() const { return *uq_; }
+  int inner_universe_size() const { return k_; }
+
+  std::string name() const override;
+  int universe_size() const override { return n_; }
+  int alpha() const override { return alpha_; }
+  bool is_strict() const override { return false; }
+  // As(UQ + OPT_a) = OPT_a: accepts iff >= alpha servers are up.
+  bool accepts(const Configuration& config) const override;
+  int min_quorum_size() const override { return uq_->min_quorum_size(); }
+  double availability(double p) const override;
+  std::unique_ptr<ProbeStrategy> make_probe_strategy() const override;
+
+ private:
+  std::shared_ptr<const QuorumFamily> uq_;
+  int k_;
+  int n_;
+  int alpha_;
+};
+
+}  // namespace sqs

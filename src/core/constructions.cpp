@@ -1,0 +1,262 @@
+#include "core/constructions.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "util/binomial.h"
+
+namespace sqs {
+
+namespace {
+
+// Calls fn(mask) for every n-bit mask; callers filter by popcount. All
+// explicit builders are bounded to n <= 24 by assertion.
+template <typename Fn>
+void for_each_mask(int n, Fn&& fn) {
+  assert(n <= 24 && "explicit constructions enumerate 2^n sets");
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) fn(mask);
+}
+
+// The signed set over prefix {0..i-1} whose positive part is `mask`.
+SignedSet prefix_signed_set(int n, int i, std::uint64_t mask) {
+  SignedSet s(n);
+  for (int j = 0; j < i; ++j) {
+    if ((mask >> j) & 1u) {
+      s.add_positive(j);
+    } else {
+      s.add_negative(j);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+ExplicitSqs opt_a_explicit(int n, int alpha) {
+  ExplicitSqs out(n, alpha);
+  for_each_mask(n, [&](std::uint64_t mask) {
+    if (__builtin_popcountll(mask) >= alpha)
+      out.add_quorum(Configuration(n, mask).as_signed_set());
+  });
+  out.set_name("OPT_a(explicit)");
+  return out;
+}
+
+ExplicitSqs opt_b_explicit(int n, int alpha) {
+  ExplicitSqs out = opt_a_explicit(n, alpha);
+  SignedSet extra(n);
+  for (int i = 0; i < 2 * alpha; ++i) extra.add_positive(i);
+  out.add_quorum(extra);
+  out.set_name("OPT_b(explicit)");
+  return out;
+}
+
+ExplicitSqs hole_explicit(int n, int alpha) {
+  ExplicitSqs out(n, alpha);
+  // One absent server ("the hole"), every other server signed, exactly
+  // alpha+1 positives.
+  for (int hole = 0; hole < n; ++hole) {
+    for_each_mask(n, [&](std::uint64_t mask) {
+      if ((mask >> hole) & 1u) return;
+      if (__builtin_popcountll(mask) != alpha + 1) return;
+      SignedSet s(n);
+      for (int j = 0; j < n; ++j) {
+        if (j == hole) continue;
+        if ((mask >> j) & 1u) {
+          s.add_positive(j);
+        } else {
+          s.add_negative(j);
+        }
+      }
+      out.add_quorum(std::move(s));
+    });
+  }
+  out.set_name("HOLE(explicit)");
+  return out;
+}
+
+ExplicitSqs opt_c_explicit(int n, int alpha) {
+  ExplicitSqs out = hole_explicit(n, alpha);
+  const ExplicitSqs opt_a = opt_a_explicit(n, alpha);
+  for (const auto& q : opt_a.quorums()) out.add_quorum(q);
+  out.set_name("OPT_c(explicit)");
+  return out;
+}
+
+std::vector<SignedSet> lad_explicit(int n, int i) {
+  assert(i <= n && i <= 24);
+  std::vector<SignedSet> out;
+  for (std::uint64_t mask = 0; mask < (1ull << i); ++mask)
+    out.push_back(prefix_signed_set(n, i, mask));
+  return out;
+}
+
+std::vector<SignedSet> lada_explicit(int n, int i, int alpha) {
+  assert(2 * alpha <= i && i <= n - alpha);
+  std::vector<SignedSet> out;
+  for (std::uint64_t mask = 0; mask < (1ull << i); ++mask)
+    if (__builtin_popcountll(mask) >= 2 * alpha)
+      out.push_back(prefix_signed_set(n, i, mask));
+  return out;
+}
+
+std::vector<SignedSet> ladb_explicit(int n, int i, int alpha) {
+  assert(n - alpha + 1 <= i && i <= n);
+  std::vector<SignedSet> out;
+  for (std::uint64_t mask = 0; mask < (1ull << i); ++mask)
+    if (__builtin_popcountll(mask) >= n + alpha - i)
+      out.push_back(prefix_signed_set(n, i, mask));
+  return out;
+}
+
+ExplicitSqs opt_d_explicit(int n, int alpha) {
+  ExplicitSqs out(n, alpha);
+  for (int i = 2 * alpha; i <= n - alpha; ++i)
+    for (auto& s : lada_explicit(n, i, alpha)) out.add_quorum(std::move(s));
+  for (int i = n - alpha + 1; i <= n; ++i)
+    for (auto& s : ladb_explicit(n, i, alpha)) out.add_quorum(std::move(s));
+  out.set_name("OPT_d(explicit)");
+  return out;
+}
+
+// --- OptAFamily ---
+
+OptAFamily::OptAFamily(int n, int alpha) : n_(n), alpha_(alpha) {
+  assert(n >= 2 * alpha && alpha >= 1);
+}
+
+std::string OptAFamily::name() const {
+  return "OPT_a(n=" + std::to_string(n_) + ",a=" + std::to_string(alpha_) + ")";
+}
+
+bool OptAFamily::accepts(const Configuration& config) const {
+  return config.num_up() >= static_cast<std::size_t>(alpha_);
+}
+
+double OptAFamily::availability(double p) const {
+  return binom_tail_geq(n_, alpha_, 1.0 - p);
+}
+
+namespace {
+
+// OPT_a quorums are whole configurations, so acquisition must probe all n
+// servers; the only early exit is failure once fewer than alpha servers can
+// still be live.
+class OptAStrategy : public ProbeStrategy {
+ public:
+  OptAStrategy(int n, int alpha) : n_(n), alpha_(alpha) { reset(nullptr); }
+
+  void reset(Rng* /*rng*/) override {
+    observed_ = SignedSet(n_);
+    step_ = 0;
+    pos_ = 0;
+    status_ = ProbeStatus::kInProgress;
+  }
+
+  int universe_size() const override { return n_; }
+  ProbeStatus status() const override { return status_; }
+  int next_server() const override { return step_; }
+
+  void observe(int server, bool reached) override {
+    assert(server == step_);
+    (void)server;
+    if (reached) {
+      observed_.add_positive(step_);
+      ++pos_;
+    } else {
+      observed_.add_negative(step_);
+    }
+    ++step_;
+    const int neg = step_ - pos_;
+    if (neg >= n_ + 1 - alpha_) {
+      status_ = ProbeStatus::kNoQuorum;
+    } else if (step_ == n_) {
+      status_ = pos_ >= alpha_ ? ProbeStatus::kAcquired : ProbeStatus::kNoQuorum;
+    }
+  }
+
+  SignedSet acquired_quorum() const override { return observed_; }
+  bool is_adaptive() const override { return false; }
+  bool is_randomized() const override { return false; }
+
+ private:
+  int n_;
+  int alpha_;
+  SignedSet observed_;
+  int step_ = 0;
+  int pos_ = 0;
+  ProbeStatus status_ = ProbeStatus::kInProgress;
+};
+
+}  // namespace
+
+std::unique_ptr<ProbeStrategy> OptAFamily::make_probe_strategy() const {
+  return std::make_unique<OptAStrategy>(n_, alpha_);
+}
+
+// --- OptDFamily ---
+
+OptDFamily::OptDFamily(int n, int alpha) : n_(n), alpha_(alpha) {
+  assert(n >= 3 * alpha - 1 && alpha >= 1);
+  order_.resize(static_cast<std::size_t>(n));
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+std::string OptDFamily::name() const {
+  return "OPT_d(n=" + std::to_string(n_) + ",a=" + std::to_string(alpha_) + ")";
+}
+
+bool OptDFamily::accepts(const Configuration& config) const {
+  // As(OPT_d) = OPT_a (Theorem 34): a quorum exists iff >= alpha servers up.
+  return config.num_up() >= static_cast<std::size_t>(alpha_);
+}
+
+double OptDFamily::availability(double p) const {
+  return binom_tail_geq(n_, alpha_, 1.0 - p);
+}
+
+void OptDFamily::set_probe_order(std::vector<int> order) {
+  assert(static_cast<int>(order.size()) == n_);
+  order_ = std::move(order);
+}
+
+std::unique_ptr<ProbeStrategy> OptDFamily::make_probe_strategy() const {
+  return std::make_unique<OptDSequentialStrategy>(n_, alpha_, order_);
+}
+
+OptDSequentialStrategy::OptDSequentialStrategy(int n, int alpha,
+                                               std::vector<int> order)
+    : n_(n), alpha_(alpha), order_(std::move(order)), observed_(n) {
+  assert(static_cast<int>(order_.size()) == n_);
+  reset(nullptr);
+}
+
+void OptDSequentialStrategy::reset(Rng* /*rng*/) {
+  observed_ = SignedSet(n_);
+  step_ = 0;
+  pos_ = 0;
+  neg_ = 0;
+  status_ = ProbeStatus::kInProgress;
+}
+
+void OptDSequentialStrategy::observe(int server, bool reached) {
+  assert(status_ == ProbeStatus::kInProgress);
+  assert(server == order_[static_cast<std::size_t>(step_)]);
+  if (reached) {
+    observed_.add_positive(server);
+    ++pos_;
+  } else {
+    observed_.add_negative(server);
+    ++neg_;
+  }
+  ++step_;
+  // ServerProbe stop rules (Definition 26). The first two merge into
+  // pos >= min(2 alpha, n + alpha - i).
+  if (pos_ >= 2 * alpha_ || pos_ >= n_ + alpha_ - step_) {
+    status_ = ProbeStatus::kAcquired;
+  } else if (neg_ >= n_ + 1 - alpha_) {
+    status_ = ProbeStatus::kNoQuorum;
+  }
+}
+
+}  // namespace sqs

@@ -1,0 +1,89 @@
+// Explicit signed quorum systems: a concrete list of quorums.
+//
+// This is the definition-level object of the paper (Definition 3). It
+// supports exhaustive operations — verification of the SQS property,
+// acceptance sets (Definition 5), exact availability (Definition 6),
+// domination (Definition 19) and permutation (Definition 21) — all of which
+// are exponential in n and intended for small universes (tests, optimality
+// audits, and the counterexample constructions OPT_b / OPT_c / HOLE).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/quorum_family.h"
+#include "core/signed_set.h"
+
+namespace sqs {
+
+// A pair of quorum indices violating Definition 3 (neither positive
+// intersection nor dual overlap >= 2 alpha).
+struct SqsViolation {
+  std::size_t first;
+  std::size_t second;
+};
+
+class ExplicitSqs : public QuorumFamily {
+ public:
+  ExplicitSqs(int n, int alpha) : n_(n), alpha_(alpha) {}
+  ExplicitSqs(int n, int alpha, std::vector<SignedSet> quorums);
+
+  // Adds a quorum (does not re-verify; call verify() when done building).
+  void add_quorum(SignedSet quorum);
+
+  const std::vector<SignedSet>& quorums() const { return quorums_; }
+  std::size_t num_quorums() const { return quorums_.size(); }
+
+  // First pair of quorums violating Definition 3, or nullopt if this is a
+  // valid SQS. Also rejects quorums with empty positive part (such a quorum
+  // is incompatible with itself).
+  std::optional<SqsViolation> verify() const;
+  bool is_valid_sqs() const { return !verify().has_value(); }
+
+  // Whether `candidate` can be added while keeping the system a valid SQS.
+  bool can_add(const SignedSet& candidate) const;
+
+  // The acceptance set As(Q) (Definition 5): all configurations accepting
+  // some quorum, represented as an ExplicitSqs whose quorums are full
+  // configurations. Exponential: requires n <= 24.
+  ExplicitSqs acceptance_set() const;
+
+  // Q ⪰ other (Definition 19): every quorum of `other` contains some quorum
+  // of this system.
+  bool dominates(const ExplicitSqs& other) const;
+
+  // The system after relabeling servers: element i becomes perm[i]
+  // (0-based). Definition 21.
+  ExplicitSqs permuted(const std::vector<int>& perm) const;
+
+  // Definition 21's ⪰∃: does some permutation X exist with
+  // this ⪰ Perm_X(other)? Enumerates all n! permutations (n <= 8 asserted).
+  // Returns the witnessing permutation, or nullopt.
+  std::optional<std::vector<int>> dominating_permutation(
+      const ExplicitSqs& other) const;
+
+  bool contains_quorum(const SignedSet& quorum) const;
+
+  // --- QuorumFamily interface ---
+  std::string name() const override { return name_.empty() ? "explicit" : name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  int universe_size() const override { return n_; }
+  int alpha() const override { return alpha_; }
+  bool is_strict() const override;
+  bool accepts(const Configuration& config) const override;
+  int min_quorum_size() const override;
+  double availability(double p) const override;
+  // Probes servers 0..n-1 in index order, stopping as soon as the observed
+  // signed prefix contains some quorum or can no longer contain any.
+  std::unique_ptr<ProbeStrategy> make_probe_strategy() const override;
+
+ private:
+  int n_;
+  int alpha_;
+  std::vector<SignedSet> quorums_;
+  std::string name_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,54 @@
+#include "core/optimality.h"
+
+#include <cassert>
+
+namespace sqs {
+
+std::optional<std::string> theorem20_violation(const ExplicitSqs& q) {
+  const int n = q.universe_size();
+  const int alpha = q.alpha();
+  assert(n >= 3 * alpha - 1);
+
+  for (std::size_t idx = 0; idx < q.quorums().size(); ++idx) {
+    const SignedSet& quorum = q.quorums()[idx];
+    const int pos = static_cast<int>(quorum.positive_count());
+    const int size = static_cast<int>(quorum.size());
+    if (pos < alpha)
+      return "quorum #" + std::to_string(idx) + " has |Q+| = " +
+             std::to_string(pos) + " < alpha";
+    if (pos <= 2 * alpha - 1 && size < n + alpha - pos)
+      return "quorum #" + std::to_string(idx) + " has |Q| = " +
+             std::to_string(size) + " < n + alpha - |Q+|";
+    if (size < 2 * alpha)
+      return "quorum #" + std::to_string(idx) + " has |Q| = " +
+             std::to_string(size) + " < 2 alpha";
+  }
+
+  // Condition 2: C_alpha ⊆ Q — every configuration with exactly alpha
+  // positives must literally be a quorum.
+  assert(n <= 24);
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    if (__builtin_popcountll(mask) != alpha) continue;
+    Configuration config(n, mask);
+    if (!q.contains_quorum(config.as_signed_set()))
+      return "configuration " + config.as_signed_set().to_string() +
+             " in C_alpha is not a quorum";
+  }
+  return std::nullopt;
+}
+
+std::pair<SignedSet, SignedSet> theorem24_witnesses(int n, int alpha) {
+  assert(n >= 3 * alpha + 1);
+  SignedSet from_opt_b(n);
+  for (int i = 0; i < 2 * alpha; ++i) from_opt_b.add_positive(i);
+
+  // Paper indices: {-2, ..., -(n-alpha-1), (n-alpha), ..., n}.
+  SignedSet from_opt_c(n);
+  for (int paper = 2; paper <= n - alpha - 1; ++paper)
+    from_opt_c.add_negative(paper - 1);
+  for (int paper = n - alpha; paper <= n; ++paper)
+    from_opt_c.add_positive(paper - 1);
+  return {from_opt_b, from_opt_c};
+}
+
+}  // namespace sqs

@@ -1,0 +1,32 @@
+// Structural audits for the optimality results of Section 5.
+//
+// Theorem 20 gives necessary conditions on any SQS with optimal availability
+// (Fig. 3); Theorem 24 proves no SQS dominates every optimal-availability
+// SQS, via the pair OPT_b / OPT_c. These helpers check the conditions on
+// concrete systems and expose the Theorem 24 witness quorums.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/explicit_sqs.h"
+
+namespace sqs {
+
+// Returns a description of the first Theorem 20 condition violated by `q`
+// (assuming n >= 3 alpha - 1), or nullopt if all four hold:
+//   1. every quorum has |Q+| >= alpha;
+//   2. every configuration with exactly alpha positives is a quorum;
+//   3. quorums with alpha <= |Q+| <= 2 alpha - 1 have |Q| >= n + alpha - |Q+|;
+//   4. every quorum has |Q| >= 2 alpha.
+std::optional<std::string> theorem20_violation(const ExplicitSqs& q);
+
+// The incompatible pair from Theorem 24's proof (n >= 3 alpha + 1):
+// {1..2alpha} ∈ OPT_b and {-2..-(n-alpha-1), (n-alpha)..n} ∈ OPT_c. They
+// satisfy neither intersection nor dual overlap, so no single SQS can contain
+// subsets of both.
+std::pair<SignedSet, SignedSet> theorem24_witnesses(int n, int alpha);
+
+}  // namespace sqs

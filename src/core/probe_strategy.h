@@ -1,0 +1,61 @@
+// Probe strategies (Definition 7).
+//
+// The paper models a probe strategy as a binary decision tree over probe
+// outcomes. We expose the equivalent operational interface: the strategy is
+// asked which server to probe next, observes success/failure, and eventually
+// terminates declaring either an acquired quorum or that no live quorum
+// exists. A *non-adaptive* strategy's probe order does not depend on observed
+// outcomes (only on randomness drawn at reset) — this is the condition under
+// which Theorem 9/12's non-intersection bound applies.
+//
+// Strategies are single-use state machines: reset() begins an acquisition.
+// The probe engine (src/probe) enforces that no server is probed twice.
+
+#pragma once
+
+#include <memory>
+
+#include "core/signed_set.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+enum class ProbeStatus {
+  kInProgress,  // next_server() names the next probe
+  kAcquired,    // acquired_quorum() holds a quorum of the family
+  kNoQuorum,    // strategy has established that no live quorum exists
+};
+
+class ProbeStrategy {
+ public:
+  virtual ~ProbeStrategy() = default;
+
+  // Starts a new acquisition. Randomized strategies draw all their choices
+  // from `rng`; deterministic strategies ignore it (it may be null for them).
+  virtual void reset(Rng* rng) = 0;
+
+  // Size of the server universe the strategy probes over.
+  virtual int universe_size() const = 0;
+
+  virtual ProbeStatus status() const = 0;
+
+  // The next server to probe; only meaningful while status()==kInProgress.
+  virtual int next_server() const = 0;
+
+  // Reports the outcome of the probe issued for `server`.
+  virtual void observe(int server, bool reached) = 0;
+
+  // The quorum acquired; only meaningful when status()==kAcquired. Always a
+  // subset of the signed set of probed servers, per the paper's requirement
+  // that clients coordinate with every reached probed server.
+  virtual SignedSet acquired_quorum() const = 0;
+
+  // True if the probe order can depend on earlier outcomes.
+  virtual bool is_adaptive() const = 0;
+
+  // True if reset(rng) draws randomness (a distribution over deterministic
+  // strategies, mu in the paper's notation).
+  virtual bool is_randomized() const = 0;
+};
+
+}  // namespace sqs

@@ -1,0 +1,33 @@
+#include "core/quorum_family.h"
+
+namespace sqs {
+
+double QuorumFamily::availability(double p) const {
+  if (universe_size() <= 24) return availability_exact_enumeration(p);
+  return availability_monte_carlo(p, /*samples=*/200000, /*seed=*/0xa5a5a5a5ull);
+}
+
+double QuorumFamily::availability_exact_enumeration(double p) const {
+  const int n = universe_size();
+  double total = 0.0;
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Configuration config(n, mask);
+    if (accepts(config)) total += config.probability(p);
+  }
+  return total;
+}
+
+double QuorumFamily::availability_monte_carlo(double p, int samples,
+                                              std::uint64_t seed) const {
+  const int n = universe_size();
+  Rng rng(seed);
+  int live = 0;
+  for (int s = 0; s < samples; ++s) {
+    Configuration config(Bitset(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
+    if (accepts(config)) ++live;
+  }
+  return static_cast<double>(live) / static_cast<double>(samples);
+}
+
+}  // namespace sqs

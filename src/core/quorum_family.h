@@ -1,0 +1,61 @@
+// Implicit quorum families.
+//
+// Explicit quorum lists (ExplicitSqs) only scale to tiny universes; the
+// paper's constructions (OPT_a, OPT_d, compositions, Paths) have
+// exponentially many quorums but admit O(n) acceptance tests and dedicated
+// probe strategies. QuorumFamily is the scalable interface all of them and
+// all baseline strict systems implement; analyses and benches are written
+// against it.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/probe_strategy.h"
+#include "core/signed_set.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+class QuorumFamily {
+ public:
+  virtual ~QuorumFamily() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual int universe_size() const = 0;
+
+  // The dual-overlap parameter of Definition 3. Strict (unsigned) systems,
+  // whose quorums always intersect positively, report 0.
+  virtual int alpha() const = 0;
+
+  // True for unsigned quorum systems: every quorum is all-positive and any
+  // two quorums intersect.
+  virtual bool is_strict() const = 0;
+
+  // Does some quorum Q of the family satisfy Q ⊆ C? Availability and the
+  // probe-complexity lower bounds are defined through this predicate.
+  virtual bool accepts(const Configuration& config) const = 0;
+
+  // Size of the smallest quorum; drives the load lower bound of Theorem 38
+  // and the composition precondition of Definition 40 (>= 2 alpha).
+  virtual int min_quorum_size() const = 0;
+
+  // Availability at i.i.d. failure probability p. Families with a closed
+  // form override this; the default falls back to Monte Carlo over accepts()
+  // with a fixed internal seed (reproducible), or exact enumeration when the
+  // universe is small.
+  virtual double availability(double p) const;
+
+  // A fresh probe strategy for acquiring a quorum of this family.
+  virtual std::unique_ptr<ProbeStrategy> make_probe_strategy() const = 0;
+
+ protected:
+  // Exact availability by enumerating all 2^n configurations (n <= 24).
+  double availability_exact_enumeration(double p) const;
+  // Monte Carlo availability over `samples` sampled configurations.
+  double availability_monte_carlo(double p, int samples, std::uint64_t seed) const;
+};
+
+}  // namespace sqs

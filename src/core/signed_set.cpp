@@ -1,0 +1,88 @@
+#include "core/signed_set.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace sqs {
+
+SignedSet SignedSet::from_literals(int n, std::initializer_list<int> literals) {
+  return from_literals(n, std::vector<int>(literals));
+}
+
+SignedSet SignedSet::from_literals(int n, const std::vector<int>& literals) {
+  SignedSet s(n);
+  for (int lit : literals) {
+    assert(lit != 0 && std::abs(lit) <= n);
+    if (lit > 0) {
+      s.add_positive(lit - 1);
+    } else {
+      s.add_negative(-lit - 1);
+    }
+  }
+  return s;
+}
+
+void SignedSet::add_positive(int server) {
+  neg_.reset(static_cast<std::size_t>(server));
+  pos_.set(static_cast<std::size_t>(server));
+}
+
+void SignedSet::add_negative(int server) {
+  pos_.reset(static_cast<std::size_t>(server));
+  neg_.set(static_cast<std::size_t>(server));
+}
+
+void SignedSet::remove(int server) {
+  pos_.reset(static_cast<std::size_t>(server));
+  neg_.reset(static_cast<std::size_t>(server));
+}
+
+SignedSet SignedSet::dual() const {
+  SignedSet d(universe_size());
+  d.pos_ = neg_;
+  d.neg_ = pos_;
+  return d;
+}
+
+SignedSet SignedSet::permuted(const std::vector<int>& perm) const {
+  assert(static_cast<int>(perm.size()) == universe_size());
+  SignedSet out(universe_size());
+  pos_.for_each([&](std::size_t i) { out.add_positive(perm[i]); });
+  neg_.for_each([&](std::size_t i) { out.add_negative(perm[i]); });
+  return out;
+}
+
+std::string SignedSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < universe_size(); ++i) {
+    if (!mentions(i)) continue;
+    if (!first) out += ",";
+    if (has_negative(i)) out += "-";
+    out += std::to_string(i + 1);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+SignedSet Configuration::as_signed_set() const {
+  SignedSet s(universe_size());
+  for (int i = 0; i < universe_size(); ++i) {
+    if (is_up(i)) {
+      s.add_positive(i);
+    } else {
+      s.add_negative(i);
+    }
+  }
+  return s;
+}
+
+double Configuration::probability(double p) const {
+  const double up_count = static_cast<double>(num_up());
+  const double down_count = static_cast<double>(num_down());
+  return std::pow(1.0 - p, up_count) * std::pow(p, down_count);
+}
+
+}  // namespace sqs

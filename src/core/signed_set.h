@@ -1,0 +1,133 @@
+// Signed sets over a server universe (Definition 2 of the paper).
+//
+// The universe is U = {1..n} in the paper; internally servers are 0-based
+// indices 0..n-1. A signed set holds disjoint positive and negative parts:
+// `+i` means "client must reach server i", `-i` means "client believes server
+// i is down". Paper-style 1-based signed literals (3, -1, ...) are accepted
+// by the convenience constructors and produced by to_string() so examples
+// read like the paper.
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace sqs {
+
+class SignedSet {
+ public:
+  SignedSet() = default;
+
+  // Empty signed set over a universe of n servers.
+  explicit SignedSet(int n) : pos_(static_cast<std::size_t>(n)), neg_(static_cast<std::size_t>(n)) {}
+
+  // Builds from paper-style 1-based signed literals, e.g. {-1, 3}.
+  static SignedSet from_literals(int n, std::initializer_list<int> literals);
+  static SignedSet from_literals(int n, const std::vector<int>& literals);
+
+  int universe_size() const { return static_cast<int>(pos_.size()); }
+
+  const Bitset& positive() const { return pos_; }
+  const Bitset& negative() const { return neg_; }
+
+  bool has_positive(int server) const { return pos_.test(static_cast<std::size_t>(server)); }
+  bool has_negative(int server) const { return neg_.test(static_cast<std::size_t>(server)); }
+  bool mentions(int server) const { return has_positive(server) || has_negative(server); }
+
+  // Adding an element removes its dual first, preserving S ∩ Dual(S) = ∅.
+  void add_positive(int server);
+  void add_negative(int server);
+  void remove(int server);
+
+  std::size_t positive_count() const { return pos_.count(); }
+  std::size_t negative_count() const { return neg_.count(); }
+  // |S| = |S+| + |S-|; well-defined since the parts are disjoint.
+  std::size_t size() const { return positive_count() + negative_count(); }
+  bool empty() const { return pos_.none() && neg_.none(); }
+
+  // Dual(S) = {Dual(i) | i in S}: swaps the positive and negative parts.
+  SignedSet dual() const;
+
+  // S ⊆ T as signed sets (positive part within positive part, negative
+  // within negative).
+  bool is_subset_of(const SignedSet& other) const {
+    return pos_.is_subset_of(other.pos_) && neg_.is_subset_of(other.neg_);
+  }
+
+  // Q1+ ∩ Q2+ != ∅ — the "Intersection" branch of Definition 3.
+  static bool positively_intersects(const SignedSet& a, const SignedSet& b) {
+    return a.pos_.intersects(b.pos_);
+  }
+
+  // |Q1 ∩ Dual(Q2)| = |Q1+ ∩ Q2-| + |Q1- ∩ Q2+| — the "Dual Overlap" branch.
+  // Symmetric in its arguments.
+  static std::size_t dual_overlap(const SignedSet& a, const SignedSet& b) {
+    return a.pos_.intersection_count(b.neg_) + a.neg_.intersection_count(b.pos_);
+  }
+
+  // The pairwise SQS compatibility predicate of Definition 3.
+  static bool compatible(const SignedSet& a, const SignedSet& b, int alpha) {
+    return positively_intersects(a, b) ||
+           dual_overlap(a, b) >= 2 * static_cast<std::size_t>(alpha);
+  }
+
+  // Relabels servers: element i (0-based) becomes perm[i].
+  SignedSet permuted(const std::vector<int>& perm) const;
+
+  bool operator==(const SignedSet& other) const {
+    return pos_ == other.pos_ && neg_ == other.neg_;
+  }
+  bool operator!=(const SignedSet& other) const { return !(*this == other); }
+  bool operator<(const SignedSet& other) const {
+    if (pos_ != other.pos_) return pos_ < other.pos_;
+    return neg_ < other.neg_;
+  }
+
+  // Paper-style rendering with 1-based signed literals: "{1,-2,3}".
+  std::string to_string() const;
+
+ private:
+  Bitset pos_;
+  Bitset neg_;
+};
+
+// A configuration (Definition 4): for every server exactly one of {i, -i}.
+// Stored as the bitset of *up* servers; exposes itself as a full signed set
+// when set algebra with quorums is needed.
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(Bitset up) : up_(std::move(up)) {}
+  Configuration(int n, std::uint64_t up_mask)
+      : up_(Bitset::from_mask(up_mask, static_cast<std::size_t>(n))) {}
+
+  int universe_size() const { return static_cast<int>(up_.size()); }
+  const Bitset& up() const { return up_; }
+  bool is_up(int server) const { return up_.test(static_cast<std::size_t>(server)); }
+  std::size_t num_up() const { return up_.count(); }
+  std::size_t num_down() const { return static_cast<std::size_t>(universe_size()) - num_up(); }
+
+  void set_up(int server, bool up) { up_.assign(static_cast<std::size_t>(server), up); }
+
+  // The configuration as a signed set: C+ = up servers, C- = down servers.
+  SignedSet as_signed_set() const;
+
+  // Quorum Q can be acquired under this configuration iff Q ⊆ C.
+  bool accepts(const SignedSet& quorum) const {
+    return quorum.positive().is_subset_of(up_) && !quorum.negative().intersects(up_);
+  }
+
+  // Prob[C] = p^|C-| (1-p)^|C+| for i.i.d. server failure probability p.
+  double probability(double p) const;
+
+  bool operator==(const Configuration& other) const { return up_ == other.up_; }
+
+ private:
+  Bitset up_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,108 @@
+#include "core/witness.h"
+
+#include <cassert>
+#include <numeric>
+#include <set>
+
+#include "util/binomial.h"
+
+namespace sqs {
+
+WitnessFamily::WitnessFamily(int n, std::vector<int> witnesses, int alpha)
+    : n_(n), witnesses_(std::move(witnesses)), alpha_(alpha) {
+  assert(alpha_ >= 1);
+  assert(static_cast<int>(witnesses_.size()) >= 2 * alpha_ &&
+         "need w >= 2 alpha witnesses for dual overlap to be satisfiable");
+  std::set<int> unique(witnesses_.begin(), witnesses_.end());
+  assert(unique.size() == witnesses_.size() && "witnesses must be distinct");
+  for (int w : witnesses_) assert(w >= 0 && w < n_);
+  (void)unique;
+}
+
+WitnessFamily::WitnessFamily(int n, int w, int alpha)
+    : WitnessFamily(n,
+                    [w] {
+                      std::vector<int> ids(static_cast<std::size_t>(w));
+                      std::iota(ids.begin(), ids.end(), 0);
+                      return ids;
+                    }(),
+                    alpha) {}
+
+std::string WitnessFamily::name() const {
+  return "Witness(n=" + std::to_string(n_) + ",w=" +
+         std::to_string(num_witnesses()) + ",a=" + std::to_string(alpha_) + ")";
+}
+
+bool WitnessFamily::accepts(const Configuration& config) const {
+  int up = 0;
+  for (int w : witnesses_)
+    if (config.is_up(w)) ++up;
+  return up >= alpha_;
+}
+
+double WitnessFamily::availability(double p) const {
+  return binom_tail_geq(num_witnesses(), alpha_, 1.0 - p);
+}
+
+namespace {
+
+class WitnessStrategy : public ProbeStrategy {
+ public:
+  WitnessStrategy(int n, std::vector<int> witnesses, int alpha)
+      : n_(n), witnesses_(std::move(witnesses)), alpha_(alpha) {
+    reset(nullptr);
+  }
+
+  void reset(Rng* /*rng*/) override {
+    observed_ = SignedSet(n_);
+    step_ = 0;
+    pos_ = 0;
+    status_ = ProbeStatus::kInProgress;
+  }
+
+  int universe_size() const override { return n_; }
+  ProbeStatus status() const override { return status_; }
+  int next_server() const override {
+    return witnesses_[static_cast<std::size_t>(step_)];
+  }
+
+  void observe(int server, bool reached) override {
+    assert(server == witnesses_[static_cast<std::size_t>(step_)]);
+    if (reached) {
+      observed_.add_positive(server);
+      ++pos_;
+    } else {
+      observed_.add_negative(server);
+    }
+    ++step_;
+    const int w = static_cast<int>(witnesses_.size());
+    const int remaining = w - step_;
+    if (pos_ + remaining < alpha_) {
+      status_ = ProbeStatus::kNoQuorum;  // alpha positives now impossible
+    } else if (step_ == w) {
+      status_ = pos_ >= alpha_ ? ProbeStatus::kAcquired : ProbeStatus::kNoQuorum;
+    }
+  }
+
+  // The quorum is the full signed observation of the witness set.
+  SignedSet acquired_quorum() const override { return observed_; }
+  bool is_adaptive() const override { return false; }
+  bool is_randomized() const override { return false; }
+
+ private:
+  int n_;
+  std::vector<int> witnesses_;
+  int alpha_;
+  SignedSet observed_{0};
+  int step_ = 0;
+  int pos_ = 0;
+  ProbeStatus status_ = ProbeStatus::kInProgress;
+};
+
+}  // namespace
+
+std::unique_ptr<ProbeStrategy> WitnessFamily::make_probe_strategy() const {
+  return std::make_unique<WitnessStrategy>(n_, witnesses_, alpha_);
+}
+
+}  // namespace sqs

@@ -1,0 +1,165 @@
+#include "mismatch/exact.h"
+
+#include <cmath>
+#include <vector>
+
+namespace sqs {
+
+namespace {
+
+enum class End { kAcquired, kFailed };
+
+struct Sink {
+  double acq_acq = 0.0;   // both acquired (within the tracked event class)
+  double other = 0.0;     // at least one failed
+};
+
+}  // namespace
+
+ExactNonintersection exact_nonintersection(int n, int alpha, double p,
+                                           double link_miss,
+                                           const StopRule& rule) {
+  const double m = link_miss;
+  // Joint per-server probabilities while both clients are probing.
+  const double p_pp = (1 - p) * (1 - m) * (1 - m);
+  const double p_pm = (1 - p) * m * (1 - m);  // (+,-) — and (-,+) symmetric
+  const double p_dd = p + (1 - p) * m * m;
+  // Marginal success once only one client is probing.
+  const double q = (1 - p) * (1 - m);
+
+  // B[p1][p2]: both probing, no (+,+) seen yet.
+  // Bx[p1][p2]: both probing, some (+,+) already seen (tracked only to
+  // compute both_acquire exactly).
+  // A1[p1]: only client 1 probing, client 2 acquired / failed (two copies).
+  // Sizes: pos counts never exceed n.
+  const std::size_t dim = static_cast<std::size_t>(n) + 2;
+  std::vector<std::vector<double>> B(dim, std::vector<double>(dim, 0.0));
+  std::vector<std::vector<double>> Bx(dim, std::vector<double>(dim, 0.0));
+  // a<i>_other_<end>[pos]: only client i still probing with `pos`
+  // successes; the other client ended with <end>.
+  std::vector<double> a1_other_acq(dim, 0.0), a1_other_fail(dim, 0.0);
+  std::vector<double> a2_other_acq(dim, 0.0), a2_other_fail(dim, 0.0);
+  // Same split for the already-intersected universe.
+  std::vector<double> x1_other_acq(dim, 0.0), x1_other_fail(dim, 0.0);
+  std::vector<double> x2_other_acq(dim, 0.0), x2_other_fail(dim, 0.0);
+
+  B[0][0] = 1.0;
+  Sink clean;   // paths with no (+,+) while both probed
+  Sink crossed; // paths where a shared (+,+) occurred
+
+  auto decide = [&](int i, int pos) { return rule(i, pos); };
+
+  for (int i = 1; i <= n; ++i) {
+    std::vector<std::vector<double>> nB(dim, std::vector<double>(dim, 0.0));
+    std::vector<std::vector<double>> nBx(dim, std::vector<double>(dim, 0.0));
+    std::vector<double> n1a(dim, 0.0), n1f(dim, 0.0), n2a(dim, 0.0),
+        n2f(dim, 0.0);
+    std::vector<double> nx1a(dim, 0.0), nx1f(dim, 0.0), nx2a(dim, 0.0),
+        nx2f(dim, 0.0);
+
+    // Both-probing transitions.
+    auto step_joint = [&](std::vector<std::vector<double>>& src, bool crossed_class) {
+      for (std::size_t p1 = 0; p1 < dim; ++p1) {
+        for (std::size_t p2 = 0; p2 < dim; ++p2) {
+          const double mass = src[p1][p2];
+          if (mass == 0.0) continue;
+          struct Case {
+            double prob;
+            int d1, d2;
+            bool makes_cross;
+          };
+          const Case cases[] = {{p_pp, 1, 1, true},
+                                {p_pm, 1, 0, false},
+                                {p_pm, 0, 1, false},
+                                {p_dd, 0, 0, false}};
+          for (const Case& c : cases) {
+            if (c.prob == 0.0) continue;
+            const double w = mass * c.prob;
+            const int q1 = static_cast<int>(p1) + c.d1;
+            const int q2 = static_cast<int>(p2) + c.d2;
+            const bool cross = crossed_class || c.makes_cross;
+            const StepDecision d1 = decide(i, q1);
+            const StepDecision d2 = decide(i, q2);
+            const bool stop1 = d1 != StepDecision::kContinue;
+            const bool stop2 = d2 != StepDecision::kContinue;
+            if (stop1 && stop2) {
+              Sink& sink = cross ? crossed : clean;
+              if (d1 == StepDecision::kAcquire && d2 == StepDecision::kAcquire) {
+                sink.acq_acq += w;
+              } else {
+                sink.other += w;
+              }
+            } else if (stop1) {
+              auto& dst = d1 == StepDecision::kAcquire
+                              ? (cross ? nx2a : n2a)
+                              : (cross ? nx2f : n2f);
+              dst[static_cast<std::size_t>(q2)] += w;
+            } else if (stop2) {
+              auto& dst = d2 == StepDecision::kAcquire
+                              ? (cross ? nx1a : n1a)
+                              : (cross ? nx1f : n1f);
+              dst[static_cast<std::size_t>(q1)] += w;
+            } else {
+              (cross ? nBx : nB)[static_cast<std::size_t>(q1)]
+                               [static_cast<std::size_t>(q2)] += w;
+            }
+          }
+        }
+      }
+    };
+    step_joint(B, /*crossed_class=*/false);
+    step_joint(Bx, /*crossed_class=*/true);
+
+    // Solo transitions (the other client already ended).
+    auto step_solo = [&](std::vector<double>& src, std::vector<double>& dst,
+                         bool other_acquired, bool crossed_class) {
+      for (std::size_t pos = 0; pos < dim; ++pos) {
+        const double mass = src[pos];
+        if (mass == 0.0) continue;
+        for (int success = 0; success <= 1; ++success) {
+          const double w = mass * (success ? q : 1 - q);
+          const int np = static_cast<int>(pos) + success;
+          const StepDecision d = decide(i, np);
+          if (d == StepDecision::kContinue) {
+            dst[static_cast<std::size_t>(np)] += w;
+          } else {
+            Sink& sink = crossed_class ? crossed : clean;
+            if (d == StepDecision::kAcquire && other_acquired) {
+              sink.acq_acq += w;
+            } else {
+              sink.other += w;
+            }
+          }
+        }
+      }
+    };
+    step_solo(a1_other_acq, n1a, true, false);
+    step_solo(a1_other_fail, n1f, false, false);
+    step_solo(a2_other_acq, n2a, true, false);
+    step_solo(a2_other_fail, n2f, false, false);
+    step_solo(x1_other_acq, nx1a, true, true);
+    step_solo(x1_other_fail, nx1f, false, true);
+    step_solo(x2_other_acq, nx2a, true, true);
+    step_solo(x2_other_fail, nx2f, false, true);
+
+    B = std::move(nB);
+    Bx = std::move(nBx);
+    a1_other_acq = std::move(n1a);
+    a1_other_fail = std::move(n1f);
+    a2_other_acq = std::move(n2a);
+    a2_other_fail = std::move(n2f);
+    x1_other_acq = std::move(nx1a);
+    x1_other_fail = std::move(nx1f);
+    x2_other_acq = std::move(nx2a);
+    x2_other_fail = std::move(nx2f);
+  }
+
+  ExactNonintersection out;
+  out.nonintersection = clean.acq_acq;
+  out.both_acquire = clean.acq_acq + crossed.acq_acq;
+  out.epsilon = 2.0 * m / (1.0 + m);
+  out.bound = std::pow(out.epsilon, 2.0 * alpha);
+  return out;
+}
+
+}  // namespace sqs

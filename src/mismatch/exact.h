@@ -1,0 +1,38 @@
+// Exact two-client non-intersection probability for sequential strategies.
+//
+// Theorem 9 bounds P[non-intersection] by epsilon^(2 alpha); Monte Carlo can
+// confirm the bound but not the exact value. For deterministic sequential
+// strategies over the i.i.d. mismatch model the joint probe process is a
+// Markov chain on (client-1 successes, client-2 successes) — with the key
+// observation that intersection can only happen on a server *both* clients
+// probe, i.e. within the shared prefix before either stops. This module
+// computes P[non-intersection] (and P[both acquire]) exactly by DP, giving
+// the benches a ground-truth column next to the measured rate and the bound.
+
+#pragma once
+
+#include "probe/sequential_analysis.h"
+
+namespace sqs {
+
+struct ExactNonintersection {
+  // P[both clients acquire AND their probed positive sets are disjoint] —
+  // exactly the event of Theorem 9.
+  double nonintersection = 0.0;
+  // P[both clients acquire] (with or without intersection).
+  double both_acquire = 0.0;
+  // The model's epsilon = 2m/(1+m) and the theorem's bound epsilon^(2a).
+  double epsilon = 0.0;
+  double bound = 0.0;
+};
+
+// Both clients run the same deterministic sequential strategy given by
+// `rule` (e.g. opt_d_stop_rule(n, alpha)) over the joint mismatch model:
+// a server is down w.p. p (neither client reaches it); otherwise each
+// client independently misses it w.p. link_miss. `alpha` is only used to
+// compute the reported bound.
+ExactNonintersection exact_nonintersection(int n, int alpha, double p,
+                                           double link_miss,
+                                           const StopRule& rule);
+
+}  // namespace sqs

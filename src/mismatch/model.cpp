@@ -1,0 +1,56 @@
+#include "mismatch/model.h"
+
+#include <cmath>
+
+namespace sqs {
+
+TwoClientWorld sample_world(int n, const MismatchModel& model, Rng& rng) {
+  TwoClientWorld world;
+  world.reach1 = Bitset(static_cast<std::size_t>(n));
+  world.reach2 = Bitset(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(model.p)) continue;  // server down: (-,-)
+    if (!rng.bernoulli(model.link_miss)) world.reach1.set(static_cast<std::size_t>(i));
+    if (!rng.bernoulli(model.link_miss)) world.reach2.set(static_cast<std::size_t>(i));
+  }
+  if (model.partition_rate > 0.0 && rng.bernoulli(model.partition_rate)) {
+    world.partitioned = true;
+    for (int i = 0; i < n; ++i)
+      if (rng.bernoulli(model.partition_fraction))
+        world.reach2.reset(static_cast<std::size_t>(i));
+  }
+  return world;
+}
+
+NonintersectionStats measure_nonintersection(const QuorumFamily& family,
+                                             const MismatchModel& model,
+                                             int trials, Rng rng,
+                                             double bound_factor) {
+  const int n = family.universe_size();
+  NonintersectionStats stats;
+  stats.epsilon = model.epsilon();
+  stats.bound =
+      bound_factor * std::pow(stats.epsilon, 2.0 * family.alpha());
+
+  auto strategy1 = family.make_probe_strategy();
+  auto strategy2 = family.make_probe_strategy();
+  for (int t = 0; t < trials; ++t) {
+    TwoClientWorld world = sample_world(n, model, rng);
+    WorldOracle oracle1(&world.reach1);
+    WorldOracle oracle2(&world.reach2);
+    Rng rng1 = rng.split(2 * static_cast<std::uint64_t>(t));
+    Rng rng2 = rng.split(2 * static_cast<std::uint64_t>(t) + 1);
+    const ProbeRecord r1 = run_probe(*strategy1, oracle1, &rng1);
+    const ProbeRecord r2 = run_probe(*strategy2, oracle2, &rng2);
+
+    const bool both = r1.acquired && r2.acquired;
+    stats.both_acquired.add(both);
+    // Definition 8: clients intersect iff their *probed* positive sets meet.
+    const bool miss =
+        both && !r1.probed.positive().intersects(r2.probed.positive());
+    stats.nonintersection.add(miss);
+  }
+  return stats;
+}
+
+}  // namespace sqs

@@ -1,0 +1,132 @@
+#include "mismatch/trace_gen.h"
+
+#include <cmath>
+
+#include "util/binomial.h"
+
+namespace sqs {
+
+double MismatchHistogram::log10_slope(std::size_t max_k) const {
+  // Least squares over points (k, log10 P(k)) for k = 1..max_k with mass.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int count = 0;
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    const double pk = at(k);
+    if (pk <= 0.0) continue;
+    const double x = static_cast<double>(k);
+    const double y = std::log10(pk);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double nd = static_cast<double>(count);
+  return (nd * sxy - sx * sy) / (nd * sxx - sx * sx);
+}
+
+double MismatchHistogram::max_log10_residual(std::size_t max_k) const {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int count = 0;
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    const double pk = at(k);
+    if (pk <= 0.0) continue;
+    sx += static_cast<double>(k);
+    sy += std::log10(pk);
+    sxx += static_cast<double>(k) * static_cast<double>(k);
+    sxy += static_cast<double>(k) * std::log10(pk);
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double nd = static_cast<double>(count);
+  const double slope = (nd * sxy - sx * sy) / (nd * sxx - sx * sx);
+  const double intercept = (sy - slope * sx) / nd;
+  double worst = 0.0;
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    const double pk = at(k);
+    if (pk <= 0.0) continue;
+    const double fit = intercept + slope * static_cast<double>(k);
+    worst = std::max(worst, std::abs(std::log10(pk) - fit));
+  }
+  return worst;
+}
+
+MismatchHistogram run_trace(const TraceConfig& config, Rng rng) {
+  const int n = config.num_servers;
+  MismatchHistogram hist;
+  hist.probability.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<long> counts(static_cast<std::size_t>(n) + 1, 0);
+
+  // Persistent per-client link states (used when flap_persistence > 0).
+  std::vector<char> link1(static_cast<std::size_t>(n), 1);
+  std::vector<char> link2(static_cast<std::size_t>(n), 1);
+  const double m = config.model.link_miss;
+  for (int i = 0; i < n; ++i) {
+    link1[static_cast<std::size_t>(i)] = !rng.bernoulli(m);
+    link2[static_cast<std::size_t>(i)] = !rng.bernoulli(m);
+  }
+
+  for (int obs = 0; obs < config.num_observations; ++obs) {
+    TwoClientWorld world;
+    if (config.flap_persistence > 0.0) {
+      // Markov link evolution with the same stationary marginals: resample
+      // with probability 1 - persistence, else carry the state over.
+      world.reach1 = Bitset(static_cast<std::size_t>(n));
+      world.reach2 = Bitset(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        if (!rng.bernoulli(config.flap_persistence))
+          link1[static_cast<std::size_t>(i)] = !rng.bernoulli(m);
+        if (!rng.bernoulli(config.flap_persistence))
+          link2[static_cast<std::size_t>(i)] = !rng.bernoulli(m);
+        const bool server_up = !rng.bernoulli(config.model.p);
+        if (server_up && link1[static_cast<std::size_t>(i)])
+          world.reach1.set(static_cast<std::size_t>(i));
+        if (server_up && link2[static_cast<std::size_t>(i)])
+          world.reach2.set(static_cast<std::size_t>(i));
+      }
+      if (config.model.partition_rate > 0.0 &&
+          rng.bernoulli(config.model.partition_rate)) {
+        world.partitioned = true;
+        for (int i = 0; i < n; ++i)
+          if (rng.bernoulli(config.model.partition_fraction))
+            world.reach2.reset(static_cast<std::size_t>(i));
+      }
+    } else {
+      world = sample_world(n, config.model, rng);
+    }
+    bool lost_client = false;
+    if (config.client_loss_rate > 0.0 && rng.bernoulli(config.client_loss_rate)) {
+      // The client's own connection is gone: every link misses.
+      world.reach2 = Bitset(static_cast<std::size_t>(n));
+      lost_client = true;
+    }
+    if (config.filter_lost_clients && lost_client) {
+      // [17]'s filtering step: the client cannot reach any site outside its
+      // domain, so its observation is discarded before quorum acquisition.
+      ++hist.observations_filtered;
+      continue;
+    }
+    ++hist.observations_kept;
+    ++counts[world.num_mismatches()];
+  }
+
+  if (hist.observations_kept > 0) {
+    for (std::size_t k = 0; k < counts.size(); ++k)
+      hist.probability[k] = static_cast<double>(counts[k]) /
+                            static_cast<double>(hist.observations_kept);
+  }
+  return hist;
+}
+
+std::vector<double> independent_prediction(const TraceConfig& config,
+                                           std::size_t max_k) {
+  const double m = config.model.link_miss;
+  const double q = (1.0 - config.model.p) * 2.0 * m * (1.0 - m);
+  std::vector<double> out(max_k + 1);
+  for (std::size_t k = 0; k <= max_k; ++k)
+    out[k] = binom_pmf(config.num_servers, static_cast<int>(k), q);
+  return out;
+}
+
+}  // namespace sqs

@@ -1,0 +1,67 @@
+// Synthetic wide-area reachability traces (the Fig. 1 substitute).
+//
+// The paper validates its independent-mismatch assumption against the MIT
+// RON and Duke TACT measurement traces, plotting P[k simultaneous
+// mismatches] and observing a near-straight line on a log scale (geometric
+// decay, i.e. independence). Those traces are not redistributable, so this
+// module generates traces from the same mechanism the paper argues produces
+// that shape — independent per-link flaps, plus (optionally) rare correlated
+// partition events and client connection losses — and reimplements the
+// estimator. The filtering step of [17] (a client that cannot reach any
+// probe site outside its domain is barred from acquiring quorums) is
+// modeled by dropping observations whose client lost its own connectivity.
+
+#pragma once
+
+#include <vector>
+
+#include "mismatch/model.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+struct TraceConfig {
+  int num_servers = 30;
+  int num_observations = 200000;
+  MismatchModel model;
+  // With probability client_loss_rate an observation's second client loses
+  // its network connection entirely (all links miss). The [17] filtering
+  // step removes such observations before counting; set filter_lost_clients
+  // to false to see the heavy tail they would otherwise cause.
+  double client_loss_rate = 0.0;
+  bool filter_lost_clients = true;
+  // Temporal persistence of link states across observations: with this
+  // probability a link keeps its previous state instead of being resampled.
+  // The stationary per-observation marginals are unchanged, so the Fig. 1
+  // snapshot statistic must be insensitive to it — a robustness check for
+  // the trace-substitution argument (real traces are time-correlated).
+  double flap_persistence = 0.0;
+};
+
+struct MismatchHistogram {
+  // probability[k] = P[k simultaneous mismatches] over kept observations.
+  std::vector<double> probability;
+  long observations_kept = 0;
+  long observations_filtered = 0;
+
+  double at(std::size_t k) const {
+    return k < probability.size() ? probability[k] : 0.0;
+  }
+
+  // Least-squares slope of log10 P(k) over k = 1..max_k (only k with
+  // nonzero mass). A near-constant slope (straight line) is Fig. 1's
+  // signature of independent mismatches.
+  double log10_slope(std::size_t max_k) const;
+
+  // Max over k of |log10 P(k) - fit(k)|: deviation from the straight line.
+  double max_log10_residual(std::size_t max_k) const;
+};
+
+MismatchHistogram run_trace(const TraceConfig& config, Rng rng);
+
+// The independence prediction: P[k mismatches among n servers] =
+// C(n,k) q^k (1-q)^(n-k) with q = per-server mismatch probability
+// (1-p) * 2m(1-m).
+std::vector<double> independent_prediction(const TraceConfig& config, std::size_t max_k);
+
+}  // namespace sqs

@@ -1,0 +1,38 @@
+#include "probe/engine.h"
+
+#include <cassert>
+
+namespace sqs {
+
+ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng) {
+  strategy.reset(rng);
+  const int n = strategy.universe_size();
+  ProbeRecord record;
+  record.probed = SignedSet(n);
+  record.quorum = SignedSet(n);
+
+  while (strategy.status() == ProbeStatus::kInProgress) {
+    const int server = strategy.next_server();
+    assert(server >= 0 && server < n);
+    assert(!record.probed.mentions(server) && "strategy probed a server twice");
+    const bool reached = oracle.reaches(server);
+    if (reached) {
+      record.probed.add_positive(server);
+    } else {
+      record.probed.add_negative(server);
+    }
+    ++record.num_probes;
+    strategy.observe(server, reached);
+    assert(record.num_probes <= n && "strategy exceeded the universe in probes");
+  }
+
+  record.acquired = strategy.status() == ProbeStatus::kAcquired;
+  if (record.acquired) {
+    record.quorum = strategy.acquired_quorum();
+    assert(record.quorum.is_subset_of(record.probed) &&
+           "acquired quorum must be contained in the probed signed set");
+  }
+  return record;
+}
+
+}  // namespace sqs

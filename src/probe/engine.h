@@ -1,0 +1,47 @@
+// The probe engine: runs a ProbeStrategy against an oracle answering
+// reachability queries, producing the record the paper's definitions are
+// stated over (probed servers S, acquired quorum Q ⊆ S, probe count).
+
+#pragma once
+
+#include "core/probe_strategy.h"
+#include "core/signed_set.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+// Answers "does this client reach server i?" for one acquisition attempt.
+// Implementations: ground-truth configurations, per-client mismatch worlds,
+// and the discrete-event simulator's timeout-based prober.
+class ProbeOracle {
+ public:
+  virtual ~ProbeOracle() = default;
+  virtual bool reaches(int server) = 0;
+};
+
+class ConfigurationOracle : public ProbeOracle {
+ public:
+  explicit ConfigurationOracle(const Configuration* config) : config_(config) {}
+  bool reaches(int server) override { return config_->is_up(server); }
+
+ private:
+  const Configuration* config_;
+};
+
+struct ProbeRecord {
+  bool acquired = false;
+  // The probed servers S: +i if reached, -i if not (Sect. 4's client rule —
+  // a client coordinates with every reached server in S, not just Q+).
+  SignedSet probed;
+  // The acquired quorum (subset of `probed`); empty when !acquired.
+  SignedSet quorum;
+  int num_probes = 0;
+};
+
+// Resets `strategy` (drawing randomness from rng, which may be null for
+// deterministic strategies) and drives it to termination. Asserts that the
+// strategy never probes a server twice and that the acquired quorum is a
+// subset of the probed signed set.
+ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng);
+
+}  // namespace sqs

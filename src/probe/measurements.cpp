@@ -1,0 +1,67 @@
+#include "probe/measurements.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "probe/engine.h"
+
+namespace sqs {
+
+double ProbeMeasurement::load() const {
+  double best = 0.0;
+  for (double f : server_probe_frequency) best = std::max(best, f);
+  return best;
+}
+
+ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials,
+                                Rng rng) {
+  const int n = family.universe_size();
+  ProbeMeasurement out;
+  std::vector<long> probe_counts(static_cast<std::size_t>(n), 0);
+  auto strategy = family.make_probe_strategy();
+
+  for (int t = 0; t < trials; ++t) {
+    Configuration config(Bitset(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
+    ConfigurationOracle oracle(&config);
+    Rng strategy_rng = rng.split(static_cast<std::uint64_t>(t));
+    const ProbeRecord record = run_probe(*strategy, oracle, &strategy_rng);
+
+    out.acquired.add(record.acquired);
+    out.probes_overall.add(record.num_probes);
+    (record.acquired ? out.probes_acquired : out.probes_failed)
+        .add(record.num_probes);
+    out.max_probes_seen = std::max(out.max_probes_seen, record.num_probes);
+    record.probed.positive().for_each(
+        [&](std::size_t i) { ++probe_counts[i]; });
+    record.probed.negative().for_each(
+        [&](std::size_t i) { ++probe_counts[i]; });
+  }
+
+  out.server_probe_frequency.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out.server_probe_frequency[static_cast<std::size_t>(i)] =
+        static_cast<double>(probe_counts[static_cast<std::size_t>(i)]) /
+        static_cast<double>(trials);
+  return out;
+}
+
+int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng) {
+  const int n = family.universe_size();
+  assert(n <= 20 && "worst_case_probes enumerates all configurations");
+  auto strategy = family.make_probe_strategy();
+  int worst = 0;
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Configuration config(n, mask);
+    ConfigurationOracle oracle(&config);
+    long total = 0;
+    for (int r = 0; r < repeats; ++r) {
+      Rng strategy_rng = rng.split(mask * 131 + static_cast<std::uint64_t>(r));
+      total += run_probe(*strategy, oracle, &strategy_rng).num_probes;
+    }
+    worst = std::max(worst, static_cast<int>(total / repeats));
+  }
+  return worst;
+}
+
+}  // namespace sqs

@@ -1,0 +1,41 @@
+// Monte Carlo measurement of a family's probe behaviour: expected and
+// worst-case probe counts, acquisition rate, and the paper's pessimistic load
+// (per-server probe probability, Sect. 3.4) under the family's own probe
+// strategy. These empirical values are compared against exact DP numbers and
+// the paper's bounds by the benches and tests.
+
+#pragma once
+
+#include <vector>
+
+#include "core/quorum_family.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sqs {
+
+struct ProbeMeasurement {
+  Proportion acquired;
+  RunningStat probes_overall;
+  RunningStat probes_acquired;
+  RunningStat probes_failed;
+  int max_probes_seen = 0;
+  // server_probe_frequency[i] = fraction of acquisitions that probed server
+  // i; its maximum over i is the (empirical) load of the strategy.
+  std::vector<double> server_probe_frequency;
+
+  double load() const;
+};
+
+// Runs `trials` acquisitions, each against a fresh configuration sampled
+// with i.i.d. failure probability p, using the family's probe strategy.
+ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials,
+                                Rng rng);
+
+// Exhaustive worst-case probe count over all 2^n configurations (n <= 20)
+// for the family's strategy; for randomized strategies the strategy's random
+// choices are still drawn (pass repeats > 1 to approximate the expectation
+// per configuration, matching PC_w^*'s inner expectation).
+int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng);
+
+}  // namespace sqs

@@ -1,0 +1,124 @@
+#include "probe/probe_tree.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sqs {
+
+namespace {
+
+using History = std::vector<std::pair<int, bool>>;
+
+void replay(ProbeStrategy& strategy, const History& history) {
+  strategy.reset(nullptr);
+  for (const auto& [server, outcome] : history) {
+    assert(strategy.status() == ProbeStatus::kInProgress);
+    assert(strategy.next_server() == server);
+    strategy.observe(server, outcome);
+  }
+}
+
+std::unique_ptr<ProbeTreeNode> build_node(ProbeStrategy& strategy,
+                                          History& history,
+                                          std::size_t& num_nodes,
+                                          std::size_t max_nodes) {
+  replay(strategy, history);
+  ++num_nodes;
+  assert(num_nodes <= max_nodes && "probe tree exceeds the node cap");
+  auto node = std::make_unique<ProbeTreeNode>();
+  if (strategy.status() != ProbeStatus::kInProgress) {
+    node->leaf_acquired = strategy.status() == ProbeStatus::kAcquired;
+    return node;
+  }
+  node->server = strategy.next_server();
+  history.emplace_back(node->server, true);
+  node->on_success = build_node(strategy, history, num_nodes, max_nodes);
+  history.back().second = false;
+  node->on_failure = build_node(strategy, history, num_nodes, max_nodes);
+  history.pop_back();
+  return node;
+}
+
+}  // namespace
+
+ProbeTree ProbeTree::build(ProbeStrategy& strategy, std::size_t max_nodes) {
+  assert(!strategy.is_randomized() &&
+         "probe trees are defined for deterministic strategies");
+  ProbeTree tree;
+  History history;
+  tree.root_ = build_node(strategy, history, tree.num_nodes_, max_nodes);
+  return tree;
+}
+
+int ProbeTree::depth(const Configuration& config) const {
+  int probes = 0;
+  const ProbeTreeNode* node = root_.get();
+  while (!node->is_leaf()) {
+    ++probes;
+    node = config.is_up(node->server) ? node->on_success.get()
+                                      : node->on_failure.get();
+  }
+  return probes;
+}
+
+bool ProbeTree::acquires(const Configuration& config) const {
+  const ProbeTreeNode* node = root_.get();
+  while (!node->is_leaf()) {
+    node = config.is_up(node->server) ? node->on_success.get()
+                                      : node->on_failure.get();
+  }
+  return node->leaf_acquired;
+}
+
+namespace {
+
+// One walk computing all reach-probability aggregates.
+struct Walk {
+  double p;
+  double expected_depth = 0.0;
+  double acquire_probability = 0.0;
+  std::vector<double>* loads = nullptr;
+
+  void visit(const ProbeTreeNode& node, double reach) {
+    if (node.is_leaf()) {
+      if (node.leaf_acquired) acquire_probability += reach;
+      return;
+    }
+    expected_depth += reach;  // everyone reaching this node pays one probe
+    if (loads != nullptr)
+      (*loads)[static_cast<std::size_t>(node.server)] += reach;
+    visit(*node.on_success, reach * (1.0 - p));
+    visit(*node.on_failure, reach * p);
+  }
+};
+
+int worst(const ProbeTreeNode& node) {
+  if (node.is_leaf()) return 0;
+  return 1 + std::max(worst(*node.on_success), worst(*node.on_failure));
+}
+
+}  // namespace
+
+double ProbeTree::expected_depth(double p) const {
+  Walk walk{p};
+  walk.visit(*root_, 1.0);
+  return walk.expected_depth;
+}
+
+int ProbeTree::worst_depth() const { return worst(*root_); }
+
+double ProbeTree::acquire_probability(double p) const {
+  Walk walk{p};
+  walk.visit(*root_, 1.0);
+  return walk.acquire_probability;
+}
+
+std::vector<double> ProbeTree::server_loads(double p, int universe_size) const {
+  std::vector<double> loads(static_cast<std::size_t>(universe_size), 0.0);
+  Walk walk{p};
+  walk.loads = &loads;
+  walk.visit(*root_, 1.0);
+  return loads;
+}
+
+}  // namespace sqs

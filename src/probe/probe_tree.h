@@ -1,0 +1,72 @@
+// Explicit probe-strategy trees (Definition 7).
+//
+// The paper defines a probe strategy as a binary tree: internal nodes are
+// labeled with a server, edges with the probe outcome, leaves with the
+// algorithm's verdict. The operational ProbeStrategy interface is what the
+// engine runs; this module materializes the *tree* for any deterministic
+// strategy by exploring both outcomes of every probe, then evaluates the
+// paper's definitions literally on it:
+//
+//   depth(psi, C)      — probes used under configuration C;
+//   PC_e(psi)          — sum_C depth * Prob[C] (Definition in Sect. 3.3);
+//   PC_w(psi)          — max_C depth;
+//   node load          — P[reaching the node] and per-server load
+//                        (Sect. 3.4's pessimistic definition).
+//
+// Tree size is bounded by the number of distinct reachable histories, which
+// for count-based strategies is polynomial; a hard node cap guards against
+// exponential strategies.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/probe_strategy.h"
+#include "core/signed_set.h"
+
+namespace sqs {
+
+struct ProbeTreeNode {
+  // Internal node: server >= 0 and both children set. Leaf: server == -1.
+  int server = -1;
+  bool leaf_acquired = false;  // valid for leaves
+  std::unique_ptr<ProbeTreeNode> on_success;
+  std::unique_ptr<ProbeTreeNode> on_failure;
+
+  bool is_leaf() const { return server < 0; }
+};
+
+class ProbeTree {
+ public:
+  // Materializes the tree of a *deterministic* strategy (asserts if the
+  // strategy reports being randomized). `max_nodes` guards memory.
+  static ProbeTree build(ProbeStrategy& strategy, std::size_t max_nodes = 1u << 22);
+
+  const ProbeTreeNode& root() const { return *root_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  // Probes used under configuration C (the length of path(psi, C)).
+  int depth(const Configuration& config) const;
+  // Whether the strategy acquires under C.
+  bool acquires(const Configuration& config) const;
+
+  // PC_e(psi) = sum_C depth(psi, C) Prob[C], computed by one tree walk
+  // (each node contributes its reach probability).
+  double expected_depth(double p) const;
+  // PC_w(psi) = max_C depth(psi, C).
+  int worst_depth() const;
+  // P[some quorum acquired] — equals the family's availability when the
+  // strategy is conclusive.
+  double acquire_probability(double p) const;
+
+  // Sect. 3.4: server i's load = sum of reach probabilities of the nodes
+  // labeled i. Returns the per-server vector.
+  std::vector<double> server_loads(double p, int universe_size) const;
+
+ private:
+  std::unique_ptr<ProbeTreeNode> root_;
+  std::size_t num_nodes_ = 0;
+};
+
+}  // namespace sqs

@@ -1,0 +1,80 @@
+#include "probe/serverprobe.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/binomial.h"
+
+namespace sqs {
+
+namespace {
+
+// a(x, y) = C(x, y) p^(x-y) (1-p)^y: probability that a fixed sequence of x
+// probes holds exactly y successes.
+double a_term(int x, int y, double p) { return binom_pmf(x, y, 1.0 - p); }
+
+}  // namespace
+
+double serverprobe_cdf(int n, int alpha, double p, int i) {
+  assert(n >= 3 * alpha - 1);
+  if (i < 2 * alpha) return 0.0;
+  if (i > n) i = n;
+  double f = 0.0;
+  if (i <= n - alpha) {
+    for (int j = 2 * alpha; j <= i; ++j) f += a_term(i, j, p);
+  } else {
+    for (int j = 0; j <= i + alpha - (n + 1); ++j) f += a_term(i, j, p);
+    for (int j = n + alpha - i; j <= i; ++j) f += a_term(i, j, p);
+  }
+  return f;
+}
+
+double serverprobe_complexity(int n, int alpha, double p) {
+  double g = 0.0;
+  double prev = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    const double cur = serverprobe_cdf(n, alpha, p, i);
+    g += static_cast<double>(i) * (cur - prev);
+    prev = cur;
+  }
+  return g;
+}
+
+double serverprobe_complexity_dp(int n, int alpha, double p) {
+  // state[pos] = probability of still probing with `pos` successes so far;
+  // advance one probe at a time applying Definition 26's stop rules.
+  const double q = 1.0 - p;
+  std::vector<double> state(static_cast<std::size_t>(n) + 1, 0.0);
+  state[0] = 1.0;
+  double expected = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    std::vector<double> next(static_cast<std::size_t>(n) + 1, 0.0);
+    double continuing_mass = 0.0;
+    for (int pos = 0; pos < i; ++pos) {
+      const double mass = state[static_cast<std::size_t>(pos)];
+      if (mass == 0.0) continue;
+      continuing_mass += mass;
+      next[static_cast<std::size_t>(pos + 1)] += mass * q;
+      next[static_cast<std::size_t>(pos)] += mass * p;
+    }
+    // Every continuing client pays probe i.
+    expected += continuing_mass;
+    // Apply stop rules to the post-probe states.
+    for (int pos = 0; pos <= i; ++pos) {
+      double& mass = next[static_cast<std::size_t>(pos)];
+      if (mass == 0.0) continue;
+      const int neg = i - pos;
+      const bool stop = pos >= 2 * alpha || pos >= n + alpha - i ||
+                        neg >= n + 1 - alpha;
+      if (stop) mass = 0.0;  // exits the "still probing" population
+    }
+    state = std::move(next);
+  }
+  return expected;
+}
+
+double serverprobe_upper_bound(int alpha, double p) {
+  return 2.0 * alpha / (1.0 - p);
+}
+
+}  // namespace sqs

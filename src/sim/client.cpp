@@ -1,0 +1,223 @@
+#include "sim/client.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sqs {
+
+struct SimClient::Acquisition {
+  std::unique_ptr<ProbeStrategy> strategy;
+  AcquisitionResult result;
+  double start_time = 0.0;
+  std::uint64_t pending_seq = 0;  // id of the in-flight probe; 0 = none
+  int object = 0;
+  std::function<void(AcquisitionResult)> done;
+  Rng strategy_rng;
+};
+
+SimClient::SimClient(Simulator* sim, Network* net,
+                     std::vector<SimServer>* servers, int id,
+                     const QuorumFamily* family, const ClientConfig& config,
+                     Rng rng)
+    : sim_(sim),
+      net_(net),
+      servers_(servers),
+      id_(id),
+      family_(family),
+      config_(config),
+      rng_(std::move(rng)) {}
+
+void SimClient::acquire(std::function<void(AcquisitionResult)> done) {
+  acquire(*family_, /*object=*/0, std::move(done));
+}
+
+void SimClient::acquire(const QuorumFamily& family, int object,
+                        std::function<void(AcquisitionResult)> done) {
+  if (config_.use_partition_filter && net_->client_partition_active(id_)) {
+    // Beacon check: the beacon is an arbitrary node outside the client's
+    // domain, so during a partition it is unreachable with probability
+    // equal to the partitioned fraction.
+    const double fraction = net_->client_partition_fraction(id_);
+    if (rng_.bernoulli(fraction)) {
+      AcquisitionResult result;
+      result.filtered = true;
+      result.probed = SignedSet(family.universe_size());
+      result.quorum = SignedSet(family.universe_size());
+      result.replies.assign(static_cast<std::size_t>(family.universe_size()),
+                            std::nullopt);
+      sim_->schedule(config_.probe_timeout, [result, done = std::move(done)] {
+        done(result);
+      });
+      return;
+    }
+  }
+  auto acq = std::make_shared<Acquisition>();
+  acq->strategy = family.make_probe_strategy();
+  acq->strategy_rng = rng_.split(next_seq_ * 2 + 1);
+  acq->strategy->reset(&acq->strategy_rng);
+  acq->result.probed = SignedSet(family.universe_size());
+  acq->result.quorum = SignedSet(family.universe_size());
+  acq->result.replies.assign(static_cast<std::size_t>(family.universe_size()),
+                             std::nullopt);
+  acq->start_time = sim_->now();
+  acq->object = object;
+  acq->done = std::move(done);
+  issue_next_probe(std::move(acq));
+}
+
+void SimClient::issue_next_probe(std::shared_ptr<Acquisition> acq) {
+  if (acq->strategy->status() != ProbeStatus::kInProgress) {
+    acq->result.acquired = acq->strategy->status() == ProbeStatus::kAcquired;
+    if (acq->result.acquired) acq->result.quorum = acq->strategy->acquired_quorum();
+    acq->result.latency = sim_->now() - acq->start_time;
+    acq->done(acq->result);
+    return;
+  }
+
+  const int server = acq->strategy->next_server();
+  const std::uint64_t seq = ++next_seq_;
+  acq->pending_seq = seq;
+  ++acq->result.num_probes;
+
+  // Request leg.
+  net_->send(id_, server, Network::Direction::kToServer, [this, acq, seq, server] {
+    SimServer& s = (*servers_)[static_cast<std::size_t>(server)];
+    const auto reply = s.handle_read(acq->object);
+    if (!reply.has_value()) return;  // server crashed: no reply
+    // Service delay, then the reply leg.
+    sim_->schedule(s.service_time(), [this, acq, seq, server, reply] {
+      net_->send(id_, server, Network::Direction::kToClient,
+                 [this, acq, seq, server, reply] {
+                   finish_probe(acq, seq, server, reply);
+                 });
+    });
+  });
+
+  // Timeout leg.
+  sim_->schedule(config_.probe_timeout, [this, acq, seq, server] {
+    finish_probe(acq, seq, server, std::nullopt);
+  });
+}
+
+void SimClient::finish_probe(
+    std::shared_ptr<Acquisition> acq, std::uint64_t seq, int server,
+    std::optional<std::pair<Timestamp, std::uint64_t>> reply) {
+  if (acq->pending_seq != seq) return;  // stale: already resolved
+  acq->pending_seq = 0;
+  const bool reached = reply.has_value();
+  if (reached) {
+    acq->result.probed.add_positive(server);
+    acq->result.replies[static_cast<std::size_t>(server)] = *reply;
+  } else {
+    acq->result.probed.add_negative(server);
+  }
+  acq->strategy->observe(server, reached);
+  issue_next_probe(std::move(acq));
+}
+
+void SimClient::read(std::function<void(ReadResult)> done) {
+  read(*family_, /*object=*/0, std::move(done));
+}
+
+void SimClient::read(const QuorumFamily& family, int object,
+                     std::function<void(ReadResult)> done) {
+  acquire(family, object, [this, object, done = std::move(done)](AcquisitionResult acq) {
+    ReadResult result;
+    result.num_probes = acq.num_probes;
+    result.latency = acq.latency;
+    result.ok = acq.acquired;
+    result.filtered = acq.filtered;
+    result.probed = acq.probed;
+    if (result.ok) {
+      // Max-timestamp value over every reached probed server (S+), per the
+      // Sect. 4 client requirement.
+      for (const auto& reply : acq.replies) {
+        if (!reply.has_value()) continue;
+        if (result.timestamp < reply->first) {
+          result.timestamp = reply->first;
+          result.value = reply->second;
+        }
+      }
+      if (config_.read_repair) {
+        // Fire-and-forget write-back to stale reached servers.
+        for (std::size_t i = 0; i < acq.replies.size(); ++i) {
+          const auto& reply = acq.replies[i];
+          if (!reply.has_value() || !(reply->first < result.timestamp)) continue;
+          const int server = static_cast<int>(i);
+          net_->send(id_, server, Network::Direction::kToServer,
+                     [this, server, object, ts = result.timestamp,
+                      value = result.value] {
+                       (*servers_)[static_cast<std::size_t>(server)].handle_write(
+                           ts, value, object);
+                     });
+        }
+      }
+    }
+    done(result);
+  });
+}
+
+void SimClient::write(std::uint64_t value, std::function<void(WriteResult)> done) {
+  write(*family_, /*object=*/0, value, std::move(done));
+}
+
+void SimClient::write(const QuorumFamily& family, int object,
+                      std::uint64_t value,
+                      std::function<void(WriteResult)> done) {
+  acquire(family, object, [this, object, value, done = std::move(done)](AcquisitionResult acq) {
+    WriteResult result;
+    result.num_probes = acq.num_probes;
+    result.filtered = acq.filtered;
+    result.probed = acq.probed;
+    if (!acq.acquired) {
+      result.latency = acq.latency;
+      done(result);
+      return;
+    }
+    Timestamp max_ts;
+    for (const auto& reply : acq.replies)
+      if (reply.has_value() && max_ts < reply->first) max_ts = reply->first;
+    result.ok = true;
+    result.timestamp = Timestamp{max_ts.counter + 1, id_};
+
+    // Push the new value to every reached probed server; complete when all
+    // acks arrive or time out.
+    auto state = std::make_shared<std::pair<int, WriteResult>>(0, result);
+    const auto targets = acq.probed.positive().to_indices();
+    assert(!targets.empty() && "an acquired quorum has a reached server");
+    state->first = static_cast<int>(targets.size());
+    const double start = sim_->now() - acq.latency;
+    auto finish_one = [this, state, done, start](bool acked) {
+      if (acked) ++state->second.acks;
+      if (--state->first == 0) {
+        state->second.latency = sim_->now() - start;
+        done(state->second);
+      }
+    };
+    for (std::size_t idx : targets) {
+      const int server = static_cast<int>(idx);
+      auto resolved = std::make_shared<bool>(false);
+      net_->send(id_, server, Network::Direction::kToServer,
+                 [this, server, object, ts = result.timestamp, value, resolved,
+                  finish_one] {
+                   SimServer& s = (*servers_)[static_cast<std::size_t>(server)];
+                   if (!s.handle_write(ts, value, object)) return;
+                   sim_->schedule(s.service_time(), [this, server, resolved, finish_one] {
+                     net_->send(id_, server, Network::Direction::kToClient,
+                                [resolved, finish_one] {
+                                  if (*resolved) return;
+                                  *resolved = true;
+                                  finish_one(true);
+                                });
+                   });
+                 });
+      sim_->schedule(config_.probe_timeout, [resolved, finish_one] {
+        if (*resolved) return;
+        *resolved = true;
+        finish_one(false);
+      });
+    }
+  });
+}
+
+}  // namespace sqs

@@ -1,0 +1,117 @@
+// Timeout-probing clients.
+//
+// A client acquires a quorum by running its family's ProbeStrategy over the
+// simulated network: each probe is an RPC whose reply doubles as a read of
+// the server's replica state; a missing reply within the timeout is a failed
+// probe. Mismatches are therefore *emergent* here (crashed server, flapping
+// link, or latency spike), not injected — this is the mechanistic
+// counterpart of the abstract model in src/mismatch.
+//
+// On top of acquisition the client offers ABD-style register operations:
+//   read  — acquire, return the max-timestamp value among reached servers;
+//   write — acquire (learning the max timestamp), then push
+//           (max+1, client_id) to every reached probed server, per the
+//           paper's requirement that clients coordinate with all of S+.
+// All operations are asynchronous (completion callbacks), driven by the
+// event loop.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/quorum_family.h"
+#include "sim/network.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+
+namespace sqs {
+
+struct ClientConfig {
+  double probe_timeout = 0.25;  // seconds to wait for a probe reply
+  // The filtering step of [17] (Sect. 1): before acquiring, the client must
+  // reach a beacon outside its local domain; a client whose connectivity is
+  // (partially) partitioned away fails that check with probability equal to
+  // the partitioned fraction and aborts instead of acquiring a quorum built
+  // from wrong negative evidence.
+  bool use_partition_filter = false;
+  // Read repair: after a read, asynchronously push the max-timestamp value
+  // back to every reached server holding an older one. Shrinks the window
+  // in which a later non-intersecting quorum could miss the value.
+  bool read_repair = false;
+};
+
+struct AcquisitionResult {
+  bool acquired = false;
+  bool filtered = false;  // aborted by the partition filter
+  SignedSet probed;  // +i reached, -i timed out
+  SignedSet quorum;
+  int num_probes = 0;
+  double latency = 0.0;
+  // Reply snapshot per server (only reached servers have values).
+  std::vector<std::optional<std::pair<Timestamp, std::uint64_t>>> replies;
+};
+
+struct ReadResult {
+  bool ok = false;
+  bool filtered = false;
+  std::uint64_t value = 0;
+  Timestamp timestamp;
+  int num_probes = 0;
+  double latency = 0.0;
+  SignedSet probed;  // servers probed during acquisition (+reached/-not)
+};
+
+struct WriteResult {
+  bool ok = false;
+  bool filtered = false;
+  Timestamp timestamp;
+  int num_probes = 0;
+  int acks = 0;
+  double latency = 0.0;
+  SignedSet probed;  // servers probed during acquisition (+reached/-not)
+};
+
+class SimClient {
+ public:
+  SimClient(Simulator* sim, Network* net, std::vector<SimServer>* servers,
+            int id, const QuorumFamily* family, const ClientConfig& config,
+            Rng rng);
+
+  int id() const { return id_; }
+
+  // Runs the probe strategy to completion; `done` fires exactly once.
+  // The default overloads use the client's configured family and object 0;
+  // the explicit ones support multi-object stores where each object has its
+  // own (e.g. rotated) family.
+  void acquire(std::function<void(AcquisitionResult)> done);
+  void acquire(const QuorumFamily& family, int object,
+               std::function<void(AcquisitionResult)> done);
+
+  void read(std::function<void(ReadResult)> done);
+  void read(const QuorumFamily& family, int object,
+            std::function<void(ReadResult)> done);
+  void write(std::uint64_t value, std::function<void(WriteResult)> done);
+  void write(const QuorumFamily& family, int object, std::uint64_t value,
+             std::function<void(WriteResult)> done);
+
+ private:
+  struct Acquisition;
+  void issue_next_probe(std::shared_ptr<Acquisition> acq);
+  void finish_probe(std::shared_ptr<Acquisition> acq, std::uint64_t seq,
+                    int server,
+                    std::optional<std::pair<Timestamp, std::uint64_t>> reply);
+
+  Simulator* sim_;
+  Network* net_;
+  std::vector<SimServer>* servers_;
+  int id_;
+  const QuorumFamily* family_;
+  ClientConfig config_;
+  Rng rng_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sqs

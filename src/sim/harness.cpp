@@ -1,0 +1,113 @@
+#include "sim/harness.h"
+
+#include <memory>
+#include <vector>
+
+namespace sqs {
+
+namespace {
+
+struct Experiment {
+  const QuorumFamily* family;
+  RegisterExperimentConfig config;
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::vector<SimServer> servers;
+  std::vector<SimClient> clients;
+  Rng rng;
+  RegisterExperimentResult result;
+  Timestamp max_completed_write_ts;
+  std::uint64_t next_value = 1;
+
+  void schedule_next_op(int client_idx) {
+    if (sim.now() >= config.duration) return;
+    const double delay = rng.exponential(1.0 / config.think_time);
+    sim.schedule(delay, [this, client_idx] { start_op(client_idx); });
+  }
+
+  void start_op(int client_idx) {
+    if (sim.now() >= config.duration) return;
+    if (rng.bernoulli(config.read_fraction)) {
+      ++result.reads_attempted;
+      // Snapshot the frontier of completed writes; a successful read must
+      // not return anything older.
+      const Timestamp frontier = max_completed_write_ts;
+      clients[static_cast<std::size_t>(client_idx)].read(
+          [this, client_idx, frontier](ReadResult r) {
+            result.probes_per_op.add(r.num_probes);
+            if (r.filtered) ++result.ops_filtered;
+            if (r.ok) {
+              ++result.reads_ok;
+              result.latency_ok.add(r.latency);
+              result.latencies_ok.push_back(r.latency);
+              if (r.timestamp < frontier) ++result.stale_reads;
+            }
+            schedule_next_op(client_idx);
+          });
+    } else {
+      ++result.writes_attempted;
+      clients[static_cast<std::size_t>(client_idx)].write(
+          next_value++, [this, client_idx](WriteResult w) {
+            result.probes_per_op.add(w.num_probes);
+            if (w.filtered) ++result.ops_filtered;
+            if (w.ok) {
+              ++result.writes_ok;
+              result.latency_ok.add(w.latency);
+              result.latencies_ok.push_back(w.latency);
+              if (max_completed_write_ts < w.timestamp)
+                max_completed_write_ts = w.timestamp;
+            }
+            schedule_next_op(client_idx);
+          });
+    }
+  }
+};
+
+}  // namespace
+
+RegisterExperimentResult run_register_experiment(
+    const QuorumFamily& family, const RegisterExperimentConfig& config) {
+  Experiment e;
+  e.family = &family;
+  e.config = config;
+  e.rng = Rng(config.seed);
+  const int n = family.universe_size();
+
+  e.net = std::make_unique<Network>(&e.sim, config.num_clients, n,
+                                    config.network, e.rng.split("network"));
+  e.servers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    e.servers.emplace_back(&e.sim, i, config.server,
+                           e.rng.split(1000 + static_cast<std::uint64_t>(i)));
+  e.clients.reserve(static_cast<std::size_t>(config.num_clients));
+  for (int c = 0; c < config.num_clients; ++c)
+    e.clients.emplace_back(&e.sim, e.net.get(), &e.servers, c, &family,
+                           config.client,
+                           e.rng.split(2000 + static_cast<std::uint64_t>(c)));
+
+  for (int c = 0; c < config.num_clients; ++c) e.schedule_next_op(c);
+
+  // Partition injector.
+  if (config.partition_rate > 0.0) {
+    Rng part_rng = e.rng.split("partitions");
+    std::function<void()> inject = [&e, &part_rng, &config, &inject] {
+      if (e.sim.now() >= config.duration) return;
+      const int victim =
+          static_cast<int>(part_rng.next_below(static_cast<std::uint64_t>(
+              config.num_clients)));
+      e.net->partition_client_partial(victim, config.partition_fraction,
+                                      config.partition_duration);
+      e.sim.schedule(part_rng.exponential(config.partition_rate), inject);
+    };
+    e.sim.schedule(part_rng.exponential(config.partition_rate), inject);
+    // Allow in-flight operations a grace period to finish.
+    e.sim.run_until(config.duration + 60.0);
+    return e.result;
+  }
+
+  // Allow in-flight operations a grace period to finish.
+  e.sim.run_until(config.duration + 60.0);
+  return e.result;
+}
+
+}  // namespace sqs

@@ -1,0 +1,73 @@
+// End-to-end replicated-register experiments over the simulator.
+//
+// A fleet of closed-loop clients issues reads and writes against n replica
+// servers through the flapping-link network, using a given quorum family for
+// every operation. The harness measures what the paper's metrics mean to an
+// application: operation availability, probes per operation, latency, and —
+// the price of probabilistic intersection — the fraction of *stale reads*
+// (a read returning an older timestamp than some write that completed before
+// the read started), which is the observable consequence of two quorums
+// failing to intersect.
+
+#pragma once
+
+#include <vector>
+
+#include "core/quorum_family.h"
+#include "sim/client.h"
+#include "util/stats.h"
+
+namespace sqs {
+
+struct RegisterExperimentConfig {
+  int num_clients = 8;
+  double duration = 2000.0;   // simulated seconds of load
+  double think_time = 1.0;    // mean pause between a client's operations
+  double read_fraction = 0.5;
+  NetworkConfig network;
+  ServerConfig server;
+  ClientConfig client;
+  // Correlated failure injection: partial client partitions arrive as a
+  // Poisson process at `partition_rate` events/second; each hits one random
+  // client, knocking out `partition_fraction` of its links for
+  // `partition_duration` seconds. Combine with client.use_partition_filter
+  // to reproduce the paper's filtering-step discussion.
+  double partition_rate = 0.0;
+  double partition_fraction = 0.6;
+  double partition_duration = 5.0;
+  std::uint64_t seed = 1;
+};
+
+struct RegisterExperimentResult {
+  long reads_attempted = 0;
+  long reads_ok = 0;
+  long writes_attempted = 0;
+  long writes_ok = 0;
+  long stale_reads = 0;
+  long ops_filtered = 0;  // aborted by the partition filter
+  RunningStat probes_per_op;
+  RunningStat latency_ok;  // seconds, successful ops only
+  std::vector<double> latencies_ok;  // raw samples for percentiles
+
+  double latency_percentile(double pct) const {
+    return percentile(latencies_ok, pct);
+  }
+
+  double availability() const {
+    const long attempted = reads_attempted + writes_attempted;
+    const long ok = reads_ok + writes_ok;
+    return attempted > 0 ? static_cast<double>(ok) / static_cast<double>(attempted)
+                         : 0.0;
+  }
+  double stale_read_fraction() const {
+    return reads_ok > 0
+               ? static_cast<double>(stale_reads) / static_cast<double>(reads_ok)
+               : 0.0;
+  }
+};
+
+// Runs the experiment; the family's universe_size() fixes the server count.
+RegisterExperimentResult run_register_experiment(
+    const QuorumFamily& family, const RegisterExperimentConfig& config);
+
+}  // namespace sqs

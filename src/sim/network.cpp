@@ -1,0 +1,87 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sqs {
+
+Network::Network(Simulator* sim, int num_clients, int num_servers,
+                 const NetworkConfig& config, Rng rng)
+    : sim_(sim), num_servers_(num_servers), config_(config), rng_(std::move(rng)) {
+  links_.resize(static_cast<std::size_t>(num_clients * num_servers));
+  client_partition_until_.assign(static_cast<std::size_t>(num_clients), 0.0);
+  partial_partitions_.resize(static_cast<std::size_t>(num_clients));
+  link_block_until_.assign(static_cast<std::size_t>(num_clients * num_servers), 0.0);
+  // Start each link in its stationary distribution so short experiments are
+  // unbiased.
+  const double p_down = config_.stationary_link_down();
+  for (auto& l : links_) {
+    l.up = !rng_.bernoulli(p_down);
+    const double mean = l.up ? config_.link_mean_up : config_.link_mean_down;
+    l.next_toggle = rng_.exponential(1.0 / mean);
+  }
+}
+
+void Network::advance_link(Link& l) {
+  while (l.next_toggle <= sim_->now()) {
+    l.up = !l.up;
+    const double mean = l.up ? config_.link_mean_up : config_.link_mean_down;
+    l.next_toggle += rng_.exponential(1.0 / mean);
+  }
+}
+
+bool Network::link_up(int client, int server) {
+  if (sim_->now() < client_partition_until_[static_cast<std::size_t>(client)])
+    return false;
+  if (sim_->now() <
+      link_block_until_[static_cast<std::size_t>(client * num_servers_ + server)])
+    return false;
+  const PartialPartition& pp = partial_partitions_[static_cast<std::size_t>(client)];
+  if (sim_->now() < pp.until && pp.blocked[static_cast<std::size_t>(server)])
+    return false;
+  Link& l = link(client, server);
+  advance_link(l);
+  return l.up;
+}
+
+void Network::send(int client, int server, Direction /*direction*/,
+                   std::function<void()> on_delivery) {
+  if (!link_up(client, server)) return;  // lost
+  const double latency =
+      config_.base_latency + rng_.exponential(1.0 / config_.jitter_mean);
+  sim_->schedule(latency, std::move(on_delivery));
+}
+
+void Network::partition_client(int client, double duration) {
+  client_partition_until_[static_cast<std::size_t>(client)] =
+      sim_->now() + duration;
+}
+
+void Network::partition_client_partial(int client, double fraction,
+                                       double duration) {
+  PartialPartition& pp = partial_partitions_[static_cast<std::size_t>(client)];
+  pp.until = sim_->now() + duration;
+  pp.fraction = fraction;
+  pp.blocked.assign(static_cast<std::size_t>(num_servers_), 0);
+  for (int s = 0; s < num_servers_; ++s)
+    if (rng_.bernoulli(fraction)) pp.blocked[static_cast<std::size_t>(s)] = 1;
+}
+
+void Network::block_link(int client, int server, double duration) {
+  link_block_until_[static_cast<std::size_t>(client * num_servers_ + server)] =
+      sim_->now() + duration;
+}
+
+bool Network::client_partition_active(int client) const {
+  return sim_->now() < client_partition_until_[static_cast<std::size_t>(client)] ||
+         sim_->now() < partial_partitions_[static_cast<std::size_t>(client)].until;
+}
+
+double Network::client_partition_fraction(int client) const {
+  if (sim_->now() < client_partition_until_[static_cast<std::size_t>(client)])
+    return 1.0;
+  const PartialPartition& pp = partial_partitions_[static_cast<std::size_t>(client)];
+  return sim_->now() < pp.until ? pp.fraction : 0.0;
+}
+
+}  // namespace sqs

@@ -1,0 +1,98 @@
+// The simulated wide-area network.
+//
+// Links between each (client, server) pair flap independently: alternating
+// exponentially-distributed up and down periods, evaluated lazily. A message
+// sent while the link is down is lost; otherwise it is delivered after
+// base latency plus exponential jitter. Because down periods persist in
+// time, two clients probing the same server around the same moment can see
+// different outcomes — exactly the paper's *mismatch* mechanism — while
+// mismatches on different servers stay independent (each pair has its own
+// process), matching the Sect. 4 assumption. A partition switch makes a
+// whole client's links fail together for testing the correlated case.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+struct NetworkConfig {
+  double base_latency = 0.020;      // one-way, seconds
+  double jitter_mean = 0.010;       // exponential jitter added per hop
+  double link_mean_up = 100.0;      // mean link up-period (seconds)
+  double link_mean_down = 1.0;      // mean link down-period (seconds)
+  // Stationary P[link down] = mean_down / (mean_up + mean_down).
+  double stationary_link_down() const {
+    return link_mean_down / (link_mean_up + link_mean_down);
+  }
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, int num_clients, int num_servers,
+          const NetworkConfig& config, Rng rng);
+
+  // Sends a one-way message from client `client` to server `server`
+  // (direction kToServer) or back (kToClient); `on_delivery` runs at the
+  // destination if the link is up at send time, and never runs otherwise.
+  enum class Direction { kToServer, kToClient };
+  void send(int client, int server, Direction direction,
+            std::function<void()> on_delivery);
+
+  // True if the (client, server) link is currently up.
+  bool link_up(int client, int server);
+
+  // Forces all of `client`'s links down for `duration` seconds (a client
+  // partition / lost connection).
+  void partition_client(int client, double duration);
+
+  // Partially partitions `client`: a uniformly random `fraction` of its
+  // server links go down together for `duration` seconds. This is the
+  // correlated-mismatch case the paper's filtering step ([17]) guards
+  // against: the client still reaches some servers, so it could acquire a
+  // quorum built mostly from (wrong) negative evidence.
+  void partition_client_partial(int client, double fraction, double duration);
+
+  // Blocks the single (client, server) link for `duration` seconds — the
+  // asynchronous-scheduler adversary of Sect. 2.2 (indefinite message delay
+  // on one link is indistinguishable from loss to a timeout-based client).
+  void block_link(int client, int server, double duration);
+
+  // True while any (full or partial) partition of `client` is active.
+  bool client_partition_active(int client) const;
+  // The active partition's fraction (1.0 for a full partition, 0.0 if none).
+  double client_partition_fraction(int client) const;
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  struct Link {
+    bool up = true;
+    double next_toggle = 0.0;
+  };
+
+  Link& link(int client, int server) {
+    return links_[static_cast<std::size_t>(client * num_servers_ + server)];
+  }
+  void advance_link(Link& l);
+
+  Simulator* sim_;
+  int num_servers_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Link> links_;
+  std::vector<double> client_partition_until_;
+  struct PartialPartition {
+    double until = 0.0;
+    double fraction = 0.0;
+    std::vector<char> blocked;  // per-server
+  };
+  std::vector<PartialPartition> partial_partitions_;
+  std::vector<double> link_block_until_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,56 @@
+#include "sim/server.h"
+
+#include <utility>
+
+namespace sqs {
+
+SimServer::SimServer(Simulator* sim, int id, const ServerConfig& config, Rng rng)
+    : sim_(sim), id_(id), config_(config), rng_(std::move(rng)) {
+  up_ = !rng_.bernoulli(config_.stationary_down());
+  next_toggle_ =
+      rng_.exponential(1.0 / (up_ ? config_.mean_up : config_.mean_down));
+}
+
+void SimServer::advance_failure_process() const {
+  while (next_toggle_ <= sim_->now()) {
+    up_ = !up_;
+    if (up_ && config_.amnesia_on_recovery) objects_.clear();
+    next_toggle_ +=
+        rng_.exponential(1.0 / (up_ ? config_.mean_up : config_.mean_down));
+  }
+}
+
+bool SimServer::up() const {
+  advance_failure_process();
+  return up_;
+}
+
+std::optional<std::pair<Timestamp, std::uint64_t>> SimServer::handle_read(
+    int object) {
+  if (!up()) return std::nullopt;
+  const Cell& cell = objects_[object];
+  return std::make_pair(cell.ts, cell.value);
+}
+
+bool SimServer::handle_write(const Timestamp& ts, std::uint64_t value,
+                             int object) {
+  if (!up()) return false;
+  Cell& cell = objects_[object];
+  if (cell.ts < ts) {
+    cell.ts = ts;
+    cell.value = value;
+  }
+  return true;
+}
+
+Timestamp SimServer::timestamp(int object) const {
+  auto it = objects_.find(object);
+  return it == objects_.end() ? Timestamp{} : it->second.ts;
+}
+
+std::uint64_t SimServer::value(int object) const {
+  auto it = objects_.find(object);
+  return it == objects_.end() ? 0 : it->second.value;
+}
+
+}  // namespace sqs

@@ -1,0 +1,85 @@
+// Fail-stop replica servers.
+//
+// Each server alternates exponentially-distributed up and down periods
+// (stationary unavailability p = mean_down / (mean_up + mean_down)), chosen
+// to match the paper's i.i.d. failure model while letting failures move
+// during a run. A crashed server drops requests; recovery keeps its register
+// state (crash, not amnesia). The replica state is a timestamped register
+// value: timestamps are (counter, writer_id) pairs ordered lexicographically,
+// the standard ABD tag. Servers hold one register per *object id*, so a
+// single simulated fleet can serve many replicated objects (the Sect. 6.3
+// rotation scenario).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+struct Timestamp {
+  std::uint64_t counter = 0;
+  int writer = -1;
+
+  bool operator<(const Timestamp& other) const {
+    if (counter != other.counter) return counter < other.counter;
+    return writer < other.writer;
+  }
+  bool operator==(const Timestamp& other) const {
+    return counter == other.counter && writer == other.writer;
+  }
+};
+
+struct ServerConfig {
+  double mean_up = 95.0;
+  double mean_down = 5.0;  // stationary p = 0.05 with the defaults
+  double service_time = 0.001;
+  // Amnesia: lose all register state on recovery (no stable storage). The
+  // paper assumes crash (state-preserving) failures; amnesia shows what the
+  // probabilistic guarantee costs when that assumption is broken too.
+  bool amnesia_on_recovery = false;
+  double stationary_down() const { return mean_down / (mean_up + mean_down); }
+};
+
+class SimServer {
+ public:
+  SimServer(Simulator* sim, int id, const ServerConfig& config, Rng rng);
+
+  int id() const { return id_; }
+  bool up() const;
+
+  // Handles a probe/read of `object`: returns the current (timestamp,
+  // value) if up, nullopt if crashed (the message is silently dropped).
+  std::optional<std::pair<Timestamp, std::uint64_t>> handle_read(int object = 0);
+
+  // Handles a write to `object`: applies if it advances the timestamp;
+  // returns true (ack) if up.
+  bool handle_write(const Timestamp& ts, std::uint64_t value, int object = 0);
+
+  double service_time() const { return config_.service_time; }
+
+  Timestamp timestamp(int object = 0) const;
+  std::uint64_t value(int object = 0) const;
+
+ private:
+  void advance_failure_process() const;
+
+  Simulator* sim_;
+  int id_;
+  ServerConfig config_;
+  mutable Rng rng_;
+  mutable bool up_ = true;
+  mutable double next_toggle_ = 0.0;
+
+  struct Cell {
+    Timestamp ts;
+    std::uint64_t value = 0;
+  };
+  mutable std::unordered_map<int, Cell> objects_;
+};
+
+}  // namespace sqs

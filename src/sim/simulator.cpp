@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sqs {
+
+void Simulator::schedule(double delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run_until(double deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the closure by re-wrapping: pop after copying the small members.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+  }
+}
+
+}  // namespace sqs

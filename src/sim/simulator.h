@@ -1,0 +1,49 @@
+// A minimal discrete-event simulator.
+//
+// Time is a double (seconds). Events are closures ordered by (time, seq);
+// the seq tiebreak makes execution deterministic for equal timestamps. The
+// wide-area harness (network, servers, clients) runs entirely on top of
+// this loop, so every simulated experiment is reproducible from its seed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sqs {
+
+class Simulator {
+ public:
+  double now() const { return now_; }
+
+  // Schedules fn to run `delay` seconds from now (delay >= 0).
+  void schedule(double delay, std::function<void()> fn);
+
+  // Runs events until the queue drains or `deadline` passes (events at
+  // exactly `deadline` still run).
+  void run_until(double deadline);
+
+  // Runs until the queue drains.
+  void run();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,171 @@
+#include "uqs/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "util/binomial.h"
+
+namespace sqs {
+
+GridFamily::GridFamily(int rows, int cols) : rows_(rows), cols_(cols) {
+  assert(rows >= 1 && cols >= 1);
+}
+
+std::string GridFamily::name() const {
+  return "Grid(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+bool GridFamily::accepts(const Configuration& config) const {
+  bool live_row = false;
+  for (int r = 0; r < rows_ && !live_row; ++r) {
+    bool all = true;
+    for (int c = 0; c < cols_; ++c) all = all && config.is_up(cell(r, c));
+    live_row = all;
+  }
+  if (!live_row) return false;
+  for (int c = 0; c < cols_; ++c) {
+    bool all = true;
+    for (int r = 0; r < rows_; ++r) all = all && config.is_up(cell(r, c));
+    if (all) return true;
+  }
+  return false;
+}
+
+double GridFamily::availability(double p) const {
+  const double q = 1.0 - p;
+  double total = 0.0;
+  for (int i = 1; i <= rows_; ++i) {
+    for (int j = 1; j <= cols_; ++j) {
+      const double cells = static_cast<double>(i) * cols_ +
+                           static_cast<double>(j) * rows_ -
+                           static_cast<double>(i) * j;
+      const double term =
+          choose(rows_, i) * choose(cols_, j) * std::pow(q, cells);
+      total += ((i + j) % 2 == 0 ? term : -term);
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Scans lines (rows, then columns) adaptively: a line is abandoned at its
+// first dead cell; results are shared across lines so intersecting cells are
+// probed once.
+class GridStrategy : public ProbeStrategy {
+ public:
+  GridStrategy(int rows, int cols) : rows_(rows), cols_(cols) { reset(nullptr); }
+
+  void reset(Rng* rng) override {
+    known_.assign(static_cast<std::size_t>(rows_ * cols_), std::nullopt);
+    row_order_.resize(static_cast<std::size_t>(rows_));
+    col_order_.resize(static_cast<std::size_t>(cols_));
+    std::iota(row_order_.begin(), row_order_.end(), 0);
+    std::iota(col_order_.begin(), col_order_.end(), 0);
+    if (rng != nullptr) {
+      std::shuffle(row_order_.begin(), row_order_.end(), *rng);
+      std::shuffle(col_order_.begin(), col_order_.end(), *rng);
+    }
+    scanning_rows_ = true;
+    line_idx_ = 0;
+    cell_idx_ = 0;
+    live_row_ = -1;
+    quorum_ = SignedSet(rows_ * cols_);
+    status_ = ProbeStatus::kInProgress;
+    pending_ = -1;
+    advance();
+  }
+
+  int universe_size() const override { return rows_ * cols_; }
+  ProbeStatus status() const override { return status_; }
+  int next_server() const override { return pending_; }
+
+  void observe(int server, bool reached) override {
+    assert(server == pending_);
+    known_[static_cast<std::size_t>(server)] = reached;
+    advance();
+  }
+
+  SignedSet acquired_quorum() const override { return quorum_; }
+  bool is_adaptive() const override { return true; }
+  bool is_randomized() const override { return true; }
+
+ private:
+  int cell(int r, int c) const { return r * cols_ + c; }
+  int line_length() const { return scanning_rows_ ? cols_ : rows_; }
+  int num_lines() const { return scanning_rows_ ? rows_ : cols_; }
+  int current_cell() const {
+    const int line = (scanning_rows_ ? row_order_ : col_order_)[static_cast<std::size_t>(line_idx_)];
+    return scanning_rows_ ? cell(line, cell_idx_) : cell(cell_idx_, line);
+  }
+
+  void advance() {
+    pending_ = -1;
+    while (status_ == ProbeStatus::kInProgress) {
+      if (line_idx_ >= num_lines()) {
+        // Exhausted all rows (no live row) or all columns (no live column):
+        // no quorum exists.
+        status_ = ProbeStatus::kNoQuorum;
+        return;
+      }
+      if (cell_idx_ >= line_length()) {
+        // The whole line is live.
+        finish_line();
+        continue;
+      }
+      const int server = current_cell();
+      const auto& result = known_[static_cast<std::size_t>(server)];
+      if (!result.has_value()) {
+        pending_ = server;
+        return;  // need a probe
+      }
+      if (*result) {
+        ++cell_idx_;
+      } else {
+        // Dead cell: abandon the line.
+        ++line_idx_;
+        cell_idx_ = 0;
+      }
+    }
+  }
+
+  void finish_line() {
+    const int line = (scanning_rows_ ? row_order_ : col_order_)[static_cast<std::size_t>(line_idx_)];
+    if (scanning_rows_) {
+      live_row_ = line;
+      scanning_rows_ = false;
+      line_idx_ = 0;
+      cell_idx_ = 0;
+    } else {
+      // Live row + live column found: that is the quorum.
+      for (int c = 0; c < cols_; ++c) quorum_.add_positive(cell(live_row_, c));
+      for (int r = 0; r < rows_; ++r) quorum_.add_positive(cell(r, line));
+      status_ = ProbeStatus::kAcquired;
+    }
+  }
+
+  int rows_;
+  int cols_;
+  std::vector<std::optional<bool>> known_;
+  std::vector<int> row_order_;
+  std::vector<int> col_order_;
+  bool scanning_rows_ = true;
+  int line_idx_ = 0;
+  int cell_idx_ = 0;
+  int live_row_ = -1;
+  int pending_ = -1;
+  SignedSet quorum_{0};
+  ProbeStatus status_ = ProbeStatus::kInProgress;
+};
+
+}  // namespace
+
+std::unique_ptr<ProbeStrategy> GridFamily::make_probe_strategy() const {
+  return std::make_unique<GridStrategy>(rows_, cols_);
+}
+
+}  // namespace sqs

@@ -1,0 +1,47 @@
+// The grid quorum system: servers arranged in a rows x cols grid, a quorum
+// is one full row plus one full column. A classic strict system with quorum
+// size Theta(sqrt n) and load Theta(1/sqrt n) but availability that *decays*
+// with n (every row must survive somewhere) — a useful contrast point in the
+// availability bench, and a composition input with small min quorums.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/quorum_family.h"
+
+namespace sqs {
+
+class GridFamily : public QuorumFamily {
+ public:
+  GridFamily(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int cell(int r, int c) const { return r * cols_ + c; }
+
+  std::string name() const override;
+  int universe_size() const override { return rows_ * cols_; }
+  int alpha() const override { return 0; }
+  bool is_strict() const override { return true; }
+  // A live quorum exists iff some row is fully live AND some column is
+  // fully live.
+  bool accepts(const Configuration& config) const override;
+  int min_quorum_size() const override { return rows_ + cols_ - 1; }
+  // Exact closed form by inclusion-exclusion over forced-live row/column
+  // sets: P = sum_{i>=1} sum_{j>=1} (-1)^(i+j+2) C(r,i) C(c,j) q^(ic+jr-ij)
+  // with q = 1-p (i rows and j columns fully live pin ic+jr-ij distinct
+  // cells).
+  double availability(double p) const override;
+  // Adaptive randomized strategy: scans rows in random order (abandoning a
+  // row at its first dead cell), then columns likewise, reusing every result
+  // already learned.
+  std::unique_ptr<ProbeStrategy> make_probe_strategy() const override;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+}  // namespace sqs

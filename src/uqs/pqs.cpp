@@ -1,0 +1,34 @@
+#include "uqs/pqs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/binomial.h"
+
+namespace sqs {
+
+namespace {
+int pqs_quorum_size(int n, double l) {
+  const int q = static_cast<int>(std::ceil(l * std::sqrt(static_cast<double>(n))));
+  return std::clamp(q, 1, n);
+}
+}  // namespace
+
+PqsFamily::PqsFamily(int n, double l)
+    : ThresholdFamily(n, pqs_quorum_size(n, l),
+                      "PQS(n=" + std::to_string(n) + ",q=" +
+                          std::to_string(pqs_quorum_size(n, l)) + ")"),
+      l_(l) {}
+
+double PqsFamily::intersection_guarantee() const {
+  return 1.0 - std::exp(-l_ * l_);
+}
+
+double PqsFamily::exact_nonintersection_probability() const {
+  const int n = universe_size();
+  const int q = threshold();
+  if (2 * q > n) return 0.0;
+  return std::exp(log_choose(n - q, q) - log_choose(n, q));
+}
+
+}  // namespace sqs

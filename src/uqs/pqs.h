@@ -1,0 +1,42 @@
+// Probabilistic quorum systems (Malkhi, Reiter, Wool, Wright 2001).
+//
+// Quorums are all subsets of size ceil(l * sqrt(n)); the access strategy
+// picks uniformly. Two uniformly chosen quorums intersect with probability
+// >= 1 - e^(-l^2). PQS is the paper's closest prior work: it also trades
+// certainty of intersection for availability, but still needs
+// Theta(sqrt n) live servers and probes, which the availability and
+// probe-complexity benches contrast with OPT_a / OPT_d.
+//
+// Note: PQS is NOT a strict quorum system (two quorums can be disjoint), and
+// Sect. 2.2 of the paper shows an asynchronous scheduler can defeat its
+// access strategy entirely; bench/pqs_scheduler reproduces that argument.
+
+#pragma once
+
+#include "uqs/majority.h"
+
+namespace sqs {
+
+class PqsFamily : public ThresholdFamily {
+ public:
+  // l is the quorum-size multiplier: quorums have size ceil(l * sqrt(n)),
+  // clamped to [1, n].
+  PqsFamily(int n, double l);
+
+  double l() const { return l_; }
+
+  bool is_strict() const override { return false; }
+
+  // The paper-[9] guarantee: two uniformly accessed quorums intersect with
+  // probability >= 1 - e^(-l^2).
+  double intersection_guarantee() const;
+
+  // Exact P[two independent uniform quorums are disjoint] =
+  // C(n-q, q) / C(n, q).
+  double exact_nonintersection_probability() const;
+
+ private:
+  double l_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,183 @@
+#include "uqs/tree.h"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+namespace sqs {
+
+TreeFamily::TreeFamily(int depth) : depth_(depth) { assert(depth >= 1); }
+
+std::string TreeFamily::name() const {
+  return "Tree(d=" + std::to_string(depth_) + ",n=" +
+         std::to_string(universe_size()) + ")";
+}
+
+bool TreeFamily::live_quorum(int v, const Configuration& config) const {
+  if (is_leaf(v)) return config.is_up(v);
+  const bool l = live_quorum(left(v), config);
+  const bool r = live_quorum(right(v), config);
+  if (config.is_up(v)) return l || r;
+  return l && r;
+}
+
+bool TreeFamily::accepts(const Configuration& config) const {
+  return live_quorum(0, config);
+}
+
+double TreeFamily::subtree_availability(int v, double p) const {
+  if (is_leaf(v)) return 1.0 - p;
+  const double al = subtree_availability(left(v), p);
+  const double ar = subtree_availability(right(v), p);
+  return al * ar + (1.0 - p) * (al + ar - 2.0 * al * ar);
+}
+
+double TreeFamily::availability(double p) const {
+  return subtree_availability(0, p);
+}
+
+namespace {
+
+// Recursive descent as an explicit state machine. Each frame resolves one
+// subtree to "quorum found" (collecting its members) or "impossible".
+class TreeStrategy : public ProbeStrategy {
+ public:
+  explicit TreeStrategy(TreeFamily family) : family_(std::move(family)) {
+    reset(nullptr);
+  }
+
+  void reset(Rng* rng) override {
+    rng_ = rng;
+    known_.assign(static_cast<std::size_t>(family_.universe_size()), std::nullopt);
+    quorum_ = SignedSet(family_.universe_size());
+    stack_.clear();
+    push_frame(0);
+    status_ = ProbeStatus::kInProgress;
+    pending_ = -1;
+    advance();
+  }
+
+  int universe_size() const override { return family_.universe_size(); }
+  ProbeStatus status() const override { return status_; }
+  int next_server() const override { return pending_; }
+
+  void observe(int server, bool reached) override {
+    assert(server == pending_);
+    known_[static_cast<std::size_t>(server)] = reached;
+    advance();
+  }
+
+  SignedSet acquired_quorum() const override { return quorum_; }
+  bool is_adaptive() const override { return true; }
+  bool is_randomized() const override { return true; }
+
+ private:
+  struct Frame {
+    int node;
+    int stage = 0;        // 0: probe node; 1: first child done; 2: second done
+    bool node_up = false;
+    bool first_is_left = true;
+    bool first_result = false;
+    // Quorum members on entry; restored if this subtree fails. Probes are
+    // still paid (they are wasted probes in the paper's sense); only the
+    // *quorum* excludes them.
+    SignedSet entry{0};
+  };
+
+  void push_frame(int node) {
+    Frame f{node};
+    f.entry = quorum_;
+    stack_.push_back(std::move(f));
+  }
+
+  // The child explored first; randomized for load spreading.
+  int first_child(const Frame& f) const {
+    return f.first_is_left ? TreeFamily::left(f.node) : TreeFamily::right(f.node);
+  }
+  int second_child(const Frame& f) const {
+    return f.first_is_left ? TreeFamily::right(f.node) : TreeFamily::left(f.node);
+  }
+
+  // Resolves the top frames until a probe is needed or the root resolves.
+  void advance() {
+    pending_ = -1;
+    while (status_ == ProbeStatus::kInProgress) {
+      Frame& f = stack_.back();
+      if (f.stage == 0) {
+        const auto& k = known_[static_cast<std::size_t>(f.node)];
+        if (!k.has_value()) {
+          pending_ = f.node;
+          return;
+        }
+        f.node_up = *k;
+        if (f.node_up) quorum_.add_positive(f.node);
+        if (family_.is_leaf(f.node)) {
+          resolve(f.node_up);
+          continue;
+        }
+        f.first_is_left = rng_ == nullptr || rng_->bernoulli(0.5);
+        f.stage = 1;
+        const int child = first_child(f);
+        push_frame(child);  // may invalidate f; loop re-reads the stack
+        continue;
+      }
+      // A child resolved; child_result_ holds its outcome.
+      if (f.stage == 1) {
+        f.first_result = child_result_;
+        if (f.node_up && f.first_result) {
+          resolve(true);  // node + one child quorum suffices
+          continue;
+        }
+        if (!f.node_up && !f.first_result) {
+          resolve(false);  // needed both, first already failed
+          continue;
+        }
+        f.stage = 2;
+        const int child = second_child(f);
+        push_frame(child);  // may invalidate f
+        continue;
+      }
+      // stage == 2: second child resolved.
+      if (f.node_up) {
+        resolve(child_result_);  // node + second child, or nothing
+      } else {
+        resolve(f.first_result && child_result_);
+      }
+    }
+  }
+
+  // Pops the top frame with the given outcome; terminates at the root.
+  // Failed subtrees restore the quorum to their entry snapshot, which
+  // discards every member any descendant contributed.
+  void resolve(bool success) {
+    Frame finished = std::move(stack_.back());
+    stack_.pop_back();
+    if (!success) quorum_ = std::move(finished.entry);
+    child_result_ = success;
+    if (stack_.empty()) {
+      if (success) {
+        status_ = ProbeStatus::kAcquired;
+      } else {
+        quorum_ = SignedSet(family_.universe_size());
+        status_ = ProbeStatus::kNoQuorum;
+      }
+    }
+  }
+
+  TreeFamily family_{1};
+  Rng* rng_ = nullptr;
+  std::vector<std::optional<bool>> known_;
+  SignedSet quorum_{0};
+  std::vector<Frame> stack_;
+  bool child_result_ = false;
+  int pending_ = -1;
+  ProbeStatus status_ = ProbeStatus::kInProgress;
+};
+
+}  // namespace
+
+std::unique_ptr<ProbeStrategy> TreeFamily::make_probe_strategy() const {
+  return std::make_unique<TreeStrategy>(*this);
+}
+
+}  // namespace sqs

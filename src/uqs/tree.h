@@ -1,0 +1,57 @@
+// The tree quorum protocol (Agrawal & El Abbadi 1990): servers are the nodes
+// of a complete binary tree with n = 2^d - 1. A quorum for a subtree rooted
+// at v is
+//
+//   {v} ∪ (a quorum of either child),     if v is reachable, or
+//   (a quorum of the left child) ∪ (a quorum of the right child)
+//
+// — so in the best case a quorum is one root-to-leaf path (d = log2(n+1)
+// servers), degrading gracefully toward majorities of subtrees as nodes
+// fail. Any two quorums intersect. A useful strict baseline: logarithmic
+// min quorum size (cheap probes and, via composition, low load) but
+// availability that cannot beat majority.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/quorum_family.h"
+
+namespace sqs {
+
+class TreeFamily : public QuorumFamily {
+ public:
+  // depth >= 1: the tree has 2^depth - 1 servers; server 0 is the root and
+  // node i has children 2i+1 and 2i+2 (heap layout).
+  explicit TreeFamily(int depth);
+
+  int depth() const { return depth_; }
+  static int left(int v) { return 2 * v + 1; }
+  static int right(int v) { return 2 * v + 2; }
+  bool is_leaf(int v) const { return left(v) >= universe_size(); }
+
+  std::string name() const override;
+  int universe_size() const override { return (1 << depth_) - 1; }
+  int alpha() const override { return 0; }
+  bool is_strict() const override { return true; }
+  bool accepts(const Configuration& config) const override;
+  // The root-to-leaf path: depth servers.
+  int min_quorum_size() const override { return depth_; }
+  // Exact closed form by independence of the subtrees:
+  //   A(leaf) = 1-p
+  //   A(v) = A_l A_r + (1-p)(A_l + A_r - 2 A_l A_r).
+  double availability(double p) const override;
+  // Adaptive randomized strategy following the protocol: probe the node;
+  // if live, recurse into a random child (falling back to the sibling);
+  // if dead, both children's quorums are required.
+  std::unique_ptr<ProbeStrategy> make_probe_strategy() const override;
+
+ private:
+  bool live_quorum(int v, const Configuration& config) const;
+  double subtree_availability(int v, double p) const;
+
+  int depth_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,64 @@
+#include "util/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sqs {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double log_choose(int n, int k) {
+  if (k < 0 || k > n) return kNegInf;
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double choose(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  return std::exp(log_choose(n, k));
+}
+
+double log_add(double lx, double ly) {
+  if (lx == kNegInf) return ly;
+  if (ly == kNegInf) return lx;
+  const double hi = std::max(lx, ly);
+  const double lo = std::min(lx, ly);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_binom_pmf(int n, int k, double q) {
+  if (k < 0 || k > n) return kNegInf;
+  if (q <= 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (q >= 1.0) return k == n ? 0.0 : kNegInf;
+  return log_choose(n, k) + k * std::log(q) + (n - k) * std::log1p(-q);
+}
+
+double binom_tail_geq(int n, int k, double q) {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  double acc = kNegInf;
+  for (int i = k; i <= n; ++i) acc = log_add(acc, log_binom_pmf(n, i, q));
+  return std::exp(acc);
+}
+
+double binom_tail_leq(int n, int k, double q) {
+  if (k >= n) return 1.0;
+  if (k < 0) return 0.0;
+  double acc = kNegInf;
+  for (int i = 0; i <= k; ++i) acc = log_add(acc, log_binom_pmf(n, i, q));
+  return std::exp(acc);
+}
+
+double binom_pmf(int n, int k, double q) {
+  return std::exp(log_binom_pmf(n, k, q));
+}
+
+std::vector<double> binom_pmf_vector(int n, double q) {
+  std::vector<double> pmf(static_cast<std::size_t>(n) + 1);
+  for (int k = 0; k <= n; ++k) pmf[static_cast<std::size_t>(k)] = binom_pmf(n, k, q);
+  return pmf;
+}
+
+}  // namespace sqs

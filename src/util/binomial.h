@@ -1,0 +1,39 @@
+// Exact-as-possible binomial arithmetic in log space.
+//
+// Availability formulas in the paper are binomial tail sums such as
+// sum_{i=alpha}^{n} C(n,i) (1-p)^i p^(n-i); for n in the thousands the
+// individual terms underflow doubles, so everything is computed via
+// lgamma-based log terms and stable log-sum-exp accumulation.
+
+#pragma once
+
+#include <vector>
+
+namespace sqs {
+
+// log C(n, k); returns -inf for k outside [0, n].
+double log_choose(int n, int k);
+
+// C(n, k) as a double (may overflow to +inf for huge n; callers that need
+// exactness use log_choose).
+double choose(int n, int k);
+
+// log( x + y ) given lx = log x, ly = log y; handles -inf operands.
+double log_add(double lx, double ly);
+
+// log of the binomial pmf: C(n,k) q^k (1-q)^(n-k).
+double log_binom_pmf(int n, int k, double q);
+
+// P[Bin(n, q) >= k]  (upper tail, inclusive).
+double binom_tail_geq(int n, int k, double q);
+
+// P[Bin(n, q) <= k]  (lower tail, inclusive).
+double binom_tail_leq(int n, int k, double q);
+
+// P[Bin(n, q) = k].
+double binom_pmf(int n, int k, double q);
+
+// The full pmf vector P[Bin(n,q) = 0..n], computed once.
+std::vector<double> binom_pmf_vector(int n, double q);
+
+}  // namespace sqs

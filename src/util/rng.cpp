@@ -1,0 +1,22 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace sqs {
+
+double Rng::exponential(double rate) {
+  // Avoid log(0) by mapping the (measure-zero) draw 0 to the next float up.
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+int Rng::binomial(int n, double q) {
+  // Direct summation: n is small (server counts) everywhere we call this.
+  int successes = 0;
+  for (int i = 0; i < n; ++i)
+    if (bernoulli(q)) ++successes;
+  return successes;
+}
+
+}  // namespace sqs

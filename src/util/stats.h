@@ -1,0 +1,57 @@
+// Small statistics helpers shared by the benches and the simulator.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sqs {
+
+// Online mean/variance accumulator (Welford). Cheap enough to keep per-server
+// in the load benches.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  // Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half_width() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Bernoulli proportion estimate with a 95% Wilson interval; used for
+// availability and non-intersection probabilities where counts can be tiny.
+struct Proportion {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+
+  void add(bool success) {
+    ++trials;
+    if (success) ++successes;
+  }
+  double estimate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) / static_cast<double>(trials);
+  }
+  double wilson_low() const;
+  double wilson_high() const;
+};
+
+// Percentile of a sample (linear interpolation); sorts a copy.
+double percentile(std::vector<double> values, double pct);
+
+}  // namespace sqs

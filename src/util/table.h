@@ -1,0 +1,33 @@
+// Plain-text table renderer used by every bench binary so reproduced tables
+// and figure series print in a uniform, diff-friendly format.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sqs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells are
+  // rendered empty.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment and a header rule.
+  std::string to_string() const;
+
+  // Convenience: renders and writes to stdout with a title line.
+  void print(const std::string& title) const;
+
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt_sci(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,94 @@
+#include "util/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace sqs {
+namespace {
+
+TEST(Binomial, ChooseSmallExact) {
+  EXPECT_DOUBLE_EQ(choose(0, 0), 1.0);
+  EXPECT_NEAR(choose(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(choose(10, 5), 252.0, 1e-6);
+  EXPECT_NEAR(choose(20, 10), 184756.0, 1e-3);
+  EXPECT_DOUBLE_EQ(choose(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(choose(5, -1), 0.0);
+}
+
+TEST(Binomial, LogChooseSymmetry) {
+  for (int n : {10, 50, 200}) {
+    for (int k = 0; k <= n; k += 7)
+      EXPECT_NEAR(log_choose(n, k), log_choose(n, n - k), 1e-9);
+  }
+}
+
+TEST(Binomial, LogAdd) {
+  EXPECT_NEAR(log_add(std::log(3.0), std::log(4.0)), std::log(7.0), 1e-12);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(log_add(neg_inf, std::log(2.0)), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log_add(std::log(2.0), neg_inf), std::log(2.0), 1e-12);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  for (double q : {0.1, 0.5, 0.9}) {
+    for (int n : {1, 13, 64}) {
+      double sum = 0.0;
+      for (int k = 0; k <= n; ++k) sum += binom_pmf(n, k, q);
+      EXPECT_NEAR(sum, 1.0, 1e-10) << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(Binomial, TailsComplement) {
+  const int n = 30;
+  const double q = 0.37;
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(binom_tail_geq(n, k, q) + binom_tail_leq(n, k - 1, q), 1.0, 1e-10);
+  }
+}
+
+TEST(Binomial, TailEdgeCases) {
+  EXPECT_DOUBLE_EQ(binom_tail_geq(10, 0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binom_tail_geq(10, 11, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(binom_tail_leq(10, 10, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binom_tail_leq(10, -1, 0.3), 0.0);
+}
+
+TEST(Binomial, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(binom_pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binom_pmf(5, 1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binom_pmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binom_pmf(5, 4, 1.0), 0.0);
+}
+
+TEST(Binomial, LargeNNoUnderflowInTail) {
+  // For n = 2000 individual terms underflow doubles, but the tail must
+  // still be sensible.
+  const double tail = binom_tail_geq(2000, 1000, 0.5);
+  EXPECT_GT(tail, 0.4);
+  EXPECT_LT(tail, 0.6);
+}
+
+TEST(Binomial, PmfVectorMatchesScalar) {
+  const int n = 25;
+  const double q = 0.42;
+  const auto pmf = binom_pmf_vector(n, q);
+  ASSERT_EQ(pmf.size(), static_cast<std::size_t>(n) + 1);
+  for (int k = 0; k <= n; ++k)
+    EXPECT_NEAR(pmf[static_cast<std::size_t>(k)], binom_pmf(n, k, q), 1e-12);
+}
+
+// Paper availability sanity: majority availability rises with n for p<0.5
+// and falls for p>0.5 (the classic threshold behaviour the paper cites).
+TEST(Binomial, MajorityThresholdBehaviour) {
+  auto majority_avail = [](int n, double p) {
+    return binom_tail_geq(n, n / 2 + 1, 1.0 - p);
+  };
+  EXPECT_GT(majority_avail(101, 0.3), majority_avail(11, 0.3));
+  EXPECT_LT(majority_avail(101, 0.7), majority_avail(11, 0.7));
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,139 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sqs {
+namespace {
+
+TEST(Bitset, StartsEmpty) {
+  Bitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Bitset, SetResetTest) {
+  Bitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, AssignMatchesSetReset) {
+  Bitset b(10);
+  b.assign(3, true);
+  EXPECT_TRUE(b.test(3));
+  b.assign(3, false);
+  EXPECT_FALSE(b.test(3));
+}
+
+TEST(Bitset, AllSetTrimsTail) {
+  for (std::size_t n : {1u, 63u, 64u, 65u, 128u, 130u}) {
+    Bitset b = Bitset::all_set(n);
+    EXPECT_EQ(b.count(), n) << "n=" << n;
+  }
+}
+
+TEST(Bitset, ComplementRespectsSize) {
+  Bitset b(70);
+  b.set(3);
+  Bitset c = ~b;
+  EXPECT_EQ(c.count(), 69u);
+  EXPECT_FALSE(c.test(3));
+  EXPECT_TRUE(c.test(69));
+}
+
+TEST(Bitset, IntersectsAndCount) {
+  Bitset a(200), b(200);
+  a.set(5);
+  a.set(100);
+  a.set(199);
+  b.set(100);
+  b.set(199);
+  b.set(7);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersection_count(b), 2u);
+  Bitset c(200);
+  c.set(6);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_EQ(a.intersection_count(c), 0u);
+}
+
+TEST(Bitset, SubsetRelation) {
+  Bitset a(66), b(66);
+  a.set(1);
+  a.set(65);
+  b.set(1);
+  b.set(65);
+  b.set(30);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+}
+
+TEST(Bitset, SetAlgebra) {
+  Bitset a(10), b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ((a & b).to_indices(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ((a | b).to_indices(), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(a.minus(b).to_indices(), (std::vector<std::size_t>{1}));
+}
+
+TEST(Bitset, ForEachVisitsInOrder) {
+  Bitset b(150);
+  const std::vector<std::size_t> want{0, 63, 64, 100, 149};
+  for (auto i : want) b.set(i);
+  std::vector<std::size_t> got;
+  b.for_each([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(Bitset, MaskRoundTrip) {
+  Bitset b = Bitset::from_mask(0b101101, 6);
+  EXPECT_EQ(b.to_mask(), 0b101101ull);
+  EXPECT_EQ(b.count(), 4u);
+}
+
+TEST(Bitset, FromMaskTrimsBeyondSize) {
+  Bitset b = Bitset::from_mask(~0ull, 5);
+  EXPECT_EQ(b.count(), 5u);
+}
+
+TEST(Bitset, EqualityAndOrdering) {
+  Bitset a(10), b(10);
+  EXPECT_EQ(a, b);
+  a.set(4);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(b < a);
+}
+
+TEST(Bitset, HashDiffersForDifferentSets) {
+  Bitset a(64), b(64);
+  a.set(0);
+  b.set(1);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Bitset, ToString) {
+  Bitset b(8);
+  b.set(0);
+  b.set(3);
+  EXPECT_EQ(b.to_string(), "{0,3}");
+}
+
+}  // namespace
+}  // namespace sqs

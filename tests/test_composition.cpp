@@ -1,0 +1,198 @@
+#include "core/composition.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/constructions.h"
+#include "probe/engine.h"
+#include "probe/measurements.h"
+#include "uqs/grid.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+
+namespace sqs {
+namespace {
+
+std::shared_ptr<CompositionFamily> majority_composition(int k, int n, int alpha) {
+  return std::make_shared<CompositionFamily>(std::make_shared<MajorityFamily>(k),
+                                             n, alpha);
+}
+
+TEST(Composition, MetadataAndAvailability) {
+  const auto comp = majority_composition(7, 12, 2);
+  EXPECT_EQ(comp->universe_size(), 12);
+  EXPECT_EQ(comp->alpha(), 2);
+  EXPECT_FALSE(comp->is_strict());
+  EXPECT_EQ(comp->min_quorum_size(), 4);
+  // Theorem 42: availability equals OPT_a's.
+  const OptAFamily opt_a(12, 2);
+  for (double p : {0.1, 0.3, 0.45})
+    EXPECT_NEAR(comp->availability(p), opt_a.availability(p), 1e-12) << p;
+}
+
+class CompositionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  int k() const { return std::get<0>(GetParam()); }
+  int n() const { return std::get<1>(GetParam()); }
+  int alpha() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(CompositionSweep, StrategyAcquiresExactlyWhenAlphaServersUp) {
+  const auto comp = majority_composition(k(), n(), alpha());
+  auto strategy = comp->make_probe_strategy();
+  Rng rng(3);
+  for (std::uint64_t mask = 0; mask < (1ull << n()); ++mask) {
+    Configuration c(n(), mask);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(mask);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    ASSERT_EQ(record.acquired, comp->accepts(c)) << mask;
+    ASSERT_EQ(record.acquired,
+              c.num_up() >= static_cast<std::size_t>(alpha()))
+        << mask;
+    if (record.acquired) {
+      ASSERT_TRUE(c.accepts(record.quorum)) << mask;
+    }
+  }
+}
+
+TEST_P(CompositionSweep, AcquiredQuorumsArePairwiseSqsCompatible) {
+  // Definition 3 must hold across every pair of quorums the strategy can
+  // return — the operational form of Theorem 41.
+  const auto comp = majority_composition(k(), n(), alpha());
+  auto strategy = comp->make_probe_strategy();
+  Rng rng(5);
+  std::vector<SignedSet> quorums;
+  for (std::uint64_t mask = 0; mask < (1ull << n()); ++mask) {
+    Configuration c(n(), mask);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(mask);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    if (record.acquired) quorums.push_back(record.quorum);
+  }
+  for (std::size_t i = 0; i < quorums.size(); ++i)
+    for (std::size_t j = i + 1; j < quorums.size(); ++j)
+      ASSERT_TRUE(SignedSet::compatible(quorums[i], quorums[j], alpha()))
+          << quorums[i].to_string() << " vs " << quorums[j].to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompositionSweep,
+                         ::testing::Values(std::make_tuple(3, 8, 1),
+                                           std::make_tuple(3, 10, 1),
+                                           std::make_tuple(7, 12, 2),
+                                           std::make_tuple(7, 14, 2)));
+
+TEST(Composition, FastPathUsesUqProbes) {
+  // With all of the first k servers up, the strategy should finish inside
+  // the UQ phase: about k/2+1 probes, not n.
+  const auto comp = majority_composition(7, 50, 2);
+  auto strategy = comp->make_probe_strategy();
+  Configuration all_up(Bitset::all_set(50));
+  ConfigurationOracle oracle(&all_up);
+  Rng rng(9);
+  const ProbeRecord record = run_probe(*strategy, oracle, &rng);
+  EXPECT_TRUE(record.acquired);
+  EXPECT_EQ(record.num_probes, 4);  // majority of 7
+  EXPECT_EQ(record.quorum.positive_count(), 4u);
+}
+
+TEST(Composition, FallsBackToLadcWhenUqFails) {
+  // First k servers dead, everything else up: phase 2 must sweep until it
+  // accumulates k positives.
+  const int k = 7, n = 20, alpha = 2;
+  const auto comp = majority_composition(k, n, alpha);
+  auto strategy = comp->make_probe_strategy();
+  Bitset up = Bitset::all_set(static_cast<std::size_t>(n));
+  for (int i = 0; i < k; ++i) up.reset(static_cast<std::size_t>(i));
+  Configuration c(up);
+  ConfigurationOracle oracle(&c);
+  Rng rng(9);
+  const ProbeRecord record = run_probe(*strategy, oracle, &rng);
+  EXPECT_TRUE(record.acquired);
+  // The LADC quorum: the prefix holding exactly k = 7 positives, i.e.
+  // servers 1..14 (first seven dead, next seven live).
+  EXPECT_EQ(record.quorum.positive_count(), 7u);
+  EXPECT_EQ(record.quorum.size(), 14u);
+}
+
+TEST(Composition, FallsBackToOptAWhenFewServersUp) {
+  // Only alpha servers up, at the very end of the index order.
+  const int k = 7, n = 12, alpha = 2;
+  const auto comp = majority_composition(k, n, alpha);
+  auto strategy = comp->make_probe_strategy();
+  Bitset up(static_cast<std::size_t>(n));
+  up.set(10);
+  up.set(11);
+  Configuration c(up);
+  ConfigurationOracle oracle(&c);
+  Rng rng(9);
+  const ProbeRecord record = run_probe(*strategy, oracle, &rng);
+  EXPECT_TRUE(record.acquired);
+  EXPECT_EQ(record.num_probes, n);  // had to probe everything
+  EXPECT_EQ(record.quorum.size(), static_cast<std::size_t>(n));
+}
+
+TEST(Composition, Theorem42LoadAndProbeBounds) {
+  // Load(Q) <= Load(UQ) + (1 - Avail(UQ)) and
+  // PC(Q) <= PC(UQ) + (1 - Avail(UQ)) * k/(1-p), measured empirically.
+  const int k = 9, n = 36, alpha = 2;
+  const double p = 0.1;
+  auto uq = std::make_shared<MajorityFamily>(k);
+  const CompositionFamily comp(uq, n, alpha);
+
+  const ProbeMeasurement uq_m = measure_probes(*uq, p, 30000, Rng(21));
+  const ProbeMeasurement comp_m = measure_probes(comp, p, 30000, Rng(22));
+  const double uq_unavail = 1.0 - uq->availability(p);
+
+  EXPECT_LE(comp_m.load(), uq_m.load() + uq_unavail + 0.02);
+  EXPECT_LE(comp_m.probes_overall.mean(),
+            uq_m.probes_overall.mean() + uq_unavail * k / (1.0 - p) + 0.1);
+  // And the composed system is available essentially always.
+  EXPECT_GT(comp_m.acquired.estimate(), 0.9999);
+}
+
+TEST(Composition, WorksWithGridInner) {
+  auto grid = std::make_shared<GridFamily>(3, 3);
+  const CompositionFamily comp(grid, 20, 2);  // min quorum 5 >= 4
+  auto strategy = comp.make_probe_strategy();
+  Configuration all_up(Bitset::all_set(20));
+  ConfigurationOracle oracle(&all_up);
+  Rng rng(2);
+  const ProbeRecord record = run_probe(*strategy, oracle, &rng);
+  EXPECT_TRUE(record.acquired);
+  EXPECT_EQ(record.quorum.size(), 5u);  // grid row+col
+}
+
+TEST(Composition, WorksWithPathsInner) {
+  auto paths = std::make_shared<PathsFamily>(3);  // 24 servers, min quorum 6
+  const CompositionFamily comp(paths, 60, 2);
+  auto strategy = comp.make_probe_strategy();
+  Rng rng(2);
+  int acquired = 0;
+  for (int t = 0; t < 500; ++t) {
+    Configuration c(Bitset(60));
+    Rng crng = rng.split(t);
+    for (int i = 0; i < 60; ++i) c.set_up(i, !crng.bernoulli(0.15));
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(1000 + t);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    ASSERT_EQ(record.acquired, comp.accepts(c));
+    if (record.acquired) {
+      ++acquired;
+      ASSERT_TRUE(c.accepts(record.quorum));
+    }
+  }
+  EXPECT_GT(acquired, 490);
+}
+
+TEST(Composition, NameMentionsBothParts) {
+  const auto comp = majority_composition(7, 12, 2);
+  EXPECT_NE(comp->name().find("Majority"), std::string::npos);
+  EXPECT_NE(comp->name().find("OPT_a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqs

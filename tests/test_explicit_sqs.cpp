@@ -1,0 +1,149 @@
+#include "core/explicit_sqs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/constructions.h"
+
+namespace sqs {
+namespace {
+
+ExplicitSqs intro_example() {
+  // {{-1,3},{1,-2,-3}} over 3 servers with alpha = 1.
+  ExplicitSqs q(3, 1);
+  q.add_quorum(SignedSet::from_literals(3, {-1, 3}));
+  q.add_quorum(SignedSet::from_literals(3, {1, -2, -3}));
+  return q;
+}
+
+TEST(ExplicitSqs, IntroExampleIsValid) {
+  EXPECT_TRUE(intro_example().is_valid_sqs());
+}
+
+TEST(ExplicitSqs, VerifyReportsViolatingPair) {
+  ExplicitSqs q(4, 2);  // needs dual overlap >= 4
+  q.add_quorum(SignedSet::from_literals(4, {1, -2}));
+  q.add_quorum(SignedSet::from_literals(4, {-1, 2}));  // overlap 2 < 4
+  const auto violation = q.verify();
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->first, 0u);
+  EXPECT_EQ(violation->second, 1u);
+}
+
+TEST(ExplicitSqs, AllNegativeQuorumIsInvalidAgainstItself) {
+  // "any quorum must have at least one positive element".
+  ExplicitSqs q(3, 1);
+  q.add_quorum(SignedSet::from_literals(3, {-1, -2}));
+  const auto violation = q.verify();
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->first, violation->second);
+}
+
+TEST(ExplicitSqs, AnyUqsIsAnSqs) {
+  // "By definition, any UQS is also an SQS" — majority over 5 servers,
+  // checked against the signed Definition 3 with alpha = 2.
+  ExplicitSqs majority(5, 2);
+  for (std::uint64_t mask = 0; mask < 32; ++mask) {
+    if (__builtin_popcountll(mask) != 3) continue;
+    SignedSet s(5);
+    for (int i = 0; i < 5; ++i)
+      if ((mask >> i) & 1u) s.add_positive(i);
+    majority.add_quorum(s);
+  }
+  EXPECT_TRUE(majority.is_valid_sqs());
+  EXPECT_TRUE(majority.is_strict());
+}
+
+TEST(ExplicitSqs, Section4CounterexampleIsValidSqs) {
+  // The Sect. 4 family showing the definition alone does not bound
+  // non-intersection: n-1 = (m-1) * 2 alpha with alpha = 1, n = 5:
+  // Q1 = {1..4}, Q2 = {-1,-2,5}, Q3 = {-3,-4,5}.
+  ExplicitSqs q(5, 1);
+  q.add_quorum(SignedSet::from_literals(5, {1, 2, 3, 4}));
+  q.add_quorum(SignedSet::from_literals(5, {-1, -2, 5}));
+  q.add_quorum(SignedSet::from_literals(5, {-3, -4, 5}));
+  EXPECT_TRUE(q.is_valid_sqs());
+}
+
+TEST(ExplicitSqs, CanAddChecksCompatibility) {
+  ExplicitSqs q = intro_example();
+  // {1,3} intersects both existing quorums positively.
+  EXPECT_TRUE(q.can_add(SignedSet::from_literals(3, {1, 3})));
+  // {3} alone: against {1,-2,-3} there is no positive intersection and the
+  // dual overlap is only 1 (< 2 alpha).
+  EXPECT_FALSE(q.can_add(SignedSet::from_literals(3, {3})));
+  // {2} does not positively intersect {-1,3} and overlap is 0.
+  EXPECT_FALSE(q.can_add(SignedSet::from_literals(3, {2})));
+  EXPECT_FALSE(q.can_add(SignedSet::from_literals(3, {-1, -3})));
+}
+
+TEST(ExplicitSqs, AcceptanceSetIsIdempotent) {
+  // Theorem 13: As(As(Q)) = As(Q).
+  const ExplicitSqs q = intro_example();
+  const ExplicitSqs as1 = q.acceptance_set();
+  const ExplicitSqs as2 = as1.acceptance_set();
+  EXPECT_TRUE(as1.is_valid_sqs());
+  ASSERT_EQ(as1.num_quorums(), as2.num_quorums());
+  for (const auto& quorum : as2.quorums())
+    EXPECT_TRUE(as1.contains_quorum(quorum));
+}
+
+TEST(ExplicitSqs, AcceptanceSetPreservesAvailability) {
+  // Theorem 13: Avail(Q) = Avail(As(Q)).
+  const ExplicitSqs q = intro_example();
+  const ExplicitSqs as = q.acceptance_set();
+  for (double p : {0.05, 0.2, 0.45})
+    EXPECT_NEAR(q.availability(p), as.availability(p), 1e-12) << p;
+}
+
+TEST(ExplicitSqs, DominationBasics) {
+  // Definition 19: Q dominates Q' iff every quorum of Q' contains one of Q.
+  ExplicitSqs small(3, 1);
+  small.add_quorum(SignedSet::from_literals(3, {1}));
+  ExplicitSqs big(3, 1);
+  big.add_quorum(SignedSet::from_literals(3, {1, 2}));
+  big.add_quorum(SignedSet::from_literals(3, {1, -3}));
+  EXPECT_TRUE(small.dominates(big));
+  EXPECT_FALSE(big.dominates(small));
+  EXPECT_TRUE(big.dominates(big));  // reflexive
+}
+
+TEST(ExplicitSqs, PermutedSystemStaysValid) {
+  const ExplicitSqs q = intro_example();
+  const ExplicitSqs perm = q.permuted({2, 0, 1});
+  EXPECT_TRUE(perm.is_valid_sqs());
+  for (double p : {0.1, 0.3})
+    EXPECT_NEAR(q.availability(p), perm.availability(p), 1e-12);
+}
+
+TEST(ExplicitSqs, AvailabilityOfSingletonQuorum) {
+  ExplicitSqs q(4, 1);
+  q.add_quorum(SignedSet::from_literals(4, {1}));
+  // Available exactly when server 1 is up.
+  EXPECT_NEAR(q.availability(0.3), 0.7, 1e-12);
+}
+
+TEST(ExplicitSqs, MinQuorumSize) {
+  ExplicitSqs q = intro_example();
+  EXPECT_EQ(q.min_quorum_size(), 2);
+  EXPECT_EQ(ExplicitSqs(3, 1).min_quorum_size(), 0);
+}
+
+TEST(ExplicitSqs, AcceptsMatchesQuorumContainment) {
+  const ExplicitSqs q = intro_example();
+  // C = {-1,-2,3} accepts {-1,3}.
+  EXPECT_TRUE(q.accepts(Configuration(3, 0b100)));
+  // C = {1,2,3}: {-1,3} needs 1 down, {1,-2,-3} needs 2,3 down.
+  EXPECT_FALSE(q.accepts(Configuration(3, 0b111)));
+  // C = {1,-2,-3} accepts the second quorum.
+  EXPECT_TRUE(q.accepts(Configuration(3, 0b001)));
+}
+
+TEST(ExplicitSqs, IsStrictDetection) {
+  EXPECT_FALSE(intro_example().is_strict());
+  ExplicitSqs strict(3, 1);
+  strict.add_quorum(SignedSet::from_literals(3, {1, 2}));
+  EXPECT_TRUE(strict.is_strict());
+}
+
+}  // namespace
+}  // namespace sqs

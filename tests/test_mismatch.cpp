@@ -1,0 +1,243 @@
+#include "mismatch/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "mismatch/trace_gen.h"
+#include "uqs/majority.h"
+
+namespace sqs {
+namespace {
+
+TEST(MismatchModel, EpsilonFormula) {
+  // epsilon = P[mismatch | not (-,-)] = 2m/(1+m).
+  MismatchModel model;
+  model.link_miss = 0.05;
+  EXPECT_NEAR(model.epsilon(), 0.1 / 1.05, 1e-12);
+  model.link_miss = 0.0;
+  EXPECT_DOUBLE_EQ(model.epsilon(), 0.0);
+}
+
+TEST(MismatchModel, SampledStateFrequenciesMatchModel) {
+  MismatchModel model;
+  model.p = 0.2;
+  model.link_miss = 0.1;
+  Rng rng(31);
+  const int n = 16, trials = 60000;
+  long mismatches = 0, not_dd = 0, both = 0;
+  for (int t = 0; t < trials; ++t) {
+    const TwoClientWorld w = sample_world(n, model, rng);
+    for (int i = 0; i < n; ++i) {
+      const bool r1 = w.reach1.test(static_cast<std::size_t>(i));
+      const bool r2 = w.reach2.test(static_cast<std::size_t>(i));
+      if (r1 != r2) ++mismatches;
+      if (r1 || r2) ++not_dd;
+      if (r1 && r2) ++both;
+    }
+  }
+  const double total = static_cast<double>(trials) * n;
+  // P[mismatch] = (1-p) * 2m(1-m).
+  EXPECT_NEAR(mismatches / total, 0.8 * 2 * 0.1 * 0.9, 0.003);
+  // P[mismatch | not (-,-)] should be epsilon.
+  EXPECT_NEAR(static_cast<double>(mismatches) / static_cast<double>(not_dd),
+              model.epsilon(), 0.005);
+  // P[(+,+)] = (1-p)(1-m)^2.
+  EXPECT_NEAR(both / total, 0.8 * 0.81, 0.005);
+}
+
+TEST(MismatchModel, PartitionEventCorrelatesMismatches) {
+  MismatchModel model;
+  model.p = 0.0;
+  model.link_miss = 0.01;
+  model.partition_rate = 1.0;
+  model.partition_fraction = 0.5;
+  Rng rng(7);
+  const TwoClientWorld w = sample_world(40, model, rng);
+  EXPECT_TRUE(w.partitioned);
+  EXPECT_GT(w.num_mismatches(), 10u);
+}
+
+// ---- Theorem 9: non-intersection <= epsilon^(2 alpha) ----
+
+class NonintersectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {
+ protected:
+  int n() const { return std::get<0>(GetParam()); }
+  int alpha() const { return std::get<1>(GetParam()); }
+  double link_miss() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(NonintersectionSweep, OptDRespectsTheorem9Bound) {
+  const OptDFamily fam(n(), alpha());
+  MismatchModel model;
+  model.p = 0.1;
+  model.link_miss = link_miss();
+  const NonintersectionStats stats =
+      measure_nonintersection(fam, model, 300000, Rng(101));
+  // The Wilson lower bound of the measured rate must not exceed the bound.
+  EXPECT_LE(stats.nonintersection.wilson_low(), stats.bound)
+      << "measured=" << stats.nonintersection.estimate()
+      << " bound=" << stats.bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NonintersectionSweep,
+    ::testing::Values(std::make_tuple(10, 1, 0.05),
+                      std::make_tuple(10, 1, 0.2),
+                      std::make_tuple(12, 2, 0.2),
+                      std::make_tuple(20, 2, 0.3)));
+
+TEST(Nonintersection, HigherAlphaDrivesRateDownExponentially) {
+  MismatchModel model;
+  model.p = 0.05;
+  model.link_miss = 0.3;  // epsilon ~ 0.46, large to make events visible
+  const NonintersectionStats a1 =
+      measure_nonintersection(OptDFamily(20, 1), model, 400000, Rng(5));
+  const NonintersectionStats a2 =
+      measure_nonintersection(OptDFamily(20, 2), model, 400000, Rng(5));
+  const NonintersectionStats a3 =
+      measure_nonintersection(OptDFamily(20, 3), model, 400000, Rng(5));
+  EXPECT_GT(a1.nonintersection.estimate(), a2.nonintersection.estimate());
+  EXPECT_GE(a2.nonintersection.estimate(), a3.nonintersection.estimate());
+  EXPECT_GT(a1.nonintersection.estimate(), 0.0) << "alpha=1 should show events";
+}
+
+TEST(Nonintersection, CompositionRespectsTheorem44Bound) {
+  auto uq = std::make_shared<MajorityFamily>(7);
+  const CompositionFamily comp(uq, 16, 2);
+  MismatchModel model;
+  model.p = 0.1;
+  model.link_miss = 0.25;
+  const NonintersectionStats stats =
+      measure_nonintersection(comp, model, 300000, Rng(77), /*bound_factor=*/2.0);
+  EXPECT_LE(stats.nonintersection.wilson_low(), stats.bound);
+}
+
+TEST(Nonintersection, CorrelatedPartitionsBreakTheBound) {
+  // With strong correlated mismatches the epsilon^(2 alpha) bound computed
+  // from the *marginal* epsilon is violated — the paper's motivation for
+  // validating independence (and filtering partitioned clients).
+  const OptDFamily fam(16, 1);
+  MismatchModel model;
+  model.p = 0.05;
+  model.link_miss = 0.02;  // tiny marginal epsilon ~ 0.039, bound ~ 1.5e-3
+  model.partition_rate = 0.3;
+  model.partition_fraction = 0.9;
+  const NonintersectionStats stats =
+      measure_nonintersection(fam, model, 200000, Rng(13));
+  EXPECT_GT(stats.nonintersection.estimate(), stats.bound * 3)
+      << "correlation should inflate the rate well past the iid bound";
+}
+
+// ---- Fig. 1 trace generator ----
+
+TEST(TraceGen, HistogramIsAProbabilityDistribution) {
+  TraceConfig config;
+  config.num_servers = 20;
+  config.num_observations = 50000;
+  config.model.p = 0.1;
+  config.model.link_miss = 0.03;
+  const MismatchHistogram hist = run_trace(config, Rng(3));
+  double total = 0.0;
+  for (double v : hist.probability) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(hist.observations_kept, 50000);
+}
+
+TEST(TraceGen, MatchesIndependentPrediction) {
+  TraceConfig config;
+  config.num_servers = 30;
+  config.num_observations = 400000;
+  config.model.p = 0.05;
+  config.model.link_miss = 0.05;
+  const MismatchHistogram hist = run_trace(config, Rng(17));
+  const auto predicted = independent_prediction(config, 4);
+  for (std::size_t k = 0; k <= 4; ++k) {
+    EXPECT_NEAR(hist.at(k), predicted[k], 0.05 * predicted[k] + 0.002)
+        << "k=" << k;
+  }
+}
+
+TEST(TraceGen, IndependentTraceIsNearLinearOnLogScale) {
+  // Fig. 1's shape criterion: small residual from a straight line.
+  // Fig. 1 regime: per-server mismatch probability well below 1/n so the
+  // histogram decays from k = 1 on.
+  TraceConfig config;
+  config.num_servers = 30;
+  config.num_observations = 500000;
+  config.model.p = 0.05;
+  config.model.link_miss = 0.02;
+  const MismatchHistogram hist = run_trace(config, Rng(19));
+  EXPECT_LT(hist.log10_slope(5), -0.2);  // decaying
+  EXPECT_LT(hist.max_log10_residual(5), 0.35);
+}
+
+TEST(TraceGen, PartitionsCreateHeavyTail) {
+  TraceConfig base;
+  base.num_servers = 30;
+  base.num_observations = 300000;
+  base.model.p = 0.05;
+  base.model.link_miss = 0.02;
+
+  TraceConfig partitioned = base;
+  partitioned.model.partition_rate = 0.01;
+  partitioned.model.partition_fraction = 0.5;  // ~14 extra mismatches
+
+  const MismatchHistogram clean = run_trace(base, Rng(23));
+  const MismatchHistogram heavy = run_trace(partitioned, Rng(23));
+  // In the far tail (k >= 10) the independent trace has essentially no
+  // mass, while partition events put ~1% of observations there.
+  double clean_tail = 0.0, heavy_tail = 0.0;
+  for (std::size_t k = 10; k <= 30; ++k) {
+    clean_tail += clean.at(k);
+    heavy_tail += heavy.at(k);
+  }
+  EXPECT_GT(heavy_tail, 0.005);
+  EXPECT_GT(heavy_tail, 10 * clean_tail + 1e-12);
+}
+
+TEST(TraceGen, TemporalPersistenceKeepsSnapshotStatistics) {
+  // Real traces are time-correlated; the Fig. 1 statistic is a per-snapshot
+  // histogram, so Markov link persistence must leave it unchanged.
+  TraceConfig iid;
+  iid.num_servers = 25;
+  iid.num_observations = 400000;
+  iid.model.p = 0.05;
+  iid.model.link_miss = 0.05;
+
+  TraceConfig sticky = iid;
+  sticky.flap_persistence = 0.95;
+
+  const MismatchHistogram a = run_trace(iid, Rng(41));
+  const MismatchHistogram b = run_trace(sticky, Rng(43));
+  for (std::size_t k = 0; k <= 4; ++k)
+    EXPECT_NEAR(a.at(k), b.at(k), 0.05 * a.at(k) + 0.003) << "k=" << k;
+}
+
+TEST(TraceGen, FilteringRemovesLostClientObservations) {
+  TraceConfig config;
+  config.num_servers = 20;
+  config.num_observations = 100000;
+  config.model.p = 0.05;
+  config.model.link_miss = 0.03;
+  config.client_loss_rate = 0.1;
+  config.filter_lost_clients = true;
+  const MismatchHistogram filtered = run_trace(config, Rng(29));
+  EXPECT_NEAR(static_cast<double>(filtered.observations_filtered),
+              0.1 * config.num_observations, 1000);
+
+  config.filter_lost_clients = false;
+  const MismatchHistogram raw = run_trace(config, Rng(29));
+  // Without filtering, lost clients mismatch on every up server they would
+  // otherwise reach: mass appears at high k.
+  EXPECT_GT(raw.at(17) + raw.at(18) + raw.at(19),
+            filtered.at(17) + filtered.at(18) + filtered.at(19) + 0.01);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,182 @@
+#include "core/optimality.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/constructions.h"
+#include "util/rng.h"
+
+namespace sqs {
+namespace {
+
+TEST(Optimality, Lemma15SubAlphaConfigurationLowersAvailability) {
+  // Build an acceptance set containing one configuration with fewer than
+  // alpha positives: Lemma 15 says its availability must be strictly below
+  // OPT_a's. (Adding such a configuration forces *removing* incompatible
+  // OPT_a configurations.)
+  const int n = 6, alpha = 2;
+  const ExplicitSqs opt_a = opt_a_explicit(n, alpha);
+  // Candidate: configuration with exactly 1 positive (server 1 up).
+  const SignedSet low = Configuration(n, 0b000001).as_signed_set();
+  // Greedily build the largest SQS containing `low` plus compatible OPT_a
+  // configurations.
+  ExplicitSqs q(n, alpha);
+  q.add_quorum(low);
+  for (const auto& candidate : opt_a.quorums())
+    if (q.can_add(candidate)) q.add_quorum(candidate);
+  ASSERT_TRUE(q.is_valid_sqs());
+  for (double p : {0.1, 0.3, 0.45})
+    EXPECT_LT(q.availability(p), opt_a.availability(p)) << p;
+}
+
+TEST(Optimality, Theorem16RandomSqsNeverBeatsOptA) {
+  // Property sweep: greedily grown random SQS over small universes never
+  // exceed OPT_a's availability.
+  Rng rng(2718);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 4 + static_cast<int>(rng.next_below(4));   // 4..7
+    const int alpha = 1 + static_cast<int>(rng.next_below(2));  // 1..2
+    if (n < 2 * alpha) continue;
+    const ExplicitSqs opt_a = opt_a_explicit(n, alpha);
+
+    ExplicitSqs q(n, alpha);
+    const int attempts = 20 + static_cast<int>(rng.next_below(40));
+    for (int a = 0; a < attempts; ++a) {
+      // Random signed set: each server positive/negative/absent.
+      SignedSet s(n);
+      for (int i = 0; i < n; ++i) {
+        const auto roll = rng.next_below(3);
+        if (roll == 0) s.add_positive(i);
+        if (roll == 1) s.add_negative(i);
+      }
+      if (s.positive_count() == 0) continue;
+      if (q.can_add(s)) q.add_quorum(s);
+    }
+    ASSERT_TRUE(q.is_valid_sqs());
+    for (double p : {0.15, 0.35})
+      ASSERT_LE(q.availability(p), opt_a.availability(p) + 1e-12)
+          << "n=" << n << " alpha=" << alpha << " p=" << p;
+  }
+}
+
+TEST(Optimality, Theorem20ViolationDetection) {
+  const int n = 6, alpha = 2;
+  // A system whose quorum has |Q+| < alpha.
+  {
+    ExplicitSqs q(n, alpha);
+    q.add_quorum(SignedSet::from_literals(n, {1, -2, -3, -4, -5, -6}));
+    const auto v = theorem20_violation(q);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("|Q+|"), std::string::npos);
+  }
+  // A quorum with alpha <= |Q+| <= 2a-1 but too small overall.
+  {
+    ExplicitSqs q(n, alpha);
+    q.add_quorum(SignedSet::from_literals(n, {1, 2, -3}));
+    const auto v = theorem20_violation(q);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("n + alpha"), std::string::npos);
+  }
+  // Missing C_alpha configurations.
+  {
+    ExplicitSqs q(n, alpha);
+    SignedSet big(n);
+    for (int i = 0; i < n; ++i) big.add_positive(i);
+    q.add_quorum(big);
+    const auto v = theorem20_violation(q);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("C_alpha"), std::string::npos);
+  }
+}
+
+TEST(Optimality, DominationIsNotAchievableOverBothWitnessSystems) {
+  // Operationalized Theorem 24 at n = 7, alpha = 2: a system dominating
+  // OPT_b must contain a subset of {1..4}; a system dominating OPT_c must
+  // contain a subset of the HOLE quorum {-2,-3,-4,5,6,7}; any SQS holding
+  // both violates Definition 3.
+  const int n = 7, alpha = 2;
+  const auto [qb, qc] = theorem24_witnesses(n, alpha);
+  // Enumerate all subset pairs (q1 ⊆ qb, q2 ⊆ qc) with nonempty positive
+  // parts; none may be compatible.
+  const auto subsets_of = [](const SignedSet& s) {
+    std::vector<SignedSet> out;
+    std::vector<int> literals;
+    for (int i = 0; i < s.universe_size(); ++i) {
+      if (s.has_positive(i)) literals.push_back(i + 1);
+      if (s.has_negative(i)) literals.push_back(-(i + 1));
+    }
+    const std::size_t m = literals.size();
+    for (std::uint64_t mask = 1; mask < (1ull << m); ++mask) {
+      std::vector<int> chosen;
+      for (std::size_t b = 0; b < m; ++b)
+        if ((mask >> b) & 1u) chosen.push_back(literals[b]);
+      out.push_back(SignedSet::from_literals(s.universe_size(), chosen));
+    }
+    return out;
+  };
+  int checked = 0;
+  for (const auto& q1 : subsets_of(qb)) {
+    if (q1.positive_count() == 0) continue;
+    for (const auto& q2 : subsets_of(qc)) {
+      if (q2.positive_count() == 0) continue;
+      ASSERT_FALSE(SignedSet::compatible(q1, q2, alpha))
+          << q1.to_string() << " / " << q2.to_string();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(Optimality, PermutingOptCLeavesItDominatedByItself) {
+  // OPT_c is closed under permutation, the property Theorem 24's proof
+  // leans on.
+  const ExplicitSqs c = opt_c_explicit(5, 1);
+  std::vector<int> perm{4, 2, 0, 1, 3};
+  const ExplicitSqs permuted = c.permuted(perm);
+  EXPECT_TRUE(c.dominates(permuted));
+  EXPECT_TRUE(permuted.dominates(c));
+}
+
+TEST(Optimality, NoPermutationLetsOptBDominateOptC) {
+  // Theorem 24, operational at n=5, alpha=1: neither of the
+  // two optimal-availability systems dominates the other under ANY
+  // relabeling of the servers, since OPT_b's small quorum {1..2a} fits in
+  // no HOLE quorum and OPT_c's HOLE quorums fit in no size-n quorum.
+  const int n = 5, alpha = 1;
+  const ExplicitSqs b = opt_b_explicit(n, alpha);
+  const ExplicitSqs c = opt_c_explicit(n, alpha);
+  EXPECT_EQ(b.dominating_permutation(c), std::nullopt);
+  EXPECT_EQ(c.dominating_permutation(b), std::nullopt);
+  // Sanity: a system trivially dominates itself under the identity.
+  const auto self = b.dominating_permutation(b);
+  ASSERT_TRUE(self.has_value());
+}
+
+TEST(Optimality, DominatingPermutationFindsRelabelings) {
+  // {{1}} dominates {{2,3}} after the permutation sending 1 -> 2.
+  ExplicitSqs small(3, 1);
+  small.add_quorum(SignedSet::from_literals(3, {1}));
+  ExplicitSqs target(3, 1);
+  target.add_quorum(SignedSet::from_literals(3, {2, 3}));
+  // Identity fails; per Definition 21 the permutation is applied to the
+  // *other* system, so {{1}} ⪰ Perm_X({{2,3}}) iff X maps 2 or 3 to 1.
+  EXPECT_FALSE(small.dominates(target));
+  const auto perm = small.dominating_permutation(target);
+  ASSERT_TRUE(perm.has_value());
+  const ExplicitSqs permuted_target = target.permuted(*perm);
+  EXPECT_TRUE(small.dominates(permuted_target));
+}
+
+TEST(Optimality, OptBDominatesOptAButNotConversely) {
+  // OPT_b adds a small quorum {1..2a} that no OPT_a quorum is contained in
+  // (OPT_a quorums have size n).
+  const ExplicitSqs a = opt_a_explicit(6, 2);
+  const ExplicitSqs b = opt_b_explicit(6, 2);
+  EXPECT_TRUE(b.dominates(a));
+  EXPECT_FALSE(a.dominates(b));
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,183 @@
+#include "probe/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/constructions.h"
+#include "probe/measurements.h"
+
+namespace sqs {
+namespace {
+
+// ---- OPT_d sequential strategy vs its specification ----
+
+class OptDProbeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int n() const { return std::get<0>(GetParam()); }
+  int alpha() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(OptDProbeSweep, AcquiresExactlyWhenAlphaServersUp) {
+  const OptDFamily fam(n(), alpha());
+  auto strategy = fam.make_probe_strategy();
+  for (std::uint64_t mask = 0; mask < (1ull << n()); ++mask) {
+    Configuration config(n(), mask);
+    ConfigurationOracle oracle(&config);
+    const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+    ASSERT_EQ(record.acquired,
+              config.num_up() >= static_cast<std::size_t>(alpha()))
+        << "mask=" << mask;
+  }
+}
+
+TEST_P(OptDProbeSweep, StopsPerServerProbeRules) {
+  const OptDFamily fam(n(), alpha());
+  auto strategy = fam.make_probe_strategy();
+  for (std::uint64_t mask = 0; mask < (1ull << n()); ++mask) {
+    Configuration config(n(), mask);
+    ConfigurationOracle oracle(&config);
+    const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+    // Recompute the stop step directly from Definition 26.
+    int pos = 0, neg = 0, stop = 0;
+    for (int i = 1; i <= n(); ++i) {
+      if (config.is_up(i - 1)) {
+        ++pos;
+      } else {
+        ++neg;
+      }
+      if (pos >= 2 * alpha() || pos >= n() + alpha() - i ||
+          neg >= n() + 1 - alpha()) {
+        stop = i;
+        break;
+      }
+    }
+    ASSERT_EQ(record.num_probes, stop) << "mask=" << mask;
+  }
+}
+
+TEST_P(OptDProbeSweep, AcquiredQuorumBelongsToExplicitOptD) {
+  if (n() > 10) GTEST_SKIP();
+  const OptDFamily fam(n(), alpha());
+  const ExplicitSqs explicit_d = opt_d_explicit(n(), alpha());
+  auto strategy = fam.make_probe_strategy();
+  for (std::uint64_t mask = 0; mask < (1ull << n()); ++mask) {
+    Configuration config(n(), mask);
+    ConfigurationOracle oracle(&config);
+    const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+    if (!record.acquired) continue;
+    ASSERT_TRUE(explicit_d.contains_quorum(record.quorum))
+        << record.quorum.to_string();
+  }
+}
+
+TEST_P(OptDProbeSweep, ExplicitStrategyAgreesWithImplicit) {
+  if (n() > 9) GTEST_SKIP();
+  const OptDFamily fam(n(), alpha());
+  const ExplicitSqs explicit_d = opt_d_explicit(n(), alpha());
+  auto implicit_strategy = fam.make_probe_strategy();
+  auto explicit_strategy = explicit_d.make_probe_strategy();
+  for (std::uint64_t mask = 0; mask < (1ull << n()); ++mask) {
+    Configuration config(n(), mask);
+    ConfigurationOracle o1(&config), o2(&config);
+    const ProbeRecord r1 = run_probe(*implicit_strategy, o1, nullptr);
+    const ProbeRecord r2 = run_probe(*explicit_strategy, o2, nullptr);
+    ASSERT_EQ(r1.acquired, r2.acquired) << mask;
+    ASSERT_EQ(r1.num_probes, r2.num_probes) << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptDProbeSweep,
+                         ::testing::Values(std::make_tuple(5, 1),
+                                           std::make_tuple(6, 1),
+                                           std::make_tuple(5, 2),
+                                           std::make_tuple(7, 2),
+                                           std::make_tuple(8, 2),
+                                           std::make_tuple(8, 3),
+                                           std::make_tuple(11, 3)));
+
+// ---- OPT_a strategy ----
+
+TEST(OptAProbe, ProbesEverythingOnSuccess) {
+  const OptAFamily fam(8, 2);
+  auto strategy = fam.make_probe_strategy();
+  Configuration all_up(8, 0xFF);
+  ConfigurationOracle oracle(&all_up);
+  const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+  EXPECT_TRUE(record.acquired);
+  EXPECT_EQ(record.num_probes, 8);
+  EXPECT_EQ(record.quorum.size(), 8u);
+}
+
+TEST(OptAProbe, FailsEarlyWhenAlphaImpossible) {
+  const OptAFamily fam(8, 3);
+  auto strategy = fam.make_probe_strategy();
+  Configuration all_down(8, 0x0);
+  ConfigurationOracle oracle(&all_down);
+  const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+  EXPECT_FALSE(record.acquired);
+  // After n+1-alpha = 6 failures, no alpha live servers remain possible.
+  EXPECT_EQ(record.num_probes, 6);
+}
+
+// ---- engine invariants ----
+
+TEST(ProbeEngine, RecordsProbedSignedSet) {
+  const OptDFamily fam(6, 1);
+  auto strategy = fam.make_probe_strategy();
+  Configuration config(6, 0b000110);  // servers 2,3 up
+  ConfigurationOracle oracle(&config);
+  const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+  EXPECT_TRUE(record.acquired);
+  // Probes 1 (down), 2 (up), 3 (up) -> stops at 2 alpha = 2 positives.
+  EXPECT_EQ(record.num_probes, 3);
+  EXPECT_EQ(record.probed.to_string(), "{-1,2,3}");
+  EXPECT_TRUE(record.quorum.is_subset_of(record.probed));
+}
+
+TEST(ProbeEngine, RotatedOrderProbesDifferentServers) {
+  OptDFamily fam(6, 1);
+  fam.set_probe_order({5, 4, 3, 2, 1, 0});
+  auto strategy = fam.make_probe_strategy();
+  Configuration config(6, 0b110000);  // servers 5,6 up
+  ConfigurationOracle oracle(&config);
+  const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+  EXPECT_TRUE(record.acquired);
+  EXPECT_EQ(record.num_probes, 2);
+  EXPECT_EQ(record.probed.to_string(), "{5,6}");
+}
+
+// ---- Monte Carlo measurement machinery ----
+
+TEST(Measurements, AcquireRateMatchesAvailability) {
+  const OptDFamily fam(12, 2);
+  const double p = 0.4;
+  const ProbeMeasurement m = measure_probes(fam, p, 40000, Rng(99));
+  const double expect = fam.availability(p);
+  EXPECT_GT(m.acquired.wilson_high(), expect - 0.01);
+  EXPECT_LT(m.acquired.wilson_low(), expect + 0.01);
+}
+
+TEST(Measurements, DeterministicSequentialLoadIsOneAtFirstServer) {
+  const OptDFamily fam(10, 1);
+  const ProbeMeasurement m = measure_probes(fam, 0.2, 5000, Rng(7));
+  EXPECT_DOUBLE_EQ(m.server_probe_frequency[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.load(), 1.0);
+  // Later servers are probed much less often.
+  EXPECT_LT(m.server_probe_frequency[9], 0.1);
+}
+
+TEST(Measurements, WorstCaseProbesOfOptimalAvailabilitySqsIsN) {
+  // Lemma 29: PC_w = n for any SQS with optimal availability.
+  EXPECT_EQ(worst_case_probes(OptDFamily(8, 2), 1, Rng(1)), 8);
+  EXPECT_EQ(worst_case_probes(OptAFamily(8, 2), 1, Rng(1)), 8);
+}
+
+TEST(Measurements, MaxProbesNeverExceedsUniverse) {
+  const OptDFamily fam(9, 2);
+  const ProbeMeasurement m = measure_probes(fam, 0.5, 2000, Rng(3));
+  EXPECT_LE(m.max_probes_seen, 9);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,128 @@
+#include "probe/probe_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "core/constructions.h"
+#include "probe/engine.h"
+#include "probe/sequential_analysis.h"
+#include "probe/serverprobe.h"
+
+namespace sqs {
+namespace {
+
+class ProbeTreeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int n() const { return std::get<0>(GetParam()); }
+  int alpha() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ProbeTreeSweep, DepthMatchesEngineOnEveryConfiguration) {
+  const OptDFamily fam(n(), alpha());
+  auto strategy = fam.make_probe_strategy();
+  const ProbeTree tree = ProbeTree::build(*strategy);
+  for (std::uint64_t mask = 0; mask < (1ull << n()); ++mask) {
+    Configuration c(n(), mask);
+    ConfigurationOracle oracle(&c);
+    const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+    ASSERT_EQ(tree.depth(c), record.num_probes) << mask;
+    ASSERT_EQ(tree.acquires(c), record.acquired) << mask;
+  }
+}
+
+TEST_P(ProbeTreeSweep, ExpectedDepthEqualsGnAndDp) {
+  const OptDFamily fam(n(), alpha());
+  auto strategy = fam.make_probe_strategy();
+  const ProbeTree tree = ProbeTree::build(*strategy);
+  for (double p : {0.1, 0.3, 0.45}) {
+    // Three independent formalisms agree: the paper's tree definition, the
+    // sequential DP, and the ServerProbe closed form.
+    const double from_tree = tree.expected_depth(p);
+    const double from_dp =
+        analyze_sequential(n(), 1 - p, opt_d_stop_rule(n(), alpha()))
+            .expected_probes;
+    EXPECT_NEAR(from_tree, from_dp, 1e-10) << p;
+    if (n() >= 3 * alpha() - 1) {
+      EXPECT_NEAR(from_tree, serverprobe_complexity(n(), alpha(), p), 1e-10) << p;
+    }
+  }
+}
+
+TEST_P(ProbeTreeSweep, WorstDepthIsN) {
+  // Lemma 29 at the tree level.
+  const OptDFamily fam(n(), alpha());
+  auto strategy = fam.make_probe_strategy();
+  const ProbeTree tree = ProbeTree::build(*strategy);
+  EXPECT_EQ(tree.worst_depth(), n());
+}
+
+TEST_P(ProbeTreeSweep, AcquireProbabilityIsAvailability) {
+  const OptDFamily fam(n(), alpha());
+  auto strategy = fam.make_probe_strategy();
+  const ProbeTree tree = ProbeTree::build(*strategy);
+  for (double p : {0.2, 0.4})
+    EXPECT_NEAR(tree.acquire_probability(p), fam.availability(p), 1e-10) << p;
+}
+
+TEST_P(ProbeTreeSweep, ServerLoadsMatchPositionProbabilities) {
+  // For a sequential strategy, server order_[j]'s tree load is exactly the
+  // DP's position-j probe probability; their sum is E[depth].
+  const OptDFamily fam(n(), alpha());
+  auto strategy = fam.make_probe_strategy();
+  const ProbeTree tree = ProbeTree::build(*strategy);
+  const double p = 0.3;
+  const auto loads = tree.server_loads(p, n());
+  const auto analysis =
+      analyze_sequential(n(), 1 - p, opt_d_stop_rule(n(), alpha()));
+  for (int j = 0; j < n(); ++j)
+    EXPECT_NEAR(loads[static_cast<std::size_t>(j)],
+                analysis.position_probe_probability[static_cast<std::size_t>(j)],
+                1e-10)
+        << j;
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  EXPECT_NEAR(total, tree.expected_depth(p), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProbeTreeSweep,
+                         ::testing::Values(std::make_tuple(5, 1),
+                                           std::make_tuple(8, 2),
+                                           std::make_tuple(10, 2),
+                                           std::make_tuple(12, 3)));
+
+TEST(ProbeTree, OptDTreeIsPolynomiallySmall) {
+  // Alive histories have < 2 alpha successes, so the OPT_d tree has
+  // polynomially many nodes even at n = 24 — the tree formalism scales for
+  // the paper's constructions.
+  const OptDFamily fam(24, 2);
+  auto strategy = fam.make_probe_strategy();
+  const ProbeTree tree = ProbeTree::build(*strategy);
+  EXPECT_LT(tree.num_nodes(), 30000u);
+  EXPECT_NEAR(tree.expected_depth(0.25), serverprobe_complexity(24, 2, 0.25),
+              1e-9);
+}
+
+TEST(ProbeTree, RespectsRotatedOrders) {
+  OptDFamily fam(6, 1);
+  fam.set_probe_order({5, 4, 3, 2, 1, 0});
+  auto strategy = fam.make_probe_strategy();
+  const ProbeTree tree = ProbeTree::build(*strategy);
+  EXPECT_EQ(tree.root().server, 5);
+  const auto loads = tree.server_loads(0.2, 6);
+  EXPECT_DOUBLE_EQ(loads[5], 1.0);  // first probed
+  EXPECT_LT(loads[0], 0.1);         // last probed
+}
+
+TEST(ProbeTree, ExplicitSqsStrategyTreeAgrees) {
+  const ExplicitSqs d = opt_d_explicit(7, 2);
+  auto strategy = d.make_probe_strategy();
+  const ProbeTree tree = ProbeTree::build(*strategy);
+  for (std::uint64_t mask = 0; mask < (1u << 7); ++mask) {
+    Configuration c(7, mask);
+    ASSERT_EQ(tree.acquires(c), d.accepts(c)) << mask;
+  }
+}
+
+}  // namespace
+}  // namespace sqs

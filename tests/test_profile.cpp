@@ -1,0 +1,97 @@
+#include "analysis/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "core/witness.h"
+#include "uqs/grid.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+#include "uqs/tree.h"
+
+namespace sqs {
+namespace {
+
+TEST(Profile, OptAIsAStepFunctionAtAlpha) {
+  const OptAFamily fam(12, 3);
+  const AcceptanceProfile profile = acceptance_profile(fam, 0, Rng(1));
+  for (int k = 0; k <= 12; ++k) {
+    const double expect = k >= 3 ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(profile.probability[static_cast<std::size_t>(k)], expect) << k;
+  }
+  EXPECT_EQ(profile.guaranteed_threshold(), 3);
+  EXPECT_EQ(profile.impossible_below(), 2);
+}
+
+TEST(Profile, MajorityStepsAtHalf) {
+  const MajorityFamily fam(11);
+  const AcceptanceProfile profile = acceptance_profile(fam, 0, Rng(1));
+  EXPECT_EQ(profile.guaranteed_threshold(), 6);
+  EXPECT_EQ(profile.impossible_below(), 5);
+}
+
+TEST(Profile, CompositionInheritsOptAThreshold) {
+  auto maj = std::make_shared<MajorityFamily>(7);
+  const CompositionFamily comp(maj, 16, 2);
+  const AcceptanceProfile profile = acceptance_profile(comp, 0, Rng(1));
+  EXPECT_EQ(profile.guaranteed_threshold(), 2);
+}
+
+TEST(Profile, GridIsSmoothBetweenExtremes) {
+  const GridFamily grid(4, 4);
+  const AcceptanceProfile profile = acceptance_profile(grid, 0, Rng(1));
+  // Needs at least a row + column (7 servers); all 16 up certainly works.
+  EXPECT_EQ(profile.impossible_below(), 6);
+  EXPECT_DOUBLE_EQ(profile.probability[16], 1.0);
+  // Strictly between 0 and 1 somewhere in the middle.
+  EXPECT_GT(profile.probability[12], 0.0);
+  EXPECT_LT(profile.probability[12], 1.0);
+  // Monotone in k.
+  for (std::size_t k = 1; k < profile.probability.size(); ++k)
+    EXPECT_GE(profile.probability[k] + 1e-12, profile.probability[k - 1]) << k;
+}
+
+TEST(Profile, WitnessThresholdCountsWitnessesNotServers) {
+  const WitnessFamily fam(12, 6, 2);
+  const AcceptanceProfile profile = acceptance_profile(fam, 0, Rng(1));
+  // With k < 2 total up servers the system is dead; with 2..7 it depends
+  // which servers are up; guaranteed only when so many are up that at least
+  // alpha witnesses must be: k > n - w + alpha - 1 = 12 - 6 + 1 = 7.
+  EXPECT_EQ(profile.impossible_below(), 1);
+  EXPECT_EQ(profile.guaranteed_threshold(), 8);
+  EXPECT_GT(profile.probability[4], 0.0);
+  EXPECT_LT(profile.probability[4], 1.0);
+}
+
+TEST(Profile, RecombinesToAvailabilityExactly) {
+  const OptDFamily opt_d(14, 2);
+  const MajorityFamily maj(14);
+  const TreeFamily tree(3);
+  for (double p : {0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(availability_from_profile(acceptance_profile(opt_d, 0, Rng(1)), p),
+                opt_d.availability(p), 1e-10);
+    EXPECT_NEAR(availability_from_profile(acceptance_profile(maj, 0, Rng(1)), p),
+                maj.availability(p), 1e-10);
+    EXPECT_NEAR(availability_from_profile(acceptance_profile(tree, 0, Rng(1)), p),
+                tree.availability(p), 1e-10);
+  }
+}
+
+TEST(Profile, SampledProfileIsSaneOnLargeUniverse) {
+  const PathsFamily big(3);  // 24 servers -> the sampling branch
+  const AcceptanceProfile sampled = acceptance_profile(big, 4000, Rng(7));
+  EXPECT_DOUBLE_EQ(sampled.probability[0], 0.0);
+  EXPECT_DOUBLE_EQ(sampled.probability[24], 1.0);
+  // Near-monotone in k (sampling noise bounded).
+  for (std::size_t k = 1; k < sampled.probability.size(); ++k)
+    EXPECT_GE(sampled.probability[k] + 0.03, sampled.probability[k - 1]) << k;
+  // Recombination approximates the family's Monte Carlo availability.
+  EXPECT_NEAR(availability_from_profile(sampled, 0.2), big.availability(0.2),
+              0.02);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,109 @@
+#include "uqs/projective_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/composition.h"
+#include "probe/engine.h"
+#include "probe/measurements.h"
+
+namespace sqs {
+namespace {
+
+class PlaneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlaneSweep, GeometryInvariants) {
+  const int q = GetParam();
+  const ProjectivePlaneFamily plane(q);
+  const int n = q * q + q + 1;
+  EXPECT_EQ(plane.universe_size(), n);
+  EXPECT_EQ(plane.min_quorum_size(), q + 1);
+
+  // Every line has q+1 distinct points; any two lines meet in EXACTLY one
+  // point; every point lies on exactly q+1 lines.
+  std::vector<int> incidence(static_cast<std::size_t>(n), 0);
+  for (int l1 = 0; l1 < n; ++l1) {
+    const auto& a = plane.line_points(l1);
+    ASSERT_EQ(a.size(), static_cast<std::size_t>(q + 1));
+    ASSERT_EQ(std::set<int>(a.begin(), a.end()).size(), a.size());
+    for (int p : a) ++incidence[static_cast<std::size_t>(p)];
+    for (int l2 = l1 + 1; l2 < n; ++l2) {
+      const auto& b = plane.line_points(l2);
+      int common = 0;
+      for (int p : a)
+        if (std::find(b.begin(), b.end(), p) != b.end()) ++common;
+      ASSERT_EQ(common, 1) << "lines " << l1 << "," << l2;
+    }
+  }
+  for (int count : incidence) ASSERT_EQ(count, q + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, PlaneSweep, ::testing::Values(2, 3, 5, 7));
+
+TEST(ProjectivePlane, FanoPlaneStrategyConclusive) {
+  // q=2 is the Fano plane: 7 points, 7 lines of 3 — small enough to check
+  // every configuration.
+  const ProjectivePlaneFamily plane(2);
+  auto strategy = plane.make_probe_strategy();
+  Rng rng(3);
+  for (std::uint64_t mask = 0; mask < (1u << 7); ++mask) {
+    Configuration c(7, mask);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(mask);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    ASSERT_EQ(record.acquired, plane.accepts(c)) << mask;
+    if (record.acquired) {
+      ASSERT_EQ(record.quorum.size(), 3u);
+      ASSERT_TRUE(c.accepts(record.quorum));
+    }
+  }
+}
+
+TEST(ProjectivePlane, QuorumsPairwiseIntersect) {
+  const ProjectivePlaneFamily plane(5);  // 31 servers
+  Configuration all_up(Bitset::all_set(31));
+  Rng rng(7);
+  std::vector<SignedSet> quorums;
+  auto strategy = plane.make_probe_strategy();
+  for (int t = 0; t < 80; ++t) {
+    ConfigurationOracle oracle(&all_up);
+    Rng srng = rng.split(t);
+    quorums.push_back(run_probe(*strategy, oracle, &srng).quorum);
+  }
+  for (std::size_t i = 0; i < quorums.size(); ++i)
+    for (std::size_t j = i + 1; j < quorums.size(); ++j)
+      ASSERT_TRUE(SignedSet::positively_intersects(quorums[i], quorums[j]));
+}
+
+TEST(ProjectivePlane, LoadApproachesTheOptimalFloor) {
+  // With everything healthy and uniform random line choice, load is
+  // ~(q+1)/n = 1/sqrt(n)-ish — the Naor–Wool optimum that grid/paths miss.
+  const ProjectivePlaneFamily plane(7);  // n = 57, line size 8
+  const ProbeMeasurement m = measure_probes(plane, 0.01, 30000, Rng(9));
+  EXPECT_GT(m.acquired.estimate(), 0.99);
+  // Optimal floor is 1/(2 sqrt(57)) ~ 0.066; (q+1)/n ~ 0.14.
+  EXPECT_LT(m.load(), 0.22);
+  EXPECT_GE(m.load(), 8.0 / 57.0 - 0.02);
+}
+
+TEST(ProjectivePlane, ComposesWithOptA) {
+  auto plane = std::make_shared<ProjectivePlaneFamily>(3);  // 13 servers, q+1=4
+  const CompositionFamily comp(plane, 40, 2);
+  const ProbeMeasurement m = measure_probes(comp, 0.1, 10000, Rng(11));
+  EXPECT_GT(m.acquired.estimate(), 0.9999);
+  // The plane's low load carries over (plus the fallback term).
+  EXPECT_LT(m.load(), 0.75);
+}
+
+TEST(ProjectivePlane, AvailabilityDecaysPastHalf) {
+  // Like all strict systems: dead by p > 1/2 for big planes.
+  const ProjectivePlaneFamily plane(5);
+  EXPECT_GT(plane.availability(0.05), 0.99);
+  EXPECT_LT(plane.availability(0.6), 0.15);
+  EXPECT_LT(plane.availability(0.8), 0.01);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,239 @@
+// Randomized property tests: invariants that must hold for *arbitrary*
+// signed sets, systems, and parameters — not just the constructions the
+// other suites target. Each property runs over a few hundred random
+// instances from a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/constructions.h"
+#include "core/explicit_sqs.h"
+#include "probe/engine.h"
+#include "probe/sequential_analysis.h"
+#include "util/rng.h"
+
+namespace sqs {
+namespace {
+
+SignedSet random_signed_set(int n, Rng& rng, double density = 0.5) {
+  SignedSet s(n);
+  for (int i = 0; i < n; ++i) {
+    if (!rng.bernoulli(density)) continue;
+    if (rng.bernoulli(0.5)) {
+      s.add_positive(i);
+    } else {
+      s.add_negative(i);
+    }
+  }
+  return s;
+}
+
+std::vector<int> random_permutation(int n, Rng& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+// --- SignedSet algebra ---
+
+TEST(Properties, DualIsAnInvolutionAndPreservesSize) {
+  Rng rng(1001);
+  for (int t = 0; t < 500; ++t) {
+    const int n = 1 + static_cast<int>(rng.next_below(40));
+    const SignedSet s = random_signed_set(n, rng);
+    ASSERT_EQ(s.dual().dual(), s);
+    ASSERT_EQ(s.dual().size(), s.size());
+    ASSERT_EQ(s.dual().positive_count(), s.negative_count());
+  }
+}
+
+TEST(Properties, DualOverlapIsSymmetricAndBoundedBySize) {
+  Rng rng(1002);
+  for (int t = 0; t < 500; ++t) {
+    const int n = 2 + static_cast<int>(rng.next_below(40));
+    const SignedSet a = random_signed_set(n, rng);
+    const SignedSet b = random_signed_set(n, rng);
+    const std::size_t overlap = SignedSet::dual_overlap(a, b);
+    ASSERT_EQ(overlap, SignedSet::dual_overlap(b, a));
+    ASSERT_LE(overlap, std::min(a.size(), b.size()));
+    // |Q1 ∩ Dual(Q2)| == |Dual(Q1) ∩ Q2| (the paper's remark after Def. 3).
+    ASSERT_EQ(overlap, SignedSet::dual_overlap(a.dual().dual(), b));
+  }
+}
+
+TEST(Properties, SelfOverlapIsZeroAndSelfIntersectionNeedsPositives) {
+  Rng rng(1003);
+  for (int t = 0; t < 300; ++t) {
+    const int n = 1 + static_cast<int>(rng.next_below(30));
+    const SignedSet s = random_signed_set(n, rng);
+    ASSERT_EQ(SignedSet::dual_overlap(s, s), 0u);  // S ∩ Dual(S) = ∅
+    ASSERT_EQ(SignedSet::positively_intersects(s, s), s.positive_count() > 0);
+  }
+}
+
+TEST(Properties, SubsetMonotonicityOfAcceptance) {
+  // If Q ⊆ Q' then every configuration accepting Q' accepts Q.
+  Rng rng(1004);
+  for (int t = 0; t < 300; ++t) {
+    const int n = 2 + static_cast<int>(rng.next_below(12));
+    SignedSet big = random_signed_set(n, rng, 0.8);
+    SignedSet small = big;
+    // Remove a few random elements.
+    for (int i = 0; i < n; ++i)
+      if (small.mentions(i) && rng.bernoulli(0.4)) small.remove(i);
+    ASSERT_TRUE(small.is_subset_of(big));
+    const Configuration c(n, rng.next_below(1ull << n));
+    if (c.accepts(big)) {
+      ASSERT_TRUE(c.accepts(small));
+    }
+  }
+}
+
+// --- permutation invariances ---
+
+TEST(Properties, PermutationPreservesSqsValidityAndAvailability) {
+  Rng rng(1005);
+  for (int t = 0; t < 60; ++t) {
+    const int n = 3 + static_cast<int>(rng.next_below(5));  // 3..7
+    const int alpha = 1 + static_cast<int>(rng.next_below(2));
+    ExplicitSqs q(n, alpha);
+    for (int attempt = 0; attempt < 25; ++attempt) {
+      const SignedSet s = random_signed_set(n, rng);
+      if (s.positive_count() > 0 && q.can_add(s)) q.add_quorum(s);
+    }
+    const auto perm = random_permutation(n, rng);
+    const ExplicitSqs permuted = q.permuted(perm);
+    ASSERT_EQ(q.is_valid_sqs(), permuted.is_valid_sqs());
+    ASSERT_NEAR(q.availability(0.3), permuted.availability(0.3), 1e-12);
+    ASSERT_EQ(q.min_quorum_size(), permuted.min_quorum_size());
+  }
+}
+
+TEST(Properties, OptDAvailabilityIsProbeOrderInvariant) {
+  Rng rng(1006);
+  for (int t = 0; t < 40; ++t) {
+    const int n = 5 + static_cast<int>(rng.next_below(8));
+    const int alpha = 1 + static_cast<int>(rng.next_below(2));
+    if (n < 3 * alpha - 1) continue;
+    OptDFamily fam(n, alpha);
+    fam.set_probe_order(random_permutation(n, rng));
+    auto strategy = fam.make_probe_strategy();
+    // Acquisition outcome depends only on the configuration, never on the
+    // order.
+    for (int trial = 0; trial < 50; ++trial) {
+      const Configuration c(n, rng.next_below(1ull << n));
+      ConfigurationOracle oracle(&c);
+      const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+      ASSERT_EQ(record.acquired, c.num_up() >= static_cast<std::size_t>(alpha));
+    }
+  }
+}
+
+// --- acceptance sets and domination ---
+
+TEST(Properties, AcceptanceSetNeverShrinksAvailability) {
+  Rng rng(1007);
+  for (int t = 0; t < 40; ++t) {
+    const int n = 3 + static_cast<int>(rng.next_below(4));
+    const int alpha = 1;
+    ExplicitSqs q(n, alpha);
+    for (int attempt = 0; attempt < 15; ++attempt) {
+      const SignedSet s = random_signed_set(n, rng);
+      if (s.positive_count() > 0 && q.can_add(s)) q.add_quorum(s);
+    }
+    if (q.num_quorums() == 0) continue;
+    const ExplicitSqs as = q.acceptance_set();
+    ASSERT_TRUE(as.is_valid_sqs());
+    ASSERT_NEAR(q.availability(0.25), as.availability(0.25), 1e-12);
+    // The acceptance set is dominated by the original system.
+    ASSERT_TRUE(q.dominates(as));
+  }
+}
+
+TEST(Properties, DominationImpliesAvailabilityOrder) {
+  // If Q ⪰ Q' then Avail(Q) >= Avail(Q') (every live quorum of Q' certifies
+  // a live quorum of Q).
+  Rng rng(1008);
+  for (int t = 0; t < 60; ++t) {
+    const int n = 3 + static_cast<int>(rng.next_below(4));
+    ExplicitSqs small(n, 1);
+    ExplicitSqs big(n, 1);
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      SignedSet s = random_signed_set(n, rng, 0.7);
+      if (s.positive_count() == 0) continue;
+      if (big.can_add(s)) {
+        big.add_quorum(s);
+        // Shrink s to a (still nonempty-positive) subset for `small`.
+        SignedSet sub = s;
+        for (int i = 0; i < n; ++i)
+          if (sub.mentions(i) && sub.positive_count() > 1 && rng.bernoulli(0.5))
+            sub.remove(i);
+        if (small.can_add(sub)) small.add_quorum(sub);
+      }
+    }
+    if (!small.dominates(big)) continue;  // subsets may conflict; skip
+    for (double p : {0.2, 0.4})
+      ASSERT_GE(small.availability(p) + 1e-12, big.availability(p));
+  }
+}
+
+// --- sequential analysis sanity over random stop rules ---
+
+TEST(Properties, AnyWellFormedStopRuleYieldsAProbabilityDistribution) {
+  Rng rng(1009);
+  for (int t = 0; t < 100; ++t) {
+    const int n = 3 + static_cast<int>(rng.next_below(20));
+    // Random monotone thresholds: acquire at A successes, fail at F failures,
+    // hard stop at n.
+    const int acquire_at = 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const int fail_at = 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const StopRule rule = [n, acquire_at, fail_at](int i, int pos) {
+      if (pos >= acquire_at) return StepDecision::kAcquire;
+      if (i - pos >= fail_at) return StepDecision::kFail;
+      if (i == n) return StepDecision::kFail;
+      return StepDecision::kContinue;
+    };
+    const double p = 0.05 + 0.9 * rng.next_double();
+    const auto a = analyze_sequential(n, 1 - p, rule);
+    const double total =
+        std::accumulate(a.probes_pmf.begin(), a.probes_pmf.end(), 0.0);
+    ASSERT_NEAR(total, 1.0, 1e-9);
+    ASSERT_GE(a.acquire_probability, -1e-12);
+    ASSERT_LE(a.acquire_probability, 1.0 + 1e-12);
+    ASSERT_LE(a.expected_probes, n + 1e-9);
+    // E[probes] equals the sum of position probabilities.
+    const double via_loads =
+        std::accumulate(a.position_probe_probability.begin(),
+                        a.position_probe_probability.end(), 0.0);
+    ASSERT_NEAR(via_loads, a.expected_probes, 1e-9);
+  }
+}
+
+// --- engine/family agreement for random families ---
+
+TEST(Properties, ExplicitStrategyAgreesWithAcceptsForRandomSystems) {
+  Rng rng(1010);
+  for (int t = 0; t < 40; ++t) {
+    const int n = 3 + static_cast<int>(rng.next_below(4));
+    ExplicitSqs q(n, 1);
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const SignedSet s = random_signed_set(n, rng);
+      if (s.positive_count() > 0 && q.can_add(s)) q.add_quorum(s);
+    }
+    if (q.num_quorums() == 0) continue;
+    auto strategy = q.make_probe_strategy();
+    for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+      Configuration c(n, mask);
+      ConfigurationOracle oracle(&c);
+      const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+      ASSERT_EQ(record.acquired, q.accepts(c))
+          << "t=" << t << " mask=" << mask;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqs

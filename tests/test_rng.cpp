@@ -1,0 +1,83 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sqs {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitByLabelIsDeterministicAndIndependent) {
+  Rng base(7);
+  Rng s1 = base.split("alpha");
+  Rng s2 = base.split("alpha");
+  Rng s3 = base.split("beta");
+  EXPECT_EQ(s1.next_u64(), s2.next_u64());
+  EXPECT_NE(s1.next_u64(), s3.next_u64());
+}
+
+TEST(Rng, SplitByIndexDiffers) {
+  Rng base(7);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 50; ++i) firsts.insert(base.split(i).next_u64());
+  EXPECT_EQ(firsts.size(), 50u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMean) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.next_below(17), 17u);
+  // All residues are reachable.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, BinomialMean) {
+  Rng rng(13);
+  long sum = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) sum += rng.binomial(20, 0.25);
+  EXPECT_NEAR(static_cast<double>(sum) / trials, 5.0, 0.1);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,131 @@
+#include "probe/sequential_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "core/constructions.h"
+#include "probe/engine.h"
+#include "util/binomial.h"
+
+namespace sqs {
+namespace {
+
+class SequentialSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {
+ protected:
+  int n() const { return std::get<0>(GetParam()); }
+  int alpha() const { return std::get<1>(GetParam()); }
+  double p() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(SequentialSweep, PmfSumsToOne) {
+  const auto a = analyze_sequential(n(), 1 - p(), opt_d_stop_rule(n(), alpha()));
+  const double total =
+      std::accumulate(a.probes_pmf.begin(), a.probes_pmf.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST_P(SequentialSweep, AcquireProbabilityEqualsOptAAvailability) {
+  // The OPT_d strategy acquires exactly when >= alpha servers are up.
+  const auto a = analyze_sequential(n(), 1 - p(), opt_d_stop_rule(n(), alpha()));
+  EXPECT_NEAR(a.acquire_probability, binom_tail_geq(n(), alpha(), 1 - p()),
+              1e-10);
+}
+
+TEST_P(SequentialSweep, PositionProbabilitiesAreMonotoneFromOne) {
+  const auto a = analyze_sequential(n(), 1 - p(), opt_d_stop_rule(n(), alpha()));
+  ASSERT_EQ(a.position_probe_probability.size(), static_cast<std::size_t>(n()));
+  EXPECT_DOUBLE_EQ(a.position_probe_probability[0], 1.0);
+  for (std::size_t j = 1; j < a.position_probe_probability.size(); ++j)
+    ASSERT_LE(a.position_probe_probability[j],
+              a.position_probe_probability[j - 1] + 1e-12);
+}
+
+TEST_P(SequentialSweep, ExpectedProbesEqualsSumOfPositionProbabilities) {
+  // E[probes] = sum_j P[probe j issued] — a linearity identity that ties the
+  // load vector to the probe complexity.
+  const auto a = analyze_sequential(n(), 1 - p(), opt_d_stop_rule(n(), alpha()));
+  const double sum = std::accumulate(a.position_probe_probability.begin(),
+                                     a.position_probe_probability.end(), 0.0);
+  EXPECT_NEAR(sum, a.expected_probes, 1e-10);
+}
+
+TEST_P(SequentialSweep, ConditionalExpectationsCombine) {
+  const auto a = analyze_sequential(n(), 1 - p(), opt_d_stop_rule(n(), alpha()));
+  const double combined =
+      a.acquire_probability * a.expected_probes_acquired +
+      (1.0 - a.acquire_probability) * a.expected_probes_failed;
+  EXPECT_NEAR(combined, a.expected_probes, 1e-9);
+}
+
+TEST_P(SequentialSweep, PositionProbabilitiesMatchMonteCarloLoad) {
+  if (n() > 16) GTEST_SKIP();
+  const auto a = analyze_sequential(n(), 1 - p(), opt_d_stop_rule(n(), alpha()));
+  const OptDFamily fam(n(), alpha());
+  Rng rng(5);
+  std::vector<long> counts(static_cast<std::size_t>(n()), 0);
+  const int trials = 60000;
+  auto strategy = fam.make_probe_strategy();
+  for (int t = 0; t < trials; ++t) {
+    Configuration config(Bitset(static_cast<std::size_t>(n())));
+    for (int i = 0; i < n(); ++i) config.set_up(i, !rng.bernoulli(p()));
+    ConfigurationOracle oracle(&config);
+    const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+    for (int i = 0; i < record.num_probes; ++i) ++counts[static_cast<std::size_t>(i)];
+  }
+  for (int j = 0; j < n(); ++j) {
+    const double mc = static_cast<double>(counts[static_cast<std::size_t>(j)]) / trials;
+    EXPECT_NEAR(mc, a.position_probe_probability[static_cast<std::size_t>(j)], 0.02)
+        << "position " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SequentialSweep,
+    ::testing::Values(std::make_tuple(5, 1, 0.2), std::make_tuple(8, 2, 0.3),
+                      std::make_tuple(12, 2, 0.1), std::make_tuple(14, 4, 0.45),
+                      std::make_tuple(50, 3, 0.25)));
+
+TEST(SequentialAnalysis, OptARuleProbesEverythingUnlessEarlyFail) {
+  const int n = 10, alpha = 2;
+  const double p = 0.2;
+  const auto a = analyze_sequential(n, 1 - p, opt_a_stop_rule(n, alpha));
+  // Acquire probability equals OPT_a availability.
+  EXPECT_NEAR(a.acquire_probability, binom_tail_geq(n, alpha, 1 - p), 1e-10);
+  // Conditioned on acquiring, exactly n probes.
+  EXPECT_NEAR(a.expected_probes_acquired, n, 1e-9);
+}
+
+TEST(SequentialAnalysis, ThresholdRuleMatchesNegativeBinomialMean) {
+  // With no failure exit possible until late, E[probes to k successes]
+  // ~ k / (1-p) for small p and large n.
+  const int n = 200, k = 10;
+  const double p = 0.1;
+  const auto a = analyze_sequential(n, 1 - p, threshold_stop_rule(n, k));
+  EXPECT_NEAR(a.expected_probes, k / (1 - p), 0.05);
+}
+
+TEST(SequentialAnalysis, ThresholdAcquireProbabilityIsBinomialTail) {
+  const int n = 15, k = 8;
+  for (double p : {0.1, 0.3, 0.5}) {
+    const auto a = analyze_sequential(n, 1 - p, threshold_stop_rule(n, k));
+    EXPECT_NEAR(a.acquire_probability, binom_tail_geq(n, k, 1 - p), 1e-10) << p;
+  }
+}
+
+TEST(SequentialAnalysis, DegenerateUpProbabilities) {
+  const int n = 6, alpha = 2;
+  // Everything up: exactly 2 alpha probes, always acquired.
+  const auto up = analyze_sequential(n, 1.0, opt_d_stop_rule(n, alpha));
+  EXPECT_NEAR(up.expected_probes, 2.0 * alpha, 1e-12);
+  EXPECT_NEAR(up.acquire_probability, 1.0, 1e-12);
+  // Everything down: fails after n+1-alpha probes.
+  const auto down = analyze_sequential(n, 0.0, opt_d_stop_rule(n, alpha));
+  EXPECT_NEAR(down.expected_probes, n + 1.0 - alpha, 1e-12);
+  EXPECT_NEAR(down.acquire_probability, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,111 @@
+#include "probe/serverprobe.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/constructions.h"
+#include "probe/engine.h"
+#include "probe/sequential_analysis.h"
+#include "util/stats.h"
+
+namespace sqs {
+namespace {
+
+class ServerProbeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {
+ protected:
+  int n() const { return std::get<0>(GetParam()); }
+  int alpha() const { return std::get<1>(GetParam()); }
+  double p() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(ServerProbeSweep, CdfIsMonotoneAndEndsAtOne) {
+  double prev = 0.0;
+  for (int i = 0; i <= n(); ++i) {
+    const double f = serverprobe_cdf(n(), alpha(), p(), i);
+    ASSERT_GE(f, prev - 1e-12) << i;
+    ASSERT_LE(f, 1.0 + 1e-12) << i;
+    prev = f;
+  }
+  EXPECT_NEAR(serverprobe_cdf(n(), alpha(), p(), n()), 1.0, 1e-9);
+}
+
+TEST_P(ServerProbeSweep, PaperFormulaMatchesDirectDp) {
+  // The closed-form g(n) of Sect. 6.1 against an independent DP over the
+  // Definition 26 stop rules.
+  const double formula = serverprobe_complexity(n(), alpha(), p());
+  const double dp = serverprobe_complexity_dp(n(), alpha(), p());
+  EXPECT_NEAR(formula, dp, 1e-9);
+}
+
+TEST_P(ServerProbeSweep, BoundedByTwoAlphaOverOneMinusP) {
+  // "we always have g(n) < 2 alpha / (1-p)".
+  EXPECT_LT(serverprobe_complexity(n(), alpha(), p()),
+            serverprobe_upper_bound(alpha(), p()));
+}
+
+TEST_P(ServerProbeSweep, AtLeastTwoAlphaProbes) {
+  // No acquisition can stop before 2 alpha probes (Theorem 25's flavor),
+  // so the expectation is at least 2 alpha and the CDF is 0 below it.
+  EXPECT_GE(serverprobe_complexity(n(), alpha(), p()), 2.0 * alpha() - 1e-9);
+  EXPECT_DOUBLE_EQ(serverprobe_cdf(n(), alpha(), p(), 2 * alpha() - 1), 0.0);
+}
+
+TEST_P(ServerProbeSweep, MatchesSequentialAnalysisOfOptDRule) {
+  const SequentialAnalysis analysis =
+      analyze_sequential(n(), 1.0 - p(), opt_d_stop_rule(n(), alpha()));
+  EXPECT_NEAR(analysis.expected_probes,
+              serverprobe_complexity(n(), alpha(), p()), 1e-9);
+}
+
+TEST_P(ServerProbeSweep, MatchesMonteCarloOptDStrategy) {
+  if (n() > 40) GTEST_SKIP() << "keep MC cheap";
+  const OptDFamily fam(n(), alpha());
+  Rng rng(2024);
+  RunningStat probes;
+  for (int t = 0; t < 30000; ++t) {
+    Configuration config(Bitset(static_cast<std::size_t>(n())));
+    for (int i = 0; i < n(); ++i) config.set_up(i, !rng.bernoulli(p()));
+    ConfigurationOracle oracle(&config);
+    auto strategy = fam.make_probe_strategy();
+    probes.add(run_probe(*strategy, oracle, nullptr).num_probes);
+  }
+  const double g = serverprobe_complexity(n(), alpha(), p());
+  EXPECT_NEAR(probes.mean(), g, 4 * probes.ci95_half_width() + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ServerProbeSweep,
+    ::testing::Values(std::make_tuple(5, 1, 0.1), std::make_tuple(5, 1, 0.4),
+                      std::make_tuple(8, 2, 0.2), std::make_tuple(11, 3, 0.3),
+                      std::make_tuple(20, 2, 0.1), std::make_tuple(20, 2, 0.45),
+                      std::make_tuple(64, 4, 0.25),
+                      std::make_tuple(200, 3, 0.35)));
+
+TEST(ServerProbe, ComplexityApproachesGeometricLimitForLargeN) {
+  // For n >> alpha, g(n) approaches the negative-binomial mean
+  // 2 alpha / (1-p) from below.
+  const double p = 0.3;
+  const int alpha = 2;
+  const double g_small = serverprobe_complexity(12, alpha, p);
+  const double g_large = serverprobe_complexity(400, alpha, p);
+  const double limit = 2.0 * alpha / (1.0 - p);
+  EXPECT_LT(g_small, limit);
+  EXPECT_LE(g_large, limit + 1e-6);  // numerically converged at n=400
+  EXPECT_NEAR(g_large, limit, 0.01);
+  EXPECT_LT(g_small, g_large + 1e-9);
+}
+
+TEST(ServerProbe, ProbeComplexityIndependentOfN) {
+  // Table 1's headline: expected probes stay O(1) as n grows.
+  const double p = 0.2;
+  for (int alpha : {1, 2, 4}) {
+    const double at_100 = serverprobe_complexity(100, alpha, p);
+    const double at_2000 = serverprobe_complexity(2000, alpha, p);
+    EXPECT_NEAR(at_100, at_2000, 0.05) << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,132 @@
+#include "core/signed_set.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sqs {
+namespace {
+
+TEST(SignedSet, FromLiteralsPaperExample) {
+  // The introduction's example over {1,2,3}: {{-1,3},{1,-2,-3}}.
+  const SignedSet q1 = SignedSet::from_literals(3, {-1, 3});
+  const SignedSet q2 = SignedSet::from_literals(3, {1, -2, -3});
+  EXPECT_EQ(q1.positive_count(), 1u);
+  EXPECT_EQ(q1.negative_count(), 1u);
+  EXPECT_TRUE(q1.has_negative(0));
+  EXPECT_TRUE(q1.has_positive(2));
+  EXPECT_EQ(q1.to_string(), "{-1,3}");
+  EXPECT_EQ(q2.to_string(), "{1,-2,-3}");
+}
+
+TEST(SignedSet, PaperExampleDualOverlapIsTwo) {
+  // "The previous two quorums thus have a dual overlap of two (from the
+  // dual pairs of {-1,1} and {3,-3})."
+  const SignedSet q1 = SignedSet::from_literals(3, {-1, 3});
+  const SignedSet q2 = SignedSet::from_literals(3, {1, -2, -3});
+  EXPECT_FALSE(SignedSet::positively_intersects(q1, q2));
+  EXPECT_EQ(SignedSet::dual_overlap(q1, q2), 2u);
+  EXPECT_EQ(SignedSet::dual_overlap(q2, q1), 2u);  // symmetric
+  EXPECT_TRUE(SignedSet::compatible(q1, q2, /*alpha=*/1));
+  EXPECT_FALSE(SignedSet::compatible(q1, q2, /*alpha=*/2));
+}
+
+TEST(SignedSet, AddingElementRemovesDual) {
+  SignedSet s(4);
+  s.add_positive(2);
+  s.add_negative(2);
+  EXPECT_FALSE(s.has_positive(2));
+  EXPECT_TRUE(s.has_negative(2));
+  s.add_positive(2);
+  EXPECT_TRUE(s.has_positive(2));
+  EXPECT_FALSE(s.has_negative(2));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SignedSet, DualSwapsParts) {
+  const SignedSet s = SignedSet::from_literals(5, {1, -3, 5});
+  const SignedSet d = s.dual();
+  EXPECT_EQ(d.to_string(), "{-1,3,-5}");
+  EXPECT_EQ(d.dual(), s);
+}
+
+TEST(SignedSet, DualOverlapViaDualEqualsIntersectionSize) {
+  // |Q1 ∩ Dual(Q2)| computed directly must match dual_overlap().
+  const SignedSet q1 = SignedSet::from_literals(6, {1, 2, -3, -4});
+  const SignedSet q2 = SignedSet::from_literals(6, {-1, 3, 4, -2});
+  const SignedSet d2 = q2.dual();
+  const std::size_t direct = q1.positive().intersection_count(d2.positive()) +
+                             q1.negative().intersection_count(d2.negative());
+  EXPECT_EQ(direct, SignedSet::dual_overlap(q1, q2));
+  EXPECT_EQ(direct, 4u);
+}
+
+TEST(SignedSet, SubsetRelation) {
+  const SignedSet small = SignedSet::from_literals(5, {1, -2});
+  const SignedSet big = SignedSet::from_literals(5, {1, -2, 4, -5});
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  // Flipped sign breaks the relation.
+  const SignedSet flipped = SignedSet::from_literals(5, {1, 2});
+  EXPECT_FALSE(flipped.is_subset_of(big));
+}
+
+TEST(SignedSet, RemoveAndEmpty) {
+  SignedSet s = SignedSet::from_literals(3, {1, -2});
+  s.remove(0);
+  s.remove(1);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SignedSet, PermutationRelabels) {
+  const SignedSet s = SignedSet::from_literals(3, {1, -2});
+  // 0->2, 1->0, 2->1.
+  const SignedSet p = s.permuted({2, 0, 1});
+  EXPECT_EQ(p.to_string(), "{-1,3}");
+}
+
+TEST(SignedSet, PermutationPreservesDualOverlap) {
+  const SignedSet a = SignedSet::from_literals(6, {1, -2, 3});
+  const SignedSet b = SignedSet::from_literals(6, {-1, 2, -3, 6});
+  std::vector<int> perm{3, 4, 5, 0, 1, 2};
+  EXPECT_EQ(SignedSet::dual_overlap(a, b),
+            SignedSet::dual_overlap(a.permuted(perm), b.permuted(perm)));
+  EXPECT_EQ(SignedSet::positively_intersects(a, b),
+            SignedSet::positively_intersects(a.permuted(perm), b.permuted(perm)));
+}
+
+TEST(Configuration, AcceptsQuorumSemantics) {
+  // C = {1, -2, 3}: servers 1 and 3 up, server 2 down.
+  Configuration c(3, 0b101);
+  EXPECT_TRUE(c.accepts(SignedSet::from_literals(3, {1})));
+  EXPECT_TRUE(c.accepts(SignedSet::from_literals(3, {1, -2})));
+  EXPECT_TRUE(c.accepts(SignedSet::from_literals(3, {1, -2, 3})));
+  EXPECT_FALSE(c.accepts(SignedSet::from_literals(3, {2})));
+  EXPECT_FALSE(c.accepts(SignedSet::from_literals(3, {-1})));
+  EXPECT_FALSE(c.accepts(SignedSet::from_literals(3, {1, -3})));
+}
+
+TEST(Configuration, AsSignedSetIsFull) {
+  Configuration c(4, 0b0110);
+  const SignedSet s = c.as_signed_set();
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.to_string(), "{-1,2,3,-4}");
+}
+
+TEST(Configuration, ProbabilityMatchesDefinition) {
+  Configuration c(4, 0b0110);  // 2 up, 2 down
+  const double p = 0.2;
+  EXPECT_NEAR(c.probability(p), 0.8 * 0.8 * 0.2 * 0.2, 1e-12);
+}
+
+TEST(Configuration, ProbabilitiesSumToOneOverAllConfigs) {
+  const int n = 8;
+  const double p = 0.31;
+  double total = 0.0;
+  for (std::uint64_t mask = 0; mask < (1u << n); ++mask)
+    total += Configuration(n, mask).probability(p);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace sqs

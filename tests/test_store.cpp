@@ -1,0 +1,80 @@
+#include "sim/store.h"
+
+#include <gtest/gtest.h>
+
+namespace sqs {
+namespace {
+
+StoreExperimentConfig reliable_store() {
+  StoreExperimentConfig config;
+  config.num_servers = 20;
+  config.num_objects = 20;
+  config.alpha = 2;
+  config.num_clients = 6;
+  config.duration = 500.0;
+  config.think_time = 0.2;
+  config.network.link_mean_down = 1e-9;
+  config.network.link_mean_up = 1e9;
+  config.server.mean_down = 1e-9;
+  config.server.mean_up = 1e9;
+  return config;
+}
+
+TEST(Store, PerfectWorldFullyAvailableAndConsistent) {
+  const auto result = run_store_experiment(reliable_store());
+  EXPECT_GT(result.ops_attempted, 2000);
+  EXPECT_DOUBLE_EQ(result.availability(), 1.0);
+  EXPECT_EQ(result.stale_reads, 0);
+  // OPT_d, everything up: exactly 2 alpha probes per op.
+  EXPECT_NEAR(result.probes_per_op.mean(), 4.0, 0.01);
+}
+
+TEST(Store, RotationFlattensAggregateLoad) {
+  StoreExperimentConfig config = reliable_store();
+  config.rotate_orders = true;
+  const auto rotated = run_store_experiment(config);
+  config.rotate_orders = false;
+  const auto shared = run_store_experiment(config);
+
+  // Shared order: server 0 is probed by every acquisition.
+  EXPECT_NEAR(shared.max_server_load(), 1.0, 1e-9);
+  EXPECT_NEAR(shared.min_server_load(), 0.0, 0.01);
+  // Rotated orders: load flattens to ~E[probes]/n = 4/20 = 0.2.
+  EXPECT_LT(rotated.max_server_load(), 0.27);
+  EXPECT_GT(rotated.min_server_load(), 0.13);
+  // Per-object behaviour is unchanged: same probes, same availability.
+  EXPECT_NEAR(rotated.probes_per_op.mean(), shared.probes_per_op.mean(), 0.05);
+  EXPECT_DOUBLE_EQ(rotated.availability(), shared.availability());
+}
+
+TEST(Store, ObjectsAreIsolated) {
+  // Staleness accounting is per object: a fleet serving many objects in a
+  // perfect world never reports cross-object staleness.
+  StoreExperimentConfig config = reliable_store();
+  config.num_objects = 5;
+  config.read_fraction = 0.5;
+  const auto result = run_store_experiment(config);
+  EXPECT_EQ(result.stale_reads, 0);
+  EXPECT_GT(result.reads_ok, 500);
+}
+
+TEST(Store, SurvivesHeavyServerChurnViaOptD) {
+  StoreExperimentConfig config = reliable_store();
+  config.server.mean_up = 5.0;
+  config.server.mean_down = 5.0;  // p = 0.5: majority would be ~dead
+  config.duration = 400.0;
+  const auto result = run_store_experiment(config);
+  EXPECT_GT(result.availability(), 0.97);
+}
+
+TEST(Store, DeterministicBySeed) {
+  const StoreExperimentConfig config = reliable_store();
+  const auto r1 = run_store_experiment(config);
+  const auto r2 = run_store_experiment(config);
+  EXPECT_EQ(r1.ops_attempted, r2.ops_attempted);
+  EXPECT_EQ(r1.ops_ok, r2.ops_ok);
+  EXPECT_DOUBLE_EQ(r1.max_server_load(), r2.max_server_load());
+}
+
+}  // namespace
+}  // namespace sqs

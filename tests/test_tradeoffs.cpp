@@ -1,0 +1,139 @@
+#include "analysis/tradeoffs.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "probe/measurements.h"
+#include "probe/serverprobe.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+
+namespace sqs {
+namespace {
+
+TEST(Tradeoffs, BoundFormulas) {
+  EXPECT_NEAR(uqs_unavailability_bound_from_load(0.1, 10, 0.5), 1e-5, 1e-15);
+  EXPECT_NEAR(uqs_unavailability_bound_from_probes(0.1, 3), 1e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(load_bound_from_probes(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(sqs_load_lower_bound(100, 5), 0.2);   // 1/x dominates
+  EXPECT_DOUBLE_EQ(sqs_load_lower_bound(100, 50), 0.5);  // x/n dominates
+  EXPECT_NEAR(sqs_load_floor(100), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(sqs_load_bound_from_probes(5.0), 0.05);
+}
+
+TEST(Tradeoffs, MajoritySaturatesInequality2) {
+  // For majority, probe complexity >= (n+1)/2 and 1-avail is within the
+  // p^PC bound (the bound holds; majority is the extremal strict system).
+  const int n = 11;
+  const double p = 0.3;
+  const MajorityFamily fam(n);
+  const double unavail = 1.0 - fam.availability(p);
+  EXPECT_GE(unavail, uqs_unavailability_bound_from_probes(p, n) - 1e-12);
+  // Bound with the actual probe complexity (>= majority size).
+  EXPECT_GE(unavail + 1e-12,
+            uqs_unavailability_bound_from_probes(p, n));
+}
+
+TEST(Tradeoffs, SqsBreaksInequality2) {
+  // The composed SQS achieves availability FAR above what Inequality (2)
+  // allows any strict system with the same probe complexity.
+  const int n = 50, alpha = 2;
+  const double p = 0.3;
+  auto uq = std::make_shared<MajorityFamily>(7);
+  const CompositionFamily comp(uq, n, alpha);
+  const ProbeMeasurement m = measure_probes(comp, p, 20000, Rng(3));
+  const double probes = m.probes_overall.mean();
+  const double unavail = 1.0 - comp.availability(p);
+  // A strict QS with this probe complexity must have
+  // 1-avail >= p^probes; the SQS is orders of magnitude below that.
+  const double strict_floor = uqs_unavailability_bound_from_probes(p, probes);
+  EXPECT_LT(unavail, strict_floor / 100.0)
+      << "probes=" << probes << " unavail=" << unavail
+      << " strict floor=" << strict_floor;
+}
+
+TEST(Tradeoffs, SqsBreaksInequality1) {
+  // The load tradeoff needs a *low-load* inner system to be non-trivial:
+  // Paths(4) + OPT_a keeps load well below 1 while unavailability is far
+  // below the strict-system floor p^(n*load).
+  const int alpha = 2;
+  const double p = 0.3;
+  auto uq = std::make_shared<PathsFamily>(4);  // 40 servers, load O(1/4)
+  const int n = 60;
+  const CompositionFamily comp(uq, n, alpha);
+  const ProbeMeasurement m = measure_probes(comp, p, 10000, Rng(7));
+  EXPECT_LT(m.load(), 0.8);
+  const double unavail = 1.0 - comp.availability(p);
+  const double strict_floor =
+      uqs_unavailability_bound_from_load(p, n, m.load());
+  EXPECT_LT(unavail, strict_floor / 100.0)
+      << "load=" << m.load() << " unavail=" << unavail;
+}
+
+TEST(Tradeoffs, Inequality3StillBindsForSqs) {
+  // Corollary 39: load >= 1/(4 PC): even SQS cannot beat the load/probe
+  // tradeoff. Verify on OPT_d (load 1, tiny PC) and a composition.
+  const double p = 0.2;
+  {
+    const OptDFamily fam(40, 2);
+    const ProbeMeasurement m = measure_probes(fam, p, 20000, Rng(9));
+    EXPECT_GE(m.load() + 1e-9,
+              sqs_load_bound_from_probes(m.probes_overall.mean()));
+  }
+  {
+    auto uq = std::make_shared<MajorityFamily>(9);
+    const CompositionFamily comp(uq, 40, 2);
+    const ProbeMeasurement m = measure_probes(comp, p, 20000, Rng(11));
+    EXPECT_GE(m.load() + 1e-9,
+              sqs_load_bound_from_probes(m.probes_overall.mean()));
+    EXPECT_GE(m.load() + 1e-9, sqs_load_floor(40) / 2.0);
+  }
+}
+
+TEST(Tradeoffs, Theorem38HoldsForMeasuredFamilies) {
+  const double p = 0.15;
+  {
+    const MajorityFamily fam(9);
+    const ProbeMeasurement m = measure_probes(fam, p, 20000, Rng(13));
+    EXPECT_GE(m.load() + 0.02, sqs_load_lower_bound(9, fam.min_quorum_size()));
+  }
+  {
+    auto uq = std::make_shared<MajorityFamily>(7);
+    const CompositionFamily comp(uq, 30, 2);
+    const ProbeMeasurement m = measure_probes(comp, p, 20000, Rng(15));
+    EXPECT_GE(m.load() + 0.02,
+              sqs_load_lower_bound(30, comp.min_quorum_size()));
+  }
+}
+
+TEST(Tradeoffs, Theorem25AvailabilityCeilingForTruncatedProbing) {
+  // An SQS limited to 2 alpha - 1 probes cannot push availability to 1: the
+  // ceiling is 1 - (p - p^2)^(2a-1). Check the formula's basic shape.
+  EXPECT_LT(truncated_probe_availability_ceiling(0.3, 1), 1.0);
+  EXPECT_GT(truncated_probe_availability_ceiling(0.3, 2),
+            truncated_probe_availability_ceiling(0.3, 1));
+  // OPT_d (unbounded probes) beats the alpha=2 truncation ceiling for large
+  // n, which is the point of Theorem 25.
+  const OptDFamily fam(200, 2);
+  EXPECT_GT(fam.availability(0.3),
+            truncated_probe_availability_ceiling(0.3, 2));
+}
+
+TEST(Tradeoffs, GnRespectsLowerBoundRole) {
+  // Lemma 28: every optimal-availability SQS has PC_e* >= g(n); OPT_d's
+  // exact expected probes equal g(n) (Theorem 35), so no slack is left.
+  const int n = 30, alpha = 2;
+  const double p = 0.25;
+  const double g = serverprobe_complexity(n, alpha, p);
+  const ProbeMeasurement m = measure_probes(OptDFamily(n, alpha), p, 60000, Rng(17));
+  EXPECT_NEAR(m.probes_overall.mean(), g, 0.05);
+  // OPT_a also has optimal availability but much worse probe complexity.
+  const ProbeMeasurement a = measure_probes(OptAFamily(n, alpha), p, 20000, Rng(19));
+  EXPECT_GT(a.probes_overall.mean(), g);
+}
+
+}  // namespace
+}  // namespace sqs

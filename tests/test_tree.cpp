@@ -1,0 +1,143 @@
+#include "uqs/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/composition.h"
+#include "probe/engine.h"
+#include "probe/measurements.h"
+#include "uqs/majority.h"
+
+namespace sqs {
+namespace {
+
+TEST(Tree, UniverseAndMinQuorum) {
+  EXPECT_EQ(TreeFamily(1).universe_size(), 1);
+  EXPECT_EQ(TreeFamily(3).universe_size(), 7);
+  EXPECT_EQ(TreeFamily(4).universe_size(), 15);
+  EXPECT_EQ(TreeFamily(4).min_quorum_size(), 4);  // root-to-leaf path
+}
+
+TEST(Tree, AcceptsRootToLeafPath) {
+  const TreeFamily tree(3);  // nodes 0..6; 0 -> 1,2; 1 -> 3,4; 2 -> 5,6
+  // Path 0-1-3 live, everything else dead.
+  Configuration path(7, 0b0001011);
+  EXPECT_TRUE(tree.accepts(path));
+  // Root dead: need quorums of BOTH subtrees, e.g. 1-3 and 2-5.
+  Configuration need(7, (1u << 1) | (1u << 2) | (1u << 3) | (1u << 5));
+  EXPECT_TRUE(tree.accepts(need));
+  // Root dead and only the left subtree has a quorum: not enough.
+  Configuration half(7, (1u << 1) | (1u << 3));
+  EXPECT_FALSE(tree.accepts(half));
+}
+
+TEST(Tree, AvailabilityRecursionMatchesEnumeration) {
+  const TreeFamily tree(3);
+  for (double p : {0.1, 0.3, 0.45}) {
+    double enumerated = 0.0;
+    for (std::uint64_t mask = 0; mask < (1u << 7); ++mask) {
+      Configuration c(7, mask);
+      if (tree.accepts(c)) enumerated += c.probability(p);
+    }
+    EXPECT_NEAR(tree.availability(p), enumerated, 1e-12) << p;
+  }
+}
+
+class TreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeSweep, StrategyConclusiveOnAllConfigurations) {
+  const TreeFamily tree(GetParam());
+  const int n = tree.universe_size();
+  auto strategy = tree.make_probe_strategy();
+  Rng rng(7);
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Configuration c(n, mask);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(mask);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    ASSERT_EQ(record.acquired, tree.accepts(c)) << mask;
+    if (record.acquired) {
+      ASSERT_TRUE(c.accepts(record.quorum)) << mask;
+      ASSERT_EQ(record.quorum.negative_count(), 0u);
+      // The returned member set must itself satisfy the tree rule.
+      Configuration members(record.quorum.positive());
+      ASSERT_TRUE(tree.accepts(members)) << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(Tree, QuorumsPairwiseIntersect) {
+  const TreeFamily tree(4);
+  const int n = tree.universe_size();
+  Rng rng(11);
+  std::vector<SignedSet> quorums;
+  auto strategy = tree.make_probe_strategy();
+  for (int t = 0; t < 400; ++t) {
+    Configuration c(Bitset(static_cast<std::size_t>(n)));
+    Rng crng = rng.split(t);
+    for (int i = 0; i < n; ++i) c.set_up(i, !crng.bernoulli(0.25));
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(1000 + t);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    if (record.acquired) quorums.push_back(record.quorum);
+  }
+  ASSERT_GT(quorums.size(), 200u);
+  for (std::size_t i = 0; i < quorums.size(); ++i)
+    for (std::size_t j = i + 1; j < quorums.size(); ++j)
+      ASSERT_TRUE(SignedSet::positively_intersects(quorums[i], quorums[j]))
+          << quorums[i].to_string() << " vs " << quorums[j].to_string();
+}
+
+TEST(Tree, CheapProbesWhenHealthy) {
+  // With everything up, acquisition is one root-to-leaf walk: d probes.
+  const TreeFamily tree(5);
+  auto strategy = tree.make_probe_strategy();
+  Configuration all_up(Bitset::all_set(static_cast<std::size_t>(tree.universe_size())));
+  ConfigurationOracle oracle(&all_up);
+  Rng rng(3);
+  const ProbeRecord record = run_probe(*strategy, oracle, &rng);
+  EXPECT_TRUE(record.acquired);
+  EXPECT_EQ(record.num_probes, 5);
+  EXPECT_EQ(record.quorum.size(), 5u);
+}
+
+TEST(Tree, AvailabilityBelowMajorityButDegradesGracefully) {
+  // Majority is availability-optimal; the tree trades a little availability
+  // for log-size quorums.
+  const TreeFamily tree(4);  // n = 15
+  const MajorityFamily maj(15);
+  for (double p : {0.1, 0.2, 0.3}) {
+    EXPECT_LE(tree.availability(p), maj.availability(p) + 1e-12) << p;
+    EXPECT_GT(tree.availability(p), 0.5) << p;
+  }
+}
+
+TEST(Tree, ComposesWithOptA) {
+  auto tree = std::make_shared<TreeFamily>(4);  // min quorum 4 >= 2 alpha
+  const CompositionFamily comp(tree, 30, 2);
+  const ProbeMeasurement m = measure_probes(comp, 0.2, 8000, Rng(17));
+  EXPECT_GT(m.acquired.estimate(), 0.9999);
+  // Fast path dominates: expected probes near the tree's own (log n-ish).
+  EXPECT_LT(m.probes_overall.mean(), 12.0);
+}
+
+TEST(Tree, RandomizedDescentSpreadsLeafLoad) {
+  const TreeFamily tree(4);
+  const ProbeMeasurement m = measure_probes(tree, 0.05, 30000, Rng(23));
+  // Root is always probed.
+  EXPECT_DOUBLE_EQ(m.server_probe_frequency[0], 1.0);
+  // The 8 leaves (ids 7..14) share load roughly evenly.
+  double lo = 1.0, hi = 0.0;
+  for (int leaf = 7; leaf <= 14; ++leaf) {
+    lo = std::min(lo, m.server_probe_frequency[static_cast<std::size_t>(leaf)]);
+    hi = std::max(hi, m.server_probe_frequency[static_cast<std::size_t>(leaf)]);
+  }
+  EXPECT_LT(hi - lo, 0.05);
+  EXPECT_LT(hi, 0.25);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "probe/engine.h"
+#include "probe/measurements.h"
+#include "uqs/grid.h"
+#include "uqs/majority.h"
+#include "uqs/pqs.h"
+#include "util/binomial.h"
+
+namespace sqs {
+namespace {
+
+// ---- Majority / threshold ----
+
+class MajoritySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MajoritySweep, AvailabilityClosedFormMatchesEnumeration) {
+  const int n = GetParam();
+  const MajorityFamily fam(n);
+  for (double p : {0.1, 0.3, 0.45}) {
+    double enumerated = 0.0;
+    for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+      Configuration c(n, mask);
+      if (fam.accepts(c)) enumerated += c.probability(p);
+    }
+    EXPECT_NEAR(fam.availability(p), enumerated, 1e-10) << p;
+  }
+}
+
+TEST_P(MajoritySweep, StrategyConclusiveOnAllConfigurations) {
+  const int n = GetParam();
+  const MajorityFamily fam(n);
+  auto strategy = fam.make_probe_strategy();
+  Rng rng(17);
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Configuration c(n, mask);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(mask);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    ASSERT_EQ(record.acquired, fam.accepts(c)) << mask;
+    if (record.acquired) {
+      ASSERT_EQ(record.quorum.positive_count(),
+                static_cast<std::size_t>(n / 2 + 1));
+      ASSERT_EQ(record.quorum.negative_count(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MajoritySweep, ::testing::Values(3, 5, 7, 9, 10));
+
+TEST(Majority, RequiresMajorityOfServers) {
+  // The paper's framing: majority needs (n+1)/2 live servers...
+  const MajorityFamily fam(9);
+  EXPECT_EQ(fam.min_quorum_size(), 5);
+  EXPECT_TRUE(fam.is_strict());
+  EXPECT_FALSE(fam.accepts(Configuration(9, 0b000001111)));
+  EXPECT_TRUE(fam.accepts(Configuration(9, 0b000011111)));
+}
+
+TEST(Majority, AvailabilityCollapsesForLargePn) {
+  // ...so at p just over 1/2 availability collapses as n grows.
+  EXPECT_LT(MajorityFamily(101).availability(0.55),
+            MajorityFamily(11).availability(0.55));
+  EXPECT_LT(MajorityFamily(101).availability(0.55), 0.2);
+}
+
+TEST(Majority, RandomizedStrategyBalancesLoad) {
+  const MajorityFamily fam(9);
+  const ProbeMeasurement m = measure_probes(fam, 0.1, 30000, Rng(4));
+  // Every server should be probed with roughly equal frequency
+  // ~ E[probes]/n; max/min within 10%.
+  double lo = 1.0, hi = 0.0;
+  for (double f : m.server_probe_frequency) {
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  EXPECT_LT(hi - lo, 0.05);
+  EXPECT_NEAR(m.load(), m.probes_overall.mean() / 9.0, 0.03);
+}
+
+TEST(Threshold, NonMajorityThresholdIsNotStrict) {
+  const ThresholdFamily fam(10, 3);
+  EXPECT_FALSE(fam.is_strict());
+  const ThresholdFamily strict(10, 6);
+  EXPECT_TRUE(strict.is_strict());
+}
+
+// ---- Grid ----
+
+TEST(Grid, AcceptsNeedsLiveRowAndColumn) {
+  const GridFamily grid(3, 3);
+  // Full row 0 (cells 0,1,2) + full column 0 (cells 0,3,6).
+  Configuration c(9, 0b001001111ull);  // cells 0,1,2,3,6
+  EXPECT_TRUE(grid.accepts(c));
+  // Row 0 live but no full column.
+  Configuration row_only(9, 0b000000111ull);
+  EXPECT_FALSE(grid.accepts(row_only));
+  // Column live but no full row.
+  Configuration col_only(9, 0b001001001ull);
+  EXPECT_FALSE(grid.accepts(col_only));
+}
+
+class GridSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GridSweep, StrategyAgreesWithAcceptsOnAllConfigurations) {
+  const auto [rows, cols] = GetParam();
+  const GridFamily grid(rows, cols);
+  const int n = rows * cols;
+  auto strategy = grid.make_probe_strategy();
+  Rng rng(23);
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Configuration c(n, mask);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(mask);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    ASSERT_EQ(record.acquired, grid.accepts(c)) << mask;
+    if (record.acquired) {
+      // The quorum is a full row plus a full column of live cells.
+      ASSERT_EQ(record.quorum.size(), static_cast<std::size_t>(rows + cols - 1));
+      ASSERT_TRUE(c.accepts(record.quorum));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridSweep,
+                         ::testing::Values(std::make_tuple(2, 2),
+                                           std::make_tuple(3, 3),
+                                           std::make_tuple(2, 4),
+                                           std::make_tuple(4, 3)));
+
+TEST(Grid, QuorumsPairwiseIntersect) {
+  // Row_i ∪ Col_j intersects Row_i' ∪ Col_j' at cell (i, j') or (i', j).
+  const GridFamily grid(4, 4);
+  Rng rng(31);
+  Configuration all_up(16, 0xFFFF);
+  std::vector<SignedSet> quorums;
+  auto strategy = grid.make_probe_strategy();
+  for (int t = 0; t < 50; ++t) {
+    ConfigurationOracle oracle(&all_up);
+    Rng srng = rng.split(t);
+    quorums.push_back(run_probe(*strategy, oracle, &srng).quorum);
+  }
+  for (std::size_t i = 0; i < quorums.size(); ++i)
+    for (std::size_t j = i + 1; j < quorums.size(); ++j)
+      ASSERT_TRUE(SignedSet::positively_intersects(quorums[i], quorums[j]));
+}
+
+TEST(Grid, ClosedFormAvailabilityMatchesEnumeration) {
+  // Inclusion-exclusion vs brute force over all configurations.
+  for (const auto& [r, c] : {std::pair<int, int>{3, 3}, {4, 4}, {2, 5}}) {
+    const GridFamily grid(r, c);
+    const int n = r * c;
+    for (double p : {0.1, 0.3, 0.45}) {
+      double expect = 0.0;
+      for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+        Configuration conf(n, mask);
+        if (grid.accepts(conf)) expect += conf.probability(p);
+      }
+      ASSERT_NEAR(grid.availability(p), expect, 1e-10)
+          << r << "x" << c << " p=" << p;
+    }
+  }
+}
+
+TEST(Grid, ClosedFormScalesToLargeGrids) {
+  // 20x20 = 400 servers: enumeration is hopeless, the closed form is
+  // instant and sane.
+  const GridFamily grid(20, 20);
+  EXPECT_GT(grid.availability(0.01), 0.999);
+  EXPECT_LT(grid.availability(0.4), 1e-3);
+  // Monotone in p.
+  EXPECT_GT(grid.availability(0.05), grid.availability(0.1));
+}
+
+TEST(Grid, MinQuorumSize) {
+  EXPECT_EQ(GridFamily(4, 5).min_quorum_size(), 8);
+}
+
+// ---- PQS ----
+
+TEST(Pqs, QuorumSizeIsLTimesSqrtN) {
+  const PqsFamily pqs(100, 1.0);
+  EXPECT_EQ(pqs.min_quorum_size(), 10);
+  const PqsFamily pqs2(100, 2.0);
+  EXPECT_EQ(pqs2.min_quorum_size(), 20);
+}
+
+TEST(Pqs, IsNotStrict) {
+  EXPECT_FALSE(PqsFamily(100, 1.0).is_strict());
+}
+
+TEST(Pqs, IntersectionGuaranteeFormula) {
+  const PqsFamily pqs(100, 2.0);
+  EXPECT_NEAR(pqs.intersection_guarantee(), 1.0 - std::exp(-4.0), 1e-12);
+}
+
+TEST(Pqs, ExactNonintersectionMatchesMonteCarlo) {
+  const PqsFamily pqs(36, 1.0);  // quorum size 6
+  const double exact = pqs.exact_nonintersection_probability();
+  // Sample pairs of uniform quorums and count disjoint ones.
+  Rng rng(47);
+  int disjoint = 0;
+  const int trials = 200000;
+  std::vector<int> ids(36);
+  for (int t = 0; t < trials; ++t) {
+    std::iota(ids.begin(), ids.end(), 0);
+    // Partial Fisher-Yates: first 6 = quorum 1, next choose quorum 2 fresh.
+    for (int i = 0; i < 6; ++i)
+      std::swap(ids[i], ids[i + static_cast<int>(rng.next_below(36 - i))]);
+    std::uint64_t q1 = 0;
+    for (int i = 0; i < 6; ++i) q1 |= 1ull << ids[i];
+    std::iota(ids.begin(), ids.end(), 0);
+    for (int i = 0; i < 6; ++i)
+      std::swap(ids[i], ids[i + static_cast<int>(rng.next_below(36 - i))]);
+    std::uint64_t q2 = 0;
+    for (int i = 0; i < 6; ++i) q2 |= 1ull << ids[i];
+    if ((q1 & q2) == 0) ++disjoint;
+  }
+  EXPECT_NEAR(static_cast<double>(disjoint) / trials, exact, 0.005);
+}
+
+TEST(Pqs, ExactNonintersectionBelowMrwBound) {
+  // 1 - exact intersection >= the 1 - e^{-l^2} guarantee.
+  for (double l : {0.8, 1.0, 1.5}) {
+    const PqsFamily pqs(400, l);
+    EXPECT_LE(pqs.exact_nonintersection_probability(),
+              1.0 - pqs.intersection_guarantee() + 1e-9)
+        << l;
+  }
+}
+
+TEST(Pqs, StillNeedsThetaSqrtNLiveServers) {
+  // The paper's critique: PQS availability dies once fewer than l sqrt(n)
+  // servers are up.
+  const PqsFamily pqs(400, 1.0);  // needs 20 live servers
+  EXPECT_LT(pqs.availability(0.97), 0.05);  // E[up] = 12 < 20
+  EXPECT_GT(pqs.availability(0.90), 0.99);  // E[up] = 40 > 20
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,115 @@
+#include "uqs/weighted_voting.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/composition.h"
+#include "probe/engine.h"
+#include "uqs/majority.h"
+
+namespace sqs {
+namespace {
+
+TEST(WeightedVoting, EqualWeightsReduceToThreshold) {
+  const WeightedVotingFamily wv(std::vector<int>(7, 1), 4);
+  const MajorityFamily maj(7);
+  for (std::uint64_t mask = 0; mask < (1u << 7); ++mask) {
+    Configuration c(7, mask);
+    ASSERT_EQ(wv.accepts(c), maj.accepts(c)) << mask;
+  }
+  for (double p : {0.1, 0.3})
+    EXPECT_NEAR(wv.availability(p), maj.availability(p), 1e-10);
+}
+
+TEST(WeightedVoting, StrictnessDependsOnThreshold) {
+  EXPECT_TRUE(WeightedVotingFamily({3, 2, 2, 1, 1}, 5).is_strict());   // 9 total
+  EXPECT_FALSE(WeightedVotingFamily({3, 2, 2, 1, 1}, 4).is_strict());
+}
+
+TEST(WeightedVoting, MinQuorumSizeUsesHeaviestServers) {
+  const WeightedVotingFamily wv({5, 3, 1, 1, 1}, 6);
+  EXPECT_EQ(wv.min_quorum_size(), 2);  // 5 + 3
+  const WeightedVotingFamily wv2({2, 2, 2, 2}, 5);
+  EXPECT_EQ(wv2.min_quorum_size(), 3);
+}
+
+TEST(WeightedVoting, AcceptsSumsUpWeights) {
+  const WeightedVotingFamily wv({4, 2, 1}, 6);
+  EXPECT_TRUE(wv.accepts(Configuration(3, 0b011)));   // 4 + 2 = 6
+  EXPECT_FALSE(wv.accepts(Configuration(3, 0b101)));  // 4 + 1 = 5
+  EXPECT_TRUE(wv.accepts(Configuration(3, 0b111)));
+  EXPECT_FALSE(wv.accepts(Configuration(3, 0b110)));  // 2 + 1 = 3
+}
+
+TEST(WeightedVoting, StrategyConclusiveOnAllConfigurations) {
+  const WeightedVotingFamily wv({4, 3, 2, 2, 1, 1, 1}, 8);
+  auto strategy = wv.make_probe_strategy();
+  Rng rng(41);
+  for (std::uint64_t mask = 0; mask < (1u << 7); ++mask) {
+    Configuration c(7, mask);
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(mask);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    ASSERT_EQ(record.acquired, wv.accepts(c)) << mask;
+    if (record.acquired) {
+      // The quorum's weights must reach the threshold.
+      int votes = 0;
+      record.quorum.positive().for_each(
+          [&](std::size_t i) { votes += wv.weights()[i]; });
+      ASSERT_GE(votes, wv.quorum_votes());
+      ASSERT_TRUE(c.accepts(record.quorum));
+    }
+  }
+}
+
+TEST(WeightedVoting, HeavyFirstProbingUsesFewProbes) {
+  // One heavy coordinator (weight 5) + 10 light servers: with everything
+  // up, the strategy should reach 6 votes in ~2 probes.
+  std::vector<int> weights{5};
+  weights.insert(weights.end(), 10, 1);
+  const WeightedVotingFamily wv(weights, 6);
+  auto strategy = wv.make_probe_strategy();
+  Configuration all_up(Bitset::all_set(11));
+  ConfigurationOracle oracle(&all_up);
+  Rng rng(5);
+  const ProbeRecord record = run_probe(*strategy, oracle, &rng);
+  EXPECT_TRUE(record.acquired);
+  EXPECT_EQ(record.num_probes, 2);
+}
+
+TEST(WeightedVoting, ComposesWithOptA) {
+  // Strict weighted voting with min quorum >= 2 alpha composes like any UQ.
+  auto wv = std::make_shared<WeightedVotingFamily>(
+      std::vector<int>{2, 2, 2, 2, 2, 2, 2}, 8);  // min quorum 4 servers
+  ASSERT_TRUE(wv->is_strict());
+  ASSERT_GE(wv->min_quorum_size(), 4);
+  const CompositionFamily comp(wv, 20, 2);
+  auto strategy = comp.make_probe_strategy();
+  Rng rng(6);
+  for (std::uint64_t trial = 0; trial < 300; ++trial) {
+    Configuration c(Bitset(20));
+    Rng crng = rng.split(trial);
+    for (int i = 0; i < 20; ++i) c.set_up(i, !crng.bernoulli(0.3));
+    ConfigurationOracle oracle(&c);
+    Rng srng = rng.split(1000 + trial);
+    const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+    ASSERT_EQ(record.acquired, c.num_up() >= 2);
+  }
+}
+
+TEST(WeightedVoting, SkewedWeightsShrinkTheCriticalSet) {
+  // With weight concentrated on 3 servers, a quorum exists whenever those
+  // 3 are up — even with every light server down. Flat majority would need
+  // 5 of 9. (For i.i.d. p majority is availability-optimal [Barbara &
+  // Garcia-Molina], so the benefit of skew is the smaller critical set /
+  // fewer probes, not i.i.d. availability.)
+  const WeightedVotingFamily skew({5, 5, 5, 1, 1, 1, 1, 1, 1}, 11);
+  Configuration heavy_only(9, 0b000000111);
+  EXPECT_TRUE(skew.accepts(heavy_only));
+  EXPECT_FALSE(MajorityFamily(9).accepts(heavy_only));
+  EXPECT_EQ(skew.min_quorum_size(), 3);
+}
+
+}  // namespace
+}  // namespace sqs

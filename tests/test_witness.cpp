@@ -1,0 +1,126 @@
+#include "core/witness.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/constructions.h"
+#include "core/explicit_sqs.h"
+#include "mismatch/model.h"
+#include "probe/engine.h"
+#include "util/binomial.h"
+
+namespace sqs {
+namespace {
+
+TEST(Witness, QuorumsFormAValidSqs) {
+  // Materialize all witness quorums explicitly and verify Definition 3.
+  const int n = 8, w = 5, alpha = 2;
+  ExplicitSqs explicit_system(n, alpha);
+  for (std::uint64_t mask = 0; mask < (1u << w); ++mask) {
+    if (__builtin_popcountll(mask) < alpha) continue;
+    SignedSet s(n);
+    for (int i = 0; i < w; ++i) {
+      if ((mask >> i) & 1u) {
+        s.add_positive(i);
+      } else {
+        s.add_negative(i);
+      }
+    }
+    explicit_system.add_quorum(std::move(s));
+  }
+  EXPECT_TRUE(explicit_system.is_valid_sqs());
+  // And it matches the implicit family's acceptance on every configuration.
+  const WitnessFamily fam(n, w, alpha);
+  for (std::uint64_t mask = 0; mask < (1u << n); ++mask) {
+    Configuration c(n, mask);
+    ASSERT_EQ(fam.accepts(c), explicit_system.accepts(c)) << mask;
+  }
+}
+
+class WitnessSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WitnessSweep, StrategyConclusiveAndBounded) {
+  const auto [n, w, alpha] = GetParam();
+  const WitnessFamily fam(n, w, alpha);
+  auto strategy = fam.make_probe_strategy();
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Configuration c(n, mask);
+    ConfigurationOracle oracle(&c);
+    const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+    ASSERT_EQ(record.acquired, fam.accepts(c)) << mask;
+    ASSERT_LE(record.num_probes, w);
+    if (record.acquired) {
+      ASSERT_EQ(record.quorum.size(), static_cast<std::size_t>(w));
+      ASSERT_GE(record.quorum.positive_count(), static_cast<std::size_t>(alpha));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WitnessSweep,
+                         ::testing::Values(std::make_tuple(8, 4, 1),
+                                           std::make_tuple(8, 5, 2),
+                                           std::make_tuple(10, 6, 2),
+                                           std::make_tuple(12, 8, 3)));
+
+TEST(Witness, AvailabilityIsBinomialOverWitnessesOnly) {
+  const WitnessFamily fam(100, 10, 2);
+  for (double p : {0.1, 0.3, 0.5})
+    EXPECT_NEAR(fam.availability(p), binom_tail_geq(10, 2, 1 - p), 1e-12) << p;
+}
+
+TEST(Witness, NonOptimalVersusOptA) {
+  // The paper's point: the witness model is an SQS but not availability-
+  // optimal; OPT_a over the full universe strictly beats it for w < n.
+  const int n = 60, alpha = 2;
+  const WitnessFamily witness(n, 8, alpha);
+  const OptAFamily opt_a(n, alpha);
+  for (double p : {0.2, 0.4, 0.6})
+    EXPECT_LT(witness.availability(p), opt_a.availability(p)) << p;
+  // But it already achieves O(1) probes — the stepping stone to OPT_d.
+  auto strategy = witness.make_probe_strategy();
+  Configuration all_up(Bitset::all_set(static_cast<std::size_t>(n)));
+  ConfigurationOracle oracle(&all_up);
+  EXPECT_EQ(run_probe(*strategy, oracle, nullptr).num_probes, 8);
+}
+
+TEST(Witness, CustomWitnessSetIsRespected) {
+  const WitnessFamily fam(10, std::vector<int>{9, 7, 5, 3}, 2);
+  // Only the witness servers matter.
+  Configuration witnesses_up(10, (1u << 9) | (1u << 7));
+  EXPECT_TRUE(fam.accepts(witnesses_up));
+  Configuration others_up(10, 0b0001010111);  // none of 3,5,7,9... bits 0,1,2,4,6
+  EXPECT_FALSE(fam.accepts(others_up));
+  auto strategy = fam.make_probe_strategy();
+  strategy->reset(nullptr);
+  EXPECT_EQ(strategy->next_server(), 9);
+}
+
+TEST(Witness, RespectsTheorem9Bound) {
+  // Deterministic non-adaptive strategy => Theorem 9 applies directly.
+  const WitnessFamily fam(20, 8, 2);
+  MismatchModel model;
+  model.p = 0.1;
+  model.link_miss = 0.25;
+  const NonintersectionStats stats =
+      measure_nonintersection(fam, model, 200000, Rng(31));
+  EXPECT_LE(stats.nonintersection.wilson_low(), stats.bound);
+}
+
+TEST(Witness, EarlyFailureWhenWitnessesDie) {
+  // With the first w - alpha + 1 witnesses dead, failure is declared
+  // without probing the rest.
+  const WitnessFamily fam(10, 6, 2);
+  Bitset up = Bitset::all_set(10);
+  for (int i = 0; i < 5; ++i) up.reset(static_cast<std::size_t>(i));
+  Configuration c(up);
+  ConfigurationOracle oracle(&c);
+  auto strategy = fam.make_probe_strategy();
+  const ProbeRecord record = run_probe(*strategy, oracle, nullptr);
+  EXPECT_FALSE(record.acquired);
+  EXPECT_EQ(record.num_probes, 5);  // 5 failures make 2 positives impossible
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,270 @@
+// sqs_cli — command-line explorer for the library.
+//
+//   sqs_cli avail   --family optd --n 50 --alpha 2 --p 0.3
+//   sqs_cli probes  --family paths --l 4 --p 0.2 [--trials 20000]
+//   sqs_cli nonintersect --n 24 --alpha 2 --p 0.1 --miss 0.2
+//   sqs_cli verify  --n 3 --alpha 1 -1,3 1,-2,-3
+//   sqs_cli trace   --servers 30 --obs 200000 --p 0.05 --miss 0.02
+//   sqs_cli profile --family optd --n 16 --alpha 2
+//
+// Families: opta, optd, majority, grid (sqrt-n x sqrt-n), paths (--l),
+// tree (--depth), pqs (--l as multiplier), plane (--q, prime), witness (--w),
+// comp:<inner> (composition of the
+// inner family over k servers with OPT_a over --n; e.g. comp:majority
+// --k 9 --n 50 --alpha 2).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "analysis/profile.h"
+#include "core/explicit_sqs.h"
+#include "core/witness.h"
+#include "mismatch/exact.h"
+#include "mismatch/trace_gen.h"
+#include "probe/measurements.h"
+#include "probe/serverprobe.h"
+#include "uqs/grid.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+#include "uqs/pqs.h"
+#include "uqs/projective_plane.h"
+#include "uqs/tree.h"
+#include "util/table.h"
+
+namespace sqs {
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  int geti(const std::string& key, int fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoi(it->second);
+  }
+  double getd(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::string gets(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv, int start) {
+  Args args;
+  bool positional_only = false;
+  for (int i = start; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--") {
+      positional_only = true;  // everything after is positional (e.g. -1,3)
+      continue;
+    }
+    if (positional_only) {
+      args.positional.push_back(std::move(token));
+      continue;
+    }
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";
+      }
+    } else {
+      args.positional.push_back(std::move(token));
+    }
+  }
+  return args;
+}
+
+std::shared_ptr<QuorumFamily> make_family(const std::string& spec, const Args& args) {
+  const int n = args.geti("n", 50);
+  const int alpha = args.geti("alpha", 2);
+  if (spec.rfind("comp:", 0) == 0) {
+    Args inner_args = args;
+    inner_args.flags["n"] = std::to_string(args.geti("k", 9));
+    auto inner = make_family(spec.substr(5), inner_args);
+    return std::make_shared<CompositionFamily>(inner, n, alpha);
+  }
+  if (spec == "opta") return std::make_shared<OptAFamily>(n, alpha);
+  if (spec == "optd") return std::make_shared<OptDFamily>(n, alpha);
+  if (spec == "majority") return std::make_shared<MajorityFamily>(n);
+  if (spec == "grid") {
+    const int side = args.geti("side", static_cast<int>(std::round(std::sqrt(n))));
+    return std::make_shared<GridFamily>(side, side);
+  }
+  if (spec == "paths") return std::make_shared<PathsFamily>(args.geti("l", 4));
+  if (spec == "tree") return std::make_shared<TreeFamily>(args.geti("depth", 5));
+  if (spec == "pqs") return std::make_shared<PqsFamily>(n, args.getd("l", 1.0));
+  if (spec == "plane") return std::make_shared<ProjectivePlaneFamily>(args.geti("q", 5));
+  if (spec == "witness")
+    return std::make_shared<WitnessFamily>(n, args.geti("w", 8), alpha);
+  std::fprintf(stderr, "unknown family '%s'\n", spec.c_str());
+  std::exit(2);
+}
+
+int cmd_avail(const Args& args) {
+  auto family = make_family(args.gets("family", "optd"), args);
+  Table table({"p", "availability", "1-availability"});
+  std::vector<double> ps;
+  if (args.flags.count("p")) {
+    ps.push_back(args.getd("p", 0.3));
+  } else {
+    ps = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  }
+  for (double p : ps) {
+    const double a = family->availability(p);
+    table.add_row({Table::fmt(p, 2), Table::fmt(a, 6),
+                   Table::fmt_sci(std::max(0.0, 1.0 - a))});
+  }
+  table.print("availability of " + family->name());
+  return 0;
+}
+
+int cmd_probes(const Args& args) {
+  auto family = make_family(args.gets("family", "optd"), args);
+  const double p = args.getd("p", 0.3);
+  const int trials = args.geti("trials", 20000);
+  const ProbeMeasurement m = measure_probes(*family, p, trials, Rng(args.geti("seed", 1)));
+  Table table({"metric", "value"});
+  table.add_row({"E[probes] measured", Table::fmt(m.probes_overall.mean(), 3)});
+  table.add_row({"E[probes | acquired]", Table::fmt(m.probes_acquired.mean(), 3)});
+  table.add_row({"max probes seen", std::to_string(m.max_probes_seen)});
+  table.add_row({"acquire rate", Table::fmt(m.acquired.estimate(), 5)});
+  table.add_row({"load (max server probe freq)", Table::fmt(m.load(), 4)});
+  if (family->alpha() > 0 && family->universe_size() >= 3 * family->alpha() - 1) {
+    table.add_row({"g(n) lower bound (optimal-avail SQS)",
+                   Table::fmt(serverprobe_complexity(family->universe_size(),
+                                                     family->alpha(), p),
+                              3)});
+    table.add_row({"2a/(1-p) bound",
+                   Table::fmt(serverprobe_upper_bound(family->alpha(), p), 3)});
+  }
+  table.print("probe behaviour of " + family->name() + " at p=" + Table::fmt(p, 2));
+  return 0;
+}
+
+int cmd_nonintersect(const Args& args) {
+  const int n = args.geti("n", 24);
+  const int alpha = args.geti("alpha", 2);
+  const double p = args.getd("p", 0.1);
+  const double miss = args.getd("miss", 0.2);
+  const auto exact =
+      exact_nonintersection(n, alpha, p, miss, opt_d_stop_rule(n, alpha));
+  Table table({"quantity", "value"});
+  table.add_row({"epsilon = 2m/(1+m)", Table::fmt(exact.epsilon, 5)});
+  table.add_row({"P[non-intersection] (exact, OPT_d)",
+                 Table::fmt_sci(exact.nonintersection)});
+  table.add_row({"Theorem 9 bound eps^2a", Table::fmt_sci(exact.bound)});
+  table.add_row({"P[both clients acquire]", Table::fmt(exact.both_acquire, 6)});
+  table.print("two-client non-intersection, n=" + std::to_string(n) +
+              ", alpha=" + std::to_string(alpha));
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const int n = args.geti("n", 0);
+  const int alpha = args.geti("alpha", 1);
+  if (n <= 0 || args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: sqs_cli verify --n N --alpha A <set> <set> ...\n"
+                 "       each set is comma-separated signed 1-based ids, "
+                 "e.g. -1,3\n");
+    return 2;
+  }
+  ExplicitSqs system(n, alpha);
+  for (const std::string& spec : args.positional) {
+    std::vector<int> literals;
+    std::stringstream stream(spec);
+    std::string item;
+    while (std::getline(stream, item, ',')) literals.push_back(std::stoi(item));
+    system.add_quorum(SignedSet::from_literals(n, literals));
+  }
+  const auto violation = system.verify();
+  if (!violation.has_value()) {
+    std::printf("VALID signed quorum system (n=%d, alpha=%d, %zu quorums)\n", n,
+                alpha, system.num_quorums());
+    Table table({"p", "availability"});
+    for (double p : {0.1, 0.2, 0.3, 0.4}) {
+      if (n <= 24)
+        table.add_row({Table::fmt(p, 2), Table::fmt(system.availability(p), 6)});
+    }
+    if (n <= 24) table.print("availability");
+    return 0;
+  }
+  std::printf("INVALID: quorums #%zu %s and #%zu %s satisfy neither "
+              "intersection nor dual overlap >= %d\n",
+              violation->first,
+              system.quorums()[violation->first].to_string().c_str(),
+              violation->second,
+              system.quorums()[violation->second].to_string().c_str(),
+              2 * alpha);
+  return 1;
+}
+
+int cmd_profile(const Args& args) {
+  auto family = make_family(args.gets("family", "optd"), args);
+  const int samples = args.geti("samples", 5000);
+  const AcceptanceProfile profile =
+      acceptance_profile(*family, samples, Rng(args.geti("seed", 1)));
+  Table table({"k live servers", "P[quorum exists | k]"});
+  for (std::size_t k = 0; k < profile.probability.size(); ++k)
+    table.add_row({std::to_string(k), Table::fmt(profile.probability[k], 4)});
+  table.print("acceptance profile of " + family->name());
+  std::printf("guaranteed-availability threshold: %d; impossible at or below: %d\n",
+              profile.guaranteed_threshold(), profile.impossible_below());
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  TraceConfig config;
+  config.num_servers = args.geti("servers", 30);
+  config.num_observations = args.geti("obs", 200000);
+  config.model.p = args.getd("p", 0.05);
+  config.model.link_miss = args.getd("miss", 0.02);
+  config.model.partition_rate = args.getd("partition-rate", 0.0);
+  config.model.partition_fraction = args.getd("partition-fraction", 0.5);
+  const MismatchHistogram hist = run_trace(config, Rng(args.geti("seed", 1)));
+  const auto predicted = independent_prediction(config, 8);
+  Table table({"k", "P(k) measured", "P(k) iid prediction"});
+  for (std::size_t k = 0; k <= 8; ++k)
+    table.add_row({std::to_string(k), Table::fmt_sci(hist.at(k)),
+                   Table::fmt_sci(predicted[k])});
+  table.print("simultaneous-mismatch histogram");
+  std::printf("log10 slope %.3f, max residual %.3f\n", hist.log10_slope(6),
+              hist.max_log10_residual(6));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sqs_cli <avail|probes|nonintersect|verify|trace|profile> "
+               "[--flags]\n  see the header of tools/sqs_cli.cpp\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace sqs
+
+int main(int argc, char** argv) {
+  if (argc < 2) return sqs::usage();
+  const std::string command = argv[1];
+  const sqs::Args args = sqs::parse(argc, argv, 2);
+  if (command == "avail") return sqs::cmd_avail(args);
+  if (command == "probes") return sqs::cmd_probes(args);
+  if (command == "nonintersect") return sqs::cmd_nonintersect(args);
+  if (command == "verify") return sqs::cmd_verify(args);
+  if (command == "trace") return sqs::cmd_trace(args);
+  if (command == "profile") return sqs::cmd_profile(args);
+  return sqs::usage();
+}
