@@ -10,12 +10,15 @@
 //       never beat OPT_a (Theorem 16), and acceptance sets with sub-alpha
 //       configurations always lose (Lemma 15).
 
+#include <chrono>
 #include <cstdio>
 #include <algorithm>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "core/constructions.h"
+#include "runtime/run_trials.h"
 #include "uqs/grid.h"
 #include "uqs/majority.h"
 #include "uqs/paths.h"
@@ -23,6 +26,7 @@
 #include "uqs/tree.h"
 #include "analysis/profile.h"
 #include "core/witness.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace sqs {
@@ -115,21 +119,27 @@ void optimality_audit() {
   for (const auto& [n, alpha] : {std::pair<int, int>{6, 2}, {7, 2}, {8, 3}}) {
     const ExplicitSqs opt_a = opt_a_explicit(n, alpha);
     const double p = 0.3;
-    // Random greedy SQS search.
-    double best_random = 0.0;
-    for (int trial = 0; trial < 200; ++trial) {
-      ExplicitSqs q(n, alpha);
-      for (int attempt = 0; attempt < 60; ++attempt) {
-        SignedSet s(n);
-        for (int i = 0; i < n; ++i) {
-          const auto roll = rng.next_below(3);
-          if (roll == 0) s.add_positive(i);
-          if (roll == 1) s.add_negative(i);
-        }
-        if (s.positive_count() > 0 && q.can_add(s)) q.add_quorum(s);
-      }
-      best_random = std::max(best_random, q.availability(p));
-    }
+    // Random greedy SQS search, sharded over the trial runtime (the
+    // per-(n, alpha) searches are independent trials with a max-reduce).
+    TrialOptions search_opts;
+    search_opts.chunk_size = 25;
+    const double best_random = run_trials(
+        200, rng.split(static_cast<std::uint64_t>(n * 100 + alpha)), 0.0,
+        [&](double& best, std::uint64_t, Rng& trial_rng) {
+          ExplicitSqs q(n, alpha);
+          for (int attempt = 0; attempt < 60; ++attempt) {
+            SignedSet s(n);
+            for (int i = 0; i < n; ++i) {
+              const auto roll = trial_rng.next_below(3);
+              if (roll == 0) s.add_positive(i);
+              if (roll == 1) s.add_negative(i);
+            }
+            if (s.positive_count() > 0 && q.can_add(s)) q.add_quorum(s);
+          }
+          best = std::max(best, q.availability(p));
+        },
+        [](double& total, double part) { total = std::max(total, part); },
+        search_opts);
     // Largest SQS forced to contain a sub-alpha configuration (Lemma 15):
     // exactly alpha-1 servers up.
     ExplicitSqs low(n, alpha);
@@ -145,15 +155,82 @@ void optimality_audit() {
   table.print("Theorem 16 / Lemma 15 audit: nothing beats OPT_a");
 }
 
+// Times the Monte Carlo availability workload at 1 thread and at 8 threads
+// and records both (plus params and the measured estimates) in
+// BENCH_availability.json, so the perf trajectory of the shared trial
+// runtime is tracked from this PR onward.
+void scaling_json(int configured_threads) {
+  // Paths has no closed-form availability (PQS/Majority inherit the
+  // ThresholdFamily binomial tail), so this exercises the default Monte
+  // Carlo path: 200k sampled configurations on the trial runtime, each
+  // evaluated by two BFS percolation checks over a 23x23 edge grid.
+  const int l = 22, samples = 200000;  // universe = 2*22*23 = 1012 servers
+  const double p = 0.3;
+  const PathsFamily fam(l);
+  const int n = fam.universe_size();
+
+  struct Run {
+    int threads;
+    double wall_ms;
+    double value;
+  };
+  std::vector<Run> runs;
+  for (const int threads : {1, 8}) {
+    set_default_threads(threads);
+    const auto start = std::chrono::steady_clock::now();
+    const double value = fam.availability(p);
+    const auto stop = std::chrono::steady_clock::now();
+    runs.push_back(
+        {threads,
+         std::chrono::duration<double, std::milli>(stop - start).count(),
+         value});
+  }
+  set_default_threads(configured_threads);
+
+  JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "availability");
+  json.key("workload");
+  json.begin_object()
+      .kv("name", "paths_mc_availability")
+      .kv("family", fam.name())
+      .kv("n", n)
+      .kv("p", p)
+      .kv("trials", samples)
+      .end_object();
+  json.key("runs").begin_array();
+  for (const Run& r : runs) {
+    json.begin_object()
+        .kv("threads", r.threads)
+        .kv("wall_ms", r.wall_ms)
+        .kv("value", r.value)
+        .end_object();
+  }
+  json.end_array();
+  json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
+  json.kv("deterministic", runs[0].value == runs[1].value);
+  json.end_object();
+  json.write_file("BENCH_availability.json");
+  std::printf(
+      "\n[runtime] MC availability n=%d trials=%d: %.1f ms @1 thread, "
+      "%.1f ms @8 threads (speedup %.2fx, identical=%s) -> "
+      "BENCH_availability.json\n",
+      n, samples, runs[0].wall_ms, runs[1].wall_ms,
+      runs[0].wall_ms / runs[1].wall_ms,
+      runs[0].value == runs[1].value ? "yes" : "NO");
+}
+
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = sqs::init_threads_from_args(argc, argv);
   std::printf("Availability study (Sect. 5, Theorem 16, Lemma 15).\n");
   sqs::availability_vs_p();
   sqs::availability_vs_n();
   sqs::profile_table();
   sqs::optimality_audit();
+  sqs::scaling_json(threads);
   std::printf(
       "\nShape checks vs the paper:\n"
       "  * OPT_a available as long as any alpha servers live: availability\n"

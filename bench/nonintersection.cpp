@@ -9,8 +9,10 @@
 //   the bound computed from the marginal epsilon — the reason the paper
 //   validates independence (Fig. 1) and filters partitioned clients.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/composition.h"
 #include "core/constructions.h"
@@ -18,6 +20,7 @@
 #include "mismatch/model.h"
 #include "uqs/majority.h"
 #include "uqs/paths.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace sqs {
@@ -106,14 +109,82 @@ void correlated_break() {
               "(alpha=1, eps=0.039)");
 }
 
+// Times the two-client sampling workload at 1 and 8 threads and records the
+// scaling in BENCH_nonintersection.json (the per-trial work here — two full
+// probe acquisitions — is the repo's most parallelism-hungry estimator).
+void scaling_json(int configured_threads) {
+  const int n = 24, alpha = 2, trials = 400000;
+  const OptDFamily fam(n, alpha);
+  MismatchModel model;
+  model.p = 0.1;
+  model.link_miss = 0.2;
+
+  struct Run {
+    int threads;
+    double wall_ms;
+    std::size_t nonintersections;
+  };
+  std::vector<Run> runs;
+  for (const int threads : {1, 8}) {
+    TrialOptions opts;
+    opts.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const NonintersectionStats stats =
+        measure_nonintersection(fam, model, trials, Rng(42), 1.0, opts);
+    const auto stop = std::chrono::steady_clock::now();
+    runs.push_back(
+        {threads,
+         std::chrono::duration<double, std::milli>(stop - start).count(),
+         stats.nonintersection.successes});
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "nonintersection");
+  json.key("workload");
+  json.begin_object()
+      .kv("name", "optd_two_client_sampling")
+      .kv("family", fam.name())
+      .kv("n", n)
+      .kv("alpha", alpha)
+      .kv("p", model.p)
+      .kv("link_miss", model.link_miss)
+      .kv("trials", trials)
+      .end_object();
+  json.key("runs").begin_array();
+  for (const Run& r : runs) {
+    json.begin_object()
+        .kv("threads", r.threads)
+        .kv("wall_ms", r.wall_ms)
+        .kv("nonintersections", static_cast<std::uint64_t>(r.nonintersections))
+        .end_object();
+  }
+  json.end_array();
+  json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
+  json.kv("deterministic",
+          runs[0].nonintersections == runs[1].nonintersections);
+  json.end_object();
+  json.write_file("BENCH_nonintersection.json");
+  std::printf(
+      "\n[runtime] two-client sampling n=%d trials=%d: %.1f ms @1 thread, "
+      "%.1f ms @8 threads (speedup %.2fx, identical=%s) -> "
+      "BENCH_nonintersection.json\n",
+      n, trials, runs[0].wall_ms, runs[1].wall_ms,
+      runs[0].wall_ms / runs[1].wall_ms,
+      runs[0].nonintersections == runs[1].nonintersections ? "yes" : "NO");
+  (void)configured_threads;
+}
+
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = sqs::init_threads_from_args(argc, argv);
   std::printf("Non-intersection study (Sect. 4: Theorems 9/12/44).\n");
   sqs::theorem9_sweep();
   sqs::theorem44_composition();
   sqs::correlated_break();
+  sqs::scaling_json(threads);
   std::printf(
       "\nShape checks vs the paper:\n"
       "  * measured non-intersection <= eps^2a for OPT_d, <= 2 eps^2a for\n"

@@ -6,16 +6,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/composition.h"
 #include "core/constructions.h"
 #include "probe/engine.h"
+#include "probe/measurements.h"
 #include "probe/sequential_analysis.h"
 #include "probe/serverprobe.h"
+#include "runtime/run_trials.h"
 #include "sim/harness.h"
 #include "uqs/majority.h"
 #include "uqs/paths.h"
+#include "util/json.h"
 
 namespace sqs {
 namespace {
@@ -105,6 +111,19 @@ void BM_SequentialAnalysisDp(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialAnalysisDp)->Arg(64)->Arg(512);
 
+// The shared trial runtime end to end: sharded probe measurement at a given
+// thread count (results are identical across the Arg values by contract).
+void BM_TrialRuntimeMeasureProbes(benchmark::State& state) {
+  const OptDFamily fam(256, 2);
+  TrialOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measure_probes(fam, 0.25, 20000, Rng(1), opts).probes_overall.mean());
+  }
+}
+BENCHMARK(BM_TrialRuntimeMeasureProbes)->Arg(1)->Arg(2)->Arg(8);
+
 void BM_RegisterExperimentSecond(benchmark::State& state) {
   const OptDFamily fam(12, 2);
   RegisterExperimentConfig config;
@@ -119,7 +138,72 @@ void BM_RegisterExperimentSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_RegisterExperimentSecond);
 
+// Wall-clock scaling record for the perf trajectory: the sharded probe
+// measurement workload at 1 and 8 threads, written to BENCH_perf.json.
+void write_perf_json() {
+  const int n = 256, alpha = 2, trials = 200000;
+  const double p = 0.25;
+  const OptDFamily fam(n, alpha);
+
+  struct Run {
+    int threads;
+    double wall_ms;
+    double mean_probes;
+  };
+  std::vector<Run> runs;
+  for (const int threads : {1, 8}) {
+    TrialOptions opts;
+    opts.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const ProbeMeasurement m = measure_probes(fam, p, trials, Rng(7), opts);
+    const auto stop = std::chrono::steady_clock::now();
+    runs.push_back(
+        {threads,
+         std::chrono::duration<double, std::milli>(stop - start).count(),
+         m.probes_overall.mean()});
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "perf_microbench");
+  json.key("workload");
+  json.begin_object()
+      .kv("name", "optd_measure_probes")
+      .kv("family", fam.name())
+      .kv("n", n)
+      .kv("alpha", alpha)
+      .kv("p", p)
+      .kv("trials", trials)
+      .end_object();
+  json.key("runs").begin_array();
+  for (const Run& r : runs) {
+    json.begin_object()
+        .kv("threads", r.threads)
+        .kv("wall_ms", r.wall_ms)
+        .kv("mean_probes", r.mean_probes)
+        .end_object();
+  }
+  json.end_array();
+  json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
+  json.kv("deterministic", runs[0].mean_probes == runs[1].mean_probes);
+  json.end_object();
+  json.write_file("BENCH_perf.json");
+  std::printf(
+      "[runtime] measure_probes n=%d trials=%d: %.1f ms @1 thread, %.1f ms "
+      "@8 threads (speedup %.2fx, identical=%s) -> BENCH_perf.json\n",
+      n, trials, runs[0].wall_ms, runs[1].wall_ms,
+      runs[0].wall_ms / runs[1].wall_ms,
+      runs[0].mean_probes == runs[1].mean_probes ? "yes" : "NO");
+}
+
 }  // namespace
 }  // namespace sqs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sqs::write_perf_json();
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "probe/measurements.h"
 #include "probe/sequential_analysis.h"
 #include "probe/serverprobe.h"
+#include "runtime/run_trials.h"
 #include "util/table.h"
 
 namespace sqs {
@@ -75,16 +76,21 @@ void worst_case() {
   // expected probes approach (n-a+1)(n+1)/(n-a+2) ~ n.
   const int n = 24, alpha = 2;
   const OptDFamily fam(n, alpha);
-  Rng rng(5);
-  RunningStat probes;
-  auto strategy = fam.make_probe_strategy();
-  for (int t = 0; t < 20000; ++t) {
-    // Uniform configuration with exactly alpha-1 = 1 server up.
-    Configuration c(Bitset(static_cast<std::size_t>(n)));
-    c.set_up(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))), true);
-    ConfigurationOracle oracle(&c);
-    probes.add(run_probe(*strategy, oracle, nullptr).num_probes);
-  }
+  const RunningStat probes = run_trial_chunks(
+      20000, Rng(5), RunningStat{},
+      [&](RunningStat& acc, const TrialChunk& tc, Rng& rng) {
+        auto strategy = fam.make_probe_strategy();
+        for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
+          // Uniform configuration with exactly alpha-1 = 1 server up.
+          Configuration c(Bitset(static_cast<std::size_t>(n)));
+          c.set_up(
+              static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))),
+              true);
+          ConfigurationOracle oracle(&c);
+          acc.add(run_probe(*strategy, oracle, nullptr).num_probes);
+        }
+      },
+      [](RunningStat& total, RunningStat&& part) { total.merge(part); });
   const double bound = (n - alpha + 1.0) * (n + 1.0) / (n - alpha + 2.0);
   std::printf("  Lemma 31 (PC_w* = Theta(n)): measured E[probes | C_{a-1}] = %.2f,"
               " lower bound %.2f, n = %d\n",
@@ -113,7 +119,8 @@ void theorem25() {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   std::printf("Probe-complexity study (Sect. 6).\n");
   sqs::g_vs_measured();
   sqs::sweep_alpha_p();

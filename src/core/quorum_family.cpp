@@ -1,5 +1,7 @@
 #include "core/quorum_family.h"
 
+#include "runtime/run_trials.h"
+
 namespace sqs {
 
 double QuorumFamily::availability(double p) const {
@@ -20,13 +22,17 @@ double QuorumFamily::availability_exact_enumeration(double p) const {
 double QuorumFamily::availability_monte_carlo(double p, int samples,
                                               std::uint64_t seed) const {
   const int n = universe_size();
-  Rng rng(seed);
-  int live = 0;
-  for (int s = 0; s < samples; ++s) {
-    Configuration config(Bitset(static_cast<std::size_t>(n)));
-    for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
-    if (accepts(config)) ++live;
-  }
+  // Sharded over the trial runtime: chunk c draws its configurations from
+  // Rng(seed).split(c) and the live counts are summed in chunk order, so
+  // the estimate is identical for any SQS_THREADS value.
+  const std::int64_t live = run_trials(
+      static_cast<std::uint64_t>(samples), Rng(seed), std::int64_t{0},
+      [&](std::int64_t& acc, std::uint64_t, Rng& rng) {
+        Configuration config(Bitset(static_cast<std::size_t>(n)));
+        for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
+        if (accepts(config)) ++acc;
+      },
+      [](std::int64_t& total, std::int64_t part) { total += part; });
   return static_cast<double>(live) / static_cast<double>(samples);
 }
 

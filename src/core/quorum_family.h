@@ -54,7 +54,9 @@ class QuorumFamily {
  protected:
   // Exact availability by enumerating all 2^n configurations (n <= 24).
   double availability_exact_enumeration(double p) const;
-  // Monte Carlo availability over `samples` sampled configurations.
+  // Monte Carlo availability over `samples` sampled configurations. Runs
+  // on the shared trial runtime (parallel across SQS_THREADS); the chunked
+  // seeding makes the estimate bit-identical for any thread count.
   double availability_monte_carlo(double p, int samples, std::uint64_t seed) const;
 };
 

@@ -18,6 +18,7 @@
 
 #include "core/quorum_family.h"
 #include "probe/engine.h"
+#include "runtime/run_trials.h"
 #include "util/bitset.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -73,10 +74,12 @@ struct NonintersectionStats {
 // clients use family->make_probe_strategy(); for deterministic non-adaptive
 // strategies this matches Theorem 9's hypothesis, and intersection is
 // checked on the *probed* sets per Definition 8). `bound_factor` is 1 for
-// Theorem 9/12 and 2 for Theorem 44 (composition).
+// Theorem 9/12 and 2 for Theorem 44 (composition). Trials execute on the
+// shared parallel runtime; results are identical for any thread count.
 NonintersectionStats measure_nonintersection(const QuorumFamily& family,
                                              const MismatchModel& model,
                                              int trials, Rng rng,
-                                             double bound_factor = 1.0);
+                                             double bound_factor = 1.0,
+                                             const TrialOptions& opts = {});
 
 }  // namespace sqs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "probe/engine.h"
 
@@ -13,55 +14,106 @@ double ProbeMeasurement::load() const {
   return best;
 }
 
-ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials,
-                                Rng rng) {
-  const int n = family.universe_size();
-  ProbeMeasurement out;
-  std::vector<long> probe_counts(static_cast<std::size_t>(n), 0);
-  auto strategy = family.make_probe_strategy();
+namespace {
 
-  for (int t = 0; t < trials; ++t) {
-    Configuration config(Bitset(static_cast<std::size_t>(n)));
-    for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
-    ConfigurationOracle oracle(&config);
-    Rng strategy_rng = rng.split(static_cast<std::uint64_t>(t));
-    const ProbeRecord record = run_probe(*strategy, oracle, &strategy_rng);
+// Per-shard accumulator for measure_probes; merged in chunk order by the
+// trial runtime so every aggregate is thread-count-invariant.
+struct ProbeAccumulator {
+  Proportion acquired;
+  RunningStat probes_overall;
+  RunningStat probes_acquired;
+  RunningStat probes_failed;
+  int max_probes_seen = 0;
+  std::vector<long> probe_counts;
 
-    out.acquired.add(record.acquired);
-    out.probes_overall.add(record.num_probes);
-    (record.acquired ? out.probes_acquired : out.probes_failed)
-        .add(record.num_probes);
-    out.max_probes_seen = std::max(out.max_probes_seen, record.num_probes);
-    record.probed.positive().for_each(
-        [&](std::size_t i) { ++probe_counts[i]; });
-    record.probed.negative().for_each(
-        [&](std::size_t i) { ++probe_counts[i]; });
+  void merge(ProbeAccumulator&& other) {
+    acquired.merge(other.acquired);
+    probes_overall.merge(other.probes_overall);
+    probes_acquired.merge(other.probes_acquired);
+    probes_failed.merge(other.probes_failed);
+    max_probes_seen = std::max(max_probes_seen, other.max_probes_seen);
+    if (probe_counts.size() < other.probe_counts.size())
+      probe_counts.resize(other.probe_counts.size(), 0);
+    for (std::size_t i = 0; i < other.probe_counts.size(); ++i)
+      probe_counts[i] += other.probe_counts[i];
   }
+};
 
+}  // namespace
+
+ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials,
+                                Rng rng, const TrialOptions& opts) {
+  const int n = family.universe_size();
+
+  const ProbeAccumulator acc = run_trial_chunks(
+      static_cast<std::uint64_t>(trials), rng, ProbeAccumulator{},
+      [&](ProbeAccumulator& shard, const TrialChunk& tc, Rng& chunk_rng) {
+        shard.probe_counts.assign(static_cast<std::size_t>(n), 0);
+        auto strategy = family.make_probe_strategy();
+        for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
+          Configuration config(Bitset(static_cast<std::size_t>(n)));
+          for (int i = 0; i < n; ++i) config.set_up(i, !chunk_rng.bernoulli(p));
+          ConfigurationOracle oracle(&config);
+          Rng strategy_rng = chunk_rng.split(t - tc.begin);
+          const ProbeRecord record = run_probe(*strategy, oracle, &strategy_rng);
+
+          shard.acquired.add(record.acquired);
+          shard.probes_overall.add(record.num_probes);
+          (record.acquired ? shard.probes_acquired : shard.probes_failed)
+              .add(record.num_probes);
+          shard.max_probes_seen =
+              std::max(shard.max_probes_seen, record.num_probes);
+          record.probed.positive().for_each(
+              [&](std::size_t i) { ++shard.probe_counts[i]; });
+          record.probed.negative().for_each(
+              [&](std::size_t i) { ++shard.probe_counts[i]; });
+        }
+      },
+      [](ProbeAccumulator& total, ProbeAccumulator&& part) {
+        total.merge(std::move(part));
+      },
+      opts);
+
+  ProbeMeasurement out;
+  out.acquired = acc.acquired;
+  out.probes_overall = acc.probes_overall;
+  out.probes_acquired = acc.probes_acquired;
+  out.probes_failed = acc.probes_failed;
+  out.max_probes_seen = acc.max_probes_seen;
   out.server_probe_frequency.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     out.server_probe_frequency[static_cast<std::size_t>(i)] =
-        static_cast<double>(probe_counts[static_cast<std::size_t>(i)]) /
-        static_cast<double>(trials);
+        acc.probe_counts.empty()
+            ? 0.0
+            : static_cast<double>(acc.probe_counts[static_cast<std::size_t>(i)]) /
+                  static_cast<double>(trials);
   return out;
 }
 
-int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng) {
+int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng,
+                      const TrialOptions& opts) {
   const int n = family.universe_size();
   assert(n <= 20 && "worst_case_probes enumerates all configurations");
-  auto strategy = family.make_probe_strategy();
-  int worst = 0;
-  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
-    Configuration config(n, mask);
-    ConfigurationOracle oracle(&config);
-    long total = 0;
-    for (int r = 0; r < repeats; ++r) {
-      Rng strategy_rng = rng.split(mask * 131 + static_cast<std::uint64_t>(r));
-      total += run_probe(*strategy, oracle, &strategy_rng).num_probes;
-    }
-    worst = std::max(worst, static_cast<int>(total / repeats));
-  }
-  return worst;
+  return run_trial_chunks(
+      1ull << n, rng, 0,
+      [&](int& worst, const TrialChunk& tc, Rng&) {
+        auto strategy = family.make_probe_strategy();
+        for (std::uint64_t mask = tc.begin; mask < tc.end; ++mask) {
+          Configuration config(n, mask);
+          ConfigurationOracle oracle(&config);
+          long total = 0;
+          for (int r = 0; r < repeats; ++r) {
+            // Per-configuration streams derive from the caller's rng (not
+            // the chunk rng) exactly as the sequential code did, so the
+            // chunk partition cannot influence any strategy's randomness.
+            Rng strategy_rng =
+                rng.split(mask * 131 + static_cast<std::uint64_t>(r));
+            total += run_probe(*strategy, oracle, &strategy_rng).num_probes;
+          }
+          worst = std::max(worst, static_cast<int>(total / repeats));
+        }
+      },
+      [](int& total, int part) { total = std::max(total, part); }, opts);
 }
 
 }  // namespace sqs

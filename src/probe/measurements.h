@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/quorum_family.h"
+#include "runtime/run_trials.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -29,13 +30,18 @@ struct ProbeMeasurement {
 
 // Runs `trials` acquisitions, each against a fresh configuration sampled
 // with i.i.d. failure probability p, using the family's probe strategy.
+// Trials run sharded on the parallel runtime; all statistics (including the
+// Welford aggregates, merged in chunk order) are identical for any thread
+// count.
 ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials,
-                                Rng rng);
+                                Rng rng, const TrialOptions& opts = {});
 
 // Exhaustive worst-case probe count over all 2^n configurations (n <= 20)
 // for the family's strategy; for randomized strategies the strategy's random
 // choices are still drawn (pass repeats > 1 to approximate the expectation
-// per configuration, matching PC_w^*'s inner expectation).
-int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng);
+// per configuration, matching PC_w^*'s inner expectation). The 2^n
+// configuration space is sharded across the parallel runtime.
+int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng,
+                      const TrialOptions& opts = {});
 
 }  // namespace sqs

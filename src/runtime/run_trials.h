@@ -1,0 +1,101 @@
+// Deterministic sharded trial execution.
+//
+// run_trials / run_trial_chunks split `n_trials` into fixed-size chunks.
+// Chunk c covers trials [c*chunk_size, min(n_trials, (c+1)*chunk_size)) and
+// draws all of its randomness from Rng base.split(c); partial accumulators
+// are merged strictly in ascending chunk order after every chunk completed.
+// Which thread executed which chunk therefore never influences the result:
+// for a fixed chunk_size the output is bit-identical for 1 thread, N
+// threads, and the inline sequential fallback. This is the determinism
+// contract every Monte Carlo entry point in the repo is written against
+// (see DESIGN.md, "Parallel trial runtime").
+//
+// Accumulator requirements: copy-constructible (the `zero` argument is the
+// per-chunk identity), and merged via a caller-supplied
+// merge(Acc& into, Acc&& part). Floating-point merges are deterministic
+// because the merge order is fixed — but note they need not equal a single
+// unchunked sequential loop, which is why the refactored estimators define
+// their published output as the chunked reduction.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+inline constexpr std::uint64_t kDefaultTrialChunk = 1024;
+
+struct TrialOptions {
+  // Total participating threads (caller included); 0 means default_threads().
+  int threads = 0;
+  // Trials per shard; also the granularity of rng splitting and reduction.
+  std::uint64_t chunk_size = kDefaultTrialChunk;
+};
+
+struct TrialChunk {
+  std::uint64_t index = 0;  // chunk number, the Rng::split argument
+  std::uint64_t begin = 0;  // first trial (global index, inclusive)
+  std::uint64_t end = 0;    // last trial (global index, exclusive)
+};
+
+// Chunk-level entry point for consumers that amortize per-shard setup
+// (probe-strategy instances, scratch buffers) across a whole chunk.
+// chunk_fn(Acc&, const TrialChunk&, Rng&) runs the chunk's trials against a
+// fresh accumulator copied from `zero` and the chunk's private rng.
+template <typename Acc, typename ChunkFn, typename MergeFn>
+Acc run_trial_chunks(std::uint64_t n_trials, const Rng& base, const Acc& zero,
+                     ChunkFn&& chunk_fn, MergeFn&& merge,
+                     const TrialOptions& opts = {}) {
+  const std::uint64_t chunk_size =
+      opts.chunk_size > 0 ? opts.chunk_size : kDefaultTrialChunk;
+  const std::uint64_t num_chunks = (n_trials + chunk_size - 1) / chunk_size;
+  Acc total(zero);
+  if (num_chunks == 0) return total;
+
+  std::vector<Acc> parts(static_cast<std::size_t>(num_chunks), zero);
+  auto process = [&](std::uint64_t c) {
+    TrialChunk tc;
+    tc.index = c;
+    tc.begin = c * chunk_size;
+    tc.end = std::min(n_trials, tc.begin + chunk_size);
+    Rng rng = base.split(c);
+    chunk_fn(parts[static_cast<std::size_t>(c)], tc, rng);
+  };
+
+  int threads = opts.threads > 0 ? opts.threads : default_threads();
+  if (threads > 1 && num_chunks > 1 && !ThreadPool::inside_worker()) {
+    ThreadPool::global(threads - 1).for_each_chunk(num_chunks, threads,
+                                                   process);
+  } else {
+    // Sequential / nested fallback: same chunking, same merge order below,
+    // hence the same bits.
+    for (std::uint64_t c = 0; c < num_chunks; ++c) process(c);
+  }
+
+  for (Acc& part : parts) merge(total, std::move(part));
+  return total;
+}
+
+// Trial-level entry point: per_trial(Acc&, std::uint64_t trial_index, Rng&)
+// is called once per trial with the chunk's rng (shared sequentially by the
+// trials of one chunk).
+template <typename Acc, typename TrialFn, typename MergeFn>
+Acc run_trials(std::uint64_t n_trials, const Rng& base, const Acc& zero,
+               TrialFn&& per_trial, MergeFn&& merge,
+               const TrialOptions& opts = {}) {
+  return run_trial_chunks(
+      n_trials, base, zero,
+      [&](Acc& acc, const TrialChunk& tc, Rng& rng) {
+        for (std::uint64_t t = tc.begin; t < tc.end; ++t)
+          per_trial(acc, t, rng);
+      },
+      std::forward<MergeFn>(merge), opts);
+}
+
+}  // namespace sqs

@@ -1,0 +1,163 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sqs {
+
+namespace {
+
+std::atomic<int> g_default_threads{0};
+
+thread_local bool tl_inside_worker = false;
+
+int env_threads() {
+  const char* raw = std::getenv("SQS_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || v <= 0 || v > 4096) return 0;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int default_threads() {
+  const int pinned = g_default_threads.load(std::memory_order_relaxed);
+  if (pinned > 0) return pinned;
+  const int env = env_threads();
+  if (env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void set_default_threads(int n) {
+  g_default_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+int init_threads_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const int v = std::atoi(argv[i + 1]);
+      if (v > 0) {
+        set_default_threads(v);
+        return v;
+      }
+    }
+  }
+  return 0;
+}
+
+ThreadPool& ThreadPool::global(int min_workers) {
+  // Leaked deliberately: workers must outlive any static whose destructor
+  // might still submit work during program teardown.
+  static ThreadPool* pool = new ThreadPool(0);
+  pool->ensure_workers(min_workers);
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int workers) { ensure_workers(workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ensure_workers(int workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < workers)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+bool ThreadPool::inside_worker() { return tl_inside_worker; }
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (generation_ != seen_generation && slots_ > 0);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    --slots_;
+    ++running_;
+    lock.unlock();
+    tl_inside_worker = true;
+    run_chunks();
+    tl_inside_worker = false;
+    lock.lock();
+    if (--running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks() {
+  for (;;) {
+    if (abort_.load(std::memory_order_relaxed)) return;
+    const std::uint64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks_) return;
+    try {
+      (*fn_)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (c < error_chunk_) {
+        error_chunk_ = c;
+        error_ = std::current_exception();
+      }
+      abort_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::for_each_chunk(std::uint64_t num_chunks, int max_threads,
+                                const std::function<void(std::uint64_t)>& fn) {
+  if (num_chunks == 0) return;
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    error_chunk_ = ~0ull;
+    int worker_cap = std::max(max_threads - 1, 0);
+    if (static_cast<std::uint64_t>(worker_cap) > num_chunks)
+      worker_cap = static_cast<int>(num_chunks);
+    slots_ = std::min(worker_cap, static_cast<int>(threads_.size()));
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is a full participant; it also shields nested run_trials
+  // calls from re-entering the pool (they run inline).
+  const bool was_inside = tl_inside_worker;
+  tl_inside_worker = true;
+  run_chunks();
+  tl_inside_worker = was_inside;
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Close the batch: workers that have not joined yet never will, so
+    // waiting for running_ == 0 cannot miss a late joiner.
+    slots_ = 0;
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    error = error_;
+    fn_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace sqs

@@ -1,6 +1,7 @@
 #include "sim/harness.h"
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace sqs {
@@ -108,6 +109,39 @@ RegisterExperimentResult run_register_experiment(
   // Allow in-flight operations a grace period to finish.
   e.sim.run_until(config.duration + 60.0);
   return e.result;
+}
+
+ReplicatedRegisterResult run_register_experiment_replicated(
+    const QuorumFamily& family, const RegisterExperimentConfig& config,
+    int replicates, const TrialOptions& opts) {
+  // One replicate per chunk: chunk index == replicate index, so the runtime
+  // hands replicate r the rng Rng(config.seed).split(r) and concatenates
+  // results in replicate order regardless of which thread ran which.
+  TrialOptions per_replicate = opts;
+  per_replicate.chunk_size = 1;
+  ReplicatedRegisterResult out;
+  out.results = run_trials(
+      static_cast<std::uint64_t>(replicates), Rng(config.seed),
+      std::vector<RegisterExperimentResult>{},
+      [&](std::vector<RegisterExperimentResult>& acc, std::uint64_t,
+          Rng& rng) {
+        RegisterExperimentConfig replicate_config = config;
+        replicate_config.seed = rng.next_u64();
+        acc.push_back(run_register_experiment(family, replicate_config));
+      },
+      [](std::vector<RegisterExperimentResult>& total,
+         std::vector<RegisterExperimentResult>&& part) {
+        for (auto& r : part) total.push_back(std::move(r));
+      },
+      per_replicate);
+
+  for (const RegisterExperimentResult& r : out.results) {
+    out.availability.add(r.availability());
+    out.stale_read_fraction.add(r.stale_read_fraction());
+    out.probes_per_op.add(r.probes_per_op.mean());
+    out.latency_p99.add(r.latency_percentile(99));
+  }
+  return out;
 }
 
 }  // namespace sqs

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/quorum_family.h"
+#include "runtime/run_trials.h"
 #include "sim/client.h"
 #include "util/stats.h"
 
@@ -69,5 +70,24 @@ struct RegisterExperimentResult {
 // Runs the experiment; the family's universe_size() fixes the server count.
 RegisterExperimentResult run_register_experiment(
     const QuorumFamily& family, const RegisterExperimentConfig& config);
+
+// Replication sweep: `replicates` independent runs of the experiment with
+// seeds derived from config.seed via the trial runtime's chunked splitting
+// (replicate r uses Rng(config.seed).split(r)). Replicates execute in
+// parallel across SQS_THREADS — each discrete-event Simulator stays
+// single-threaded inside its shard — and `results` is ordered by replicate
+// index, so the sweep is bit-identical for any thread count.
+struct ReplicatedRegisterResult {
+  std::vector<RegisterExperimentResult> results;  // one per replicate
+  // Across-replicate distributions of the headline metrics.
+  RunningStat availability;
+  RunningStat stale_read_fraction;
+  RunningStat probes_per_op;
+  RunningStat latency_p99;
+};
+
+ReplicatedRegisterResult run_register_experiment_replicated(
+    const QuorumFamily& family, const RegisterExperimentConfig& config,
+    int replicates, const TrialOptions& opts = {});
 
 }  // namespace sqs

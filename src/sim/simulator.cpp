@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,28 +8,25 @@ namespace sqs {
 
 void Simulator::schedule(double delay, std::function<void()> fn) {
   assert(delay >= 0.0);
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{now_ + delay, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Simulator::Event Simulator::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = event.time;
+  return event;
 }
 
 void Simulator::run_until(double deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
-    // priority_queue::top() is const; move out via const_cast-free copy of
-    // the closure by re-wrapping: pop after copying the small members.
-    Event event = queue_.top();
-    queue_.pop();
-    now_ = event.time;
-    event.fn();
-  }
+  while (!heap_.empty() && heap_.front().time <= deadline) pop_next().fn();
   if (now_ < deadline) now_ = deadline;
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    now_ = event.time;
-    event.fn();
-  }
+  while (!heap_.empty()) pop_next().fn();
 }
 
 }  // namespace sqs

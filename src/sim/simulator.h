@@ -9,13 +9,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace sqs {
 
 class Simulator {
  public:
+  Simulator() { heap_.reserve(kInitialCapacity); }
+
   double now() const { return now_; }
 
   // Schedules fn to run `delay` seconds from now (delay >= 0).
@@ -28,22 +29,35 @@ class Simulator {
   // Runs until the queue drains.
   void run();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return heap_.size(); }
 
  private:
+  // The queue is a binary heap over a plain vector (std::push_heap /
+  // std::pop_heap) rather than std::priority_queue: priority_queue::top()
+  // is const, forcing a copy of the event's std::function before pop() —
+  // one heap allocation per event in the hot loop. The vector heap lets
+  // both schedule() and the pop path move the closure.
   struct Event {
     double time;
     std::uint64_t seq;
     std::function<void()> fn;
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  };
+  // Orders the heap so the earliest (time, seq) event is at the front.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
+  static constexpr std::size_t kInitialCapacity = 1024;
+
+  // Removes and returns the earliest event, advancing the clock.
+  Event pop_next();
+
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> heap_;
 };
 
 }  // namespace sqs

@@ -1,0 +1,59 @@
+// Minimal streaming JSON writer for machine-readable bench output.
+//
+// The bench drivers emit BENCH_*.json files (name, params, trials, wall-ms,
+// threads) so the perf trajectory of the repo can be tracked across PRs
+// without scraping the human-readable tables. The writer covers exactly the
+// subset those files need: nested objects/arrays, string/number/bool/null
+// scalars, correct escaping, deterministic number formatting.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Must precede the value inside an object scope.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  // key + value in one call, the common case for flat records.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+
+  // Writes str() (plus a trailing newline) to `path`; false on I/O error.
+  bool write_file(const std::string& path) const;
+
+ private:
+  void separator();
+
+  std::string out_;
+  // One entry per open scope: true once the scope has emitted an element
+  // (so the next one needs a comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace sqs

@@ -18,6 +18,24 @@ class RunningStat {
     m2_ += delta * (x - mean_);
   }
 
+  // Folds another accumulator in (Chan et al.'s pairwise update). Used by
+  // the parallel trial runtime to reduce per-chunk statistics in chunk
+  // order, which keeps the combined value deterministic for any thread
+  // count (though not bit-equal to one long sequence of add() calls).
+  void merge(const RunningStat& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * (nb / (na + nb));
+    m2_ += other.m2_ + delta * delta * (na * nb / (na + nb));
+    count_ += other.count_;
+  }
+
   std::size_t count() const { return count_; }
   double mean() const { return mean_; }
   double variance() const {
@@ -42,6 +60,10 @@ struct Proportion {
   void add(bool success) {
     ++trials;
     if (success) ++successes;
+  }
+  void merge(const Proportion& other) {
+    successes += other.successes;
+    trials += other.trials;
   }
   double estimate() const {
     return trials == 0 ? 0.0

@@ -12,6 +12,10 @@
 // comp:<inner> (composition of the
 // inner family over k servers with OPT_a over --n; e.g. comp:majority
 // --k 9 --n 50 --alpha 2).
+//
+// Every Monte Carlo subcommand runs on the shared parallel trial runtime.
+// `--threads N` (or the SQS_THREADS environment variable) picks the thread
+// count; results are bit-identical whatever value is used.
 
 #include <cmath>
 #include <cstdio>
@@ -31,6 +35,7 @@
 #include "mismatch/trace_gen.h"
 #include "probe/measurements.h"
 #include "probe/serverprobe.h"
+#include "runtime/thread_pool.h"
 #include "uqs/grid.h"
 #include "uqs/majority.h"
 #include "uqs/paths.h"
@@ -249,7 +254,8 @@ int cmd_trace(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: sqs_cli <avail|probes|nonintersect|verify|trace|profile> "
-               "[--flags]\n  see the header of tools/sqs_cli.cpp\n");
+               "[--flags]\n  global: --threads N (or SQS_THREADS) for the "
+               "parallel trial runtime\n  see the header of tools/sqs_cli.cpp\n");
   return 2;
 }
 
@@ -258,6 +264,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return sqs::usage();
+  sqs::init_threads_from_args(argc, argv);
   const std::string command = argv[1];
   const sqs::Args args = sqs::parse(argc, argv, 2);
   if (command == "avail") return sqs::cmd_avail(args);
