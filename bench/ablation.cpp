@@ -30,6 +30,8 @@
 #include "util/binomial.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -242,10 +244,12 @@ void cushion_scaling() {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Ablation study of OPT_d's stop rules and the composition cushion.\n");
   sqs::optd_rule_ablation();
   sqs::cushion_ablation();
   sqs::cushion_scaling();
+  sqs::obs::export_telemetry_files();
   return 0;
 }

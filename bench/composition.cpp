@@ -19,6 +19,8 @@
 #include "uqs/paths.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -94,10 +96,12 @@ void corollary46_sweep() {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Composition study (Definition 40, Theorems 42/45, Corollary 46).\n");
   sqs::paths_properties();
   sqs::theorem42_bounds();
   sqs::corollary46_sweep();
+  sqs::obs::export_telemetry_files();
   return 0;
 }

@@ -17,6 +17,8 @@
 #include "uqs/majority.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -164,12 +166,14 @@ void theorems_22_23_24() {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Construction audits for Figs. 2-5 and Theorems 14/20/22/23/24/34/41.\n");
   sqs::fig2_opt_a();
   sqs::fig3_forms();
   sqs::fig4_opt_d_layers();
   sqs::fig5_composition_bands();
   sqs::theorems_22_23_24();
+  sqs::obs::export_telemetry_files();
   return 0;
 }

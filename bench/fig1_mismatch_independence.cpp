@@ -15,6 +15,8 @@
 #include "mismatch/trace_gen.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -98,7 +100,8 @@ void print_violation_modes() {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Reproduction of Fig. 1 (Yu, Signed Quorum Systems, PODC'04).\n"
               "Paper: RON1/TACT measurement traces; here: synthetic traces with\n"
               "the same mechanism (independent link flaps), see DESIGN.md.\n");
@@ -108,5 +111,6 @@ int main() {
   std::printf("\nPaper claim: both curves near-linear on log scale => independence.\n"
               "Expected shape reproduced iff the residual above is small and the\n"
               "partitioned/unfiltered variants visibly bend upward in the tail.\n");
+  sqs::obs::export_telemetry_files();
   return 0;
 }

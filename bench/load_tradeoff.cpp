@@ -21,6 +21,8 @@
 #include "uqs/projective_plane.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -121,10 +123,12 @@ void exact_load_profile() {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Load study (Sect. 7.1, Sect. 6.3).\n");
   sqs::bounds_table();
   sqs::exact_load_profile();
   sqs::rotation_trick();
+  sqs::obs::export_telemetry_files();
   return 0;
 }

@@ -23,6 +23,8 @@
 #include "util/json.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -124,6 +126,12 @@ void scaling_json(int configured_threads) {
     double wall_ms;
     std::size_t nonintersections;
   };
+  // Metrics stay on for the measured runs so the BENCH record carries the
+  // runtime chunk/steal/queue telemetry of the workload it timed.
+  const obs::TelemetryConfig saved_config = obs::current_config();
+  obs::TelemetryConfig metrics_config = saved_config;
+  metrics_config.metrics = true;
+  obs::configure(metrics_config);
   std::vector<Run> runs;
   for (const int threads : {1, 8}) {
     TrialOptions opts;
@@ -137,6 +145,8 @@ void scaling_json(int configured_threads) {
          std::chrono::duration<double, std::milli>(stop - start).count(),
          stats.nonintersection.successes});
   }
+  const obs::MetricsSnapshot metrics = obs::Registry::instance().snapshot();
+  obs::configure(saved_config);
 
   JsonWriter json;
   json.begin_object();
@@ -163,6 +173,8 @@ void scaling_json(int configured_threads) {
   json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
   json.kv("deterministic",
           runs[0].nonintersections == runs[1].nonintersections);
+  json.key("metrics");
+  metrics.write_json(json);
   json.end_object();
   json.write_file("BENCH_nonintersection.json");
   std::printf(
@@ -180,6 +192,7 @@ void scaling_json(int configured_threads) {
 
 int main(int argc, char** argv) {
   const int threads = sqs::init_threads_from_args(argc, argv);
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Non-intersection study (Sect. 4: Theorems 9/12/44).\n");
   sqs::theorem9_sweep();
   sqs::theorem44_composition();
@@ -192,5 +205,6 @@ int main(int argc, char** argv) {
       "  * the rate falls exponentially in alpha;\n"
       "  * correlated partitions break the iid bound, motivating Fig. 1's\n"
       "    validation and the filtering step.\n");
+  sqs::obs::export_telemetry_files();
   return 0;
 }

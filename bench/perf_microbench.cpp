@@ -23,6 +23,8 @@
 #include "uqs/paths.h"
 #include "util/json.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -124,6 +126,45 @@ void BM_TrialRuntimeMeasureProbes(benchmark::State& state) {
 }
 BENCHMARK(BM_TrialRuntimeMeasureProbes)->Arg(1)->Arg(2)->Arg(8);
 
+// The telemetry disabled fast path: one relaxed atomic load + branch per
+// record. This is the cost every instrumented hot loop pays when no --trace
+// or --metrics flag is given; it must stay in the ~1 ns range.
+void BM_TelemetryDisabledCounter(benchmark::State& state) {
+  obs::Counter counter = obs::Registry::instance().counter("bench.disabled");
+  obs::Histogram hist = obs::Registry::instance().histogram(
+      "bench.disabled_hist", obs::pow2_bounds(0, 16));
+  const obs::TelemetryConfig saved = obs::current_config();
+  obs::TelemetryConfig off = saved;
+  off.metrics = false;
+  off.trace = false;
+  obs::configure(off);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    counter.add();
+    hist.record(i++ & 0xffff);
+  }
+  obs::configure(saved);
+}
+BENCHMARK(BM_TelemetryDisabledCounter);
+
+// The enabled slow path: thread-local shard lookup + integer adds.
+void BM_TelemetryEnabledCounter(benchmark::State& state) {
+  obs::Counter counter = obs::Registry::instance().counter("bench.enabled");
+  obs::Histogram hist = obs::Registry::instance().histogram(
+      "bench.enabled_hist", obs::pow2_bounds(0, 16));
+  const obs::TelemetryConfig saved = obs::current_config();
+  obs::TelemetryConfig on = saved;
+  on.metrics = true;
+  obs::configure(on);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    counter.add();
+    hist.record(i++ & 0xffff);
+  }
+  obs::configure(saved);
+}
+BENCHMARK(BM_TelemetryEnabledCounter);
+
 void BM_RegisterExperimentSecond(benchmark::State& state) {
   const OptDFamily fam(12, 2);
   RegisterExperimentConfig config;
@@ -186,8 +227,46 @@ void write_perf_json() {
   json.end_array();
   json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
   json.kv("deterministic", runs[0].mean_probes == runs[1].mean_probes);
+
+  // Telemetry overhead check (acceptance: compiled-in-but-disabled telemetry
+  // costs <= ~2% on the probe hot loop). Same workload, telemetry off vs
+  // metrics on, single-threaded so timing noise is minimal; the estimates
+  // must be identical — recording never draws randomness.
+  const obs::TelemetryConfig saved_config = obs::current_config();
+  auto timed_run = [&](bool metrics, double* mean_probes) {
+    obs::TelemetryConfig cfg = saved_config;
+    cfg.metrics = metrics;
+    cfg.trace = false;
+    obs::configure(cfg);
+    TrialOptions opts;
+    opts.threads = 1;
+    const auto start = std::chrono::steady_clock::now();
+    const ProbeMeasurement m = measure_probes(fam, p, trials, Rng(7), opts);
+    const auto stop = std::chrono::steady_clock::now();
+    *mean_probes = m.probes_overall.mean();
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+  };
+  double mean_off = 0.0, mean_on = 0.0;
+  const double wall_off = timed_run(false, &mean_off);
+  const double wall_on = timed_run(true, &mean_on);
+  const obs::MetricsSnapshot metrics = obs::Registry::instance().snapshot();
+  obs::configure(saved_config);
+  json.key("telemetry");
+  json.begin_object()
+      .kv("wall_ms_disabled", wall_off)
+      .kv("wall_ms_metrics_on", wall_on)
+      .kv("enabled_overhead_pct", 100.0 * (wall_on - wall_off) / wall_off)
+      .kv("identical_estimates", mean_off == mean_on)
+      .end_object();
+  json.key("metrics");
+  metrics.write_json(json);
   json.end_object();
   json.write_file("BENCH_perf.json");
+  std::printf(
+      "[obs] telemetry overhead on measure_probes: %.1f ms off, %.1f ms "
+      "metrics-on (%.2f%%), identical estimates=%s\n",
+      wall_off, wall_on, 100.0 * (wall_on - wall_off) / wall_off,
+      mean_off == mean_on ? "yes" : "NO");
   std::printf(
       "[runtime] measure_probes n=%d trials=%d: %.1f ms @1 thread, %.1f ms "
       "@8 threads (speedup %.2fx, identical=%s) -> BENCH_perf.json\n",
@@ -201,9 +280,11 @@ void write_perf_json() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
+  sqs::obs::init_telemetry_from_args(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   sqs::write_perf_json();
+  sqs::obs::export_telemetry_files();
   return 0;
 }

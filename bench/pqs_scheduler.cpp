@@ -20,6 +20,8 @@
 #include "util/rng.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -132,7 +134,8 @@ void simulated_scheduler() {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Sect. 2.2 reproduction: PQS under an asynchronous scheduler.\n");
   sqs::no_scheduler();
   sqs::adversarial_scheduler();
@@ -141,5 +144,6 @@ int main() {
   std::printf(
       "\nShape check vs the paper: 7/9 -> 0 under the adversarial scheduler;\n"
       "SQS makes the needed mismatch assumption explicit instead.\n");
+  sqs::obs::export_telemetry_files();
   return 0;
 }

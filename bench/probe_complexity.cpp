@@ -21,6 +21,8 @@
 #include "runtime/run_trials.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -121,6 +123,7 @@ void theorem25() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Probe-complexity study (Sect. 6).\n");
   sqs::g_vs_measured();
   sqs::sweep_alpha_p();
@@ -133,5 +136,6 @@ int main(int argc, char** argv) {
       "  * worst case remains n — the lower bounds bind;\n"
       "  * truncated probing caps availability (Theorem 25), while OPT_d\n"
       "    with the same alpha reaches ~1 at large n.\n");
+  sqs::obs::export_telemetry_files();
   return 0;
 }

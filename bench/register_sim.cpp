@@ -21,6 +21,8 @@
 #include "uqs/majority.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -135,10 +137,12 @@ void replication_sweep() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("End-to-end replicated register reproduction (Sect. 1 motivation).\n");
   sqs::family_comparison();
   sqs::alpha_sweep();
   sqs::amnesia_ablation();
   sqs::replication_sweep();
+  sqs::obs::export_telemetry_files();
   return 0;
 }

@@ -27,6 +27,8 @@
 #include "uqs/majority.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -97,7 +99,8 @@ class ShuffledFamily : public OptDFamily {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   using namespace sqs;
   std::printf("Strategy-class map for the Sect. 4 bound (open-question probe).\n");
   const int n = 16, alpha = 2;
@@ -139,5 +142,6 @@ int main() {
       "orders make OPT_d prefixes incompatible — which is why Sect. 6.3\n"
       "mandates a shared order. Adaptive strategies (S4) fall outside\n"
       "Theorem 9/12 but the paper proves them separately (Theorem 44).\n");
+  sqs::obs::export_telemetry_files();
   return 0;
 }

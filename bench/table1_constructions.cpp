@@ -24,6 +24,8 @@
 #include "uqs/paths.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -80,7 +82,8 @@ void availability_floor_table() {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Reproduction of Table 1 (Yu, Signed Quorum Systems).\n");
   sqs::table_for(0.1);
   sqs::table_for(0.3);
@@ -92,5 +95,6 @@ int main() {
       "  * Composition keeps OPT_a availability while probes track the inner\n"
       "    Paths system (growing with l) and load falls as ~1/l.\n"
       "  * Majority/PQS availability collapses once p approaches 1/2.\n");
+  sqs::obs::export_telemetry_files();
   return 0;
 }

@@ -22,6 +22,8 @@
 #include "uqs/paths.h"
 #include "util/table.h"
 
+#include "obs/telemetry.h"
+
 namespace sqs {
 namespace {
 
@@ -74,9 +76,11 @@ void tradeoff_table(double p) {
 }  // namespace
 }  // namespace sqs
 
-int main() {
+int main(int argc, char** argv) {
+  sqs::obs::init_telemetry_from_args(argc, argv);
   std::printf("Tradeoff study (Naor-Wool Inequalities 1-3 vs SQS; Sect. 1, 7).\n");
   sqs::tradeoff_table(0.2);
   sqs::tradeoff_table(0.35);
+  sqs::obs::export_telemetry_files();
   return 0;
 }

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json records against a committed baseline.
+
+Each bench driver that tracks the perf trajectory writes a BENCH_<name>.json
+with a "runs" array of {threads, wall_ms, ...} entries and a "workload"
+object holding the parameters (including "trials"). This script pairs fresh
+records with the baseline copies committed under bench/baselines/ and fails
+(exit 1) when any matched run regressed by more than --threshold (default
+25%) in wall_ms — but only when the workloads are actually comparable, i.e.
+the trial counts (and the rest of the workload parameters) are equal.
+
+Usage:
+  scripts/bench_diff.py --baseline bench/baselines --fresh build/bench
+  scripts/bench_diff.py --fresh build/bench --update   # refresh baselines
+
+Non-comparable or missing records are reported and skipped, never fatal:
+a new bench has no baseline yet, and a workload bump legitimately resets
+the trajectory (commit the fresh record via --update in the same PR).
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+
+def load_records(directory):
+    records = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"[bench_diff] WARNING: cannot read {path}: {err}")
+            continue
+        records[os.path.basename(path)] = data
+    return records
+
+
+def comparable(baseline, fresh):
+    """Runs are comparable only when the measured workload is identical."""
+    return baseline.get("workload") == fresh.get("workload")
+
+
+def diff_record(name, baseline, fresh, threshold):
+    """Returns a list of regression strings (empty when the record is ok)."""
+    if not comparable(baseline, fresh):
+        print(f"[bench_diff] {name}: workload changed, skipping "
+              f"(baseline {baseline.get('workload')} vs "
+              f"fresh {fresh.get('workload')}); refresh with --update")
+        return []
+    baseline_runs = {r["threads"]: r for r in baseline.get("runs", [])}
+    regressions = []
+    for run in fresh.get("runs", []):
+        threads = run.get("threads")
+        base = baseline_runs.get(threads)
+        if base is None:
+            print(f"[bench_diff] {name}: no baseline run at "
+                  f"threads={threads}, skipping")
+            continue
+        base_ms, fresh_ms = base["wall_ms"], run["wall_ms"]
+        ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            regressions.append(
+                f"{name} threads={threads}: {base_ms:.1f} ms -> "
+                f"{fresh_ms:.1f} ms ({(ratio - 1.0) * 100:+.1f}%)")
+        print(f"[bench_diff] {name} threads={threads}: "
+              f"{base_ms:.1f} ms -> {fresh_ms:.1f} ms "
+              f"({(ratio - 1.0) * 100:+.1f}%) {status}")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baselines",
+                        help="directory with committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", required=True,
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fail when wall_ms grows by more than this "
+                             "fraction (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh records over the baselines instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    fresh = load_records(args.fresh)
+    if not fresh:
+        print(f"[bench_diff] no BENCH_*.json found in {args.fresh}")
+        return 1
+
+    if args.update:
+        os.makedirs(args.baseline, exist_ok=True)
+        for name in sorted(fresh):
+            dest = os.path.join(args.baseline, name)
+            shutil.copyfile(os.path.join(args.fresh, name), dest)
+            print(f"[bench_diff] baseline updated: {dest}")
+        return 0
+
+    baseline = load_records(args.baseline)
+    regressions = []
+    for name in sorted(fresh):
+        if name not in baseline:
+            print(f"[bench_diff] {name}: no committed baseline, skipping "
+                  f"(add one with --update)")
+            continue
+        regressions += diff_record(name, baseline[name], fresh[name],
+                                   args.threshold)
+
+    if regressions:
+        print(f"\n[bench_diff] FAILED: {len(regressions)} regression(s) "
+              f"beyond {args.threshold * 100:.0f}%:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print("\n[bench_diff] all matched runs within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

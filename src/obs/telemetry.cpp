@@ -1,0 +1,284 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "obs/store.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace sqs {
+namespace obs {
+
+namespace detail {
+
+std::atomic<unsigned> g_telemetry_flags{0};
+
+Store& store() {
+  static Store* s = new Store;
+  return *s;
+}
+
+Shard& shard() {
+  thread_local Shard s;
+  return s;
+}
+
+void Shard::flush() {
+  if (!dirty && events.empty()) return;
+  Store& st = store();
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (std::size_t i = 0; i < counters.size(); ++i)
+    st.counter_totals[i] += counters[i];
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    ShardHist& h = hists[i];
+    if (h.count == 0) continue;
+    HistTotals& t = st.hist_totals[i];
+    if (t.counts.size() < h.counts.size()) t.counts.resize(h.counts.size(), 0);
+    for (std::size_t b = 0; b < h.counts.size(); ++b) t.counts[b] += h.counts[b];
+    t.count += h.count;
+    t.sum += h.sum;
+    t.min = std::min(t.min, h.min);
+    t.max = std::max(t.max, h.max);
+  }
+  counters.clear();
+  hists.clear();
+  dirty = false;
+  for (TraceEvent& e : events) st.events.push_back(e);
+  events.clear();
+}
+
+}  // namespace detail
+
+void configure(const TelemetryConfig& config) {
+  detail::Store& st = detail::store();
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.config = config;
+  }
+  st.max_trace_events.store(config.max_trace_events, std::memory_order_relaxed);
+  const unsigned flags =
+      (config.metrics ? 1u : 0u) | (config.trace ? 2u : 0u);
+  detail::g_telemetry_flags.store(flags, std::memory_order_relaxed);
+}
+
+TelemetryConfig current_config() {
+  detail::Store& st = detail::store();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.config;
+}
+
+void Counter::add_slow(std::uint64_t delta) const {
+  detail::Shard& s = detail::shard();
+  if (s.counters.size() <= id_) s.counters.resize(id_ + 1, 0);
+  s.counters[id_] += delta;
+  s.dirty = true;
+}
+
+void Histogram::record_slow(std::uint64_t value) const {
+  detail::Shard& s = detail::shard();
+  if (s.hists.size() <= id_) s.hists.resize(id_ + 1);
+  detail::ShardHist& h = s.hists[id_];
+  const std::vector<std::uint64_t>& bounds = *bounds_;
+  if (h.counts.empty()) h.counts.resize(bounds.size() + 1, 0);
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  ++h.counts[bucket];
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+  s.dirty = true;
+}
+
+std::vector<std::uint64_t> pow2_bounds(int lo_exp, int hi_exp) {
+  std::vector<std::uint64_t> bounds;
+  for (int e = lo_exp; e <= hi_exp && e < 64; ++e)
+    bounds.push_back(1ull << e);
+  return bounds;
+}
+
+std::vector<std::uint64_t> linear_bounds(std::uint64_t lo, std::uint64_t hi,
+                                         std::uint64_t step) {
+  std::vector<std::uint64_t> bounds;
+  if (step == 0) step = 1;
+  for (std::uint64_t b = lo; b <= hi; b += step) bounds.push_back(b);
+  return bounds;
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Counter Registry::counter(std::string_view name) {
+  detail::Store& st = detail::store();
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto [it, inserted] = st.counter_ids.try_emplace(
+      std::string(name), static_cast<std::uint32_t>(st.counter_names.size()));
+  if (inserted) {
+    st.counter_names.emplace_back(name);
+    st.counter_totals.push_back(0);
+  }
+  return Counter(it->second);
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<std::uint64_t> bounds) {
+  detail::Store& st = detail::store();
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto [it, inserted] = st.hist_ids.try_emplace(
+      std::string(name), static_cast<std::uint32_t>(st.hist_names.size()));
+  if (inserted) {
+    st.hist_names.emplace_back(name);
+    st.hist_bounds.push_back(std::move(bounds));
+    detail::HistTotals totals;
+    totals.counts.resize(st.hist_bounds.back().size() + 1, 0);
+    st.hist_totals.push_back(std::move(totals));
+  }
+  return Histogram(it->second, &st.hist_bounds[it->second]);
+}
+
+void Registry::flush_thread() { detail::shard().flush(); }
+
+MetricsSnapshot Registry::snapshot() {
+  flush_thread();
+  detail::Store& st = detail::store();
+  MetricsSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    out.counters.reserve(st.counter_names.size() + 1);
+    for (std::size_t i = 0; i < st.counter_names.size(); ++i)
+      out.counters.emplace_back(st.counter_names[i], st.counter_totals[i]);
+    out.histograms.reserve(st.hist_names.size());
+    for (std::size_t i = 0; i < st.hist_names.size(); ++i) {
+      HistogramSnapshot h;
+      h.name = st.hist_names[i];
+      h.bounds = st.hist_bounds[i];
+      h.counts = st.hist_totals[i].counts;
+      h.count = st.hist_totals[i].count;
+      h.sum = st.hist_totals[i].sum;
+      h.min = h.count > 0 ? st.hist_totals[i].min : 0;
+      h.max = st.hist_totals[i].max;
+      out.histograms.push_back(std::move(h));
+    }
+  }
+  const std::uint64_t dropped =
+      st.events_dropped.load(std::memory_order_relaxed);
+  if (dropped > 0) out.counters.emplace_back("obs.trace_events_dropped", dropped);
+  std::sort(out.counters.begin(), out.counters.end());
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() {
+  detail::Shard& s = detail::shard();
+  s.counters.clear();
+  s.hists.clear();
+  s.dirty = false;
+  detail::Store& st = detail::store();
+  std::lock_guard<std::mutex> lock(st.mu);
+  std::fill(st.counter_totals.begin(), st.counter_totals.end(), 0);
+  for (detail::HistTotals& t : st.hist_totals) {
+    std::fill(t.counts.begin(), t.counts.end(), 0);
+    t.count = 0;
+    t.sum = 0;
+    t.min = ~0ull;
+    t.max = 0;
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& json) const {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : counters) json.kv(name, value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const HistogramSnapshot& h : histograms) {
+    json.key(h.name).begin_object();
+    json.kv("count", h.count).kv("sum", h.sum).kv("min", h.min).kv("max", h.max);
+    json.key("buckets").begin_array();
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      json.begin_object();
+      json.key("le");
+      if (b < h.bounds.size()) {
+        json.value(h.bounds[b]);
+      } else {
+        json.null();  // overflow bucket
+      }
+      json.kv("count", h.counts[b]).end_object();
+    }
+    json.end_array().end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+namespace {
+
+TelemetryArgs& telemetry_args() {
+  static TelemetryArgs* args = new TelemetryArgs;
+  return *args;
+}
+
+}  // namespace
+
+TelemetryArgs init_telemetry_from_args(int argc, char** argv) {
+  TelemetryArgs& args = telemetry_args();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) args.metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace") == 0) args.trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace-jsonl") == 0)
+      args.trace_jsonl_path = argv[i + 1];
+  }
+  const bool tracing = !args.trace_path.empty() || !args.trace_jsonl_path.empty();
+  if (tracing || !args.metrics_path.empty()) {
+    TelemetryConfig config = current_config();
+    config.metrics = true;  // span durations also feed the histograms
+    config.trace = config.trace || tracing;
+    configure(config);
+  }
+  return args;
+}
+
+bool export_telemetry_files() {
+  const TelemetryArgs& args = telemetry_args();
+  bool ok = true;
+  if (!args.metrics_path.empty()) {
+    JsonWriter json;
+    Registry::instance().snapshot().write_json(json);
+    ok = json.write_file(args.metrics_path) && ok;
+    std::printf("[obs] metrics snapshot -> %s\n", args.metrics_path.c_str());
+  }
+  if (!args.trace_path.empty()) {
+    ok = write_chrome_trace(args.trace_path) && ok;
+    std::printf("[obs] chrome trace (load in chrome://tracing or Perfetto) -> %s\n",
+                args.trace_path.c_str());
+  }
+  if (!args.trace_jsonl_path.empty()) {
+    ok = write_trace_jsonl(args.trace_jsonl_path) && ok;
+    std::printf("[obs] trace JSONL -> %s\n", args.trace_jsonl_path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace sqs

@@ -1,0 +1,183 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/store.h"
+#include "util/json.h"
+
+namespace sqs {
+namespace obs {
+
+namespace {
+
+using detail::Shard;
+using detail::Store;
+using detail::shard;
+using detail::store;
+
+// Shard buffers hand off to the global store at this size so a long batch
+// cannot hold an unbounded private buffer.
+constexpr std::size_t kShardFlushThreshold = 8192;
+
+// Reserves capacity for one more event, honouring the global cap; returns
+// nullptr (and counts a drop) when the cap is reached.
+Shard* claim_event_slot() {
+  Store& st = store();
+  if (st.event_count.load(std::memory_order_relaxed) >=
+      st.max_trace_events.load(std::memory_order_relaxed)) {
+    st.events_dropped.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  st.event_count.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard();
+  if (s.tid == 0)
+    s.tid = st.next_tid.fetch_add(1, std::memory_order_relaxed);
+  return &s;
+}
+
+void push_event(Shard& s, const TraceEvent& event) {
+  s.events.push_back(event);
+  if (s.events.size() >= kShardFlushThreshold) s.flush();
+}
+
+std::vector<TraceEvent> sorted_events_locked(Store& st) {
+  std::vector<TraceEvent> events = st.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+void write_event_json(JsonWriter& json, const TraceEvent& e, bool chrome) {
+  json.begin_object();
+  json.kv("name", e.name).kv("cat", e.category);
+  json.kv("ph", std::string_view(&e.phase, 1));
+  if (chrome) {
+    // trace_event timestamps are microseconds.
+    json.kv("ts", static_cast<double>(e.ts_ns) / 1000.0);
+    if (e.phase == 'X')
+      json.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    json.kv("pid", 1);
+  } else {
+    json.kv("ts_ns", e.ts_ns);
+    if (e.phase == 'X') json.kv("dur_ns", e.dur_ns);
+  }
+  json.kv("tid", static_cast<std::uint64_t>(e.tid));
+  if (e.arg1_name != nullptr) {
+    json.key("args").begin_object();
+    json.kv(e.arg1_name, e.arg1);
+    if (e.arg2_name != nullptr) json.kv(e.arg2_name, e.arg2);
+    json.end_object();
+  }
+  json.end_object();
+}
+
+bool write_string_file(const std::string& path, const std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  return std::fclose(f) == 0 && written == out.size();
+}
+
+}  // namespace
+
+std::uint64_t trace_now_ns() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - store().epoch)
+          .count());
+}
+
+void Span::finish() {
+  const std::uint64_t end_ns = trace_now_ns();
+  Shard* s = claim_event_slot();
+  if (s == nullptr) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.phase = 'X';
+  event.ts_ns = start_ns_;
+  event.dur_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  event.tid = s->tid;
+  event.arg1_name = arg1_name_;
+  event.arg1 = arg1_;
+  event.arg2_name = arg2_name_;
+  event.arg2 = arg2_;
+  push_event(*s, event);
+}
+
+void instant(const char* category, const char* name) {
+  instant(category, name, nullptr, 0);
+}
+
+void instant(const char* category, const char* name, const char* arg_name,
+             std::uint64_t value) {
+  if (!trace_enabled()) return;
+  const std::uint64_t ts = trace_now_ns();
+  Shard* s = claim_event_slot();
+  if (s == nullptr) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.ts_ns = ts;
+  event.tid = s->tid;
+  event.arg1_name = arg_name;
+  event.arg1 = value;
+  push_event(*s, event);
+}
+
+std::vector<TraceEvent> collect_trace() {
+  Registry::flush_thread();
+  Store& st = store();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return sorted_events_locked(st);
+}
+
+void clear_trace() {
+  Shard& s = shard();
+  Store& st = store();
+  std::uint64_t cleared = s.events.size();
+  s.events.clear();
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    cleared += st.events.size();
+    st.events.clear();
+  }
+  st.event_count.fetch_sub(cleared, std::memory_order_relaxed);
+  st.events_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = collect_trace();
+  JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) write_event_json(json, e, /*chrome=*/true);
+  json.end_array();
+  json.kv("displayTimeUnit", "ms");
+  json.end_object();
+  return json.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return write_string_file(path, chrome_trace_json() + "\n");
+}
+
+bool write_trace_jsonl(const std::string& path) {
+  const std::vector<TraceEvent> events = collect_trace();
+  std::string out;
+  for (const TraceEvent& e : events) {
+    JsonWriter json;
+    write_event_json(json, e, /*chrome=*/false);
+    out += json.str();
+    out += '\n';
+  }
+  return write_string_file(path, out);
+}
+
+}  // namespace obs
+}  // namespace sqs

@@ -1,0 +1,102 @@
+// Trace spans and instant events, exported as Chrome trace_event JSON
+// (loadable in chrome://tracing and Perfetto) and as JSONL.
+//
+// Events are recorded into per-thread buffers (same ownership discipline as
+// the metric shards in telemetry.h: only the owner writes, merging into the
+// process-wide store happens under a mutex at scope exit / thread exit).
+// Timestamps come from one steady_clock epoch shared by the whole process,
+// so spans from different threads line up on the same timeline. `name` and
+// `category` must be string literals (or otherwise outlive the trace): the
+// buffers store the pointers, never copies, to keep recording allocation-free
+// until a buffer flush.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace sqs {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  char phase = 'X';  // 'X' complete (has dur_ns), 'i' instant
+  std::uint64_t ts_ns = 0;   // since the process trace epoch
+  std::uint64_t dur_ns = 0;  // 'X' only
+  std::uint32_t tid = 0;     // stable per-thread id, assigned on first use
+  // Up to two integer args, rendered under "args" in both export formats.
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+  const char* arg2_name = nullptr;
+  std::uint64_t arg2 = 0;
+};
+
+// Nanoseconds since the process trace epoch (first telemetry use).
+std::uint64_t trace_now_ns();
+
+// RAII complete-event span. Does nothing (beyond one relaxed atomic load)
+// when tracing is disabled at construction time.
+class Span {
+ public:
+  Span(const char* category, const char* name)
+      : active_(trace_enabled()), category_(category), name_(name) {
+    if (active_) start_ns_ = trace_now_ns();
+  }
+  ~Span() { if (active_) finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches an integer arg to the event (first two calls stick).
+  void arg(const char* arg_name, std::uint64_t value) {
+    if (!active_) return;
+    if (arg1_name_ == nullptr) {
+      arg1_name_ = arg_name;
+      arg1_ = value;
+    } else if (arg2_name_ == nullptr) {
+      arg2_name_ = arg_name;
+      arg2_ = value;
+    }
+  }
+
+ private:
+  void finish();
+
+  bool active_;
+  const char* category_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  const char* arg1_name_ = nullptr;
+  std::uint64_t arg1_ = 0;
+  const char* arg2_name_ = nullptr;
+  std::uint64_t arg2_ = 0;
+};
+
+// Records an instant event (phase 'i'); no-op when tracing is disabled.
+void instant(const char* category, const char* name);
+void instant(const char* category, const char* name, const char* arg_name,
+             std::uint64_t value);
+
+// Flushes the calling thread's buffer and returns all buffered events sorted
+// by (ts_ns, tid, name); the store keeps them (use clear_trace() to drop).
+std::vector<TraceEvent> collect_trace();
+
+// Drops every buffered event of the calling thread and the global store and
+// resets the dropped-event counter. Same caveat as Registry::reset().
+void clear_trace();
+
+// Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+// ts/dur are microseconds (the format's unit), pid is 1.
+std::string chrome_trace_json();
+bool write_chrome_trace(const std::string& path);
+
+// JSONL: one {"name", "cat", "ph", "ts_ns", "dur_ns", "tid", "args"} object
+// per line, in the same sorted order.
+bool write_trace_jsonl(const std::string& path);
+
+}  // namespace obs
+}  // namespace sqs

@@ -2,7 +2,40 @@
 
 #include <cassert>
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
 namespace sqs {
+
+namespace {
+
+// Probe-layer telemetry: where probes are spent and how acquisitions end.
+// positive_probes/negative_probes split every probe by outcome — positive
+// hits build intersection evidence, negative ones build the dual-overlap
+// side of Definition 3 — so the ratio shows which compatibility mechanism an
+// acquisition workload is actually leaning on.
+struct ProbeMetrics {
+  obs::Counter runs = obs::Registry::instance().counter("probe.runs");
+  obs::Counter acquired = obs::Registry::instance().counter("probe.acquired");
+  obs::Counter failed = obs::Registry::instance().counter("probe.failed");
+  obs::Counter probes_total =
+      obs::Registry::instance().counter("probe.probes_total");
+  obs::Counter positive_probes =
+      obs::Registry::instance().counter("probe.positive_probes");
+  obs::Counter negative_probes =
+      obs::Registry::instance().counter("probe.negative_probes");
+  obs::Histogram probes_to_acquire = obs::Registry::instance().histogram(
+      "probe.probes_to_acquire", obs::linear_bounds(1, 32, 1));
+  obs::Histogram probes_to_fail = obs::Registry::instance().histogram(
+      "probe.probes_to_fail", obs::linear_bounds(1, 32, 1));
+
+  static const ProbeMetrics& get() {
+    static const ProbeMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng) {
   strategy.reset(rng);
@@ -11,6 +44,10 @@ ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng) {
   record.probed = SignedSet(n);
   record.quorum = SignedSet(n);
 
+  const bool telemetry = obs::telemetry_enabled();
+  obs::Span span("probe", "run_probe");
+
+  int positive = 0;
   while (strategy.status() == ProbeStatus::kInProgress) {
     const int server = strategy.next_server();
     assert(server >= 0 && server < n);
@@ -18,10 +55,14 @@ ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng) {
     const bool reached = oracle.reaches(server);
     if (reached) {
       record.probed.add_positive(server);
+      ++positive;
     } else {
       record.probed.add_negative(server);
     }
     ++record.num_probes;
+    if (telemetry)
+      obs::instant("probe", reached ? "probe_hit" : "probe_miss", "server",
+                   static_cast<std::uint64_t>(server));
     strategy.observe(server, reached);
     assert(record.num_probes <= n && "strategy exceeded the universe in probes");
   }
@@ -31,6 +72,25 @@ ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng) {
     record.quorum = strategy.acquired_quorum();
     assert(record.quorum.is_subset_of(record.probed) &&
            "acquired quorum must be contained in the probed signed set");
+  }
+
+  if (telemetry) {
+    const ProbeMetrics& metrics = ProbeMetrics::get();
+    const std::uint64_t probes = static_cast<std::uint64_t>(record.num_probes);
+    metrics.runs.add();
+    metrics.probes_total.add(probes);
+    metrics.positive_probes.add(static_cast<std::uint64_t>(positive));
+    metrics.negative_probes.add(
+        probes - static_cast<std::uint64_t>(positive));
+    if (record.acquired) {
+      metrics.acquired.add();
+      metrics.probes_to_acquire.record(probes);
+    } else {
+      metrics.failed.add();
+      metrics.probes_to_fail.record(probes);
+    }
+    span.arg("probes", probes);
+    span.arg("acquired", record.acquired ? 1 : 0);
   }
   return record;
 }

@@ -24,10 +24,29 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "util/rng.h"
 
 namespace sqs {
+
+namespace runtime_detail {
+// Telemetry handles shared by every run_trial_chunks instantiation; the
+// handles are resolved once, the per-chunk cost is the recording itself
+// (one branch on a relaxed atomic when telemetry is off).
+struct ChunkMetrics {
+  obs::Counter chunks =
+      obs::Registry::instance().counter("runtime.chunks_executed");
+  obs::Histogram wall_ns = obs::Registry::instance().histogram(
+      "runtime.chunk_wall_ns", obs::pow2_bounds(10, 34));
+
+  static const ChunkMetrics& get() {
+    static const ChunkMetrics metrics;
+    return metrics;
+  }
+};
+}  // namespace runtime_detail
 
 inline constexpr std::uint64_t kDefaultTrialChunk = 1024;
 
@@ -65,7 +84,19 @@ Acc run_trial_chunks(std::uint64_t n_trials, const Rng& base, const Acc& zero,
     tc.begin = c * chunk_size;
     tc.end = std::min(n_trials, tc.begin + chunk_size);
     Rng rng = base.split(c);
-    chunk_fn(parts[static_cast<std::size_t>(c)], tc, rng);
+    if (obs::telemetry_enabled()) {
+      const runtime_detail::ChunkMetrics& metrics =
+          runtime_detail::ChunkMetrics::get();
+      obs::Span span("runtime", "chunk");
+      span.arg("chunk", c);
+      span.arg("trials", tc.end - tc.begin);
+      const std::uint64_t start_ns = obs::trace_now_ns();
+      chunk_fn(parts[static_cast<std::size_t>(c)], tc, rng);
+      metrics.wall_ns.record(obs::trace_now_ns() - start_ns);
+      metrics.chunks.add();
+    } else {
+      chunk_fn(parts[static_cast<std::size_t>(c)], tc, rng);
+    }
   };
 
   int threads = opts.threads > 0 ? opts.threads : default_threads();

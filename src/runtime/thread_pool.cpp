@@ -5,9 +5,29 @@
 #include <cstring>
 #include <string>
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
 namespace sqs {
 
 namespace {
+
+// Scheduling telemetry: how long a thread waits between finishing one chunk
+// and claiming the next (steal latency), and how deep the unclaimed pile is
+// at each claim (queue occupancy). Chunk wall time itself is recorded by
+// run_trials, which knows the trial ranges.
+struct PoolMetrics {
+  obs::Counter batches = obs::Registry::instance().counter("runtime.batches");
+  obs::Histogram steal_ns = obs::Registry::instance().histogram(
+      "runtime.steal_ns", obs::pow2_bounds(6, 30));
+  obs::Histogram queue_depth = obs::Registry::instance().histogram(
+      "runtime.queue_depth", obs::pow2_bounds(0, 16));
+
+  static const PoolMetrics& get() {
+    static const PoolMetrics metrics;
+    return metrics;
+  }
+};
 
 std::atomic<int> g_default_threads{0};
 
@@ -103,10 +123,20 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_chunks() {
+  // Captured once: a mid-batch configure() must not leave a half-recorded
+  // shard behind (the flush below pairs with the recording).
+  const bool telemetry = obs::telemetry_enabled();
+  std::uint64_t last_done_ns = telemetry ? obs::trace_now_ns() : 0;
   for (;;) {
-    if (abort_.load(std::memory_order_relaxed)) return;
+    if (abort_.load(std::memory_order_relaxed)) break;
     const std::uint64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-    if (c >= num_chunks_) return;
+    if (c >= num_chunks_) break;
+    if (telemetry) {
+      const PoolMetrics& metrics = PoolMetrics::get();
+      const std::uint64_t now = obs::trace_now_ns();
+      metrics.steal_ns.record(now - last_done_ns);
+      metrics.queue_depth.record(num_chunks_ - c - 1);
+    }
     try {
       (*fn_)(c);
     } catch (...) {
@@ -117,12 +147,22 @@ void ThreadPool::run_chunks() {
       }
       abort_.store(true, std::memory_order_relaxed);
     }
+    if (telemetry) last_done_ns = obs::trace_now_ns();
   }
+  // Scope-exit merge of this thread's telemetry shard: by the time the
+  // caller observes the batch as finished, every worker's metrics and trace
+  // events are in the global registry (the determinism contract of
+  // obs::Registry — integer merges, order-independent).
+  if (telemetry) obs::Registry::flush_thread();
 }
 
 void ThreadPool::for_each_chunk(std::uint64_t num_chunks, int max_threads,
                                 const std::function<void(std::uint64_t)>& fn) {
   if (num_chunks == 0) return;
+  PoolMetrics::get().batches.add();
+  obs::Span batch_span("runtime", "batch");
+  batch_span.arg("chunks", num_chunks);
+  batch_span.arg("max_threads", static_cast<std::uint64_t>(max_threads));
   std::lock_guard<std::mutex> batch_lock(batch_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,12 +1,26 @@
 #include "sim/harness.h"
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace sqs {
 
 namespace {
+
+// Acquisition latency per client, in simulated microseconds. Registered
+// lazily (first instrumented experiment) so a disabled run never touches the
+// registry; names are shared across replicates, so replicated sweeps merge
+// into one histogram per client index.
+obs::Histogram client_latency_histogram(int client_idx) {
+  return obs::Registry::instance().histogram(
+      "sim.client" + std::to_string(client_idx) + ".op_latency_us",
+      obs::pow2_bounds(6, 26));
+}
 
 struct Experiment {
   const QuorumFamily* family;
@@ -19,6 +33,16 @@ struct Experiment {
   RegisterExperimentResult result;
   Timestamp max_completed_write_ts;
   std::uint64_t next_value = 1;
+  // Empty unless telemetry was enabled when the experiment started.
+  std::vector<obs::Histogram> latency_hists;
+
+  void note_op(int client_idx, const char* kind, bool ok, double latency) {
+    if (latency_hists.empty()) return;
+    obs::instant("sim", kind, "client", static_cast<std::uint64_t>(client_idx));
+    if (ok)
+      latency_hists[static_cast<std::size_t>(client_idx)].record(
+          static_cast<std::uint64_t>(latency * 1e6));
+  }
 
   void schedule_next_op(int client_idx) {
     if (sim.now() >= config.duration) return;
@@ -43,6 +67,7 @@ struct Experiment {
               result.latencies_ok.push_back(r.latency);
               if (r.timestamp < frontier) ++result.stale_reads;
             }
+            note_op(client_idx, "read", r.ok, r.latency);
             schedule_next_op(client_idx);
           });
     } else {
@@ -58,6 +83,7 @@ struct Experiment {
               if (max_completed_write_ts < w.timestamp)
                 max_completed_write_ts = w.timestamp;
             }
+            note_op(client_idx, "write", w.ok, w.latency);
             schedule_next_op(client_idx);
           });
     }
@@ -68,10 +94,17 @@ struct Experiment {
 
 RegisterExperimentResult run_register_experiment(
     const QuorumFamily& family, const RegisterExperimentConfig& config) {
+  obs::Span span("sim", "register_experiment");
+  span.arg("clients", static_cast<std::uint64_t>(config.num_clients));
   Experiment e;
   e.family = &family;
   e.config = config;
   e.rng = Rng(config.seed);
+  if (obs::telemetry_enabled()) {
+    e.latency_hists.reserve(static_cast<std::size_t>(config.num_clients));
+    for (int c = 0; c < config.num_clients; ++c)
+      e.latency_hists.push_back(client_latency_histogram(c));
+  }
   const int n = family.universe_size();
 
   e.net = std::make_unique<Network>(&e.sim, config.num_clients, n,
@@ -103,11 +136,13 @@ RegisterExperimentResult run_register_experiment(
     e.sim.schedule(part_rng.exponential(config.partition_rate), inject);
     // Allow in-flight operations a grace period to finish.
     e.sim.run_until(config.duration + 60.0);
-    return e.result;
+  } else {
+    // Allow in-flight operations a grace period to finish.
+    e.sim.run_until(config.duration + 60.0);
   }
-
-  // Allow in-flight operations a grace period to finish.
-  e.sim.run_until(config.duration + 60.0);
+  e.result.events_executed = e.sim.executed_events();
+  e.result.peak_event_queue = e.sim.peak_pending_events();
+  span.arg("events", e.sim.executed_events());
   return e.result;
 }
 

@@ -46,6 +46,10 @@ struct RegisterExperimentResult {
   long writes_ok = 0;
   long stale_reads = 0;
   long ops_filtered = 0;  // aborted by the partition filter
+  // Event-loop statistics of the run's Simulator (observability of the
+  // harness itself, not a paper metric).
+  std::uint64_t events_executed = 0;
+  std::size_t peak_event_queue = 0;
   RunningStat probes_per_op;
   RunningStat latency_ok;  // seconds, successful ops only
   std::vector<double> latencies_ok;  // raw samples for percentiles

@@ -31,6 +31,12 @@ class Simulator {
 
   std::size_t pending_events() const { return heap_.size(); }
 
+  // Event-loop statistics, so harnesses can report queue behaviour without
+  // reaching into the internals: totals over the simulator's lifetime.
+  std::uint64_t scheduled_events() const { return next_seq_; }
+  std::uint64_t executed_events() const { return executed_events_; }
+  std::size_t peak_pending_events() const { return peak_pending_; }
+
  private:
   // The queue is a binary heap over a plain vector (std::push_heap /
   // std::pop_heap) rather than std::priority_queue: priority_queue::top()
@@ -39,6 +45,7 @@ class Simulator {
   // both schedule() and the pop path move the closure.
   struct Event {
     double time;
+    double sched_at;  // clock value when schedule() was called
     std::uint64_t seq;
     std::function<void()> fn;
   };
@@ -57,6 +64,8 @@ class Simulator {
 
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_events_ = 0;
+  std::size_t peak_pending_ = 0;
   std::vector<Event> heap_;
 };
 

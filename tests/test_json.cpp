@@ -1,0 +1,85 @@
+// JsonWriter escaping and formatting contracts. The writer feeds every
+// BENCH_*.json record, the telemetry metrics export, and the Chrome trace
+// (where external tools parse the output), so the escaping rules are pinned
+// here byte for byte: quotes/backslash escaped, \n \r \t named, other
+// control characters as \u00XX, multi-byte UTF-8 passed through untouched,
+// and non-finite doubles degraded to null (JSON has no inf/nan).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/json.h"
+
+namespace sqs {
+namespace {
+
+std::string as_json_string(std::string_view s) {
+  JsonWriter json;
+  json.value(s);
+  return json.str();
+}
+
+TEST(JsonWriter, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(as_json_string("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(as_json_string("C:\\path\\file"), "\"C:\\\\path\\\\file\"");
+}
+
+TEST(JsonWriter, EscapesNamedControlCharacters) {
+  EXPECT_EQ(as_json_string("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(as_json_string("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(as_json_string("a\tb"), "\"a\\tb\"");
+}
+
+TEST(JsonWriter, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(as_json_string(std::string_view("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(as_json_string(std::string_view("\x1f", 1)), "\"\\u001f\"");
+  // Embedded NUL must survive as \u0000, not truncate the string.
+  EXPECT_EQ(as_json_string(std::string_view("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonWriter, PassesUtf8Through) {
+  // Two-, three- and four-byte sequences: é, €, 🙂. Bytes >= 0x80 are not
+  // control characters and must be emitted verbatim.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x99\x82";
+  EXPECT_EQ(as_json_string(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(-std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(1.5)
+      .end_array();
+  EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, NumberAndScalarFormatting) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::int64_t{-42})
+      .value(std::uint64_t{18446744073709551615ull})
+      .value(true)
+      .value(false)
+      .null()
+      .end_array();
+  EXPECT_EQ(json.str(), "[-42,18446744073709551615,true,false,null]");
+}
+
+TEST(JsonWriter, NestedStructuresAndKeyEscaping) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("a\"key").value("v");
+  json.key("list").begin_array().value(1).begin_object().kv("x", 2).end_object().end_array();
+  json.kv("empty", "");
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"a\\\"key\":\"v\",\"list\":[1,{\"x\":2}],\"empty\":\"\"}");
+}
+
+}  // namespace
+}  // namespace sqs

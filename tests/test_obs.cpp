@@ -1,0 +1,367 @@
+// The telemetry subsystem's contracts (src/obs, DESIGN.md "Telemetry"):
+//
+//  * disabled by default, and disabled recording is a no-op;
+//  * counter/histogram totals are bit-identical for 1, 2, and 8 threads
+//    (thread-local shards, integer-only values, merge at scope exit);
+//  * enabling telemetry cannot perturb an instrumented Monte Carlo run —
+//    the estimates must match the uninstrumented run bit for bit;
+//  * spans nest on one timeline, the global event cap drops (and counts)
+//    the excess, and the Chrome trace export is well-formed JSON.
+//
+// Suites are named Obs* so the CI TSan job can select them alongside the
+// runtime determinism suites.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/constructions.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "probe/measurements.h"
+#include "runtime/run_trials.h"
+#include "sim/harness.h"
+#include "util/json.h"
+
+namespace sqs {
+namespace {
+
+// Restores the process-default (disabled) telemetry state on scope exit so
+// these tests never leak an enabled config into the rest of the suite.
+struct TelemetryGuard {
+  obs::TelemetryConfig saved = obs::current_config();
+  TelemetryGuard() {
+    obs::Registry::instance().reset();
+    obs::clear_trace();
+  }
+  ~TelemetryGuard() {
+    obs::configure(saved);
+    obs::Registry::instance().reset();
+    obs::clear_trace();
+  }
+};
+
+obs::TelemetryConfig enabled_config(bool metrics, bool trace) {
+  obs::TelemetryConfig cfg;
+  cfg.metrics = metrics;
+  cfg.trace = trace;
+  return cfg;
+}
+
+TEST(ObsTelemetry, DisabledByDefaultAndRecordingIsNoOp) {
+  TelemetryGuard guard;
+  ASSERT_FALSE(obs::metrics_enabled());
+  ASSERT_FALSE(obs::trace_enabled());
+  obs::Counter c = obs::Registry::instance().counter("test.noop_counter");
+  obs::Histogram h = obs::Registry::instance().histogram(
+      "test.noop_hist", obs::pow2_bounds(0, 8));
+  c.add(5);
+  h.record(100);
+  obs::instant("test", "noop");
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snap.counter("test.noop_counter"), 0u);
+  const obs::HistogramSnapshot* hs = snap.histogram("test.noop_hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 0u);
+  EXPECT_TRUE(obs::collect_trace().empty());
+}
+
+TEST(ObsTelemetry, CounterAndHistogramSemantics) {
+  TelemetryGuard guard;
+  obs::configure(enabled_config(true, false));
+  obs::Counter c = obs::Registry::instance().counter("test.basic_counter");
+  c.add();
+  c.add(41);
+  // Same name, second registration: same underlying slot.
+  obs::Registry::instance().counter("test.basic_counter").add(8);
+
+  // Bounds {4, 8}: bucket 0 counts values <= 4, bucket 1 values in (4, 8],
+  // bucket 2 (overflow) the rest.
+  obs::Histogram h = obs::Registry::instance().histogram(
+      "test.basic_hist", std::vector<std::uint64_t>{4, 8});
+  h.record(0);
+  h.record(4);
+  h.record(5);
+  h.record(8);
+  h.record(9);
+  h.record(1000);
+
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snap.counter("test.basic_counter"), 50u);
+  EXPECT_EQ(snap.counter("test.never_registered"), 0u);
+  const obs::HistogramSnapshot* hs = snap.histogram("test.basic_hist");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_EQ(hs->counts.size(), 3u);
+  EXPECT_EQ(hs->counts[0], 2u);  // 0, 4
+  EXPECT_EQ(hs->counts[1], 2u);  // 5, 8
+  EXPECT_EQ(hs->counts[2], 2u);  // 9, 1000
+  EXPECT_EQ(hs->count, 6u);
+  EXPECT_EQ(hs->sum, 0u + 4 + 5 + 8 + 9 + 1000);
+  EXPECT_EQ(hs->min, 0u);
+  EXPECT_EQ(hs->max, 1000u);
+}
+
+// The core determinism claim: totals after a sharded parallel workload are
+// identical for any thread count, because every shard merges exactly once
+// before run_trials returns and all values are order-independent integers.
+TEST(ObsTelemetry, MergeDeterminismAcrossThreadCounts) {
+  TelemetryGuard guard;
+  obs::configure(enabled_config(true, false));
+  obs::Counter c = obs::Registry::instance().counter("test.merge_counter");
+  obs::Histogram h = obs::Registry::instance().histogram(
+      "test.merge_hist", obs::linear_bounds(8, 64, 8));
+
+  struct Totals {
+    std::uint64_t counter = 0;
+    std::uint64_t hist_count = 0, hist_sum = 0, hist_min = 0, hist_max = 0;
+    std::vector<std::uint64_t> buckets;
+    bool operator==(const Totals& o) const {
+      return counter == o.counter && hist_count == o.hist_count &&
+             hist_sum == o.hist_sum && hist_min == o.hist_min &&
+             hist_max == o.hist_max && buckets == o.buckets;
+    }
+  };
+  std::vector<Totals> per_thread_count;
+  for (const int threads : {1, 2, 8}) {
+    obs::Registry::instance().reset();
+    TrialOptions opts;
+    opts.threads = threads;
+    opts.chunk_size = 64;
+    run_trials(
+        10000, Rng(3), 0,
+        [&](int&, std::uint64_t t, Rng&) {
+          c.add();
+          h.record(t % 97);
+        },
+        [](int&, int) {}, opts);
+    const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+    const obs::HistogramSnapshot* hs = snap.histogram("test.merge_hist");
+    ASSERT_NE(hs, nullptr);
+    per_thread_count.push_back({snap.counter("test.merge_counter"), hs->count,
+                                hs->sum, hs->min, hs->max, hs->counts});
+  }
+  ASSERT_EQ(per_thread_count.size(), 3u);
+  EXPECT_EQ(per_thread_count[0].counter, 10000u);
+  EXPECT_EQ(per_thread_count[0].hist_count, 10000u);
+  EXPECT_TRUE(per_thread_count[0] == per_thread_count[1]) << "1 vs 2 threads";
+  EXPECT_TRUE(per_thread_count[0] == per_thread_count[2]) << "1 vs 8 threads";
+}
+
+// Enabling full telemetry must not change any Monte Carlo estimate: the
+// instrumented probe engine + runtime produce bit-identical measurements.
+TEST(ObsTelemetry, InstrumentedRunIsBitIdentical) {
+  TelemetryGuard guard;
+  const OptDFamily fam(64, 2);
+  auto run = [&] { return measure_probes(fam, 0.25, 5000, Rng(11)); };
+
+  obs::configure(enabled_config(false, false));
+  const ProbeMeasurement off = run();
+  obs::configure(enabled_config(true, true));
+  const ProbeMeasurement on = run();
+
+  EXPECT_EQ(off.acquired.successes, on.acquired.successes);
+  EXPECT_EQ(off.acquired.trials, on.acquired.trials);
+  EXPECT_EQ(off.probes_overall.mean(), on.probes_overall.mean());
+  EXPECT_EQ(off.probes_overall.variance(), on.probes_overall.variance());
+  EXPECT_EQ(off.max_probes_seen, on.max_probes_seen);
+  EXPECT_EQ(off.load(), on.load());
+
+  // And the instrumented run did actually record probe metrics.
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snap.counter("probe.runs"), 5000u);
+  EXPECT_GT(snap.counter("probe.probes_total"), 0u);
+}
+
+TEST(ObsTrace, SpanNestingAndInstants) {
+  TelemetryGuard guard;
+  obs::configure(enabled_config(true, true));
+  {
+    obs::Span outer("test", "outer");
+    outer.arg("depth", 0);
+    {
+      obs::Span inner("test", "inner");
+      inner.arg("depth", 1);
+      obs::instant("test", "tick", "k", 7);
+    }
+  }
+  const std::vector<obs::TraceEvent> events = obs::collect_trace();
+  ASSERT_EQ(events.size(), 3u);
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  const obs::TraceEvent* tick = nullptr;
+  for (const obs::TraceEvent& e : events) {
+    if (std::strcmp(e.name, "outer") == 0) outer = &e;
+    if (std::strcmp(e.name, "inner") == 0) inner = &e;
+    if (std::strcmp(e.name, "tick") == 0) tick = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(outer->phase, 'X');
+  EXPECT_EQ(inner->phase, 'X');
+  EXPECT_EQ(tick->phase, 'i');
+  // Nesting: inner starts no earlier and ends no later than outer.
+  EXPECT_GE(inner->ts_ns, outer->ts_ns);
+  EXPECT_LE(inner->ts_ns + inner->dur_ns, outer->ts_ns + outer->dur_ns);
+  EXPECT_GE(tick->ts_ns, inner->ts_ns);
+  EXPECT_EQ(outer->tid, inner->tid);
+  ASSERT_NE(outer->arg1_name, nullptr);
+  EXPECT_STREQ(outer->arg1_name, "depth");
+  EXPECT_EQ(tick->arg1, 7u);
+  // collect_trace() returns events sorted by timestamp.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+}
+
+TEST(ObsTrace, EventCapDropsAndCounts) {
+  TelemetryGuard guard;
+  obs::TelemetryConfig cfg = enabled_config(true, true);
+  cfg.max_trace_events = 4;
+  obs::configure(cfg);
+  for (int i = 0; i < 10; ++i) obs::instant("test", "burst");
+  EXPECT_EQ(obs::collect_trace().size(), 4u);
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snap.counter("obs.trace_events_dropped"), 6u);
+}
+
+// --- Minimal JSON syntax checker (objects/arrays/strings/numbers/atoms) ----
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text)
+      : p_(text.c_str()), end_(text.c_str() + text.size()) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (static_cast<std::size_t>(end_ - p_) < len) return false;
+    if (std::strncmp(p_, word, len) != 0) return false;
+    p_ += len;
+    return true;
+  }
+  bool string() {
+    if (p_ >= end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (static_cast<unsigned char>(*p_) < 0x20) return false;  // raw control
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) return false;
+        if (*p_ == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ >= end_ ||
+                !std::isxdigit(static_cast<unsigned char>(*p_)))
+              return false;
+          }
+        } else if (std::strchr("\"\\/bfnrt", *p_) == nullptr) {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    if (p_ >= end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                         *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                         *p_ == '+' || *p_ == '-'))
+      ++p_;
+    return p_ > start;
+  }
+  bool members(char close, bool with_keys) {
+    skip_ws();
+    if (p_ < end_ && *p_ == close) {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (with_keys) {
+        if (!string()) return false;
+        skip_ws();
+        if (p_ >= end_ || *p_ != ':') return false;
+        ++p_;
+        skip_ws();
+      }
+      if (!value()) return false;
+      skip_ws();
+      if (p_ >= end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == close) {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool value() {
+    if (p_ >= end_) return false;
+    switch (*p_) {
+      case '{': ++p_; return members('}', /*with_keys=*/true);
+      case '[': ++p_; return members(']', /*with_keys=*/false);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  const char* p_;
+  const char* end_;
+};
+
+TEST(ObsTrace, ChromeTraceExportIsWellFormedJson) {
+  TelemetryGuard guard;
+  obs::configure(enabled_config(true, true));
+  {
+    obs::Span span("runtime", "chunk_like");
+    span.arg("chunk", 3);
+    span.arg("trials", 64);
+    obs::instant("probe", "probe_hit", "server", 12);
+  }
+  // An instrumented sim run contributes real "sim" spans to the same trace.
+  RegisterExperimentConfig cfg;
+  cfg.num_clients = 2;
+  cfg.duration = 50.0;
+  const RegisterExperimentResult r =
+      run_register_experiment(OptDFamily(12, 2), cfg);
+  EXPECT_GT(r.events_executed, 0u);
+  EXPECT_GT(r.peak_event_queue, 0u);
+
+  const std::string chrome = obs::chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(chrome).valid()) << chrome.substr(0, 400);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"displayTimeUnit\""), std::string::npos);
+  for (const char* cat : {"\"runtime\"", "\"probe\"", "\"sim\""})
+    EXPECT_NE(chrome.find(cat), std::string::npos) << cat;
+
+  // The metrics snapshot JSON shares the writer; check it parses too.
+  JsonWriter json;
+  obs::Registry::instance().snapshot().write_json(json);
+  EXPECT_TRUE(JsonChecker(json.str()).valid()) << json.str().substr(0, 400);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -27,6 +27,22 @@ TEST(Simulator, RunsEventsInTimeOrder) {
   EXPECT_DOUBLE_EQ(sim.now(), 3.0);
 }
 
+TEST(Simulator, EventLoopObservabilityCounters) {
+  Simulator sim;
+  EXPECT_EQ(sim.scheduled_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 0u);
+  EXPECT_EQ(sim.peak_pending_events(), 0u);
+  for (int i = 0; i < 4; ++i) sim.schedule(1.0 + i, [] {});
+  EXPECT_EQ(sim.scheduled_events(), 4u);
+  EXPECT_EQ(sim.peak_pending_events(), 4u);  // all queued before any ran
+  sim.run_until(2.5);
+  EXPECT_EQ(sim.executed_events(), 2u);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 4u);
+  EXPECT_EQ(sim.peak_pending_events(), 4u);  // peak is sticky
+}
+
 TEST(Simulator, EqualTimestampsRunFifo) {
   Simulator sim;
   std::vector<int> order;

@@ -16,6 +16,11 @@
 // Every Monte Carlo subcommand runs on the shared parallel trial runtime.
 // `--threads N` (or the SQS_THREADS environment variable) picks the thread
 // count; results are bit-identical whatever value is used.
+//
+// Telemetry: `--metrics FILE` writes a counter/histogram snapshot as JSON,
+// `--trace FILE` writes a Chrome trace_event file (open in chrome://tracing
+// or https://ui.perfetto.dev), `--trace-jsonl FILE` the same events as
+// JSONL. Enabling telemetry never changes any reported number.
 
 #include <cmath>
 #include <cstdio>
@@ -33,6 +38,7 @@
 #include "core/witness.h"
 #include "mismatch/exact.h"
 #include "mismatch/trace_gen.h"
+#include "obs/telemetry.h"
 #include "probe/measurements.h"
 #include "probe/serverprobe.h"
 #include "runtime/thread_pool.h"
@@ -255,7 +261,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: sqs_cli <avail|probes|nonintersect|verify|trace|profile> "
                "[--flags]\n  global: --threads N (or SQS_THREADS) for the "
-               "parallel trial runtime\n  see the header of tools/sqs_cli.cpp\n");
+               "parallel trial runtime;\n          --metrics FILE / --trace FILE "
+               "/ --trace-jsonl FILE for telemetry\n  see the header of "
+               "tools/sqs_cli.cpp\n");
   return 2;
 }
 
@@ -265,13 +273,17 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return sqs::usage();
   sqs::init_threads_from_args(argc, argv);
+  sqs::obs::init_telemetry_from_args(argc, argv);
   const std::string command = argv[1];
   const sqs::Args args = sqs::parse(argc, argv, 2);
-  if (command == "avail") return sqs::cmd_avail(args);
-  if (command == "probes") return sqs::cmd_probes(args);
-  if (command == "nonintersect") return sqs::cmd_nonintersect(args);
-  if (command == "verify") return sqs::cmd_verify(args);
-  if (command == "trace") return sqs::cmd_trace(args);
-  if (command == "profile") return sqs::cmd_profile(args);
-  return sqs::usage();
+  int rc = 2;
+  if (command == "avail") rc = sqs::cmd_avail(args);
+  else if (command == "probes") rc = sqs::cmd_probes(args);
+  else if (command == "nonintersect") rc = sqs::cmd_nonintersect(args);
+  else if (command == "verify") rc = sqs::cmd_verify(args);
+  else if (command == "trace") rc = sqs::cmd_trace(args);
+  else if (command == "profile") rc = sqs::cmd_profile(args);
+  else return sqs::usage();
+  sqs::obs::export_telemetry_files();
+  return rc;
 }
