@@ -21,6 +21,7 @@
 #include "probe/measurements.h"
 #include "runtime/run_trials.h"
 #include "sim/harness.h"
+#include "sweep/sweep.h"
 #include "uqs/grid.h"
 #include "uqs/majority.h"
 #include "uqs/paths.h"
@@ -117,19 +118,26 @@ void optimality_audit() {
   Table table({"n", "alpha", "p", "Avail(OPT_a)",
                "best random SQS found", "SQS w/ sub-alpha config"});
   Rng rng(31337);
+  const double p = 0.3;
   // alpha >= 2 so that a sub-alpha configuration (alpha-1 positives) is a
   // legal signed set; for alpha = 1 the Lemma is vacuous (C_0 has no
   // positive element).
-  for (const auto& [n, alpha] : {std::pair<int, int>{6, 2}, {7, 2}, {8, 3}}) {
-    const ExplicitSqs opt_a = opt_a_explicit(n, alpha);
-    const double p = 0.3;
-    // Random greedy SQS search, sharded over the trial runtime (the
-    // per-(n, alpha) searches are independent trials with a max-reduce).
-    TrialOptions search_opts;
-    search_opts.chunk_size = 25;
-    const double best_random = run_trials(
-        200, rng.split(static_cast<std::uint64_t>(n * 100 + alpha)), 0.0,
-        [&](double& best, std::uint64_t, Rng& trial_rng) {
+  const std::vector<std::pair<int, int>> grid = {{6, 2}, {7, 2}, {8, 3}};
+  // Random greedy SQS search: all three (n, alpha) searches submitted as one
+  // sweep over the trial runtime. Seeds and chunking match the old
+  // per-(n, alpha) run_trials loop, so the max-reduce is bit-identical.
+  TrialOptions search_opts;
+  search_opts.chunk_size = 25;
+  std::vector<SweepCell> cells(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    cells[i] = {200, rng.split(static_cast<std::uint64_t>(
+                         grid[i].first * 100 + grid[i].second))};
+  const std::vector<double> best_random = run_sweep(
+      cells, 0.0,
+      [&](std::size_t cell, double& best, const TrialChunk& tc,
+          Rng& trial_rng) {
+        const auto [n, alpha] = grid[cell];
+        for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
           ExplicitSqs q(n, alpha);
           for (int attempt = 0; attempt < 60; ++attempt) {
             SignedSet s(n);
@@ -141,9 +149,14 @@ void optimality_audit() {
             if (s.positive_count() > 0 && q.can_add(s)) q.add_quorum(s);
           }
           best = std::max(best, q.availability(p));
-        },
-        [](double& total, double part) { total = std::max(total, part); },
-        search_opts);
+        }
+      },
+      [](double& total, double part) { total = std::max(total, part); },
+      search_opts);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [n, alpha] = grid[i];
+    const ExplicitSqs opt_a = opt_a_explicit(n, alpha);
     // Largest SQS forced to contain a sub-alpha configuration (Lemma 15):
     // exactly alpha-1 servers up.
     ExplicitSqs low(n, alpha);
@@ -153,7 +166,7 @@ void optimality_audit() {
 
     table.add_row({std::to_string(n), std::to_string(alpha), Table::fmt(p, 2),
                    Table::fmt(opt_a.availability(p), 6),
-                   Table::fmt(best_random, 6),
+                   Table::fmt(best_random[i], 6),
                    Table::fmt(low.availability(p), 6)});
   }
   table.print("Theorem 16 / Lemma 15 audit: nothing beats OPT_a");
@@ -165,18 +178,21 @@ void optimality_audit() {
 // runtime is tracked from this PR onward.
 void scaling_json(int configured_threads) {
   // Paths has no closed-form availability (PQS/Majority inherit the
-  // ThresholdFamily binomial tail), so this exercises the default Monte
-  // Carlo path: 200k sampled configurations on the trial runtime, each
-  // evaluated by two BFS percolation checks over a 23x23 edge grid.
-  const int l = 22, samples = 200000;  // universe = 2*22*23 = 1012 servers
+  // ThresholdFamily binomial tail), so this exercises the Monte Carlo path —
+  // now as a three-cell sweep (l = 10, 16, 22): every cell's sampled
+  // configurations are evaluated by two BFS percolation checks over an
+  // (l+1)x(l+1) edge grid, and all cells' chunks share one pool submission.
   const double p = 0.3;
-  const PathsFamily fam(l);
-  const int n = fam.universe_size();
+  const std::uint64_t samples = 100000;
+  std::vector<AvailabilityCell> cells;
+  for (const int l : {10, 16, 22})
+    cells.push_back({std::make_shared<PathsFamily>(l), p, samples,
+                     kAvailabilityMcSeed});
 
   struct Run {
     int threads;
     double wall_ms;
-    double value;
+    std::vector<std::int64_t> live;  // per-cell raw counts
   };
   // Metrics stay on for the measured runs so the BENCH record carries the
   // chunk/steal/queue telemetry of the workload it timed (counter overhead
@@ -187,16 +203,20 @@ void scaling_json(int configured_threads) {
   obs::configure(metrics_config);
   std::vector<Run> runs;
   for (const int threads : {1, 8}) {
-    set_default_threads(threads);
+    TrialOptions opts;
+    opts.threads = threads;
     const auto start = std::chrono::steady_clock::now();
-    const double value = fam.availability(p);
+    const std::vector<AvailabilityEstimate> estimates =
+        sweep_availability(cells, opts);
     const auto stop = std::chrono::steady_clock::now();
-    runs.push_back(
-        {threads,
-         std::chrono::duration<double, std::milli>(stop - start).count(),
-         value});
+    Run run;
+    run.threads = threads;
+    run.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    for (const AvailabilityEstimate& e : estimates) run.live.push_back(e.live);
+    runs.push_back(std::move(run));
   }
-  set_default_threads(configured_threads);
+  (void)configured_threads;
   const obs::MetricsSnapshot metrics = obs::Registry::instance().snapshot();
   obs::configure(saved_config);
 
@@ -205,34 +225,35 @@ void scaling_json(int configured_threads) {
   json.kv("bench", "availability");
   json.key("workload");
   json.begin_object()
-      .kv("name", "paths_mc_availability")
-      .kv("family", fam.name())
-      .kv("n", n)
+      .kv("name", "paths_mc_availability_sweep")
+      .kv("families", "Paths(l=10),Paths(l=16),Paths(l=22)")
+      .kv("cells", static_cast<std::uint64_t>(cells.size()))
       .kv("p", p)
-      .kv("trials", samples)
+      .kv("trials", static_cast<std::uint64_t>(samples * cells.size()))
       .end_object();
   json.key("runs").begin_array();
   for (const Run& r : runs) {
-    json.begin_object()
-        .kv("threads", r.threads)
-        .kv("wall_ms", r.wall_ms)
-        .kv("value", r.value)
-        .end_object();
+    json.begin_object().kv("threads", r.threads).kv("wall_ms", r.wall_ms);
+    json.key("live").begin_array();
+    for (const std::int64_t v : r.live)
+      json.value(static_cast<std::uint64_t>(v));
+    json.end_array();
+    json.end_object();
   }
   json.end_array();
   json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
-  json.kv("deterministic", runs[0].value == runs[1].value);
+  json.kv("deterministic", runs[0].live == runs[1].live);
   json.key("metrics");
   metrics.write_json(json);
   json.end_object();
   json.write_file("BENCH_availability.json");
   std::printf(
-      "\n[runtime] MC availability n=%d trials=%d: %.1f ms @1 thread, "
-      "%.1f ms @8 threads (speedup %.2fx, identical=%s) -> "
+      "\n[runtime] MC availability sweep (%zu cells x %llu samples): %.1f ms "
+      "@1 thread, %.1f ms @8 threads (speedup %.2fx, identical=%s) -> "
       "BENCH_availability.json\n",
-      n, samples, runs[0].wall_ms, runs[1].wall_ms,
-      runs[0].wall_ms / runs[1].wall_ms,
-      runs[0].value == runs[1].value ? "yes" : "NO");
+      cells.size(), static_cast<unsigned long long>(samples), runs[0].wall_ms,
+      runs[1].wall_ms, runs[0].wall_ms / runs[1].wall_ms,
+      runs[0].live == runs[1].live ? "yes" : "NO");
 }
 
 // When telemetry is on (--trace/--metrics), run one small probe workload and

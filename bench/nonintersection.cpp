@@ -8,6 +8,11 @@
 //   and the failure mode: correlated mismatches (partitions) blow through
 //   the bound computed from the marginal epsilon — the reason the paper
 //   validates independence (Fig. 1) and filters partitioned clients.
+//
+// Every Monte Carlo section here submits its whole parameter grid as ONE
+// sweep (src/sweep): all cells' trial-chunks interleave on the shared pool,
+// and each cell's result is bit-identical to the per-cell
+// measure_nonintersection() loop this file used to run.
 
 #include <chrono>
 #include <cstdio>
@@ -18,6 +23,7 @@
 #include "core/constructions.h"
 #include "mismatch/exact.h"
 #include "mismatch/model.h"
+#include "sweep/sweep.h"
 #include "uqs/majority.h"
 #include "uqs/paths.h"
 #include "util/json.h"
@@ -31,55 +37,80 @@ namespace {
 constexpr int kTrials = 400000;
 
 void theorem9_sweep() {
+  // One sweep over the 3x3 (alpha, m) grid; seeds match the old per-cell
+  // loop, so every number printed here is bit-identical to it.
+  std::vector<NonintersectionCell> cells;
+  for (int alpha : {1, 2, 3}) {
+    for (double m : {0.1, 0.2, 0.3}) {
+      NonintersectionCell cell;
+      cell.family = std::make_shared<OptDFamily>(24, alpha);
+      cell.model.p = 0.1;
+      cell.model.link_miss = m;
+      cell.trials = kTrials;
+      cell.base = Rng(1000 + alpha * 10 + static_cast<int>(m * 100));
+      cells.push_back(std::move(cell));
+    }
+  }
+  const std::vector<NonintersectionStats> sweep = sweep_nonintersection(cells);
+
   Table table({"alpha", "link miss m", "epsilon=2m/(1+m)",
                "P[non-intersect] measured", "P[non-intersect] exact DP",
                "bound eps^2a", "exact/bound"});
-  for (int alpha : {1, 2, 3}) {
-    for (double m : {0.1, 0.2, 0.3}) {
-      const OptDFamily fam(24, alpha);
-      MismatchModel model;
-      model.p = 0.1;
-      model.link_miss = m;
-      const NonintersectionStats stats = measure_nonintersection(
-          fam, model, kTrials, Rng(1000 + alpha * 10 + static_cast<int>(m * 100)));
-      const auto exact = exact_nonintersection(24, alpha, model.p, m,
-                                               opt_d_stop_rule(24, alpha));
-      table.add_row({std::to_string(alpha), Table::fmt(m, 2),
-                     Table::fmt(stats.epsilon, 4),
-                     Table::fmt_sci(stats.nonintersection.estimate()),
-                     Table::fmt_sci(exact.nonintersection),
-                     Table::fmt_sci(stats.bound),
-                     stats.bound > 0
-                         ? Table::fmt(exact.nonintersection / stats.bound, 3)
-                         : "-"});
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const NonintersectionStats& stats = sweep[i];
+    const int alpha = cells[i].family->alpha();
+    const double m = cells[i].model.link_miss;
+    const auto exact = exact_nonintersection(24, alpha, cells[i].model.p, m,
+                                             opt_d_stop_rule(24, alpha));
+    table.add_row({std::to_string(alpha), Table::fmt(m, 2),
+                   Table::fmt(stats.epsilon, 4),
+                   Table::fmt_sci(stats.nonintersection.estimate()),
+                   Table::fmt_sci(exact.nonintersection),
+                   Table::fmt_sci(stats.bound),
+                   stats.bound > 0
+                       ? Table::fmt(exact.nonintersection / stats.bound, 3)
+                       : "-"});
   }
   table.print("Theorem 9: OPT_d (deterministic non-adaptive), n=24, p=0.1 — "
               "exact/bound must stay <= 1");
 }
 
 void theorem44_composition() {
-  Table table({"inner UQ", "alpha", "epsilon", "P[non-intersect] measured",
-               "bound 2 eps^2a", "ratio"});
   MismatchModel model;
   model.p = 0.1;
   model.link_miss = 0.25;
+  std::vector<NonintersectionCell> cells;
   for (int alpha : {1, 2}) {
-    auto maj = std::make_shared<MajorityFamily>(4 * alpha - 1);
-    const CompositionFamily comp_maj(maj, 20, alpha);
-    const NonintersectionStats s1 = measure_nonintersection(
-        comp_maj, model, kTrials, Rng(7000 + alpha), /*bound_factor=*/2.0);
-    table.add_row({maj->name(), std::to_string(alpha), Table::fmt(s1.epsilon, 4),
-                   Table::fmt_sci(s1.nonintersection.estimate()),
-                   Table::fmt_sci(s1.bound),
-                   Table::fmt(s1.nonintersection.estimate() / s1.bound, 3)});
+    NonintersectionCell cell;
+    cell.family = std::make_shared<CompositionFamily>(
+        std::make_shared<MajorityFamily>(4 * alpha - 1), 20, alpha);
+    cell.model = model;
+    cell.trials = kTrials;
+    cell.base = Rng(7000 + alpha);
+    cell.bound_factor = 2.0;
+    cells.push_back(std::move(cell));
   }
   {
-    auto paths = std::make_shared<PathsFamily>(2);  // min quorum 4 >= 2a
-    const CompositionFamily comp(paths, 20, 2);
-    const NonintersectionStats s = measure_nonintersection(
-        comp, model, kTrials, Rng(7100), /*bound_factor=*/2.0);
-    table.add_row({paths->name(), "2", Table::fmt(s.epsilon, 4),
+    NonintersectionCell cell;  // min quorum 4 >= 2a
+    cell.family = std::make_shared<CompositionFamily>(
+        std::make_shared<PathsFamily>(2), 20, 2);
+    cell.model = model;
+    cell.trials = kTrials;
+    cell.base = Rng(7100);
+    cell.bound_factor = 2.0;
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<NonintersectionStats> sweep = sweep_nonintersection(cells);
+
+  Table table({"inner UQ", "alpha", "epsilon", "P[non-intersect] measured",
+               "bound 2 eps^2a", "ratio"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const NonintersectionStats& s = sweep[i];
+    const auto& comp =
+        static_cast<const CompositionFamily&>(*cells[i].family);
+    table.add_row({comp.inner().name(),
+                   std::to_string(cells[i].family->alpha()),
+                   Table::fmt(s.epsilon, 4),
                    Table::fmt_sci(s.nonintersection.estimate()),
                    Table::fmt_sci(s.bound),
                    Table::fmt(s.nonintersection.estimate() / s.bound, 3)});
@@ -89,18 +120,25 @@ void theorem44_composition() {
 }
 
 void correlated_break() {
+  std::vector<NonintersectionCell> cells;
+  for (double rate : {0.0, 0.05, 0.2, 0.5}) {
+    NonintersectionCell cell;
+    cell.family = std::make_shared<OptDFamily>(20, 1);
+    cell.model.p = 0.05;
+    cell.model.link_miss = 0.02;
+    cell.model.partition_rate = rate;
+    cell.model.partition_fraction = 0.9;
+    cell.trials = kTrials;
+    cell.base = Rng(9000 + static_cast<int>(rate * 100));
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<NonintersectionStats> sweep = sweep_nonintersection(cells);
+
   Table table({"partition rate", "P[non-intersect] measured",
                "iid bound eps^2a", "ratio (blows past 1)"});
-  for (double rate : {0.0, 0.05, 0.2, 0.5}) {
-    const OptDFamily fam(20, 1);
-    MismatchModel model;
-    model.p = 0.05;
-    model.link_miss = 0.02;
-    model.partition_rate = rate;
-    model.partition_fraction = 0.9;
-    const NonintersectionStats stats = measure_nonintersection(
-        fam, model, kTrials, Rng(9000 + static_cast<int>(rate * 100)));
-    table.add_row({Table::fmt(rate, 2),
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const NonintersectionStats& stats = sweep[i];
+    table.add_row({Table::fmt(cells[i].model.partition_rate, 2),
                    Table::fmt_sci(stats.nonintersection.estimate()),
                    Table::fmt_sci(stats.bound),
                    Table::fmt(stats.nonintersection.estimate() /
@@ -114,12 +152,17 @@ void correlated_break() {
 // Times the two-client sampling workload at 1 and 8 threads and records the
 // scaling in BENCH_nonintersection.json (the per-trial work here — two full
 // probe acquisitions — is the repo's most parallelism-hungry estimator).
+// The workload is submitted through the sweep engine as a single cell, which
+// reduces to exactly the bits of the measure_nonintersection() call it
+// replaced — so the baseline record's trajectory is unbroken.
 void scaling_json(int configured_threads) {
   const int n = 24, alpha = 2, trials = 400000;
-  const OptDFamily fam(n, alpha);
-  MismatchModel model;
-  model.p = 0.1;
-  model.link_miss = 0.2;
+  std::vector<NonintersectionCell> cells(1);
+  cells[0].family = std::make_shared<OptDFamily>(n, alpha);
+  cells[0].model.p = 0.1;
+  cells[0].model.link_miss = 0.2;
+  cells[0].trials = trials;
+  cells[0].base = Rng(42);
 
   struct Run {
     int threads;
@@ -137,8 +180,7 @@ void scaling_json(int configured_threads) {
     TrialOptions opts;
     opts.threads = threads;
     const auto start = std::chrono::steady_clock::now();
-    const NonintersectionStats stats =
-        measure_nonintersection(fam, model, trials, Rng(42), 1.0, opts);
+    const NonintersectionStats stats = sweep_nonintersection(cells, opts)[0];
     const auto stop = std::chrono::steady_clock::now();
     runs.push_back(
         {threads,
@@ -154,11 +196,11 @@ void scaling_json(int configured_threads) {
   json.key("workload");
   json.begin_object()
       .kv("name", "optd_two_client_sampling")
-      .kv("family", fam.name())
+      .kv("family", cells[0].family->name())
       .kv("n", n)
       .kv("alpha", alpha)
-      .kv("p", model.p)
-      .kv("link_miss", model.link_miss)
+      .kv("p", cells[0].model.p)
+      .kv("link_miss", cells[0].model.link_miss)
       .kv("trials", trials)
       .end_object();
   json.key("runs").begin_array();

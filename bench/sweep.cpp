@@ -1,0 +1,193 @@
+// Exercises the sharded sweep engine (src/sweep) end to end:
+//
+//   (a) an availability grid cross-checked against the closed-form
+//       binomial tail (the MC sweep must land within sampling noise);
+//   (b) the timed workload: a 9-cell OPT_d non-intersection grid — every
+//       cell x trial-chunk flattened into one pool submission — timed at
+//       1 and 8 threads with the per-cell counts compared bit-for-bit
+//       (the determinism contract of DESIGN.md);
+//   (c) the availability-targeted parameter search: minimal alpha for a
+//       non-intersection ceiling (exact DP witness) and the successive-
+//       halving composition race at that alpha.
+//
+// Writes BENCH_sweep.json (runs + per-cell counts + telemetry snapshot) for
+// the bench_diff trajectory gate.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/constructions.h"
+#include "sweep/search.h"
+#include "sweep/sweep.h"
+#include "util/json.h"
+#include "util/table.h"
+
+#include "obs/telemetry.h"
+
+namespace sqs {
+namespace {
+
+void availability_grid() {
+  // MC-vs-closed-form cross-check: OPT_d has the Theorem 34 binomial tail,
+  // so every cell of the sweep has an exact target to land on.
+  std::vector<AvailabilityCell> cells;
+  for (const int n : {16, 32})
+    for (const int alpha : {1, 2, 4})
+      cells.push_back({std::make_shared<OptDFamily>(n, alpha), 0.3, 50000,
+                       kAvailabilityMcSeed});
+  const std::vector<AvailabilityEstimate> estimates = sweep_availability(cells);
+
+  Table table({"family", "avail (sweep MC)", "avail (closed form)", "|diff|"});
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double mc = estimates[i].estimate();
+    const double exact = cells[i].family->availability(cells[i].p);
+    max_diff = std::max(max_diff, std::abs(mc - exact));
+    table.add_row({cells[i].family->name(), Table::fmt(mc, 6),
+                   Table::fmt(exact, 6), Table::fmt_sci(std::abs(mc - exact))});
+  }
+  table.print("availability sweep vs closed form, p=0.3 (6 cells, one "
+              "submission)");
+  std::printf("  max |MC - closed form| = %s (50k samples/cell => noise "
+              "~2e-3)\n",
+              Table::fmt_sci(max_diff).c_str());
+}
+
+// The timed workload: 9 non-intersection cells (alpha x link-miss grid on
+// OPT_d n=24), submitted as ONE sweep. Records wall time at 1 and 8 threads
+// plus every cell's raw non-intersection count — the runs must agree
+// bit-for-bit for "deterministic" to be true.
+void grid_scaling_json() {
+  const int n = 24;
+  const std::uint64_t trials = 40000;
+  std::vector<NonintersectionCell> cells;
+  for (int alpha : {1, 2, 3})
+    for (double m : {0.1, 0.2, 0.3}) {
+      NonintersectionCell cell;
+      cell.family = std::make_shared<OptDFamily>(n, alpha);
+      cell.model.p = 0.1;
+      cell.model.link_miss = m;
+      cell.trials = trials;
+      cell.base = Rng(2000 + alpha * 10 + static_cast<int>(m * 100));
+      cells.push_back(std::move(cell));
+    }
+
+  struct Run {
+    int threads;
+    double wall_ms;
+    std::vector<std::size_t> counts;  // per-cell non-intersection counts
+  };
+  const obs::TelemetryConfig saved_config = obs::current_config();
+  obs::TelemetryConfig metrics_config = saved_config;
+  metrics_config.metrics = true;
+  obs::configure(metrics_config);
+  std::vector<Run> runs;
+  for (const int threads : {1, 8}) {
+    TrialOptions opts;
+    opts.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<NonintersectionStats> stats =
+        sweep_nonintersection(cells, opts);
+    const auto stop = std::chrono::steady_clock::now();
+    Run run;
+    run.threads = threads;
+    run.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    for (const NonintersectionStats& s : stats)
+      run.counts.push_back(s.nonintersection.successes);
+    runs.push_back(std::move(run));
+  }
+  const obs::MetricsSnapshot metrics = obs::Registry::instance().snapshot();
+  obs::configure(saved_config);
+
+  JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "sweep");
+  json.key("workload");
+  json.begin_object()
+      .kv("name", "optd_nonintersection_grid")
+      .kv("n", n)
+      .kv("alphas", "1,2,3")
+      .kv("link_misses", "0.1,0.2,0.3")
+      .kv("p", 0.1)
+      .kv("cells", static_cast<std::uint64_t>(cells.size()))
+      .kv("trials", static_cast<std::uint64_t>(trials * cells.size()))
+      .end_object();
+  json.key("runs").begin_array();
+  for (const Run& r : runs) {
+    json.begin_object().kv("threads", r.threads).kv("wall_ms", r.wall_ms);
+    json.key("nonintersections").begin_array();
+    for (const std::size_t c : r.counts)
+      json.value(static_cast<std::uint64_t>(c));
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
+  json.kv("deterministic", runs[0].counts == runs[1].counts);
+  json.key("metrics");
+  metrics.write_json(json);
+  json.end_object();
+  json.write_file("BENCH_sweep.json");
+  std::printf(
+      "\n[runtime] 9-cell non-intersection grid (%llu trials total): %.1f ms "
+      "@1 thread, %.1f ms @8 threads (speedup %.2fx, identical=%s) -> "
+      "BENCH_sweep.json\n",
+      static_cast<unsigned long long>(trials * cells.size()), runs[0].wall_ms,
+      runs[1].wall_ms, runs[0].wall_ms / runs[1].wall_ms,
+      runs[0].counts == runs[1].counts ? "yes" : "NO");
+}
+
+void search_demo() {
+  AlphaSearchSpec spec;  // n=24, p=0.1, miss=0.2, exact DP
+  SearchTargets targets;
+  targets.max_nonintersection = 1e-3;
+  targets.min_availability = 0.999;
+  const AlphaSearchResult result = find_min_alpha(spec, targets);
+
+  Table ladder({"alpha", "P[nonint] exact", "availability", "meets targets"});
+  for (const AlphaCandidate& c : result.evaluated)
+    ladder.add_row({std::to_string(c.alpha), Table::fmt_sci(c.nonintersection),
+                    Table::fmt(c.availability, 6),
+                    c.meets_targets ? "yes" : "no"});
+  ladder.print("search: minimal alpha with P[nonint] <= 1e-3, avail >= "
+               "0.999 (n=24, p=0.1, miss=0.2)");
+  if (result.feasible) {
+    std::printf("  minimal alpha = %d (alpha-1 fails the ceiling: the DP "
+                "ladder above is the witness)\n",
+                result.alpha);
+    CompositionSearchSpec comp;
+    comp.alpha = result.alpha;
+    comp.n = 16 * result.alpha;
+    comp.p = spec.p;
+    const CompositionSearchResult race = find_best_composition(comp, targets);
+    if (race.feasible)
+      std::printf("  best UQ+OPT_a composition at alpha=%d, n=%d: %s "
+                  "(E[probes] %.3f, load %.4f)\n",
+                  comp.alpha, comp.n, race.best.c_str(), race.expected_probes,
+                  race.load);
+  }
+}
+
+}  // namespace
+}  // namespace sqs
+
+int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
+  sqs::obs::init_telemetry_from_args(argc, argv);
+  std::printf("Sharded sweep engine + parameter search study.\n");
+  sqs::availability_grid();
+  sqs::grid_scaling_json();
+  sqs::search_demo();
+  std::printf(
+      "\nShape checks:\n"
+      "  * sweep MC availability matches the closed-form tail per cell;\n"
+      "  * per-cell non-intersection counts identical at 1 and 8 threads\n"
+      "    (the flattening is purely a scheduling change);\n"
+      "  * the alpha ladder is monotone: non-intersection falls ~eps^2a\n"
+      "    while availability falls toward the floor as alpha grows.\n");
+  sqs::obs::export_telemetry_files();
+  return 0;
+}

@@ -9,9 +9,16 @@ records with the baseline copies committed under bench/baselines/ and fails
 25%) in wall_ms — but only when the workloads are actually comparable, i.e.
 the trial counts (and the rest of the workload parameters) are equal.
 
+Records may also carry a "metrics" telemetry snapshot ({"counters": {...},
+"histograms": [...]}); when both sides have one, counter context (e.g. how
+many runtime chunks the workload executed) is printed next to the timing
+diff. Records written before the telemetry subsystem existed lack the key —
+they must still load and compare on wall_ms alone, never crash.
+
 Usage:
   scripts/bench_diff.py --baseline bench/baselines --fresh build/bench
   scripts/bench_diff.py --fresh build/bench --update   # refresh baselines
+  scripts/bench_diff.py --self-test                    # run the unit tests
 
 Non-comparable or missing records are reported and skipped, never fatal:
 a new bench has no baseline yet, and a workload bump legitimately resets
@@ -24,6 +31,15 @@ import json
 import os
 import shutil
 import sys
+import tempfile
+
+# Counters worth surfacing next to the wall-clock diff, when present.
+CONTEXT_COUNTERS = (
+    "runtime.chunks_executed",
+    "sweep.chunks_executed",
+    "sweep.cells",
+    "pool.tasks_stolen",
+)
 
 
 def load_records(directory):
@@ -44,6 +60,23 @@ def comparable(baseline, fresh):
     return baseline.get("workload") == fresh.get("workload")
 
 
+def counter_context(baseline, fresh):
+    """Returns a short string of matched telemetry counters, or ''.
+
+    Pre-telemetry records have no "metrics" key and newer ones may carry a
+    snapshot without "counters"; every access below therefore uses .get()
+    so mixed-era comparisons never raise.
+    """
+    base_counters = (baseline.get("metrics") or {}).get("counters") or {}
+    fresh_counters = (fresh.get("metrics") or {}).get("counters") or {}
+    parts = []
+    for name in CONTEXT_COUNTERS:
+        if name in base_counters and name in fresh_counters:
+            parts.append(f"{name} {base_counters[name]} -> "
+                         f"{fresh_counters[name]}")
+    return "; ".join(parts)
+
+
 def diff_record(name, baseline, fresh, threshold):
     """Returns a list of regression strings (empty when the record is ok)."""
     if not comparable(baseline, fresh):
@@ -51,7 +84,7 @@ def diff_record(name, baseline, fresh, threshold):
               f"(baseline {baseline.get('workload')} vs "
               f"fresh {fresh.get('workload')}); refresh with --update")
         return []
-    baseline_runs = {r["threads"]: r for r in baseline.get("runs", [])}
+    baseline_runs = {r.get("threads"): r for r in baseline.get("runs", [])}
     regressions = []
     for run in fresh.get("runs", []):
         threads = run.get("threads")
@@ -60,7 +93,11 @@ def diff_record(name, baseline, fresh, threshold):
             print(f"[bench_diff] {name}: no baseline run at "
                   f"threads={threads}, skipping")
             continue
-        base_ms, fresh_ms = base["wall_ms"], run["wall_ms"]
+        base_ms, fresh_ms = base.get("wall_ms"), run.get("wall_ms")
+        if base_ms is None or fresh_ms is None:
+            print(f"[bench_diff] {name} threads={threads}: record lacks "
+                  f"wall_ms, skipping")
+            continue
         ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
         status = "ok"
         if ratio > 1.0 + threshold:
@@ -71,14 +108,17 @@ def diff_record(name, baseline, fresh, threshold):
         print(f"[bench_diff] {name} threads={threads}: "
               f"{base_ms:.1f} ms -> {fresh_ms:.1f} ms "
               f"({(ratio - 1.0) * 100:+.1f}%) {status}")
+    context = counter_context(baseline, fresh)
+    if context:
+        print(f"[bench_diff] {name}: telemetry: {context}")
     return regressions
 
 
-def main():
+def run(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default="bench/baselines",
                         help="directory with committed BENCH_*.json baselines")
-    parser.add_argument("--fresh", required=True,
+    parser.add_argument("--fresh",
                         help="directory with freshly produced BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fail when wall_ms grows by more than this "
@@ -86,7 +126,14 @@ def main():
     parser.add_argument("--update", action="store_true",
                         help="copy fresh records over the baselines instead "
                              "of comparing")
-    args = parser.parse_args()
+    parser.add_argument("--self-test", action="store_true",
+                        help="run this script's own unit tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.fresh:
+        parser.error("--fresh is required (unless --self-test)")
 
     fresh = load_records(args.fresh)
     if not fresh:
@@ -121,5 +168,103 @@ def main():
     return 0
 
 
+# --- self tests -------------------------------------------------------------
+
+
+def _record(wall_ms_by_threads, workload=None, metrics=None, drop_wall=False):
+    runs = []
+    for threads, ms in wall_ms_by_threads.items():
+        entry = {"threads": threads}
+        if not drop_wall:
+            entry["wall_ms"] = ms
+        runs.append(entry)
+    rec = {"workload": workload or {"name": "w", "trials": 100}, "runs": runs}
+    if metrics is not None:
+        rec["metrics"] = metrics
+    return rec
+
+
+def self_test():
+    failures = []
+
+    def check(label, condition):
+        print(f"[self-test] {label}: {'ok' if condition else 'FAIL'}")
+        if not condition:
+            failures.append(label)
+
+    # Within threshold: no regression reported.
+    check("within threshold",
+          diff_record("a", _record({1: 100.0}), _record({1: 110.0}), 0.25)
+          == [])
+    # Beyond threshold: exactly one regression.
+    check("beyond threshold",
+          len(diff_record("a", _record({1: 100.0}), _record({1: 140.0}),
+                          0.25)) == 1)
+    # Changed workload: skipped, never a regression.
+    check("workload change skipped",
+          diff_record("a", _record({1: 100.0}),
+                      _record({1: 900.0}, workload={"name": "w2",
+                                                    "trials": 999}),
+                      0.25) == [])
+    # Pre-telemetry baseline (no "metrics" key) vs fresh record with one:
+    # must not raise and must still diff wall_ms.
+    pre = _record({1: 100.0})
+    post = _record({1: 150.0},
+                   metrics={"counters": {"runtime.chunks_executed": 8}})
+    try:
+        regs = diff_record("a", pre, post, 0.25)
+        check("pre-telemetry baseline", len(regs) == 1)
+    except (KeyError, TypeError, AttributeError) as err:
+        check(f"pre-telemetry baseline (raised {err!r})", False)
+    # Metrics snapshot without "counters": also fine.
+    try:
+        counter_context(_record({1: 1.0}, metrics={}), post)
+        check("metrics without counters", True)
+    except (KeyError, TypeError, AttributeError) as err:
+        check(f"metrics without counters (raised {err!r})", False)
+    # Both sides instrumented: the shared counters are surfaced.
+    both = counter_context(
+        _record({1: 1.0}, metrics={"counters": {"sweep.cells": 9}}),
+        _record({1: 1.0}, metrics={"counters": {"sweep.cells": 9}}))
+    check("counter context rendered", "sweep.cells 9 -> 9" in both)
+    # Record lacking wall_ms entirely: skipped, not fatal.
+    try:
+        regs = diff_record("a", _record({1: 100.0}, drop_wall=True),
+                           _record({1: 500.0}), 0.25)
+        check("missing wall_ms skipped", regs == [])
+    except (KeyError, TypeError) as err:
+        check(f"missing wall_ms skipped (raised {err!r})", False)
+    # End-to-end through run(): --update then compare in a temp tree.
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_dir = os.path.join(tmp, "fresh")
+        base_dir = os.path.join(tmp, "base")
+        os.makedirs(fresh_dir)
+        with open(os.path.join(fresh_dir, "BENCH_x.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(_record({1: 100.0, 8: 50.0}), f)
+        check("run --update",
+              run(["--fresh", fresh_dir, "--baseline", base_dir,
+                   "--update"]) == 0)
+        check("run compare ok",
+              run(["--fresh", fresh_dir, "--baseline", base_dir]) == 0)
+        with open(os.path.join(fresh_dir, "BENCH_x.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(_record({1: 200.0, 8: 50.0}), f)
+        check("run compare regression",
+              run(["--fresh", fresh_dir, "--baseline", base_dir]) == 1)
+        # Unreadable record: warned about and skipped.
+        with open(os.path.join(fresh_dir, "BENCH_x.json"), "w",
+                  encoding="utf-8") as f:
+            f.write("{not json")
+        check("run corrupt record",
+              run(["--fresh", fresh_dir, "--baseline", base_dir]) == 1)
+
+    if failures:
+        print(f"\n[self-test] FAILED: {failures}")
+        return 1
+    print("\n[self-test] all checks passed")
+    return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run(sys.argv[1:]))

@@ -6,7 +6,7 @@ namespace sqs {
 
 double QuorumFamily::availability(double p) const {
   if (universe_size() <= 24) return availability_exact_enumeration(p);
-  return availability_monte_carlo(p, /*samples=*/200000, /*seed=*/0xa5a5a5a5ull);
+  return availability_monte_carlo(p);
 }
 
 double QuorumFamily::availability_exact_enumeration(double p) const {
@@ -19,18 +19,25 @@ double QuorumFamily::availability_exact_enumeration(double p) const {
   return total;
 }
 
+void availability_mc_chunk(const QuorumFamily& family, double p,
+                           const TrialChunk& tc, Rng& rng, std::int64_t& live) {
+  const int n = family.universe_size();
+  for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
+    Configuration config(Bitset(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
+    if (family.accepts(config)) ++live;
+  }
+}
+
 double QuorumFamily::availability_monte_carlo(double p, int samples,
                                               std::uint64_t seed) const {
-  const int n = universe_size();
   // Sharded over the trial runtime: chunk c draws its configurations from
   // Rng(seed).split(c) and the live counts are summed in chunk order, so
   // the estimate is identical for any SQS_THREADS value.
-  const std::int64_t live = run_trials(
+  const std::int64_t live = run_trial_chunks(
       static_cast<std::uint64_t>(samples), Rng(seed), std::int64_t{0},
-      [&](std::int64_t& acc, std::uint64_t, Rng& rng) {
-        Configuration config(Bitset(static_cast<std::size_t>(n)));
-        for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
-        if (accepts(config)) ++acc;
+      [&](std::int64_t& acc, const TrialChunk& tc, Rng& rng) {
+        availability_mc_chunk(*this, p, tc, rng, acc);
       },
       [](std::int64_t& total, std::int64_t part) { total += part; });
   return static_cast<double>(live) / static_cast<double>(samples);

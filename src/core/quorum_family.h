@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -17,6 +18,14 @@
 #include "util/rng.h"
 
 namespace sqs {
+
+struct TrialChunk;
+
+// Defaults of the Monte Carlo availability fallback. Exposed so the sweep
+// engine (src/sweep) can schedule grid cells that reduce to exactly the
+// same bits as a standalone availability() call.
+inline constexpr int kAvailabilityMcSamples = 200000;
+inline constexpr std::uint64_t kAvailabilityMcSeed = 0xa5a5a5a5ull;
 
 class QuorumFamily {
  public:
@@ -51,13 +60,24 @@ class QuorumFamily {
   // A fresh probe strategy for acquiring a quorum of this family.
   virtual std::unique_ptr<ProbeStrategy> make_probe_strategy() const = 0;
 
+  // Monte Carlo availability over `samples` sampled configurations. Runs
+  // on the shared trial runtime (parallel across SQS_THREADS); the chunked
+  // seeding makes the estimate bit-identical for any thread count. Public
+  // so sweeps and tests can pin samples/seed explicitly; availability()
+  // calls it with the kAvailabilityMc* defaults.
+  double availability_monte_carlo(double p, int samples = kAvailabilityMcSamples,
+                                  std::uint64_t seed = kAvailabilityMcSeed) const;
+
  protected:
   // Exact availability by enumerating all 2^n configurations (n <= 24).
   double availability_exact_enumeration(double p) const;
-  // Monte Carlo availability over `samples` sampled configurations. Runs
-  // on the shared trial runtime (parallel across SQS_THREADS); the chunked
-  // seeding makes the estimate bit-identical for any thread count.
-  double availability_monte_carlo(double p, int samples, std::uint64_t seed) const;
 };
+
+// Per-chunk kernel of availability_monte_carlo: samples one configuration
+// per trial in [tc.begin, tc.end) from `rng` and counts accepting ones into
+// `live`. Shared with the sweep engine (src/sweep) so a flattened grid cell
+// reproduces the per-cell estimate bit for bit.
+void availability_mc_chunk(const QuorumFamily& family, double p,
+                           const TrialChunk& tc, Rng& rng, std::int64_t& live);
 
 }  // namespace sqs

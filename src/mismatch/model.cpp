@@ -23,26 +23,39 @@ TwoClientWorld sample_world(int n, const MismatchModel& model, Rng& rng) {
   return world;
 }
 
-namespace {
+void nonintersection_chunk(const QuorumFamily& family,
+                           const MismatchModel& model, const TrialChunk& tc,
+                           Rng& rng, NonintersectionCounts& acc) {
+  const int n = family.universe_size();
+  // Probe strategies are stateful between run_probe resets, so each shard
+  // instantiates its own pair.
+  auto strategy1 = family.make_probe_strategy();
+  auto strategy2 = family.make_probe_strategy();
+  for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
+    TwoClientWorld world = sample_world(n, model, rng);
+    WorldOracle oracle1(&world.reach1);
+    WorldOracle oracle2(&world.reach2);
+    const std::uint64_t local = t - tc.begin;
+    Rng rng1 = rng.split(2 * local);
+    Rng rng2 = rng.split(2 * local + 1);
+    const ProbeRecord r1 = run_probe(*strategy1, oracle1, &rng1);
+    const ProbeRecord r2 = run_probe(*strategy2, oracle2, &rng2);
 
-struct NonintersectionCounts {
-  Proportion both_acquired;
-  Proportion nonintersection;
-
-  void merge(NonintersectionCounts&& other) {
-    both_acquired.merge(other.both_acquired);
-    nonintersection.merge(other.nonintersection);
+    const bool both = r1.acquired && r2.acquired;
+    acc.both_acquired.add(both);
+    // Definition 8: clients intersect iff their *probed* positive sets
+    // meet.
+    const bool miss =
+        both && !r1.probed.positive().intersects(r2.probed.positive());
+    acc.nonintersection.add(miss);
   }
-};
-
-}  // namespace
+}
 
 NonintersectionStats measure_nonintersection(const QuorumFamily& family,
                                              const MismatchModel& model,
                                              int trials, Rng rng,
                                              double bound_factor,
                                              const TrialOptions& opts) {
-  const int n = family.universe_size();
   NonintersectionStats stats;
   stats.epsilon = model.epsilon();
   stats.bound =
@@ -51,28 +64,7 @@ NonintersectionStats measure_nonintersection(const QuorumFamily& family,
   const NonintersectionCounts counts = run_trial_chunks(
       static_cast<std::uint64_t>(trials), rng, NonintersectionCounts{},
       [&](NonintersectionCounts& acc, const TrialChunk& tc, Rng& chunk_rng) {
-        // Probe strategies are stateful between run_probe resets, so each
-        // shard instantiates its own pair.
-        auto strategy1 = family.make_probe_strategy();
-        auto strategy2 = family.make_probe_strategy();
-        for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
-          TwoClientWorld world = sample_world(n, model, chunk_rng);
-          WorldOracle oracle1(&world.reach1);
-          WorldOracle oracle2(&world.reach2);
-          const std::uint64_t local = t - tc.begin;
-          Rng rng1 = chunk_rng.split(2 * local);
-          Rng rng2 = chunk_rng.split(2 * local + 1);
-          const ProbeRecord r1 = run_probe(*strategy1, oracle1, &rng1);
-          const ProbeRecord r2 = run_probe(*strategy2, oracle2, &rng2);
-
-          const bool both = r1.acquired && r2.acquired;
-          acc.both_acquired.add(both);
-          // Definition 8: clients intersect iff their *probed* positive
-          // sets meet.
-          const bool miss =
-              both && !r1.probed.positive().intersects(r2.probed.positive());
-          acc.nonintersection.add(miss);
-        }
+        nonintersection_chunk(family, model, tc, chunk_rng, acc);
       },
       [](NonintersectionCounts& total, NonintersectionCounts&& part) {
         total.merge(std::move(part));

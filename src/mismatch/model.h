@@ -70,6 +70,26 @@ struct NonintersectionStats {
   double bound = 0.0;          // the theorem's bound on the event
 };
 
+// Raw counts of the two-client experiment; the per-shard accumulator of
+// measure_nonintersection, merged in chunk order by the trial runtime.
+struct NonintersectionCounts {
+  Proportion both_acquired;
+  Proportion nonintersection;
+
+  void merge(NonintersectionCounts&& other) {
+    both_acquired.merge(other.both_acquired);
+    nonintersection.merge(other.nonintersection);
+  }
+};
+
+// Per-chunk kernel behind measure_nonintersection: runs the two-client
+// trials [tc.begin, tc.end) against `family` with the chunk's rng. Shared
+// with the sweep engine (src/sweep) so a flattened grid cell reduces to
+// exactly the same bits as the per-cell estimate.
+void nonintersection_chunk(const QuorumFamily& family,
+                           const MismatchModel& model, const TrialChunk& tc,
+                           Rng& rng, NonintersectionCounts& acc);
+
 // Runs `trials` independent two-client acquisitions against `family` (both
 // clients use family->make_probe_strategy(); for deterministic non-adaptive
 // strategies this matches Theorem 9's hypothesis, and intersection is

@@ -14,66 +14,45 @@ double ProbeMeasurement::load() const {
   return best;
 }
 
-namespace {
+void ProbeAccumulator::merge(ProbeAccumulator&& other) {
+  acquired.merge(other.acquired);
+  probes_overall.merge(other.probes_overall);
+  probes_acquired.merge(other.probes_acquired);
+  probes_failed.merge(other.probes_failed);
+  max_probes_seen = std::max(max_probes_seen, other.max_probes_seen);
+  if (probe_counts.size() < other.probe_counts.size())
+    probe_counts.resize(other.probe_counts.size(), 0);
+  for (std::size_t i = 0; i < other.probe_counts.size(); ++i)
+    probe_counts[i] += other.probe_counts[i];
+}
 
-// Per-shard accumulator for measure_probes; merged in chunk order by the
-// trial runtime so every aggregate is thread-count-invariant.
-struct ProbeAccumulator {
-  Proportion acquired;
-  RunningStat probes_overall;
-  RunningStat probes_acquired;
-  RunningStat probes_failed;
-  int max_probes_seen = 0;
-  std::vector<long> probe_counts;
-
-  void merge(ProbeAccumulator&& other) {
-    acquired.merge(other.acquired);
-    probes_overall.merge(other.probes_overall);
-    probes_acquired.merge(other.probes_acquired);
-    probes_failed.merge(other.probes_failed);
-    max_probes_seen = std::max(max_probes_seen, other.max_probes_seen);
-    if (probe_counts.size() < other.probe_counts.size())
-      probe_counts.resize(other.probe_counts.size(), 0);
-    for (std::size_t i = 0; i < other.probe_counts.size(); ++i)
-      probe_counts[i] += other.probe_counts[i];
-  }
-};
-
-}  // namespace
-
-ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials,
-                                Rng rng, const TrialOptions& opts) {
+void probe_measurement_chunk(const QuorumFamily& family, double p,
+                             const TrialChunk& tc, Rng& rng,
+                             ProbeAccumulator& acc) {
   const int n = family.universe_size();
+  acc.probe_counts.assign(static_cast<std::size_t>(n), 0);
+  auto strategy = family.make_probe_strategy();
+  for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
+    Configuration config(Bitset(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
+    ConfigurationOracle oracle(&config);
+    Rng strategy_rng = rng.split(t - tc.begin);
+    const ProbeRecord record = run_probe(*strategy, oracle, &strategy_rng);
 
-  const ProbeAccumulator acc = run_trial_chunks(
-      static_cast<std::uint64_t>(trials), rng, ProbeAccumulator{},
-      [&](ProbeAccumulator& shard, const TrialChunk& tc, Rng& chunk_rng) {
-        shard.probe_counts.assign(static_cast<std::size_t>(n), 0);
-        auto strategy = family.make_probe_strategy();
-        for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
-          Configuration config(Bitset(static_cast<std::size_t>(n)));
-          for (int i = 0; i < n; ++i) config.set_up(i, !chunk_rng.bernoulli(p));
-          ConfigurationOracle oracle(&config);
-          Rng strategy_rng = chunk_rng.split(t - tc.begin);
-          const ProbeRecord record = run_probe(*strategy, oracle, &strategy_rng);
+    acc.acquired.add(record.acquired);
+    acc.probes_overall.add(record.num_probes);
+    (record.acquired ? acc.probes_acquired : acc.probes_failed)
+        .add(record.num_probes);
+    acc.max_probes_seen = std::max(acc.max_probes_seen, record.num_probes);
+    record.probed.positive().for_each(
+        [&](std::size_t i) { ++acc.probe_counts[i]; });
+    record.probed.negative().for_each(
+        [&](std::size_t i) { ++acc.probe_counts[i]; });
+  }
+}
 
-          shard.acquired.add(record.acquired);
-          shard.probes_overall.add(record.num_probes);
-          (record.acquired ? shard.probes_acquired : shard.probes_failed)
-              .add(record.num_probes);
-          shard.max_probes_seen =
-              std::max(shard.max_probes_seen, record.num_probes);
-          record.probed.positive().for_each(
-              [&](std::size_t i) { ++shard.probe_counts[i]; });
-          record.probed.negative().for_each(
-              [&](std::size_t i) { ++shard.probe_counts[i]; });
-        }
-      },
-      [](ProbeAccumulator& total, ProbeAccumulator&& part) {
-        total.merge(std::move(part));
-      },
-      opts);
-
+ProbeMeasurement finalize_probe_measurement(const ProbeAccumulator& acc, int n,
+                                            std::uint64_t trials) {
   ProbeMeasurement out;
   out.acquired = acc.acquired;
   out.probes_overall = acc.probes_overall;
@@ -83,11 +62,28 @@ ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials
   out.server_probe_frequency.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     out.server_probe_frequency[static_cast<std::size_t>(i)] =
-        acc.probe_counts.empty()
+        acc.probe_counts.empty() || trials == 0
             ? 0.0
             : static_cast<double>(acc.probe_counts[static_cast<std::size_t>(i)]) /
                   static_cast<double>(trials);
   return out;
+}
+
+ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials,
+                                Rng rng, const TrialOptions& opts) {
+  const int n = family.universe_size();
+
+  const ProbeAccumulator acc = run_trial_chunks(
+      static_cast<std::uint64_t>(trials), rng, ProbeAccumulator{},
+      [&](ProbeAccumulator& shard, const TrialChunk& tc, Rng& chunk_rng) {
+        probe_measurement_chunk(family, p, tc, chunk_rng, shard);
+      },
+      [](ProbeAccumulator& total, ProbeAccumulator&& part) {
+        total.merge(std::move(part));
+      },
+      opts);
+
+  return finalize_probe_measurement(acc, n, static_cast<std::uint64_t>(trials));
 }
 
 int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng,

@@ -28,6 +28,32 @@ struct ProbeMeasurement {
   double load() const;
 };
 
+// Per-shard accumulator for measure_probes; merged in chunk order by the
+// trial runtime so every aggregate is thread-count-invariant.
+struct ProbeAccumulator {
+  Proportion acquired;
+  RunningStat probes_overall;
+  RunningStat probes_acquired;
+  RunningStat probes_failed;
+  int max_probes_seen = 0;
+  std::vector<long> probe_counts;
+
+  void merge(ProbeAccumulator&& other);
+};
+
+// Per-chunk kernel behind measure_probes: runs acquisitions
+// [tc.begin, tc.end) with the chunk's rng. Shared with the sweep engine
+// (src/sweep) so a flattened grid cell reduces to exactly the same bits as
+// the per-cell measurement.
+void probe_measurement_chunk(const QuorumFamily& family, double p,
+                             const TrialChunk& tc, Rng& rng,
+                             ProbeAccumulator& acc);
+
+// Folds a fully merged accumulator into the published measurement
+// (normalizing per-server probe counts by `trials`).
+ProbeMeasurement finalize_probe_measurement(const ProbeAccumulator& acc, int n,
+                                            std::uint64_t trials);
+
 // Runs `trials` acquisitions, each against a fresh configuration sampled
 // with i.i.d. failure probability p, using the family's probe strategy.
 // Trials run sharded on the parallel runtime; all statistics (including the

@@ -1,0 +1,185 @@
+#include "sweep/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "mismatch/exact.h"
+#include "sweep/sweep.h"
+#include "uqs/grid.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+#include "uqs/tree.h"
+#include "util/binomial.h"
+
+namespace sqs {
+
+namespace {
+
+int default_max_alpha(const AlphaSearchSpec& spec) {
+  if (spec.max_alpha > 0) return spec.max_alpha;
+  return std::max(1, spec.n / 4);
+}
+
+}  // namespace
+
+AlphaSearchResult find_min_alpha(const AlphaSearchSpec& spec,
+                                 const SearchTargets& targets,
+                                 const TrialOptions& opts) {
+  const int max_alpha = default_max_alpha(spec);
+  AlphaSearchResult result;
+  result.evaluated.reserve(static_cast<std::size_t>(max_alpha));
+
+  // Availability is the Theorem 16 closed form P[Bin(n, 1-p) >= alpha] —
+  // shared by OPT_a, OPT_d (Theorem 34) and every UQ + OPT_a composition.
+  for (int alpha = 1; alpha <= max_alpha; ++alpha) {
+    AlphaCandidate candidate;
+    candidate.alpha = alpha;
+    candidate.availability = binom_tail_geq(spec.n, alpha, 1.0 - spec.p);
+    result.evaluated.push_back(candidate);
+  }
+
+  if (spec.exact) {
+    // Exact DP per candidate: cheap (O(n^3) per alpha), so evaluate the
+    // whole ladder — the audit trail doubles as the minimality witness.
+    for (AlphaCandidate& candidate : result.evaluated) {
+      const auto exact = exact_nonintersection(
+          spec.n, candidate.alpha, spec.p, spec.link_miss,
+          opt_d_stop_rule(spec.n, candidate.alpha));
+      candidate.nonintersection = exact.nonintersection;
+    }
+  } else {
+    // Monte Carlo: fan every candidate alpha onto the pool in ONE sweep
+    // submission; candidate alpha's randomness derives only from
+    // (seed, alpha), so the search is deterministic for any thread count.
+    std::vector<NonintersectionCell> cells;
+    cells.reserve(result.evaluated.size());
+    for (const AlphaCandidate& candidate : result.evaluated) {
+      NonintersectionCell cell;
+      cell.family =
+          std::make_shared<OptDFamily>(spec.n, candidate.alpha);
+      cell.model.p = spec.p;
+      cell.model.link_miss = spec.link_miss;
+      cell.trials = spec.trials;
+      cell.base =
+          Rng(spec.seed).split(static_cast<std::uint64_t>(candidate.alpha));
+      cells.push_back(std::move(cell));
+    }
+    const std::vector<NonintersectionStats> stats =
+        sweep_nonintersection(cells, opts);
+    for (std::size_t i = 0; i < stats.size(); ++i)
+      result.evaluated[i].nonintersection =
+          stats[i].nonintersection.estimate();
+  }
+
+  for (AlphaCandidate& candidate : result.evaluated) {
+    candidate.meets_targets =
+        candidate.nonintersection <= targets.max_nonintersection &&
+        candidate.availability >= targets.min_availability;
+    if (candidate.meets_targets && !result.feasible) {
+      result.feasible = true;
+      result.alpha = candidate.alpha;
+      result.nonintersection = candidate.nonintersection;
+      result.availability = candidate.availability;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// The default inner-UQ pool: every strict baseline whose minimum quorum
+// satisfies Definition 40 (>= 2 alpha) and whose universe fits inside n.
+std::vector<std::shared_ptr<const QuorumFamily>> composition_candidates(
+    int n, int alpha) {
+  std::vector<std::shared_ptr<const QuorumFamily>> pool;
+  auto admit = [&](std::shared_ptr<const QuorumFamily> uq) {
+    if (uq->universe_size() <= n && uq->min_quorum_size() >= 2 * alpha)
+      pool.push_back(std::move(uq));
+  };
+  admit(std::make_shared<MajorityFamily>(4 * alpha - 1));
+  admit(std::make_shared<MajorityFamily>(8 * alpha - 1));
+  admit(std::make_shared<GridFamily>(2 * alpha, 2 * alpha));
+  admit(std::make_shared<TreeFamily>(2 * alpha));
+  admit(std::make_shared<PathsFamily>(alpha));
+  return pool;
+}
+
+}  // namespace
+
+CompositionSearchResult find_best_composition(const CompositionSearchSpec& spec,
+                                              const SearchTargets& targets,
+                                              const TrialOptions& opts) {
+  CompositionSearchResult result;
+  result.availability = binom_tail_geq(spec.n, spec.alpha, 1.0 - spec.p);
+  if (result.availability < targets.min_availability) return result;
+
+  const std::vector<std::shared_ptr<const QuorumFamily>> pool =
+      composition_candidates(spec.n, spec.alpha);
+  if (pool.empty()) return result;
+
+  std::vector<std::shared_ptr<const QuorumFamily>> compositions;
+  compositions.reserve(pool.size());
+  result.candidates.resize(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    compositions.push_back(
+        std::make_shared<CompositionFamily>(pool[i], spec.n, spec.alpha));
+    result.candidates[i].name = compositions[i]->name();
+  }
+
+  // Successive halving: measure every survivor in one sweep submission,
+  // advance the better half, double the budget.
+  std::vector<std::size_t> survivors(pool.size());
+  std::iota(survivors.begin(), survivors.end(), std::size_t{0});
+  const int rounds = std::max(1, spec.rounds);
+  for (int round = 0; round < rounds && !survivors.empty(); ++round) {
+    const std::uint64_t budget = spec.base_trials << round;
+    std::vector<ProbeCell> cells;
+    cells.reserve(survivors.size());
+    for (const std::size_t i : survivors) {
+      ProbeCell cell;
+      cell.family = compositions[i];
+      cell.p = spec.p;
+      cell.trials = budget;
+      // Candidate i's round-r stream depends only on (seed, i, r): the
+      // race is deterministic whatever the elimination pattern.
+      cell.base = Rng(spec.seed).split(static_cast<std::uint64_t>(i)).split(
+          static_cast<std::uint64_t>(round));
+      cells.push_back(std::move(cell));
+    }
+    const std::vector<ProbeMeasurement> measured = sweep_probes(cells, opts);
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+      CompositionCandidateScore& score = result.candidates[survivors[s]];
+      score.expected_probes = measured[s].probes_overall.mean();
+      score.load = measured[s].load();
+      score.acquire_rate = measured[s].acquired.estimate();
+      score.trials = budget;
+    }
+    if (survivors.size() <= 1) break;
+    // Keep the better half (ties broken by pool order — stable sort).
+    std::stable_sort(survivors.begin(), survivors.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return result.candidates[a].expected_probes <
+                              result.candidates[b].expected_probes;
+                     });
+    const std::size_t keep = (survivors.size() + 1) / 2;
+    for (std::size_t s = keep; s < survivors.size(); ++s)
+      result.candidates[survivors[s]].eliminated_round = round;
+    survivors.resize(keep);
+  }
+
+  std::size_t best = survivors.front();
+  for (const std::size_t i : survivors)
+    if (result.candidates[i].expected_probes <
+        result.candidates[best].expected_probes)
+      best = i;
+  result.feasible = true;
+  result.best = result.candidates[best].name;
+  result.expected_probes = result.candidates[best].expected_probes;
+  result.load = result.candidates[best].load;
+  return result;
+}
+
+}  // namespace sqs

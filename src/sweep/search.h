@@ -1,0 +1,112 @@
+// Availability-targeted parameter search (ROADMAP: "Parameter search").
+//
+// The two dials of an SQS deployment pull in opposite directions as alpha
+// grows: the Theorem 9 non-intersection guarantee eps^(2 alpha) tightens
+// while OPT_a/OPT_d availability P[Bin(n, 1-p) >= alpha] loosens. The
+// search answers the deployment question the same way practical quorum
+// tools frame it as a grid search over configurations (cf. Whittaker et
+// al., *Read-Write Quorum Systems Made Practical*, PAPERS.md):
+//
+//   * find_min_alpha — the MINIMAL alpha whose two-client non-intersection
+//     probability meets a target ceiling, subject to an availability floor
+//     at the given p. Non-intersection is evaluated either by the exact
+//     src/mismatch DP (default; alpha-1 provably fails the target) or by
+//     Monte Carlo with every candidate alpha fanned onto the shared pool
+//     in one sweep submission.
+//   * find_best_composition — at a fixed alpha, the UQ ∘ OPT_a composition
+//     (Definition 40) with the lowest expected probe complexity, found by
+//     successive halving: every surviving candidate is measured in one
+//     sweep_probes submission per round, the best half advances, and the
+//     trial budget doubles. Deterministic under a fixed seed at any thread
+//     count (candidate i's round-r randomness is a pure function of
+//     (seed, i, r)).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/quorum_family.h"
+#include "runtime/run_trials.h"
+
+namespace sqs {
+
+struct SearchTargets {
+  // Ceiling on P[two clients acquire non-intersecting quorums].
+  double max_nonintersection = 1e-3;
+  // Floor on availability at the search's p (0 = unconstrained).
+  double min_availability = 0.0;
+};
+
+struct AlphaCandidate {
+  int alpha = 0;
+  double nonintersection = 0.0;
+  double availability = 0.0;
+  bool meets_targets = false;
+};
+
+struct AlphaSearchSpec {
+  int n = 24;
+  double p = 0.1;
+  double link_miss = 0.2;
+  int max_alpha = 0;  // 0 -> max(1, n/4): keep OPT_d's 2 alpha well below n
+  // true: exact DP over the mismatch model (src/mismatch/exact). false:
+  // Monte Carlo via one sweep over all candidate alphas.
+  bool exact = true;
+  std::uint64_t trials = 100000;  // per-alpha MC trials when !exact
+  std::uint64_t seed = 0x5ea4c4ull;
+};
+
+struct AlphaSearchResult {
+  bool feasible = false;
+  int alpha = 0;  // minimal alpha meeting both targets (when feasible)
+  double nonintersection = 0.0;
+  double availability = 0.0;
+  // Audit trail: every evaluated alpha in ascending order. When feasible,
+  // the entry below `alpha` (if any) fails the targets — the minimality
+  // witness asserted by tests/test_search.cpp.
+  std::vector<AlphaCandidate> evaluated;
+};
+
+AlphaSearchResult find_min_alpha(const AlphaSearchSpec& spec,
+                                 const SearchTargets& targets,
+                                 const TrialOptions& opts = {});
+
+struct CompositionCandidateScore {
+  std::string name;
+  double expected_probes = 0.0;
+  double load = 0.0;
+  double acquire_rate = 0.0;
+  std::uint64_t trials = 0;   // budget of the candidate's last evaluation
+  int eliminated_round = -1;  // -1: survived every round
+};
+
+struct CompositionSearchSpec {
+  int n = 60;      // outer universe of the composition
+  int alpha = 2;
+  double p = 0.2;
+  std::uint64_t base_trials = 2000;  // round-0 budget per candidate
+  int rounds = 3;                    // halve the field, double the budget
+  std::uint64_t seed = 0xc0317ull;
+};
+
+struct CompositionSearchResult {
+  bool feasible = false;
+  std::string best;
+  double expected_probes = 0.0;
+  double load = 0.0;
+  // Theorem 42: every UQ + OPT_a composition has OPT_a's availability, so
+  // one number covers the whole candidate pool.
+  double availability = 0.0;
+  std::vector<CompositionCandidateScore> candidates;
+};
+
+// Builds the default candidate pool (majority, grid, tree, paths inner
+// systems that satisfy Definition 40's min-quorum >= 2 alpha precondition
+// and fit inside n servers) and races it with successive halving.
+CompositionSearchResult find_best_composition(const CompositionSearchSpec& spec,
+                                              const SearchTargets& targets,
+                                              const TrialOptions& opts = {});
+
+}  // namespace sqs

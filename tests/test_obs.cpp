@@ -25,6 +25,7 @@
 #include "probe/measurements.h"
 #include "runtime/run_trials.h"
 #include "sim/harness.h"
+#include "sweep/sweep.h"
 #include "util/json.h"
 
 namespace sqs {
@@ -147,6 +148,72 @@ TEST(ObsTelemetry, MergeDeterminismAcrossThreadCounts) {
   ASSERT_EQ(per_thread_count.size(), 3u);
   EXPECT_EQ(per_thread_count[0].counter, 10000u);
   EXPECT_EQ(per_thread_count[0].hist_count, 10000u);
+  EXPECT_TRUE(per_thread_count[0] == per_thread_count[1]) << "1 vs 2 threads";
+  EXPECT_TRUE(per_thread_count[0] == per_thread_count[2]) << "1 vs 8 threads";
+}
+
+// Same claim under sweep load: many small cells' chunks finish concurrently
+// on the pool (src/sweep flattens them into one submission), and both the
+// engine's own metrics and user counters/histograms recorded inside the
+// chunk kernels must merge to identical totals at any thread count.
+TEST(ObsTelemetry, MergeDeterminismUnderSweepLoad) {
+  TelemetryGuard guard;
+  obs::configure(enabled_config(true, false));
+  obs::Counter c = obs::Registry::instance().counter("test.sweep_counter");
+  obs::Histogram h = obs::Registry::instance().histogram(
+      "test.sweep_hist", obs::linear_bounds(8, 64, 8));
+
+  // 24 ragged cells, several chunks each: plenty of concurrent finishes.
+  std::vector<SweepCell> cells;
+  std::uint64_t total_trials = 0, total_chunks = 0;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const std::uint64_t trials = 40 + 17 * i;
+    cells.push_back({trials, Rng(i)});
+    total_trials += trials;
+    total_chunks += (trials + 31) / 32;
+  }
+
+  struct Totals {
+    std::uint64_t counter = 0, hist_count = 0, hist_sum = 0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sweep_runs = 0, sweep_cells = 0, sweep_chunks = 0;
+    bool operator==(const Totals& o) const {
+      return counter == o.counter && hist_count == o.hist_count &&
+             hist_sum == o.hist_sum && buckets == o.buckets &&
+             sweep_runs == o.sweep_runs && sweep_cells == o.sweep_cells &&
+             sweep_chunks == o.sweep_chunks;
+    }
+  };
+  std::vector<Totals> per_thread_count;
+  for (const int threads : {1, 2, 8}) {
+    obs::Registry::instance().reset();
+    TrialOptions opts;
+    opts.threads = threads;
+    opts.chunk_size = 32;
+    run_sweep(
+        cells, 0,
+        [&](std::size_t, int&, const TrialChunk& tc, Rng&) {
+          for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
+            c.add();
+            h.record(t % 53);
+          }
+        },
+        [](int&, int) {}, opts);
+    const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+    const obs::HistogramSnapshot* hs = snap.histogram("test.sweep_hist");
+    ASSERT_NE(hs, nullptr);
+    per_thread_count.push_back({snap.counter("test.sweep_counter"), hs->count,
+                                hs->sum, hs->counts,
+                                snap.counter("sweep.runs"),
+                                snap.counter("sweep.cells"),
+                                snap.counter("sweep.chunks_executed")});
+  }
+  ASSERT_EQ(per_thread_count.size(), 3u);
+  EXPECT_EQ(per_thread_count[0].counter, total_trials);
+  EXPECT_EQ(per_thread_count[0].hist_count, total_trials);
+  EXPECT_EQ(per_thread_count[0].sweep_runs, 1u);
+  EXPECT_EQ(per_thread_count[0].sweep_cells, 24u);
+  EXPECT_EQ(per_thread_count[0].sweep_chunks, total_chunks);
   EXPECT_TRUE(per_thread_count[0] == per_thread_count[1]) << "1 vs 2 threads";
   EXPECT_TRUE(per_thread_count[0] == per_thread_count[2]) << "1 vs 8 threads";
 }

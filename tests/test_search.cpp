@@ -1,0 +1,210 @@
+// Property tests for the availability-targeted parameter search
+// (src/sweep/search): the returned alpha is MINIMAL — on grids where the
+// exact src/mismatch DP is feasible, alpha - 1 provably fails the target —
+// and both searches are deterministic under a fixed seed at any thread
+// count.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mismatch/exact.h"
+#include "sweep/search.h"
+#include "util/binomial.h"
+
+namespace sqs {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+double exact_nonint(int n, int alpha, double p, double miss) {
+  return exact_nonintersection(n, alpha, p, miss, opt_d_stop_rule(n, alpha))
+      .nonintersection;
+}
+
+TEST(Search, ReturnedAlphaIsMinimalExactWitness) {
+  AlphaSearchSpec spec;  // n=24, p=0.1, miss=0.2, exact DP
+  SearchTargets targets;
+  targets.max_nonintersection = 1e-3;
+  const AlphaSearchResult result = find_min_alpha(spec, targets);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_GT(result.alpha, 1);
+
+  // The winner meets the ceiling; alpha - 1 provably does not (recomputed
+  // here straight from the exact DP, independent of the search's own loop).
+  EXPECT_LE(exact_nonint(spec.n, result.alpha, spec.p, spec.link_miss),
+            targets.max_nonintersection);
+  EXPECT_GT(exact_nonint(spec.n, result.alpha - 1, spec.p, spec.link_miss),
+            targets.max_nonintersection);
+
+  // And the audit trail agrees: every evaluated alpha below the winner
+  // fails the targets.
+  for (const AlphaCandidate& candidate : result.evaluated) {
+    if (candidate.alpha < result.alpha) {
+      EXPECT_FALSE(candidate.meets_targets);
+    }
+    if (candidate.alpha == result.alpha) {
+      EXPECT_TRUE(candidate.meets_targets);
+    }
+  }
+}
+
+TEST(Search, MinimalityHoldsAcrossCeilings) {
+  AlphaSearchSpec spec;
+  spec.n = 20;
+  spec.p = 0.15;
+  spec.link_miss = 0.25;
+  for (const double ceiling : {3e-2, 1e-3, 1e-5}) {
+    SearchTargets targets;
+    targets.max_nonintersection = ceiling;
+    const AlphaSearchResult result = find_min_alpha(spec, targets);
+    ASSERT_TRUE(result.feasible) << "ceiling " << ceiling;
+    EXPECT_LE(exact_nonint(spec.n, result.alpha, spec.p, spec.link_miss),
+              ceiling);
+    if (result.alpha > 1) {
+      EXPECT_GT(exact_nonint(spec.n, result.alpha - 1, spec.p, spec.link_miss),
+                ceiling)
+          << "ceiling " << ceiling;
+    }
+  }
+}
+
+TEST(Search, ReportsAvailabilityOfTheWinner) {
+  AlphaSearchSpec spec;
+  SearchTargets targets;
+  targets.max_nonintersection = 1e-3;
+  targets.min_availability = 0.999;
+  const AlphaSearchResult result = find_min_alpha(spec, targets);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.availability,
+            binom_tail_geq(spec.n, result.alpha, 1.0 - spec.p));
+  EXPECT_GE(result.availability, targets.min_availability);
+}
+
+TEST(Search, InfeasibleWhenFloorAndCeilingConflict) {
+  // Construct a target pair that cannot be met: the ceiling is satisfied
+  // first at some alpha*, and the floor is placed strictly between
+  // avail(alpha*) and avail(alpha* - 1). Since availability is monotone
+  // decreasing in alpha, no alpha satisfies both.
+  AlphaSearchSpec spec;
+  spec.n = 8;
+  spec.p = 0.5;
+  spec.link_miss = 0.3;
+  spec.max_alpha = 4;
+  const int alpha_star = 3;
+  SearchTargets targets;
+  targets.max_nonintersection =
+      exact_nonint(spec.n, alpha_star, spec.p, spec.link_miss);
+  const double avail_prev =
+      binom_tail_geq(spec.n, alpha_star - 1, 1.0 - spec.p);
+  const double avail_star = binom_tail_geq(spec.n, alpha_star, 1.0 - spec.p);
+  ASSERT_LT(avail_star, avail_prev);  // monotone: the gap exists
+  targets.min_availability = (avail_star + avail_prev) / 2.0;
+
+  const AlphaSearchResult result = find_min_alpha(spec, targets);
+  EXPECT_FALSE(result.feasible);
+  // The audit trail shows why: alphas below alpha* fail the ceiling,
+  // alpha* and above fail the floor.
+  for (const AlphaCandidate& candidate : result.evaluated)
+    EXPECT_FALSE(candidate.meets_targets) << "alpha " << candidate.alpha;
+}
+
+TEST(Search, MonteCarloModeDeterministicAcrossThreadsAndRepeats) {
+  AlphaSearchSpec spec;
+  spec.n = 16;
+  spec.p = 0.1;
+  spec.link_miss = 0.25;
+  spec.exact = false;
+  spec.trials = 4000;
+  spec.max_alpha = 3;
+  SearchTargets targets;
+  targets.max_nonintersection = 1e-2;
+
+  std::vector<AlphaSearchResult> results;
+  for (const int threads : kThreadCounts) {
+    TrialOptions opts;
+    opts.threads = threads;
+    results.push_back(find_min_alpha(spec, targets, opts));
+    results.push_back(find_min_alpha(spec, targets, opts));  // repeat
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    EXPECT_EQ(results[r].feasible, results[0].feasible);
+    EXPECT_EQ(results[r].alpha, results[0].alpha);
+    ASSERT_EQ(results[r].evaluated.size(), results[0].evaluated.size());
+    for (std::size_t i = 0; i < results[0].evaluated.size(); ++i)
+      EXPECT_EQ(results[r].evaluated[i].nonintersection,
+                results[0].evaluated[i].nonintersection)
+          << "alpha " << results[0].evaluated[i].alpha;
+  }
+}
+
+TEST(Search, CompositionRaceDeterministicAcrossThreadsAndRepeats) {
+  CompositionSearchSpec spec;
+  spec.n = 40;
+  spec.alpha = 2;
+  spec.p = 0.2;
+  spec.base_trials = 500;
+  spec.rounds = 2;
+  SearchTargets targets;
+
+  std::vector<CompositionSearchResult> results;
+  for (const int threads : kThreadCounts) {
+    TrialOptions opts;
+    opts.threads = threads;
+    results.push_back(find_best_composition(spec, targets, opts));
+    results.push_back(find_best_composition(spec, targets, opts));  // repeat
+  }
+  ASSERT_TRUE(results[0].feasible);
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    EXPECT_EQ(results[r].best, results[0].best);
+    EXPECT_EQ(results[r].expected_probes, results[0].expected_probes);
+    ASSERT_EQ(results[r].candidates.size(), results[0].candidates.size());
+    for (std::size_t i = 0; i < results[0].candidates.size(); ++i) {
+      EXPECT_EQ(results[r].candidates[i].expected_probes,
+                results[0].candidates[i].expected_probes);
+      EXPECT_EQ(results[r].candidates[i].eliminated_round,
+                results[0].candidates[i].eliminated_round);
+    }
+  }
+}
+
+TEST(Search, CompositionWinnerBeatsEverySurvivor) {
+  CompositionSearchSpec spec;
+  spec.n = 48;
+  spec.alpha = 3;
+  spec.base_trials = 500;
+  spec.rounds = 2;
+  const CompositionSearchResult result =
+      find_best_composition(spec, SearchTargets{});
+  ASSERT_TRUE(result.feasible);
+  ASSERT_GE(result.candidates.size(), 2u);  // a real race, not a walkover
+  bool winner_found = false;
+  for (const CompositionCandidateScore& score : result.candidates) {
+    if (score.name == result.best) {
+      winner_found = true;
+      EXPECT_EQ(score.eliminated_round, -1);
+      EXPECT_EQ(score.expected_probes, result.expected_probes);
+    }
+    if (score.eliminated_round == -1) {  // fellow survivor, same final budget
+      EXPECT_LE(result.expected_probes, score.expected_probes);
+    }
+  }
+  EXPECT_TRUE(winner_found);
+}
+
+TEST(Search, CompositionInfeasibleBelowAvailabilityFloor) {
+  CompositionSearchSpec spec;
+  spec.n = 20;
+  spec.alpha = 2;
+  spec.p = 0.9;  // availability of OPT_a at p=0.9, n=20 is far below 0.999
+  SearchTargets targets;
+  targets.min_availability = 0.999;
+  const CompositionSearchResult result =
+      find_best_composition(spec, targets);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_LT(result.availability, targets.min_availability);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -1,0 +1,255 @@
+// The sweep engine's determinism contract (ISSUE: sharded sweeps): a grid
+// of cells flattened into one pool submission must reduce each cell to
+// exactly the bits of the standalone per-cell loop — for any thread count.
+// The generic engine is checked against run_trial_chunks directly, and each
+// typed sweep against the single-cell estimator whose kernel it shares.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/constructions.h"
+#include "mismatch/model.h"
+#include "probe/measurements.h"
+#include "runtime/run_trials.h"
+#include "sweep/sweep.h"
+#include "uqs/majority.h"
+
+namespace sqs {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+TEST(Sweep, CoversEveryTrialOfEveryCellExactlyOnce) {
+  // Cells of deliberately ragged sizes, including empty and sub-chunk ones.
+  const std::uint64_t sizes[] = {0, 1, 7, 64, 65, 200};
+  std::vector<SweepCell> cells;
+  for (std::size_t i = 0; i < std::size(sizes); ++i)
+    cells.push_back({sizes[i], Rng(100 + i)});
+  for (const int threads : kThreadCounts) {
+    TrialOptions opts;
+    opts.threads = threads;
+    opts.chunk_size = 16;
+    const std::vector<std::uint64_t> sums = run_sweep(
+        cells, std::uint64_t{0},
+        [](std::size_t, std::uint64_t& acc, const TrialChunk& tc, Rng&) {
+          for (std::uint64_t t = tc.begin; t < tc.end; ++t) acc += t;
+        },
+        [](std::uint64_t& acc, std::uint64_t part) { acc += part; }, opts);
+    ASSERT_EQ(sums.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::uint64_t n = sizes[i];
+      EXPECT_EQ(sums[i], n == 0 ? 0 : n * (n - 1) / 2)
+          << "cell " << i << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(Sweep, MergesChunksInAscendingOrderPerCell) {
+  // The reduction order is part of the contract (floating-point merges are
+  // deterministic only because of it): record which chunk indices arrive at
+  // each cell's accumulator, in order.
+  std::vector<SweepCell> cells = {{100, Rng(1)}, {50, Rng(2)}, {80, Rng(3)}};
+  for (const int threads : kThreadCounts) {
+    TrialOptions opts;
+    opts.threads = threads;
+    opts.chunk_size = 8;
+    const auto orders = run_sweep(
+        cells, std::vector<std::uint64_t>{},
+        [](std::size_t, std::vector<std::uint64_t>& acc, const TrialChunk& tc,
+           Rng&) { acc.push_back(tc.index); },
+        [](std::vector<std::uint64_t>& acc, std::vector<std::uint64_t>&& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+        },
+        opts);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::uint64_t chunks = (cells[i].n_trials + 7) / 8;
+      ASSERT_EQ(orders[i].size(), chunks) << threads << " threads";
+      for (std::uint64_t c = 0; c < chunks; ++c)
+        EXPECT_EQ(orders[i][c], c) << "cell " << i;
+    }
+  }
+}
+
+TEST(Sweep, MatchesStandaloneRunTrialChunksPerCell) {
+  // The flattening must be a pure scheduling change: cell i's random stream
+  // and reduction equal a standalone run_trial_chunks over cell i.
+  std::vector<SweepCell> cells = {{300, Rng(11)}, {0, Rng(12)}, {130, Rng(13)}};
+  TrialOptions opts;
+  opts.threads = 8;
+  opts.chunk_size = 32;
+  auto chunk_fn = [](std::vector<std::uint64_t>& acc, const TrialChunk& tc,
+                     Rng& rng) {
+    for (std::uint64_t t = tc.begin; t < tc.end; ++t)
+      acc.push_back(rng.next_u64());
+  };
+  auto merge = [](std::vector<std::uint64_t>& acc,
+                  std::vector<std::uint64_t>&& part) {
+    acc.insert(acc.end(), part.begin(), part.end());
+  };
+  const auto swept = run_sweep(
+      cells, std::vector<std::uint64_t>{},
+      [&](std::size_t, std::vector<std::uint64_t>& acc, const TrialChunk& tc,
+          Rng& rng) { chunk_fn(acc, tc, rng); },
+      merge, opts);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto alone =
+        run_trial_chunks(cells[i].n_trials, cells[i].base,
+                         std::vector<std::uint64_t>{}, chunk_fn, merge, opts);
+    EXPECT_EQ(swept[i], alone) << "cell " << i;
+  }
+}
+
+TEST(Sweep, AvailabilityMatchesSingleCellEstimator) {
+  std::vector<AvailabilityCell> cells;
+  for (const int n : {30, 40})
+    for (const double p : {0.2, 0.4})
+      cells.push_back({std::make_shared<OptDFamily>(n, 2), p, 20000, 777});
+  const std::vector<AvailabilityEstimate> swept = sweep_availability(cells);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double alone = cells[i].family->availability_monte_carlo(
+        cells[i].p, static_cast<int>(cells[i].samples), cells[i].seed);
+    EXPECT_EQ(swept[i].estimate(), alone) << "cell " << i;  // bit-identical
+    EXPECT_EQ(swept[i].samples, cells[i].samples);
+  }
+}
+
+TEST(Sweep, NonintersectionMatchesSingleCellEstimator) {
+  std::vector<NonintersectionCell> cells;
+  for (const int alpha : {1, 2}) {
+    NonintersectionCell cell;
+    cell.family = std::make_shared<OptDFamily>(20, alpha);
+    cell.model.p = 0.1;
+    cell.model.link_miss = 0.25;
+    cell.trials = 20000;
+    cell.base = Rng(500 + alpha);
+    cell.bound_factor = alpha == 2 ? 2.0 : 1.0;
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<NonintersectionStats> swept = sweep_nonintersection(cells);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const NonintersectionStats alone =
+        measure_nonintersection(*cells[i].family, cells[i].model,
+                                cells[i].trials, cells[i].base,
+                                cells[i].bound_factor);
+    EXPECT_EQ(swept[i].both_acquired.successes, alone.both_acquired.successes);
+    EXPECT_EQ(swept[i].both_acquired.trials, alone.both_acquired.trials);
+    EXPECT_EQ(swept[i].nonintersection.successes,
+              alone.nonintersection.successes);
+    EXPECT_EQ(swept[i].epsilon, alone.epsilon);
+    EXPECT_EQ(swept[i].bound, alone.bound);
+  }
+}
+
+TEST(Sweep, ProbesMatchesSingleCellEstimator) {
+  std::vector<ProbeCell> cells;
+  {
+    ProbeCell cell;
+    cell.family = std::make_shared<OptDFamily>(48, 2);
+    cell.p = 0.25;
+    cell.trials = 10000;
+    cell.base = Rng(91);
+    cells.push_back(std::move(cell));
+  }
+  {
+    ProbeCell cell;
+    cell.family = std::make_shared<MajorityFamily>(15);
+    cell.p = 0.2;
+    cell.trials = 8000;
+    cell.base = Rng(92);
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<ProbeMeasurement> swept = sweep_probes(cells);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ProbeMeasurement alone = measure_probes(
+        *cells[i].family, cells[i].p, cells[i].trials, cells[i].base);
+    // Bit-identical, including the chunk-order-merged Welford aggregates.
+    EXPECT_EQ(swept[i].probes_overall.mean(), alone.probes_overall.mean());
+    EXPECT_EQ(swept[i].probes_overall.variance(),
+              alone.probes_overall.variance());
+    EXPECT_EQ(swept[i].probes_acquired.mean(), alone.probes_acquired.mean());
+    EXPECT_EQ(swept[i].acquired.successes, alone.acquired.successes);
+    EXPECT_EQ(swept[i].max_probes_seen, alone.max_probes_seen);
+    EXPECT_EQ(swept[i].server_probe_frequency, alone.server_probe_frequency);
+  }
+}
+
+TEST(Sweep, BitIdenticalAcrossThreadCounts) {
+  // The acceptance gate of the ISSUE: one mixed grid, identical output at
+  // 1, 2, and 8 threads.
+  std::vector<NonintersectionCell> cells;
+  for (const int alpha : {1, 2, 3})
+    for (const double m : {0.1, 0.3}) {
+      NonintersectionCell cell;
+      cell.family = std::make_shared<OptDFamily>(18, alpha);
+      cell.model.p = 0.1;
+      cell.model.link_miss = m;
+      cell.trials = 6000;
+      cell.base = Rng(3000 + alpha * 10 + static_cast<int>(m * 10));
+      cells.push_back(std::move(cell));
+    }
+  std::vector<std::vector<NonintersectionStats>> runs;
+  for (const int threads : kThreadCounts) {
+    TrialOptions opts;
+    opts.threads = threads;
+    opts.chunk_size = 256;  // several chunks per cell
+    runs.push_back(sweep_nonintersection(cells, opts));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r)
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(runs[r][i].nonintersection.successes,
+                runs[0][i].nonintersection.successes)
+          << "cell " << i << ", " << kThreadCounts[r] << " threads";
+      EXPECT_EQ(runs[r][i].both_acquired.successes,
+                runs[0][i].both_acquired.successes);
+    }
+}
+
+TEST(Sweep, EmptyGridAndZeroTrialCells) {
+  EXPECT_TRUE(sweep_availability({}).empty());
+  std::vector<ProbeCell> cells(1);
+  cells[0].family = std::make_shared<OptDFamily>(10, 1);
+  cells[0].trials = 0;
+  const std::vector<ProbeMeasurement> swept = sweep_probes(cells);
+  ASSERT_EQ(swept.size(), 1u);
+  EXPECT_EQ(swept[0].acquired.trials, 0u);
+  EXPECT_EQ(swept[0].probes_overall.count(), 0u);
+}
+
+TEST(Sweep, NestedInsideWorkerRunsInlineAndMatches) {
+  // A sweep launched from inside a pool worker (e.g. a search evaluating
+  // candidates in parallel) must degrade to inline execution, not deadlock,
+  // and still produce the same bits.
+  auto run_nested = [](int threads) {
+    TrialOptions outer;
+    outer.threads = threads;
+    outer.chunk_size = 1;
+    return run_trials(
+        4, Rng(8), std::uint64_t{0},
+        [](std::uint64_t& acc, std::uint64_t t, Rng&) {
+          std::vector<SweepCell> cells = {{64, Rng(t)}, {32, Rng(t + 1)}};
+          TrialOptions inner;
+          inner.threads = 8;
+          inner.chunk_size = 16;
+          const auto sums = run_sweep(
+              cells, std::uint64_t{0},
+              [](std::size_t, std::uint64_t& acc2, const TrialChunk& tc,
+                 Rng& rng) {
+                for (std::uint64_t i = tc.begin; i < tc.end; ++i)
+                  acc2 += rng.next_u64() >> 60;
+              },
+              [](std::uint64_t& acc2, std::uint64_t part) { acc2 += part; },
+              inner);
+          acc += sums[0] + 3 * sums[1];
+        },
+        [](std::uint64_t& acc, std::uint64_t part) { acc += part; }, outer);
+  };
+  const std::uint64_t sequential = run_nested(1);
+  for (const int threads : {2, 8})
+    EXPECT_EQ(run_nested(threads), sequential) << threads << " threads";
+}
+
+}  // namespace
+}  // namespace sqs

@@ -6,6 +6,15 @@
 //   sqs_cli verify  --n 3 --alpha 1 -1,3 1,-2,-3
 //   sqs_cli trace   --servers 30 --obs 200000 --p 0.05 --miss 0.02
 //   sqs_cli profile --family optd --n 16 --alpha 2
+//   sqs_cli sweep   --kind avail --families optd,opta --ps 0.1,0.2,0.3
+//   sqs_cli sweep   --kind nonintersect --n 24 --alphas 1,2,3 --misses 0.1,0.2
+//   sqs_cli search  --target-nonint 1e-3 --target-avail 0.999 --n 24 --p 0.1
+//
+// `sweep` flattens the whole grid (every cell × every trial-chunk) into one
+// submission on the shared thread pool; results are bit-identical to running
+// the cells one by one. `search` finds the minimal alpha meeting the targets
+// (exact DP by default, `--mc` for a sweep-backed Monte Carlo ladder) and
+// then races the UQ + OPT_a compositions at that alpha by successive halving.
 //
 // Families: opta, optd, majority, grid (sqrt-n x sqrt-n), paths (--l),
 // tree (--depth), pqs (--l as multiplier), plane (--q, prime), witness (--w),
@@ -42,6 +51,8 @@
 #include "probe/measurements.h"
 #include "probe/serverprobe.h"
 #include "runtime/thread_pool.h"
+#include "sweep/search.h"
+#include "sweep/sweep.h"
 #include "uqs/grid.h"
 #include "uqs/majority.h"
 #include "uqs/paths.h"
@@ -237,6 +248,189 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ','))
+    if (!item.empty()) items.push_back(item);
+  return items;
+}
+
+std::vector<double> split_doubles(const std::string& csv) {
+  std::vector<double> values;
+  for (const std::string& item : split_list(csv)) values.push_back(std::stod(item));
+  return values;
+}
+
+std::vector<int> split_ints(const std::string& csv) {
+  std::vector<int> values;
+  for (const std::string& item : split_list(csv)) values.push_back(std::stoi(item));
+  return values;
+}
+
+int cmd_sweep(const Args& args) {
+  const std::string kind = args.gets("kind", "avail");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.geti("seed", 1));
+
+  if (kind == "avail") {
+    const std::vector<std::string> specs =
+        split_list(args.gets("families", "optd,opta"));
+    const std::vector<double> ps =
+        split_doubles(args.gets("ps", "0.1,0.2,0.3,0.4"));
+    const std::uint64_t samples = static_cast<std::uint64_t>(
+        args.geti("samples", static_cast<int>(kAvailabilityMcSamples)));
+    std::vector<AvailabilityCell> cells;
+    std::vector<std::shared_ptr<QuorumFamily>> families;
+    for (const std::string& spec : specs) families.push_back(make_family(spec, args));
+    for (const auto& family : families)
+      for (double p : ps) cells.push_back({family, p, samples, seed});
+    const auto estimates = sweep_availability(cells);
+    Table table({"family", "p", "avail (MC)", "avail (closed form)"});
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      table.add_row({cells[i].family->name(), Table::fmt(cells[i].p, 2),
+                     Table::fmt(estimates[i].estimate(), 6),
+                     Table::fmt(cells[i].family->availability(cells[i].p), 6)});
+    table.print("availability sweep (" + std::to_string(cells.size()) +
+                " cells, one pool submission)");
+    return 0;
+  }
+
+  if (kind == "probes") {
+    const std::vector<std::string> specs =
+        split_list(args.gets("families", "optd,opta"));
+    const std::vector<double> ps = split_doubles(args.gets("ps", "0.1,0.2,0.3"));
+    const std::uint64_t trials =
+        static_cast<std::uint64_t>(args.geti("trials", 20000));
+    std::vector<ProbeCell> cells;
+    std::vector<std::shared_ptr<QuorumFamily>> families;
+    for (const std::string& spec : specs) families.push_back(make_family(spec, args));
+    for (const auto& family : families)
+      for (double p : ps) {
+        ProbeCell cell;
+        cell.family = family;
+        cell.p = p;
+        cell.trials = trials;
+        cell.base = Rng(seed).split(cells.size());
+        cells.push_back(std::move(cell));
+      }
+    const auto measured = sweep_probes(cells);
+    Table table({"family", "p", "E[probes]", "acquire rate", "load"});
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      table.add_row({cells[i].family->name(), Table::fmt(cells[i].p, 2),
+                     Table::fmt(measured[i].probes_overall.mean(), 3),
+                     Table::fmt(measured[i].acquired.estimate(), 5),
+                     Table::fmt(measured[i].load(), 4)});
+    table.print("probe sweep (" + std::to_string(cells.size()) +
+                " cells, one pool submission)");
+    return 0;
+  }
+
+  if (kind == "nonintersect") {
+    const int n = args.geti("n", 24);
+    const std::vector<int> alphas = split_ints(args.gets("alphas", "1,2,3"));
+    const std::vector<double> misses =
+        split_doubles(args.gets("misses", "0.1,0.2,0.3"));
+    const std::uint64_t trials =
+        static_cast<std::uint64_t>(args.geti("trials", 100000));
+    std::vector<NonintersectionCell> cells;
+    for (int alpha : alphas)
+      for (double miss : misses) {
+        NonintersectionCell cell;
+        cell.family = std::make_shared<OptDFamily>(n, alpha);
+        cell.model.p = args.getd("p", 0.1);
+        cell.model.link_miss = miss;
+        cell.trials = trials;
+        cell.base = Rng(seed).split(cells.size());
+        cells.push_back(std::move(cell));
+      }
+    const auto stats = sweep_nonintersection(cells);
+    Table table({"alpha", "miss", "P[nonint] (MC)", "eps^2a bound"});
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      table.add_row({std::to_string(cells[i].family->alpha()),
+                     Table::fmt(cells[i].model.link_miss, 2),
+                     Table::fmt_sci(stats[i].nonintersection.estimate()),
+                     Table::fmt_sci(stats[i].bound)});
+    table.print("OPT_d non-intersection sweep, n=" + std::to_string(n) + " (" +
+                std::to_string(cells.size()) + " cells, one pool submission)");
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown sweep kind '%s' (avail|probes|nonintersect)\n",
+               kind.c_str());
+  return 2;
+}
+
+int cmd_search(const Args& args) {
+  AlphaSearchSpec spec;
+  spec.n = args.geti("n", 24);
+  spec.p = args.getd("p", 0.1);
+  spec.link_miss = args.getd("miss", 0.2);
+  spec.max_alpha = args.geti("max-alpha", 0);
+  spec.exact = !args.flags.count("mc");
+  spec.trials = static_cast<std::uint64_t>(args.geti("trials", 100000));
+  spec.seed = static_cast<std::uint64_t>(args.geti("seed", 0x5ea4c4));
+
+  SearchTargets targets;
+  targets.max_nonintersection = args.getd("target-nonint", 1e-3);
+  targets.min_availability = args.getd("target-avail", 0.0);
+
+  const AlphaSearchResult result = find_min_alpha(spec, targets);
+  Table ladder({"alpha", "P[nonint]", "availability", "meets targets"});
+  for (const AlphaCandidate& candidate : result.evaluated)
+    ladder.add_row({std::to_string(candidate.alpha),
+                    Table::fmt_sci(candidate.nonintersection),
+                    Table::fmt(candidate.availability, 6),
+                    candidate.meets_targets ? "yes" : "no"});
+  ladder.print("alpha ladder (n=" + std::to_string(spec.n) +
+               ", p=" + Table::fmt(spec.p, 2) +
+               ", miss=" + Table::fmt(spec.link_miss, 2) +
+               (spec.exact ? ", exact DP)" : ", Monte Carlo sweep)"));
+  if (!result.feasible) {
+    std::printf("INFEASIBLE: no alpha <= %d meets nonint <= %s and avail >= %s\n",
+                result.evaluated.empty() ? 0 : result.evaluated.back().alpha,
+                Table::fmt_sci(targets.max_nonintersection).c_str(),
+                Table::fmt(targets.min_availability, 4).c_str());
+    return 1;
+  }
+  std::printf("minimal alpha = %d  (P[nonint] %s, availability %.6f)\n",
+              result.alpha, Table::fmt_sci(result.nonintersection).c_str(),
+              result.availability);
+
+  // Race the UQ + OPT_a compositions at the winning alpha.
+  CompositionSearchSpec comp;
+  comp.alpha = result.alpha;
+  comp.n = args.geti("compose-n", std::max(spec.n, 16 * result.alpha));
+  comp.p = args.getd("compose-p", spec.p);
+  comp.base_trials = static_cast<std::uint64_t>(args.geti("base-trials", 2000));
+  comp.rounds = args.geti("rounds", 3);
+  comp.seed = static_cast<std::uint64_t>(args.geti("seed", 0xc0317));
+  const CompositionSearchResult race = find_best_composition(comp, targets);
+  if (!race.feasible) {
+    std::printf("composition race skipped (no candidate pool or availability "
+                "%.6f below floor at n=%d)\n",
+                race.availability, comp.n);
+    return 0;
+  }
+  Table table({"composition", "E[probes]", "load", "acquire", "trials",
+               "eliminated"});
+  for (const CompositionCandidateScore& score : race.candidates)
+    table.add_row({score.name, Table::fmt(score.expected_probes, 3),
+                   Table::fmt(score.load, 4), Table::fmt(score.acquire_rate, 4),
+                   std::to_string(score.trials),
+                   score.eliminated_round < 0
+                       ? "survived"
+                       : "round " + std::to_string(score.eliminated_round)});
+  table.print("composition race at alpha=" + std::to_string(comp.alpha) +
+              ", n=" + std::to_string(comp.n) + " (successive halving)");
+  std::printf("best composition: %s  (E[probes] %.3f, load %.4f, "
+              "availability %.6f)\n",
+              race.best.c_str(), race.expected_probes, race.load,
+              race.availability);
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   TraceConfig config;
   config.num_servers = args.geti("servers", 30);
@@ -259,7 +453,8 @@ int cmd_trace(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sqs_cli <avail|probes|nonintersect|verify|trace|profile> "
+               "usage: sqs_cli <avail|probes|nonintersect|verify|trace|profile|"
+               "sweep|search> "
                "[--flags]\n  global: --threads N (or SQS_THREADS) for the "
                "parallel trial runtime;\n          --metrics FILE / --trace FILE "
                "/ --trace-jsonl FILE for telemetry\n  see the header of "
@@ -283,6 +478,8 @@ int main(int argc, char** argv) {
   else if (command == "verify") rc = sqs::cmd_verify(args);
   else if (command == "trace") rc = sqs::cmd_trace(args);
   else if (command == "profile") rc = sqs::cmd_profile(args);
+  else if (command == "sweep") rc = sqs::cmd_sweep(args);
+  else if (command == "search") rc = sqs::cmd_search(args);
   else return sqs::usage();
   sqs::obs::export_telemetry_files();
   return rc;
