@@ -39,6 +39,10 @@ CONTEXT_COUNTERS = (
     "sweep.chunks_executed",
     "sweep.cells",
     "pool.tasks_stolen",
+    "runtime.arena.cache_hits",
+    "runtime.arena.cache_misses",
+    "runtime.arena.bytes_reused",
+    "runtime.arena.block_allocs",
 )
 
 
@@ -227,6 +231,15 @@ def self_test():
         _record({1: 1.0}, metrics={"counters": {"sweep.cells": 9}}),
         _record({1: 1.0}, metrics={"counters": {"sweep.cells": 9}}))
     check("counter context rendered", "sweep.cells 9 -> 9" in both)
+    # Arena counters ride along in the same context block; misses holding at
+    # zero is the steady-state signal the sweep benches export.
+    arena = counter_context(
+        _record({1: 1.0},
+                metrics={"counters": {"runtime.arena.cache_misses": 0}}),
+        _record({1: 1.0},
+                metrics={"counters": {"runtime.arena.cache_misses": 0}}))
+    check("arena counter context rendered",
+          "runtime.arena.cache_misses 0 -> 0" in arena)
     # Record lacking wall_ms entirely: skipped, not fatal.
     try:
         regs = diff_record("a", _record({1: 100.0}, drop_wall=True),

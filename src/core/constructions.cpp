@@ -147,7 +147,7 @@ class OptAStrategy : public ProbeStrategy {
   OptAStrategy(int n, int alpha) : n_(n), alpha_(alpha) { reset(nullptr); }
 
   void reset(Rng* /*rng*/) override {
-    observed_ = SignedSet(n_);
+    observed_.reshape(n_);
     step_ = 0;
     pos_ = 0;
     status_ = ProbeStatus::kInProgress;
@@ -176,6 +176,7 @@ class OptAStrategy : public ProbeStrategy {
   }
 
   SignedSet acquired_quorum() const override { return observed_; }
+  void acquired_quorum_into(SignedSet& out) const override { out = observed_; }
   bool is_adaptive() const override { return false; }
   bool is_randomized() const override { return false; }
 
@@ -232,7 +233,7 @@ OptDSequentialStrategy::OptDSequentialStrategy(int n, int alpha,
 }
 
 void OptDSequentialStrategy::reset(Rng* /*rng*/) {
-  observed_ = SignedSet(n_);
+  observed_.reshape(n_);
   step_ = 0;
   pos_ = 0;
   neg_ = 0;

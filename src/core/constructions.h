@@ -103,6 +103,7 @@ class OptDSequentialStrategy : public ProbeStrategy {
   int next_server() const override { return order_[static_cast<std::size_t>(step_)]; }
   void observe(int server, bool reached) override;
   SignedSet acquired_quorum() const override { return observed_; }
+  void acquired_quorum_into(SignedSet& out) const override { out = observed_; }
   bool is_adaptive() const override { return false; }
   bool is_randomized() const override { return false; }
 

@@ -50,6 +50,14 @@ class ProbeStrategy {
   // that clients coordinate with every reached probed server.
   virtual SignedSet acquired_quorum() const = 0;
 
+  // Writes the acquired quorum into `out`, reusing its capacity. The
+  // default copies acquired_quorum(); hot strategies override with a plain
+  // member assignment so the scratch-arena probe loop
+  // (run_probe_into, src/probe/engine.h) allocates nothing per trial.
+  virtual void acquired_quorum_into(SignedSet& out) const {
+    out = acquired_quorum();
+  }
+
   // True if the probe order can depend on earlier outcomes.
   virtual bool is_adaptive() const = 0;
 

@@ -20,12 +20,16 @@ double QuorumFamily::availability_exact_enumeration(double p) const {
 }
 
 void availability_mc_chunk(const QuorumFamily& family, double p,
-                           const TrialChunk& tc, Rng& rng, std::int64_t& live) {
+                           const TrialContext& ctx, Rng& rng,
+                           std::int64_t& live) {
   const int n = family.universe_size();
-  for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
-    Configuration config(Bitset(static_cast<std::size_t>(n)));
-    for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
-    if (family.accepts(config)) ++live;
+  // One pooled configuration per chunk; every trial assigns all n bits, so
+  // no inter-trial clearing is needed and the draw order is unchanged.
+  Borrowed<Configuration> config = ctx.scratch().borrow<Configuration>();
+  config->reshape(n);
+  for (std::uint64_t t = ctx.chunk.begin; t < ctx.chunk.end; ++t) {
+    for (int i = 0; i < n; ++i) config->set_up(i, !rng.bernoulli(p));
+    if (family.accepts(*config)) ++live;
   }
 }
 
@@ -36,8 +40,8 @@ double QuorumFamily::availability_monte_carlo(double p, int samples,
   // the estimate is identical for any SQS_THREADS value.
   const std::int64_t live = run_trial_chunks(
       static_cast<std::uint64_t>(samples), Rng(seed), std::int64_t{0},
-      [&](std::int64_t& acc, const TrialChunk& tc, Rng& rng) {
-        availability_mc_chunk(*this, p, tc, rng, acc);
+      [&](std::int64_t& acc, const TrialContext& ctx, Rng& rng) {
+        availability_mc_chunk(*this, p, ctx, rng, acc);
       },
       [](std::int64_t& total, std::int64_t part) { total += part; });
   return static_cast<double>(live) / static_cast<double>(samples);

@@ -19,7 +19,7 @@
 
 namespace sqs {
 
-struct TrialChunk;
+struct TrialContext;
 
 // Defaults of the Monte Carlo availability fallback. Exposed so the sweep
 // engine (src/sweep) can schedule grid cells that reduce to exactly the
@@ -74,10 +74,13 @@ class QuorumFamily {
 };
 
 // Per-chunk kernel of availability_monte_carlo: samples one configuration
-// per trial in [tc.begin, tc.end) from `rng` and counts accepting ones into
-// `live`. Shared with the sweep engine (src/sweep) so a flattened grid cell
-// reproduces the per-cell estimate bit for bit.
+// per trial in [ctx.chunk.begin, ctx.chunk.end) from `rng` and counts
+// accepting ones into `live`. The sampled configuration is borrowed from
+// the chunk's scratch arena (zero steady-state allocations). Shared with
+// the sweep engine (src/sweep) so a flattened grid cell reproduces the
+// per-cell estimate bit for bit.
 void availability_mc_chunk(const QuorumFamily& family, double p,
-                           const TrialChunk& tc, Rng& rng, std::int64_t& live);
+                           const TrialContext& ctx, Rng& rng,
+                           std::int64_t& live);
 
 }  // namespace sqs

@@ -38,6 +38,13 @@ class SignedSet {
   bool has_negative(int server) const { return neg_.test(static_cast<std::size_t>(server)); }
   bool mentions(int server) const { return has_positive(server) || has_negative(server); }
 
+  // Re-targets to an empty signed set over n servers, reusing both bitsets'
+  // storage; observably identical to assigning a fresh SignedSet(n).
+  void reshape(int n) {
+    pos_.reshape(static_cast<std::size_t>(n));
+    neg_.reshape(static_cast<std::size_t>(n));
+  }
+
   // Adding an element removes its dual first, preserving S ∩ Dual(S) = ∅.
   void add_positive(int server);
   void add_negative(int server);
@@ -112,6 +119,15 @@ class Configuration {
   std::size_t num_down() const { return static_cast<std::size_t>(universe_size()) - num_up(); }
 
   void set_up(int server, bool up) { up_.assign(static_cast<std::size_t>(server), up); }
+
+  // Re-targets to n servers, all down, reusing storage; observably identical
+  // to assigning a fresh Configuration(Bitset(n)).
+  void reshape(int n) { up_.reshape(static_cast<std::size_t>(n)); }
+
+  // In-place equivalent of Configuration(n, up_mask) (n <= 64).
+  void assign_mask(int n, std::uint64_t up_mask) {
+    up_.assign_mask(up_mask, static_cast<std::size_t>(n));
+  }
 
   // The configuration as a signed set: C+ = up servers, C- = down servers.
   SignedSet as_signed_set() const;

@@ -5,10 +5,11 @@
 
 namespace sqs {
 
-TwoClientWorld sample_world(int n, const MismatchModel& model, Rng& rng) {
-  TwoClientWorld world;
-  world.reach1 = Bitset(static_cast<std::size_t>(n));
-  world.reach2 = Bitset(static_cast<std::size_t>(n));
+void sample_world_into(int n, const MismatchModel& model, Rng& rng,
+                       TwoClientWorld& world) {
+  world.reach1.reshape(static_cast<std::size_t>(n));
+  world.reach2.reshape(static_cast<std::size_t>(n));
+  world.partitioned = false;
   for (int i = 0; i < n; ++i) {
     if (rng.bernoulli(model.p)) continue;  // server down: (-,-)
     if (!rng.bernoulli(model.link_miss)) world.reach1.set(static_cast<std::size_t>(i));
@@ -20,33 +21,43 @@ TwoClientWorld sample_world(int n, const MismatchModel& model, Rng& rng) {
       if (rng.bernoulli(model.partition_fraction))
         world.reach2.reset(static_cast<std::size_t>(i));
   }
+}
+
+TwoClientWorld sample_world(int n, const MismatchModel& model, Rng& rng) {
+  TwoClientWorld world;
+  sample_world_into(n, model, rng, world);
   return world;
 }
 
 void nonintersection_chunk(const QuorumFamily& family,
-                           const MismatchModel& model, const TrialChunk& tc,
+                           const MismatchModel& model, const TrialContext& ctx,
                            Rng& rng, NonintersectionCounts& acc) {
   const int n = family.universe_size();
   // Probe strategies are stateful between run_probe resets, so each shard
-  // instantiates its own pair.
+  // instantiates its own pair (fresh, not pooled — see
+  // probe_measurement_chunk for why pooling them would change bits).
   auto strategy1 = family.make_probe_strategy();
   auto strategy2 = family.make_probe_strategy();
-  for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
-    TwoClientWorld world = sample_world(n, model, rng);
-    WorldOracle oracle1(&world.reach1);
-    WorldOracle oracle2(&world.reach2);
-    const std::uint64_t local = t - tc.begin;
+  WorkerScratch& scratch = ctx.scratch();
+  Borrowed<TwoClientWorld> world = scratch.borrow<TwoClientWorld>();
+  Borrowed<ProbeRecord> r1 = scratch.borrow<ProbeRecord>();
+  Borrowed<ProbeRecord> r2 = scratch.borrow<ProbeRecord>();
+  for (std::uint64_t t = ctx.chunk.begin; t < ctx.chunk.end; ++t) {
+    sample_world_into(n, model, rng, *world);
+    WorldOracle oracle1(&world->reach1);
+    WorldOracle oracle2(&world->reach2);
+    const std::uint64_t local = t - ctx.chunk.begin;
     Rng rng1 = rng.split(2 * local);
     Rng rng2 = rng.split(2 * local + 1);
-    const ProbeRecord r1 = run_probe(*strategy1, oracle1, &rng1);
-    const ProbeRecord r2 = run_probe(*strategy2, oracle2, &rng2);
+    run_probe_into(*strategy1, oracle1, &rng1, *r1);
+    run_probe_into(*strategy2, oracle2, &rng2, *r2);
 
-    const bool both = r1.acquired && r2.acquired;
+    const bool both = r1->acquired && r2->acquired;
     acc.both_acquired.add(both);
     // Definition 8: clients intersect iff their *probed* positive sets
     // meet.
     const bool miss =
-        both && !r1.probed.positive().intersects(r2.probed.positive());
+        both && !r1->probed.positive().intersects(r2->probed.positive());
     acc.nonintersection.add(miss);
   }
 }
@@ -63,8 +74,8 @@ NonintersectionStats measure_nonintersection(const QuorumFamily& family,
 
   const NonintersectionCounts counts = run_trial_chunks(
       static_cast<std::uint64_t>(trials), rng, NonintersectionCounts{},
-      [&](NonintersectionCounts& acc, const TrialChunk& tc, Rng& chunk_rng) {
-        nonintersection_chunk(family, model, tc, chunk_rng, acc);
+      [&](NonintersectionCounts& acc, const TrialContext& ctx, Rng& chunk_rng) {
+        nonintersection_chunk(family, model, ctx, chunk_rng, acc);
       },
       [](NonintersectionCounts& total, NonintersectionCounts&& part) {
         total.merge(std::move(part));

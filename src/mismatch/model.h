@@ -53,6 +53,12 @@ struct TwoClientWorld {
 
 TwoClientWorld sample_world(int n, const MismatchModel& model, Rng& rng);
 
+// In-place variant: reshape()s `world`'s bitsets (reusing capacity) and
+// redraws it with exactly the same rng consumption as sample_world — the
+// scratch-arena form used by the non-intersection hot loop.
+void sample_world_into(int n, const MismatchModel& model, Rng& rng,
+                       TwoClientWorld& world);
+
 // Probe oracle giving one client's view of a sampled world.
 class WorldOracle : public ProbeOracle {
  public:
@@ -83,11 +89,13 @@ struct NonintersectionCounts {
 };
 
 // Per-chunk kernel behind measure_nonintersection: runs the two-client
-// trials [tc.begin, tc.end) against `family` with the chunk's rng. Shared
-// with the sweep engine (src/sweep) so a flattened grid cell reduces to
-// exactly the same bits as the per-cell estimate.
+// trials [ctx.chunk.begin, ctx.chunk.end) against `family` with the chunk's
+// rng; the sampled world and both probe records are borrowed from the
+// chunk's scratch arena. Shared with the sweep engine (src/sweep) so a
+// flattened grid cell reduces to exactly the same bits as the per-cell
+// estimate.
 void nonintersection_chunk(const QuorumFamily& family,
-                           const MismatchModel& model, const TrialChunk& tc,
+                           const MismatchModel& model, const TrialContext& ctx,
                            Rng& rng, NonintersectionCounts& acc);
 
 // Runs `trials` independent two-client acquisitions against `family` (both

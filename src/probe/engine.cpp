@@ -38,11 +38,19 @@ struct ProbeMetrics {
 }  // namespace
 
 ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng) {
+  ProbeRecord record;
+  run_probe_into(strategy, oracle, rng, record);
+  return record;
+}
+
+void run_probe_into(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng,
+                    ProbeRecord& record) {
   strategy.reset(rng);
   const int n = strategy.universe_size();
-  ProbeRecord record;
-  record.probed = SignedSet(n);
-  record.quorum = SignedSet(n);
+  record.acquired = false;
+  record.num_probes = 0;
+  record.probed.reshape(n);
+  record.quorum.reshape(n);
 
   const bool telemetry = obs::telemetry_enabled();
   obs::Span span("probe", "run_probe");
@@ -69,7 +77,7 @@ ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng) {
 
   record.acquired = strategy.status() == ProbeStatus::kAcquired;
   if (record.acquired) {
-    record.quorum = strategy.acquired_quorum();
+    strategy.acquired_quorum_into(record.quorum);
     assert(record.quorum.is_subset_of(record.probed) &&
            "acquired quorum must be contained in the probed signed set");
   }
@@ -92,7 +100,6 @@ ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng) {
     span.arg("probes", probes);
     span.arg("acquired", record.acquired ? 1 : 0);
   }
-  return record;
 }
 
 }  // namespace sqs

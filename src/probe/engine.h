@@ -44,4 +44,10 @@ struct ProbeRecord {
 // subset of the probed signed set.
 ProbeRecord run_probe(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng);
 
+// Same acquisition, writing into a caller-owned record whose signed sets
+// are reshape()d in place — with a record borrowed from WorkerScratch the
+// per-trial heap traffic of the Monte Carlo loops drops to zero.
+void run_probe_into(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng,
+                    ProbeRecord& record);
+
 }  // namespace sqs

@@ -20,33 +20,47 @@ void ProbeAccumulator::merge(ProbeAccumulator&& other) {
   probes_acquired.merge(other.probes_acquired);
   probes_failed.merge(other.probes_failed);
   max_probes_seen = std::max(max_probes_seen, other.max_probes_seen);
-  if (probe_counts.size() < other.probe_counts.size())
-    probe_counts.resize(other.probe_counts.size(), 0);
-  for (std::size_t i = 0; i < other.probe_counts.size(); ++i)
-    probe_counts[i] += other.probe_counts[i];
+  if (probe_counts.empty()) {
+    // First fold steals the buffer instead of resizing + adding zeros.
+    probe_counts = std::move(other.probe_counts);
+  } else {
+    if (probe_counts.size() < other.probe_counts.size())
+      probe_counts.resize(other.probe_counts.size(), 0);
+    for (std::size_t i = 0; i < other.probe_counts.size(); ++i)
+      probe_counts[i] += other.probe_counts[i];
+    WorkerScratch::for_thread().give_counts(std::move(other.probe_counts));
+  }
+  other.probe_counts.clear();
 }
 
 void probe_measurement_chunk(const QuorumFamily& family, double p,
-                             const TrialChunk& tc, Rng& rng,
+                             const TrialContext& ctx, Rng& rng,
                              ProbeAccumulator& acc) {
   const int n = family.universe_size();
-  acc.probe_counts.assign(static_cast<std::size_t>(n), 0);
+  WorkerScratch& scratch = ctx.scratch();
+  acc.probe_counts = scratch.take_counts(static_cast<std::size_t>(n));
+  // The strategy itself is built fresh per chunk, not pooled: stateful
+  // shuffling strategies (e.g. threshold majority) carry probe-order state
+  // across resets, so reusing an instance across chunks would change their
+  // random streams and break the pre-arena bit-identity.
   auto strategy = family.make_probe_strategy();
-  for (std::uint64_t t = tc.begin; t < tc.end; ++t) {
-    Configuration config(Bitset(static_cast<std::size_t>(n)));
-    for (int i = 0; i < n; ++i) config.set_up(i, !rng.bernoulli(p));
-    ConfigurationOracle oracle(&config);
-    Rng strategy_rng = rng.split(t - tc.begin);
-    const ProbeRecord record = run_probe(*strategy, oracle, &strategy_rng);
+  Borrowed<Configuration> config = scratch.borrow<Configuration>();
+  Borrowed<ProbeRecord> record = scratch.borrow<ProbeRecord>();
+  config->reshape(n);
+  for (std::uint64_t t = ctx.chunk.begin; t < ctx.chunk.end; ++t) {
+    for (int i = 0; i < n; ++i) config->set_up(i, !rng.bernoulli(p));
+    ConfigurationOracle oracle(config.get());
+    Rng strategy_rng = rng.split(t - ctx.chunk.begin);
+    run_probe_into(*strategy, oracle, &strategy_rng, *record);
 
-    acc.acquired.add(record.acquired);
-    acc.probes_overall.add(record.num_probes);
-    (record.acquired ? acc.probes_acquired : acc.probes_failed)
-        .add(record.num_probes);
-    acc.max_probes_seen = std::max(acc.max_probes_seen, record.num_probes);
-    record.probed.positive().for_each(
+    acc.acquired.add(record->acquired);
+    acc.probes_overall.add(record->num_probes);
+    (record->acquired ? acc.probes_acquired : acc.probes_failed)
+        .add(record->num_probes);
+    acc.max_probes_seen = std::max(acc.max_probes_seen, record->num_probes);
+    record->probed.positive().for_each(
         [&](std::size_t i) { ++acc.probe_counts[i]; });
-    record.probed.negative().for_each(
+    record->probed.negative().for_each(
         [&](std::size_t i) { ++acc.probe_counts[i]; });
   }
 }
@@ -73,17 +87,22 @@ ProbeMeasurement measure_probes(const QuorumFamily& family, double p, int trials
                                 Rng rng, const TrialOptions& opts) {
   const int n = family.universe_size();
 
-  const ProbeAccumulator acc = run_trial_chunks(
+  ProbeAccumulator acc = run_trial_chunks(
       static_cast<std::uint64_t>(trials), rng, ProbeAccumulator{},
-      [&](ProbeAccumulator& shard, const TrialChunk& tc, Rng& chunk_rng) {
-        probe_measurement_chunk(family, p, tc, chunk_rng, shard);
+      [&](ProbeAccumulator& shard, const TrialContext& ctx, Rng& chunk_rng) {
+        probe_measurement_chunk(family, p, ctx, chunk_rng, shard);
       },
       [](ProbeAccumulator& total, ProbeAccumulator&& part) {
         total.merge(std::move(part));
       },
       opts);
 
-  return finalize_probe_measurement(acc, n, static_cast<std::uint64_t>(trials));
+  const ProbeMeasurement out =
+      finalize_probe_measurement(acc, n, static_cast<std::uint64_t>(trials));
+  // The fully merged accumulator still owns the count buffer the first fold
+  // stole; hand it back so the next measurement reuses it.
+  WorkerScratch::for_thread().give_counts(std::move(acc.probe_counts));
+  return out;
 }
 
 int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng,
@@ -92,11 +111,14 @@ int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng,
   assert(n <= 20 && "worst_case_probes enumerates all configurations");
   return run_trial_chunks(
       1ull << n, rng, 0,
-      [&](int& worst, const TrialChunk& tc, Rng&) {
+      [&](int& worst, const TrialContext& ctx, Rng&) {
         auto strategy = family.make_probe_strategy();
-        for (std::uint64_t mask = tc.begin; mask < tc.end; ++mask) {
-          Configuration config(n, mask);
-          ConfigurationOracle oracle(&config);
+        Borrowed<Configuration> config = ctx.scratch().borrow<Configuration>();
+        Borrowed<ProbeRecord> record = ctx.scratch().borrow<ProbeRecord>();
+        for (std::uint64_t mask = ctx.chunk.begin; mask < ctx.chunk.end;
+             ++mask) {
+          config->assign_mask(n, mask);
+          ConfigurationOracle oracle(config.get());
           long total = 0;
           for (int r = 0; r < repeats; ++r) {
             // Per-configuration streams derive from the caller's rng (not
@@ -104,7 +126,8 @@ int worst_case_probes(const QuorumFamily& family, int repeats, Rng rng,
             // chunk partition cannot influence any strategy's randomness.
             Rng strategy_rng =
                 rng.split(mask * 131 + static_cast<std::uint64_t>(r));
-            total += run_probe(*strategy, oracle, &strategy_rng).num_probes;
+            run_probe_into(*strategy, oracle, &strategy_rng, *record);
+            total += record->num_probes;
           }
           worst = std::max(worst, static_cast<int>(total / repeats));
         }

@@ -38,15 +38,20 @@ struct ProbeAccumulator {
   int max_probes_seen = 0;
   std::vector<long> probe_counts;
 
+  // Folds `other` in and returns its count buffer to the calling thread's
+  // scratch arena (the buffer was taken from a worker's arena by
+  // probe_measurement_chunk; the two-level counts pool routes it back).
   void merge(ProbeAccumulator&& other);
 };
 
 // Per-chunk kernel behind measure_probes: runs acquisitions
-// [tc.begin, tc.end) with the chunk's rng. Shared with the sweep engine
-// (src/sweep) so a flattened grid cell reduces to exactly the same bits as
-// the per-cell measurement.
+// [ctx.chunk.begin, ctx.chunk.end) with the chunk's rng; the sampled
+// configuration, probe record, and count buffer are borrowed from the
+// chunk's scratch arena. Shared with the sweep engine (src/sweep) so a
+// flattened grid cell reduces to exactly the same bits as the per-cell
+// measurement.
 void probe_measurement_chunk(const QuorumFamily& family, double p,
-                             const TrialChunk& tc, Rng& rng,
+                             const TrialContext& ctx, Rng& rng,
                              ProbeAccumulator& acc);
 
 // Folds a fully merged accumulator into the published measurement

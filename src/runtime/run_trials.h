@@ -21,11 +21,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "runtime/scratch.h"
 #include "runtime/thread_pool.h"
 #include "util/rng.h"
 
@@ -63,9 +65,41 @@ struct TrialChunk {
   std::uint64_t end = 0;    // last trial (global index, exclusive)
 };
 
+// What a chunk callback receives: the trial range plus the executing
+// thread's scratch arena (always non-null inside the runtime). The arena is
+// resolved per chunk on the thread that runs it, never captured from the
+// submitting caller.
+struct TrialContext {
+  TrialChunk chunk;
+  WorkerScratch* arena = nullptr;
+
+  WorkerScratch& scratch() const {
+    assert(arena != nullptr);
+    return *arena;
+  }
+};
+
+namespace runtime_detail {
+// Chunk callbacks come in two shapes: the arena-aware
+// fn(Acc&, const TrialContext&, Rng&) and the original
+// fn(Acc&, const TrialChunk&, Rng&). Dispatch at compile time so existing
+// callers keep working unchanged.
+template <typename Acc, typename ChunkFn>
+inline void invoke_chunk(ChunkFn& fn, Acc& acc, const TrialContext& ctx,
+                         Rng& rng) {
+  if constexpr (std::is_invocable_v<ChunkFn&, Acc&, const TrialContext&,
+                                    Rng&>) {
+    fn(acc, ctx, rng);
+  } else {
+    fn(acc, ctx.chunk, rng);
+  }
+}
+}  // namespace runtime_detail
+
 // Chunk-level entry point for consumers that amortize per-shard setup
 // (probe-strategy instances, scratch buffers) across a whole chunk.
-// chunk_fn(Acc&, const TrialChunk&, Rng&) runs the chunk's trials against a
+// chunk_fn(Acc&, const TrialContext&, Rng&) — or the legacy
+// (Acc&, const TrialChunk&, Rng&) shape — runs the chunk's trials against a
 // fresh accumulator copied from `zero` and the chunk's private rng.
 template <typename Acc, typename ChunkFn, typename MergeFn>
 Acc run_trial_chunks(std::uint64_t n_trials, const Rng& base, const Acc& zero,
@@ -77,25 +111,31 @@ Acc run_trial_chunks(std::uint64_t n_trials, const Rng& base, const Acc& zero,
   Acc total(zero);
   if (num_chunks == 0) return total;
 
-  std::vector<Acc> parts(static_cast<std::size_t>(num_chunks), zero);
+  // Chunk accumulators live in the caller's bump arena (released LIFO on
+  // return), so repeated runs stop allocating once the arena warmed up.
+  ArenaArray<Acc> parts(WorkerScratch::for_thread(),
+                        static_cast<std::size_t>(num_chunks), zero);
   auto process = [&](std::uint64_t c) {
-    TrialChunk tc;
-    tc.index = c;
-    tc.begin = c * chunk_size;
-    tc.end = std::min(n_trials, tc.begin + chunk_size);
+    TrialContext ctx;
+    ctx.chunk.index = c;
+    ctx.chunk.begin = c * chunk_size;
+    ctx.chunk.end = std::min(n_trials, ctx.chunk.begin + chunk_size);
+    ctx.arena = &WorkerScratch::for_thread();
     Rng rng = base.split(c);
     if (obs::telemetry_enabled()) {
       const runtime_detail::ChunkMetrics& metrics =
           runtime_detail::ChunkMetrics::get();
       obs::Span span("runtime", "chunk");
       span.arg("chunk", c);
-      span.arg("trials", tc.end - tc.begin);
+      span.arg("trials", ctx.chunk.end - ctx.chunk.begin);
       const std::uint64_t start_ns = obs::trace_now_ns();
-      chunk_fn(parts[static_cast<std::size_t>(c)], tc, rng);
+      runtime_detail::invoke_chunk(chunk_fn, parts[static_cast<std::size_t>(c)],
+                                   ctx, rng);
       metrics.wall_ns.record(obs::trace_now_ns() - start_ns);
       metrics.chunks.add();
     } else {
-      chunk_fn(parts[static_cast<std::size_t>(c)], tc, rng);
+      runtime_detail::invoke_chunk(chunk_fn, parts[static_cast<std::size_t>(c)],
+                                   ctx, rng);
     }
   };
 
@@ -122,8 +162,8 @@ Acc run_trials(std::uint64_t n_trials, const Rng& base, const Acc& zero,
                const TrialOptions& opts = {}) {
   return run_trial_chunks(
       n_trials, base, zero,
-      [&](Acc& acc, const TrialChunk& tc, Rng& rng) {
-        for (std::uint64_t t = tc.begin; t < tc.end; ++t)
+      [&](Acc& acc, const TrialContext& ctx, Rng& rng) {
+        for (std::uint64_t t = ctx.chunk.begin; t < ctx.chunk.end; ++t)
           per_trial(acc, t, rng);
       },
       std::forward<MergeFn>(merge), opts);

@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -33,16 +35,19 @@ std::atomic<int> g_default_threads{0};
 
 thread_local bool tl_inside_worker = false;
 
-int env_threads() {
-  const char* raw = std::getenv("SQS_THREADS");
-  if (raw == nullptr || *raw == '\0') return 0;
-  char* end = nullptr;
-  const long v = std::strtol(raw, &end, 10);
-  if (end == raw || v <= 0 || v > 4096) return 0;
-  return static_cast<int>(v);
-}
+int env_threads() { return parse_thread_count(std::getenv("SQS_THREADS")); }
 
 }  // namespace
+
+int parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  // strtol would skip leading whitespace; a full-string integer must not.
+  if (std::isspace(static_cast<unsigned char>(*text))) return 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v <= 0 || v > 4096) return 0;
+  return static_cast<int>(v);
+}
 
 int default_threads() {
   const int pinned = g_default_threads.load(std::memory_order_relaxed);
@@ -58,14 +63,24 @@ void set_default_threads(int n) {
 }
 
 int init_threads_from_args(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      const int v = std::atoi(argv[i + 1]);
-      if (v > 0) {
-        set_default_threads(v);
-        return v;
-      }
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      value = argv[i] + 10;
+    } else {
+      continue;
     }
+    const int v = parse_thread_count(value);
+    if (v > 0) {
+      set_default_threads(v);
+      return v;
+    }
+    std::fprintf(stderr,
+                 "[sqs] ignoring invalid --threads value '%s' "
+                 "(expected an integer in 1..4096)\n",
+                 value);
   }
   return 0;
 }
@@ -123,8 +138,9 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_chunks() {
-  // Captured once: a mid-batch configure() must not leave a half-recorded
-  // shard behind (the flush below pairs with the recording).
+  // Captured once so the steal/queue metrics of a batch are all-or-nothing;
+  // chunk callbacks re-check the flag per chunk, which is why the final
+  // flush below must NOT be gated on this capture.
   const bool telemetry = obs::telemetry_enabled();
   std::uint64_t last_done_ns = telemetry ? obs::trace_now_ns() : 0;
   for (;;) {
@@ -152,8 +168,11 @@ void ThreadPool::run_chunks() {
   // Scope-exit merge of this thread's telemetry shard: by the time the
   // caller observes the batch as finished, every worker's metrics and trace
   // events are in the global registry (the determinism contract of
-  // obs::Registry — integer merges, order-independent).
-  if (telemetry) obs::Registry::flush_thread();
+  // obs::Registry — integer merges, order-independent). Unconditional: a
+  // configure() that enabled telemetry mid-batch dirtied shards even though
+  // the captured flag above is false, and flush_thread() is a no-op on a
+  // clean shard anyway.
+  obs::Registry::flush_thread();
 }
 
 void ThreadPool::for_each_chunk(std::uint64_t num_chunks, int max_threads,

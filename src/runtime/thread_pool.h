@@ -32,8 +32,16 @@ int default_threads();
 // Overrides the process-wide default; n <= 0 restores automatic selection.
 void set_default_threads(int n);
 
-// Scans argv for "--threads N" and applies set_default_threads; returns the
-// parsed value (0 if absent). Shared by the bench drivers and the CLI.
+// Parses a thread-count token: a full-string integer in [1, 4096]. Returns
+// 0 for anything else (empty, trailing junk, out of range). One validated
+// parser shared by the SQS_THREADS environment variable and the --threads
+// command-line flag.
+int parse_thread_count(const char* text);
+
+// Scans argv for "--threads N" or "--threads=N" and applies
+// set_default_threads; returns the parsed value (0 if absent). Rejected
+// values are reported on stderr and ignored. Shared by the bench drivers
+// and the CLI.
 int init_threads_from_args(int argc, char** argv);
 
 class ThreadPool {

@@ -12,9 +12,9 @@ std::vector<AvailabilityEstimate> sweep_availability(
     grid[i] = {cells[i].samples, Rng(cells[i].seed)};
   const std::vector<std::int64_t> live = run_sweep(
       grid, std::int64_t{0},
-      [&](std::size_t cell, std::int64_t& acc, const TrialChunk& tc,
+      [&](std::size_t cell, std::int64_t& acc, const TrialContext& ctx,
           Rng& rng) {
-        availability_mc_chunk(*cells[cell].family, cells[cell].p, tc, rng,
+        availability_mc_chunk(*cells[cell].family, cells[cell].p, ctx, rng,
                               acc);
       },
       [](std::int64_t& total, std::int64_t part) { total += part; }, opts);
@@ -32,9 +32,9 @@ std::vector<NonintersectionStats> sweep_nonintersection(
     grid[i] = {cells[i].trials, cells[i].base};
   const std::vector<NonintersectionCounts> counts = run_sweep(
       grid, NonintersectionCounts{},
-      [&](std::size_t cell, NonintersectionCounts& acc, const TrialChunk& tc,
-          Rng& rng) {
-        nonintersection_chunk(*cells[cell].family, cells[cell].model, tc, rng,
+      [&](std::size_t cell, NonintersectionCounts& acc,
+          const TrialContext& ctx, Rng& rng) {
+        nonintersection_chunk(*cells[cell].family, cells[cell].model, ctx, rng,
                               acc);
       },
       [](NonintersectionCounts& total, NonintersectionCounts&& part) {
@@ -58,11 +58,11 @@ std::vector<ProbeMeasurement> sweep_probes(const std::vector<ProbeCell>& cells,
   std::vector<SweepCell> grid(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i)
     grid[i] = {cells[i].trials, cells[i].base};
-  const std::vector<ProbeAccumulator> accs = run_sweep(
+  std::vector<ProbeAccumulator> accs = run_sweep(
       grid, ProbeAccumulator{},
-      [&](std::size_t cell, ProbeAccumulator& acc, const TrialChunk& tc,
+      [&](std::size_t cell, ProbeAccumulator& acc, const TrialContext& ctx,
           Rng& rng) {
-        probe_measurement_chunk(*cells[cell].family, cells[cell].p, tc, rng,
+        probe_measurement_chunk(*cells[cell].family, cells[cell].p, ctx, rng,
                                 acc);
       },
       [](ProbeAccumulator& total, ProbeAccumulator&& part) {
@@ -71,9 +71,13 @@ std::vector<ProbeMeasurement> sweep_probes(const std::vector<ProbeCell>& cells,
       opts);
 
   std::vector<ProbeMeasurement> out(cells.size());
-  for (std::size_t i = 0; i < cells.size(); ++i)
+  for (std::size_t i = 0; i < cells.size(); ++i) {
     out[i] = finalize_probe_measurement(
         accs[i], cells[i].family->universe_size(), cells[i].trials);
+    // Each merged cell accumulator still owns the count buffer its first
+    // fold stole; hand them back so the next sweep reuses them.
+    WorkerScratch::for_thread().give_counts(std::move(accs[i].probe_counts));
+  }
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "core/quorum_family.h"
@@ -62,6 +63,20 @@ struct SweepMetrics {
     return metrics;
   }
 };
+
+// Sweep chunk callbacks come in two shapes, like run_trial_chunks':
+// fn(cell, Acc&, const TrialContext&, Rng&) or the legacy
+// fn(cell, Acc&, const TrialChunk&, Rng&).
+template <typename Acc, typename ChunkFn>
+inline void invoke_sweep_chunk(ChunkFn& fn, std::size_t cell, Acc& acc,
+                               const TrialContext& ctx, Rng& rng) {
+  if constexpr (std::is_invocable_v<ChunkFn&, std::size_t, Acc&,
+                                    const TrialContext&, Rng&>) {
+    fn(cell, acc, ctx, rng);
+  } else {
+    fn(cell, acc, ctx.chunk, rng);
+  }
+}
 }  // namespace sweep_detail
 
 // Runs every cell's chunks in one flattened pool submission.
@@ -75,8 +90,13 @@ std::vector<Acc> run_sweep(const std::vector<SweepCell>& cells, const Acc& zero,
                            const TrialOptions& opts = {}) {
   const std::uint64_t chunk_size =
       opts.chunk_size > 0 ? opts.chunk_size : kDefaultTrialChunk;
-  // first_chunk[i] = flat index of cell i's chunk 0 (prefix sums).
-  std::vector<std::uint64_t> first_chunk(cells.size() + 1, 0);
+  // first_chunk[i] = flat index of cell i's chunk 0 (prefix sums). The
+  // index vector is borrowed from the caller's scratch so repeated sweeps
+  // reuse its capacity.
+  Borrowed<std::vector<std::uint64_t>> first_chunk_loan =
+      WorkerScratch::for_thread().borrow<std::vector<std::uint64_t>>();
+  std::vector<std::uint64_t>& first_chunk = *first_chunk_loan;
+  first_chunk.assign(cells.size() + 1, 0);
   for (std::size_t i = 0; i < cells.size(); ++i)
     first_chunk[i + 1] = first_chunk[i] +
                          (cells[i].n_trials + chunk_size - 1) / chunk_size;
@@ -92,29 +112,37 @@ std::vector<Acc> run_sweep(const std::vector<SweepCell>& cells, const Acc& zero,
     metrics.cells.add(cells.size());
   }
 
-  std::vector<Acc> parts(static_cast<std::size_t>(total_chunks), zero);
+  // Chunk accumulators live in the caller's bump arena (released LIFO on
+  // return), so repeated sweeps stop allocating once the arena warmed up.
+  ArenaArray<Acc> parts(WorkerScratch::for_thread(),
+                        static_cast<std::size_t>(total_chunks), zero);
   auto process = [&](std::uint64_t g) {
     // Map the flat chunk index back to (cell, local chunk).
     const std::size_t cell = static_cast<std::size_t>(
         std::upper_bound(first_chunk.begin(), first_chunk.end(), g) -
         first_chunk.begin() - 1);
-    TrialChunk tc;
-    tc.index = g - first_chunk[cell];
-    tc.begin = tc.index * chunk_size;
-    tc.end = std::min(cells[cell].n_trials, tc.begin + chunk_size);
-    Rng rng = cells[cell].base.split(tc.index);
+    TrialContext ctx;
+    ctx.chunk.index = g - first_chunk[cell];
+    ctx.chunk.begin = ctx.chunk.index * chunk_size;
+    ctx.chunk.end = std::min(cells[cell].n_trials, ctx.chunk.begin + chunk_size);
+    ctx.arena = &WorkerScratch::for_thread();
+    Rng rng = cells[cell].base.split(ctx.chunk.index);
     if (obs::telemetry_enabled()) {
       const sweep_detail::SweepMetrics& metrics =
           sweep_detail::SweepMetrics::get();
       obs::Span span("sweep", "chunk");
       span.arg("cell", cell);
-      span.arg("chunk", tc.index);
+      span.arg("chunk", ctx.chunk.index);
       const std::uint64_t start_ns = obs::trace_now_ns();
-      chunk_fn(cell, parts[static_cast<std::size_t>(g)], tc, rng);
+      sweep_detail::invoke_sweep_chunk(chunk_fn, cell,
+                                       parts[static_cast<std::size_t>(g)], ctx,
+                                       rng);
       metrics.wall_ns.record(obs::trace_now_ns() - start_ns);
       metrics.chunks.add();
     } else {
-      chunk_fn(cell, parts[static_cast<std::size_t>(g)], tc, rng);
+      sweep_detail::invoke_sweep_chunk(chunk_fn, cell,
+                                       parts[static_cast<std::size_t>(g)], ctx,
+                                       rng);
     }
   };
 

@@ -20,8 +20,8 @@ class ThresholdStrategy : public ProbeStrategy {
 
   void reset(Rng* rng) override {
     if (rng != nullptr) std::shuffle(order_.begin(), order_.end(), *rng);
-    observed_ = SignedSet(n_);
-    quorum_ = SignedSet(n_);
+    observed_.reshape(n_);
+    quorum_.reshape(n_);
     step_ = 0;
     pos_ = 0;
     status_ = threshold_ <= 0 ? ProbeStatus::kAcquired : ProbeStatus::kInProgress;
@@ -51,6 +51,7 @@ class ThresholdStrategy : public ProbeStrategy {
   // The quorum is the set of reached servers only; failed probes are wasted
   // probes that still count toward load.
   SignedSet acquired_quorum() const override { return quorum_; }
+  void acquired_quorum_into(SignedSet& out) const override { out = quorum_; }
   bool is_adaptive() const override { return false; }
   bool is_randomized() const override { return true; }
 

@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "runtime/scratch.h"
+
 namespace sqs {
 
 PathsFamily::PathsFamily(int l) : l_(l) { assert(l >= 1); }
@@ -102,24 +104,30 @@ void dual_moves(const PathsFamily& ph, int node, bool flip, std::vector<Move>& o
 }
 
 // Full-knowledge BFS used by accepts(); `edge_up` answers edge liveness.
+// Scratch buffers are borrowed from the calling thread's arena: accepts()
+// runs once per availability Monte Carlo trial, so per-call vectors would
+// dominate the allocation profile of Paths availability sweeps.
 template <typename MovesFn>
 bool reachable(int num_nodes, const std::vector<int>& starts, int goal_lo,
                int goal_hi, const MovesFn& moves_of,
                const Configuration& config) {
-  std::vector<char> visited(static_cast<std::size_t>(num_nodes), 0);
-  std::vector<int> frontier = starts;
-  for (int s : starts) visited[static_cast<std::size_t>(s)] = 1;
-  std::vector<Move> moves;
-  while (!frontier.empty()) {
-    const int v = frontier.back();
-    frontier.pop_back();
+  WorkerScratch& scratch = WorkerScratch::for_thread();
+  Borrowed<std::vector<char>> visited = scratch.borrow<std::vector<char>>();
+  Borrowed<std::vector<int>> frontier = scratch.borrow<std::vector<int>>();
+  Borrowed<std::vector<Move>> moves = scratch.borrow<std::vector<Move>>();
+  visited->assign(static_cast<std::size_t>(num_nodes), 0);
+  *frontier = starts;
+  for (int s : starts) (*visited)[static_cast<std::size_t>(s)] = 1;
+  while (!frontier->empty()) {
+    const int v = frontier->back();
+    frontier->pop_back();
     if (v >= goal_lo && v <= goal_hi) return true;
-    moves_of(v, moves);
-    for (const Move& m : moves) {
-      if (visited[static_cast<std::size_t>(m.to)]) continue;
+    moves_of(v, *moves);
+    for (const Move& m : *moves) {
+      if ((*visited)[static_cast<std::size_t>(m.to)]) continue;
       if (!config.is_up(m.edge)) continue;
-      visited[static_cast<std::size_t>(m.to)] = 1;
-      frontier.push_back(m.to);
+      (*visited)[static_cast<std::size_t>(m.to)] = 1;
+      frontier->push_back(m.to);
     }
   }
   return false;
@@ -129,31 +137,32 @@ bool reachable(int num_nodes, const std::vector<int>& starts, int goal_lo,
 
 bool PathsFamily::has_lr_path(const Configuration& config) const {
   const int l = l_;
-  std::vector<int> starts;
-  for (int r = 0; r <= l; ++r) starts.push_back(vertex_id(l, r, 0));
   auto moves_of = [&](int v, std::vector<Move>& out) {
     primal_moves(*this, v / (l + 1), v % (l + 1), false, out);
   };
-  // Goal: any vertex in column l. Check membership via a wrapper: vertex ids
-  // with v % (l+1) == l. reachable() wants a contiguous goal range, so test
-  // inside moves instead: easiest is a direct BFS here.
-  std::vector<char> visited(static_cast<std::size_t>((l + 1) * (l + 1)), 0);
-  std::vector<int> frontier;
-  for (int s : starts) {
-    visited[static_cast<std::size_t>(s)] = 1;
-    frontier.push_back(s);
+  // Goal: any vertex in column l. reachable() wants a contiguous goal range,
+  // so run the BFS directly here with the same borrowed-scratch buffers.
+  WorkerScratch& scratch = WorkerScratch::for_thread();
+  Borrowed<std::vector<char>> visited = scratch.borrow<std::vector<char>>();
+  Borrowed<std::vector<int>> frontier = scratch.borrow<std::vector<int>>();
+  Borrowed<std::vector<Move>> moves = scratch.borrow<std::vector<Move>>();
+  visited->assign(static_cast<std::size_t>((l + 1) * (l + 1)), 0);
+  frontier->clear();
+  for (int r = 0; r <= l; ++r) {
+    const int s = vertex_id(l, r, 0);
+    (*visited)[static_cast<std::size_t>(s)] = 1;
+    frontier->push_back(s);
   }
-  std::vector<Move> moves;
-  while (!frontier.empty()) {
-    const int v = frontier.back();
-    frontier.pop_back();
+  while (!frontier->empty()) {
+    const int v = frontier->back();
+    frontier->pop_back();
     if (v % (l + 1) == l) return true;
-    moves_of(v, moves);
-    for (const Move& m : moves) {
-      if (visited[static_cast<std::size_t>(m.to)]) continue;
+    moves_of(v, *moves);
+    for (const Move& m : *moves) {
+      if ((*visited)[static_cast<std::size_t>(m.to)]) continue;
       if (!config.is_up(m.edge)) continue;
-      visited[static_cast<std::size_t>(m.to)] = 1;
-      frontier.push_back(m.to);
+      (*visited)[static_cast<std::size_t>(m.to)] = 1;
+      frontier->push_back(m.to);
     }
   }
   return false;
@@ -188,18 +197,20 @@ class PathsStrategy : public ProbeStrategy {
     rng_ = rng;
     const int l = family_.l();
     known_.assign(static_cast<std::size_t>(family_.universe_size()), std::nullopt);
-    quorum_ = SignedSet(family_.universe_size());
+    quorum_.reshape(family_.universe_size());
     status_ = ProbeStatus::kInProgress;
     pending_edge_ = -1;
     in_dual_ = false;
 
-    primal_ = Search(static_cast<std::size_t>((l + 1) * (l + 1)));
-    std::vector<int> starts;
-    for (int r = 0; r <= l; ++r) starts.push_back(vertex_id(l, r, 0));
-    if (rng_ != nullptr) std::shuffle(starts.begin(), starts.end(), *rng_);
-    for (int s : starts) primal_.push_start(s);
+    primal_.reshape(static_cast<std::size_t>((l + 1) * (l + 1)));
+    // starts_ is rebuilt with identical contents every reset, so reusing its
+    // capacity leaves the shuffle's rng draws unchanged.
+    starts_.clear();
+    for (int r = 0; r <= l; ++r) starts_.push_back(vertex_id(l, r, 0));
+    if (rng_ != nullptr) std::shuffle(starts_.begin(), starts_.end(), *rng_);
+    for (int s : starts_) primal_.push_start(s);
 
-    dual_ = Search(static_cast<std::size_t>(l * l + 2));
+    dual_.reshape(static_cast<std::size_t>(l * l + 2));
     dual_.push_start(top_id(l));
 
     advance();
@@ -216,6 +227,7 @@ class PathsStrategy : public ProbeStrategy {
   }
 
   SignedSet acquired_quorum() const override { return quorum_; }
+  void acquired_quorum_into(SignedSet& out) const override { out = quorum_; }
   bool is_adaptive() const override { return true; }
   bool is_randomized() const override { return true; }
 
@@ -232,6 +244,18 @@ class PathsStrategy : public ProbeStrategy {
     void push_start(int node) {
       visited[static_cast<std::size_t>(node)] = 1;
       stack.push_back(node);
+    }
+
+    // Reinitializes to the freshly-constructed state while reusing every
+    // buffer's capacity (including the per-node move lists).
+    void reshape(std::size_t num_nodes) {
+      visited.assign(num_nodes, 0);
+      parent_node.assign(num_nodes, -1);
+      parent_edge.assign(num_nodes, -1);
+      move_index.assign(num_nodes, 0);
+      if (moves.size() != num_nodes) moves.resize(num_nodes);
+      for (auto& mv : moves) mv.clear();
+      stack.clear();
     }
 
     std::vector<char> visited;
@@ -327,6 +351,7 @@ class PathsStrategy : public ProbeStrategy {
   SignedSet quorum_{0};
   Search primal_;
   Search dual_;
+  std::vector<int> starts_;
   bool in_dual_ = false;
   int pending_edge_ = -1;
   ProbeStatus status_ = ProbeStatus::kInProgress;

@@ -59,6 +59,24 @@ class Bitset {
     for (auto& w : words_) w = 0;
   }
 
+  // Re-targets the bitset to `size` positions, all clear, reusing the word
+  // storage (vector::assign keeps capacity). Observably identical to
+  // assigning a fresh Bitset(size) — the reuse primitive behind the scratch
+  // arenas (src/runtime/scratch.h).
+  void reshape(std::size_t size) {
+    size_ = size;
+    words_.assign((size + kBits - 1) / kBits, 0);
+  }
+
+  // reshape(size) followed by loading the low n bits of `mask`; the in-place
+  // equivalent of from_mask (n <= 64).
+  void assign_mask(std::uint64_t mask, std::size_t size) {
+    assert(size <= kBits);
+    reshape(size);
+    if (!words_.empty()) words_[0] = mask;
+    trim();
+  }
+
   std::size_t count() const {
     std::size_t c = 0;
     for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));

@@ -1,0 +1,177 @@
+// The per-worker scratch arenas behind the trial runtime
+// (src/runtime/scratch.h): pooled objects and count buffers round-trip with
+// their storage intact, ArenaArray releases LIFO so nested runs stack, and —
+// the acceptance criterion for the layer — a warmed-up sweep executes its
+// chunks without taking a single new allocation from the arena's point of
+// view: the runtime.arena.cache_misses and runtime.arena.block_allocs
+// counters stop moving while cache_hits keeps climbing.
+//
+// Everything here runs at threads=1 so all scratch traffic stays on the
+// calling thread, whose shard a Registry snapshot flushes directly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/constructions.h"
+#include "obs/telemetry.h"
+#include "runtime/run_trials.h"
+#include "runtime/scratch.h"
+#include "sweep/sweep.h"
+
+namespace sqs {
+namespace {
+
+struct TelemetryGuard {
+  obs::TelemetryConfig saved = obs::current_config();
+  TelemetryGuard() { obs::Registry::instance().reset(); }
+  ~TelemetryGuard() {
+    obs::configure(saved);
+    obs::Registry::instance().reset();
+  }
+};
+
+TEST(Arena, CountsBufferRoundTripReusesStorage) {
+  WorkerScratch& scratch = WorkerScratch::for_thread();
+  std::vector<long> buf = scratch.take_counts(64);
+  ASSERT_EQ(buf.size(), 64u);
+  for (const long v : buf) ASSERT_EQ(v, 0);
+  buf[3] = 9;
+  const long* storage = buf.data();
+  scratch.give_counts(std::move(buf));
+
+  // The local free list is LIFO, so the next take of a fitting size must
+  // serve the exact storage just returned — re-zeroed.
+  std::vector<long> again = scratch.take_counts(64);
+  EXPECT_EQ(again.data(), storage);
+  EXPECT_EQ(again.size(), 64u);
+  EXPECT_EQ(again[3], 0);
+  scratch.give_counts(std::move(again));
+
+  // A smaller request reuses larger capacity without reallocating.
+  std::vector<long> smaller = scratch.take_counts(16);
+  EXPECT_EQ(smaller.data(), storage);
+  EXPECT_EQ(smaller.size(), 16u);
+  scratch.give_counts(std::move(smaller));
+
+  // Moved-from husks must not pollute the pool.
+  std::vector<long> husk;
+  scratch.give_counts(std::move(husk));
+  std::vector<long> after = scratch.take_counts(16);
+  EXPECT_EQ(after.data(), storage);
+  scratch.give_counts(std::move(after));
+}
+
+TEST(Arena, BorrowedObjectReturnsToPool) {
+  WorkerScratch& scratch = WorkerScratch::for_thread();
+  std::vector<int>* raw = nullptr;
+  {
+    Borrowed<std::vector<int>> loan = scratch.borrow<std::vector<int>>();
+    loan->assign(100, 7);
+    raw = loan.get();
+  }
+  // The loan ended on this thread, so the same object (with its capacity)
+  // comes back on the next borrow.
+  Borrowed<std::vector<int>> again = scratch.borrow<std::vector<int>>();
+  EXPECT_EQ(again.get(), raw);
+  EXPECT_GE(again->capacity(), 100u);
+}
+
+TEST(Arena, ArenaArrayReleasesLifo) {
+  WorkerScratch& scratch = WorkerScratch::for_thread();
+  int* first = nullptr;
+  {
+    ArenaArray<int> outer(scratch, 64, 7);
+    ASSERT_EQ(outer.size(), 64u);
+    for (const int v : outer) ASSERT_EQ(v, 7);
+    first = outer.begin();
+    {
+      // A nested array (as a nested run_trial_chunks would create) stacks
+      // on top and releases before the outer one.
+      ArenaArray<std::vector<int>> inner(scratch, 8, std::vector<int>(4, 1));
+      ASSERT_EQ(inner.size(), 8u);
+      EXPECT_EQ(inner[7].size(), 4u);
+      EXPECT_EQ(inner[7][0], 1);
+    }
+    outer[0] = 1;  // outer storage stays valid after the inner release
+    EXPECT_EQ(outer[0], 1);
+  }
+  // Full LIFO release: the next allocation of the same shape reuses the
+  // same bytes.
+  ArenaArray<int> again(scratch, 64, 0);
+  EXPECT_EQ(again.begin(), first);
+  EXPECT_EQ(again[0], 0);
+}
+
+// The tentpole acceptance assertion: once the arenas are warm, repeating an
+// identical mixed sweep workload performs zero pool misses and zero bump-
+// arena growth — every per-chunk temporary is served from reuse.
+TEST(Arena, SteadyStateSweepsStopAllocating) {
+  TelemetryGuard guard;
+  obs::TelemetryConfig cfg;
+  cfg.metrics = true;
+  obs::configure(cfg);
+
+  TrialOptions opts;
+  opts.threads = 1;
+
+  auto run_all = [&] {
+    const auto fam40 = std::make_shared<OptDFamily>(40, 2);
+    const auto fam20 = std::make_shared<OptDFamily>(20, 2);
+    const auto fam64 = std::make_shared<OptDFamily>(64, 2);
+    sweep_availability({{fam40, 0.3, 4096, 7}, {fam40, 0.4, 2048, 8}}, opts);
+    MismatchModel model;
+    model.link_miss = 0.25;
+    sweep_nonintersection({{fam20, model, 4096, Rng(5), 1.0}}, opts);
+    sweep_probes({{fam64, 0.25, 4096, Rng(9)}, {fam64, 0.35, 2048, Rng(10)}},
+                 opts);
+  };
+
+  run_all();  // cold: populates pools, grows the bump arena
+  run_all();  // settles LIFO order
+  const obs::MetricsSnapshot warm = obs::Registry::instance().snapshot();
+  run_all();  // steady state
+  const obs::MetricsSnapshot after = obs::Registry::instance().snapshot();
+
+  EXPECT_EQ(after.counter("runtime.arena.cache_misses"),
+            warm.counter("runtime.arena.cache_misses"))
+      << "a warmed-up sweep should never miss the scratch pools";
+  EXPECT_EQ(after.counter("runtime.arena.block_allocs"),
+            warm.counter("runtime.arena.block_allocs"))
+      << "a warmed-up sweep should never grow the bump arena";
+  EXPECT_GT(after.counter("runtime.arena.cache_hits"),
+            warm.counter("runtime.arena.cache_hits"));
+  EXPECT_GT(after.counter("runtime.arena.bytes_reused"),
+            warm.counter("runtime.arena.bytes_reused"));
+  // And the warm-up did exercise the arena in the first place.
+  EXPECT_GT(warm.counter("runtime.arena.cache_hits"), 0u);
+}
+
+// Reuse must be invisible in the estimates: the same workload yields
+// bit-identical results on a cold first run and on arbitrarily warm reruns,
+// at 1 and 8 threads.
+TEST(Arena, WarmRerunsAreBitIdentical) {
+  const auto fam = std::make_shared<OptDFamily>(64, 2);
+  std::vector<ProbeMeasurement> reference;
+  for (const int threads : {1, 8, 1, 8}) {
+    TrialOptions opts;
+    opts.threads = threads;
+    const std::vector<ProbeMeasurement> got =
+        sweep_probes({{fam, 0.25, 8192, Rng(42)}}, opts);
+    ASSERT_EQ(got.size(), 1u);
+    if (reference.empty()) {
+      reference = got;
+      continue;
+    }
+    EXPECT_EQ(got[0].probes_overall.mean(), reference[0].probes_overall.mean());
+    EXPECT_EQ(got[0].probes_overall.variance(),
+              reference[0].probes_overall.variance());
+    EXPECT_EQ(got[0].acquired.successes, reference[0].acquired.successes);
+    EXPECT_EQ(got[0].max_probes_seen, reference[0].max_probes_seen);
+    EXPECT_EQ(got[0].server_probe_frequency, reference[0].server_probe_frequency);
+  }
+}
+
+}  // namespace
+}  // namespace sqs

@@ -135,5 +135,59 @@ TEST(Bitset, ToString) {
   EXPECT_EQ(b.to_string(), "{0,3}");
 }
 
+TEST(Bitset, WordBoundarySizes) {
+  // Sizes 0, 64, 65, 128 cover no-word, exact-word, straddling, and
+  // multi-word-exact layouts; trim() must keep count()/== exact in each.
+  for (const std::size_t size : {std::size_t{0}, std::size_t{64},
+                                 std::size_t{65}, std::size_t{128}}) {
+    const Bitset full = Bitset::all_set(size);
+    EXPECT_EQ(full.count(), size) << size;
+    EXPECT_EQ(full.size(), size) << size;
+    EXPECT_EQ(full.none(), size == 0) << size;
+
+    const Bitset empty(size);
+    EXPECT_EQ(empty.count(), 0u) << size;
+    EXPECT_EQ(~empty, full) << size;
+    EXPECT_EQ(~full, empty) << size;
+    EXPECT_EQ((~empty).count(), size) << size;
+    if (size > 0) {
+      Bitset one(size);
+      one.set(size - 1);
+      EXPECT_TRUE(one.test(size - 1)) << size;
+      EXPECT_EQ(one.count(), 1u) << size;
+      EXPECT_EQ((~one).count(), size - 1) << size;
+      EXPECT_TRUE(one.is_subset_of(full)) << size;
+    }
+  }
+}
+
+TEST(Bitset, FromMaskIgnoresBitsBeyondSize) {
+  // Mask bits at positions >= size must not leak into count/equality.
+  const Bitset b = Bitset::from_mask(~0ull, 3);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_EQ(b, Bitset::all_set(3));
+  EXPECT_EQ(Bitset::from_mask(~0ull, 64), Bitset::all_set(64));
+  EXPECT_EQ(Bitset::from_mask(0b1010ull, 2).count(), 1u);  // only bit 1 kept
+  EXPECT_EQ(Bitset::from_mask(123ull, 0).count(), 0u);
+}
+
+TEST(Bitset, ReshapeMatchesFreshConstruction) {
+  // reshape()/assign_mask() are the capacity-reuse primitives behind the
+  // scratch arenas; they must be observably identical to fresh objects,
+  // including when shrinking across a word boundary.
+  Bitset b = Bitset::all_set(128);
+  b.reshape(65);
+  EXPECT_EQ(b, Bitset(65));
+  b.reshape(0);
+  EXPECT_EQ(b, Bitset(0));
+
+  Bitset m = Bitset::all_set(100);
+  m.assign_mask(~0ull, 5);
+  EXPECT_EQ(m, Bitset::from_mask(~0ull, 5));
+  EXPECT_EQ(m.count(), 5u);
+  m.assign_mask(0b101ull, 64);
+  EXPECT_EQ(m, Bitset::from_mask(0b101ull, 64));
+}
+
 }  // namespace
 }  // namespace sqs

@@ -13,10 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/constructions.h"
@@ -216,6 +219,50 @@ TEST(ObsTelemetry, MergeDeterminismUnderSweepLoad) {
   EXPECT_EQ(per_thread_count[0].sweep_chunks, total_chunks);
   EXPECT_TRUE(per_thread_count[0] == per_thread_count[1]) << "1 vs 2 threads";
   EXPECT_TRUE(per_thread_count[0] == per_thread_count[2]) << "1 vs 8 threads";
+}
+
+// Regression: telemetry enabled *mid-batch* must still flush every worker's
+// shard. run_chunks used to capture the enabled flag at batch start and skip
+// the exit flush when it was false, stranding whatever the workers recorded
+// after the toggle; the fix flushes unconditionally (a no-op for clean
+// shards). The first chunk flips metrics on, every chunk then increments a
+// counter, and the caller parks until a worker has taken at least one chunk
+// so the test cannot pass vacuously on a caller-only run.
+TEST(ObsTelemetry, MidBatchEnableFlushesWorkerShards) {
+  TelemetryGuard guard;
+  obs::configure(enabled_config(false, false));  // off when the batch starts
+  obs::Counter c = obs::Registry::instance().counter("test.toggle_counter");
+
+  const std::uint64_t kTrials = 256;
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<std::uint64_t> worker_chunks{0};
+  std::atomic<bool> worker_ran{false};
+
+  TrialOptions opts;
+  opts.threads = 8;
+  opts.chunk_size = 1;
+  run_trial_chunks(
+      kTrials, Rng(5), 0,
+      [&](int&, const TrialChunk& tc, Rng&) {
+        obs::configure(enabled_config(true, false));  // mid-batch toggle
+        c.add(tc.end - tc.begin);
+        if (std::this_thread::get_id() != caller) {
+          worker_chunks.fetch_add(1, std::memory_order_relaxed);
+          worker_ran.store(true, std::memory_order_release);
+        } else if (!worker_ran.load(std::memory_order_acquire)) {
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(2);
+          while (!worker_ran.load(std::memory_order_acquire) &&
+                 std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+          }
+        }
+      },
+      [](int&, int) {}, opts);
+
+  EXPECT_GT(worker_chunks.load(), 0u) << "no chunk ran on a pool worker";
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snap.counter("test.toggle_counter"), kTrials);
 }
 
 // Enabling full telemetry must not change any Monte Carlo estimate: the

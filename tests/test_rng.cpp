@@ -79,5 +79,26 @@ TEST(Rng, BinomialMean) {
   EXPECT_NEAR(static_cast<double>(sum) / trials, 5.0, 0.1);
 }
 
+TEST(Rng, NextBelowDegenerateAndHugeBounds) {
+  Rng rng(21);
+  // bound 1 has a single residue; bound 0 is documented to return 0.
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(rng.next_below(1), 0u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  // Bounds near 2^64 exercise the rejection threshold with almost the whole
+  // range accepted; results must stay strictly below the bound.
+  const std::uint64_t huge_bounds[] = {~0ull, ~0ull - 1, (1ull << 63) + 1,
+                                       1ull << 63};
+  for (const std::uint64_t bound : huge_bounds) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsDeterministic) {
+  Rng a(33), b(33);
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_EQ(a.next_below(~0ull - 7), b.next_below(~0ull - 7));
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_below(17), b.next_below(17));
+}
+
 }  // namespace
 }  // namespace sqs

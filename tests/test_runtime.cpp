@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/constructions.h"
@@ -120,6 +121,56 @@ TEST(RunTrials, NestedInvocationRunsInlineAndMatches) {
   const std::uint64_t sequential = nested_sum(1);
   for (const int threads : {2, 8})
     EXPECT_EQ(nested_sum(threads), sequential) << threads << " threads";
+}
+
+TEST(RunTrials, ParseThreadCountValidatesTokens) {
+  EXPECT_EQ(parse_thread_count("8"), 8);
+  EXPECT_EQ(parse_thread_count("1"), 1);
+  EXPECT_EQ(parse_thread_count("4096"), 4096);
+  // Everything else is rejected as 0: absent, empty, non-numeric, trailing
+  // junk, non-positive, over the cap.
+  EXPECT_EQ(parse_thread_count(nullptr), 0);
+  EXPECT_EQ(parse_thread_count(""), 0);
+  EXPECT_EQ(parse_thread_count("0"), 0);
+  EXPECT_EQ(parse_thread_count("-3"), 0);
+  EXPECT_EQ(parse_thread_count("4097"), 0);
+  EXPECT_EQ(parse_thread_count("8x"), 0);
+  EXPECT_EQ(parse_thread_count(" 8"), 0);
+  EXPECT_EQ(parse_thread_count("eight"), 0);
+}
+
+// Both spellings of the flag must reach the same validated parser. The bug
+// this pins down: "--threads=8" used to be silently ignored, and "--threads
+// garbage" went through a bare atoi with no range check.
+TEST(RunTrials, InitThreadsFromArgsHandlesBothFormsAndRejectsJunk) {
+  auto run = [](std::vector<std::string> tokens) {
+    std::vector<char*> argv;
+    for (std::string& t : tokens) argv.push_back(t.data());
+    const int parsed =
+        init_threads_from_args(static_cast<int>(argv.size()), argv.data());
+    set_default_threads(0);  // never leak an override into other tests
+    return parsed;
+  };
+  EXPECT_EQ(run({"prog", "--threads", "6"}), 6);
+  EXPECT_EQ(run({"prog", "--threads=6"}), 6);
+  EXPECT_EQ(run({"prog", "--other", "--threads=2", "tail"}), 2);
+  EXPECT_EQ(run({"prog"}), 0);
+  EXPECT_EQ(run({"prog", "--threads"}), 0);       // value missing
+  EXPECT_EQ(run({"prog", "--threads", "0"}), 0);  // rejected, not applied
+  EXPECT_EQ(run({"prog", "--threads=九"}), 0);
+  EXPECT_EQ(run({"prog", "--threads=4097"}), 0);
+  // A rejected token must not stop the scan from finding a later valid one.
+  EXPECT_EQ(run({"prog", "--threads=bad", "--threads", "3"}), 3);
+}
+
+TEST(RunTrials, InitThreadsFromArgsAppliesDefault) {
+  std::vector<std::string> tokens = {"prog", "--threads=5"};
+  std::vector<char*> argv;
+  for (std::string& t : tokens) argv.push_back(t.data());
+  ASSERT_EQ(init_threads_from_args(static_cast<int>(argv.size()), argv.data()),
+            5);
+  EXPECT_EQ(default_threads(), 5);
+  set_default_threads(0);
 }
 
 TEST(RuntimeDeterminism, AvailabilityMonteCarlo) {
