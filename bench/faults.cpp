@@ -1,0 +1,178 @@
+// Exercises the fault-injection engine + chaos harness (src/faults) end to
+// end: the full builtin scenario grid — churn waves, an adversarial
+// mass-crash window, a gray half-fleet, a partition storm, lossy bursts and
+// an amnesia detector — is run through run_chaos (ONE run_sweep submission,
+// scenario x replicate flattened over the pool), timed at 1 and 8 threads
+// with every cell's aggregates compared bit-for-bit, and each cell's
+// invariant verdict reported.
+//
+// Writes BENCH_faults.json (runs + per-scenario cells + telemetry snapshot,
+// including the sim.faults.* injection counters) for the bench_diff
+// trajectory gate.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/constructions.h"
+#include "faults/chaos.h"
+#include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace sqs {
+namespace {
+
+constexpr int kReplicates = 4;
+
+// Everything the determinism gate compares: the full integer state of a
+// cell plus the availability/stale doubles, bit-reinterpreted.
+std::vector<std::uint64_t> fingerprint(
+    const std::vector<ChaosCellResult>& cells) {
+  std::vector<std::uint64_t> fp;
+  const auto push_double = [&fp](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof d);
+    __builtin_memcpy(&bits, &d, sizeof bits);
+    fp.push_back(bits);
+  };
+  for (const ChaosCellResult& c : cells) {
+    push_double(c.availability);
+    push_double(c.stale_fraction);
+    fp.push_back(static_cast<std::uint64_t>(c.ops_attempted));
+    fp.push_back(static_cast<std::uint64_t>(c.reads_ok));
+    fp.push_back(static_cast<std::uint64_t>(c.stale_reads));
+    fp.push_back(static_cast<std::uint64_t>(c.retries));
+    fp.push_back(static_cast<std::uint64_t>(c.deadline_failures));
+    fp.push_back(static_cast<std::uint64_t>(c.server_ts_regressions));
+    fp.push_back(static_cast<std::uint64_t>(c.read_ts_regressions));
+    fp.push_back(static_cast<std::uint64_t>(c.lost_writes));
+    fp.push_back(c.violations.size());
+    for (const RegisterExperimentResult& r : c.replicates)
+      fp.push_back(r.events_executed);
+  }
+  return fp;
+}
+
+void chaos_grid_json() {
+  const OptDFamily family(12, 2);
+  const std::vector<ChaosScenario> scenarios = builtin_chaos_scenarios(family);
+
+  struct Run {
+    int threads;
+    double wall_ms;
+    std::vector<ChaosCellResult> cells;
+  };
+  const obs::TelemetryConfig saved_config = obs::current_config();
+  obs::TelemetryConfig metrics_config = saved_config;
+  metrics_config.metrics = true;
+  obs::configure(metrics_config);
+  std::vector<Run> runs;
+  for (const int threads : {1, 8}) {
+    TrialOptions opts;
+    opts.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    Run run;
+    run.threads = threads;
+    run.cells = run_chaos(family, scenarios, kReplicates, opts);
+    const auto stop = std::chrono::steady_clock::now();
+    run.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    runs.push_back(std::move(run));
+  }
+  const obs::MetricsSnapshot metrics = obs::Registry::instance().snapshot();
+  obs::configure(saved_config);
+
+  const bool deterministic =
+      fingerprint(runs[0].cells) == fingerprint(runs[1].cells);
+  bool all_passed = true;
+
+  Table table({"scenario", "avail", "stale", "retries", "ts-regr", "lost",
+               "verdict"});
+  for (const ChaosCellResult& c : runs[0].cells) {
+    all_passed = all_passed && c.passed();
+    table.add_row({c.scenario, Table::fmt(c.availability, 4),
+                   Table::fmt_sci(c.stale_fraction),
+                   std::to_string(c.retries),
+                   std::to_string(c.server_ts_regressions),
+                   std::to_string(c.lost_writes),
+                   c.passed() ? "pass" : "FAIL"});
+  }
+  table.print("chaos grid, OPT_d(12,2), " + std::to_string(kReplicates) +
+              " replicates/scenario");
+
+  JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "faults");
+  json.key("workload");
+  json.begin_object()
+      .kv("name", "builtin_chaos_grid")
+      .kv("family", family.name())
+      .kv("scenarios", static_cast<std::uint64_t>(scenarios.size()))
+      .kv("replicates", kReplicates)
+      .end_object();
+  json.key("runs").begin_array();
+  for (const Run& r : runs)
+    json.begin_object()
+        .kv("threads", r.threads)
+        .kv("wall_ms", r.wall_ms)
+        .end_object();
+  json.end_array();
+  json.key("cells").begin_array();
+  for (const ChaosCellResult& c : runs[0].cells) {
+    json.begin_object()
+        .kv("scenario", c.scenario)
+        .kv("availability", c.availability)
+        .kv("stale_fraction", c.stale_fraction)
+        .kv("ops_attempted", static_cast<std::uint64_t>(c.ops_attempted))
+        .kv("retries", static_cast<std::uint64_t>(c.retries))
+        .kv("deadline_failures",
+            static_cast<std::uint64_t>(c.deadline_failures))
+        .kv("server_ts_regressions",
+            static_cast<std::uint64_t>(c.server_ts_regressions))
+        .kv("read_ts_regressions",
+            static_cast<std::uint64_t>(c.read_ts_regressions))
+        .kv("lost_writes", static_cast<std::uint64_t>(c.lost_writes))
+        .kv("passed", c.passed())
+        .end_object();
+  }
+  json.end_array();
+  json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
+  json.kv("deterministic", deterministic);
+  json.kv("all_passed", all_passed);
+  json.key("metrics");
+  metrics.write_json(json);
+  json.end_object();
+  json.write_file("BENCH_faults.json");
+
+  std::printf(
+      "\n[runtime] %zu-scenario chaos grid (x%d replicates): %.1f ms @1 "
+      "thread, %.1f ms @8 threads (speedup %.2fx, identical=%s, "
+      "invariants=%s) -> BENCH_faults.json\n",
+      scenarios.size(), kReplicates, runs[0].wall_ms, runs[1].wall_ms,
+      runs[0].wall_ms / runs[1].wall_ms, deterministic ? "yes" : "NO",
+      all_passed ? "pass" : "FAIL");
+}
+
+}  // namespace
+}  // namespace sqs
+
+int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
+  sqs::obs::init_telemetry_from_args(argc, argv);
+  std::printf("Fault-injection engine + invariant-checking chaos harness.\n");
+  sqs::chaos_grid_json();
+  std::printf(
+      "\nShape checks:\n"
+      "  * every shipped scenario passes its invariant budget (availability\n"
+      "    floor, stale/monotonic-read envelope, no server ts regression,\n"
+      "    no lost write) — the amnesia cell passes by DETECTING\n"
+      "    regressions;\n"
+      "  * the grid's aggregates are bit-identical at 1 and 8 threads\n"
+      "    (fault plans draw nothing from the experiment rng streams).\n");
+  sqs::obs::export_telemetry_files();
+  return 0;
+}

@@ -43,6 +43,11 @@ CONTEXT_COUNTERS = (
     "runtime.arena.cache_misses",
     "runtime.arena.bytes_reused",
     "runtime.arena.block_allocs",
+    "sim.faults.injected",
+    "sim.net.delivered",
+    "sim.net.dropped",
+    "sim.client.retries",
+    "sim.server.dropped_requests",
 )
 
 
@@ -240,6 +245,12 @@ def self_test():
                 metrics={"counters": {"runtime.arena.cache_misses": 0}}))
     check("arena counter context rendered",
           "runtime.arena.cache_misses 0 -> 0" in arena)
+    # Fault-injection counters surface the same way (BENCH_faults.json).
+    faults = counter_context(
+        _record({1: 1.0}, metrics={"counters": {"sim.faults.injected": 42}}),
+        _record({1: 1.0}, metrics={"counters": {"sim.faults.injected": 42}}))
+    check("fault counter context rendered",
+          "sim.faults.injected 42 -> 42" in faults)
     # Record lacking wall_ms entirely: skipped, not fatal.
     try:
         regs = diff_record("a", _record({1: 100.0}, drop_wall=True),

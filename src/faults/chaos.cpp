@@ -1,0 +1,317 @@
+#include "faults/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "sweep/sweep.h"
+
+namespace sqs {
+
+double chaos_availability_floor(const QuorumFamily& family, double p,
+                                double slack) {
+  return std::max(0.0, family.availability(p) - slack);
+}
+
+double chaos_stale_envelope(int alpha, double per_probe_miss,
+                            double slack_factor, double noise_floor) {
+  const double eps = 2.0 * per_probe_miss / (1.0 + per_probe_miss);
+  return slack_factor * std::pow(eps, 2.0 * alpha) + noise_floor;
+}
+
+namespace {
+
+// Effective per-probe miss probability of a scenario's *background*
+// processes: either network leg down, or the server down. Injected trouble
+// is accounted for per scenario on top of this.
+double background_miss(const RegisterExperimentConfig& config) {
+  const double q = config.network.stationary_link_down();
+  const double p = config.server.stationary_down();
+  return 1.0 - (1.0 - q) * (1.0 - q) * (1.0 - p);
+}
+
+}  // namespace
+
+std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
+  const int n = family.universe_size();
+  const int alpha = family.alpha();
+  const double kDuration = 400.0;
+
+  // Shared shape: a mid-size closed-loop fleet with self-healing clients.
+  RegisterExperimentConfig base;
+  base.num_clients = 6;
+  base.duration = kDuration;
+  base.think_time = 0.5;
+  base.read_fraction = 0.6;
+  base.client.max_attempts = 3;
+  base.client.backoff_base = 0.1;
+  base.client.backoff_jitter = 0.5;
+  base.client.op_deadline = 15.0;
+  // Mostly-healthy background; scenarios dial individual knobs up.
+  base.network.link_mean_up = 200.0;
+  base.network.link_mean_down = 1.0;
+  base.server.mean_up = 2000.0;
+  base.server.mean_down = 1.0;
+
+  std::vector<ChaosScenario> scenarios;
+
+  {
+    // 1. Steady flaky links + stationary server failures: the paper's
+    // baseline mismatch regime, no injected faults.
+    ChaosScenario s;
+    s.name = "baseline";
+    s.description = "stationary flaky links and fail-stop servers";
+    s.config = base;
+    s.config.network.link_mean_up = 50.0;
+    s.config.server.mean_up = 95.0;
+    s.config.server.mean_down = 5.0;
+    s.config.seed = 0xFA0701;
+    s.invariants.availability_floor =
+        chaos_availability_floor(family, background_miss(s.config), 0.05);
+    s.invariants.stale_envelope =
+        chaos_stale_envelope(alpha, background_miss(s.config), 15.0, 2e-3);
+    scenarios.push_back(std::move(s));
+  }
+
+  {
+    // 2. Mass-crash window keeping exactly alpha servers up — Theorem 34's
+    // "available whenever any alpha servers are up", under the harshest
+    // survivable pattern (survivors at the end of sequential probe orders).
+    ChaosScenario s;
+    s.name = "crash_wave";
+    s.description = "all but alpha servers crash for half the run";
+    s.config = base;
+    s.config.seed = 0xFA0702;
+    s.config.fault_hook = fault_hook(
+        make_mass_crash_plan(n, alpha, 0.25 * kDuration, 0.5 * kDuration));
+    s.invariants.availability_floor =
+        chaos_availability_floor(family, background_miss(s.config), 0.10);
+    // An adversarial mass crash is OUTSIDE the iid mismatch model: the
+    // surviving quorum's counter restarts below the pre-crash frontier, so
+    // in-window reads are "stale" by construction. Theorem 34 availability
+    // (the floor above) and crash-model durability are the contract here;
+    // the epsilon^2alpha envelope deliberately is not.
+    s.invariants.stale_envelope = 1.0;
+    scenarios.push_back(std::move(s));
+  }
+
+  {
+    // 3. Rolling churn waves (Sect. 6.3 shape): a group crashes every
+    // period, round-robin over the fleet; never fewer than n - group up.
+    ChaosScenario s;
+    s.name = "churn";
+    s.description = "rolling crash waves, 2 servers per 20 s";
+    s.config = base;
+    s.config.seed = 0xFA0703;
+    s.config.fault_hook = fault_hook(make_churn_plan(
+        n, /*start=*/20.0, /*period=*/20.0, /*group_size=*/2,
+        /*outage=*/8.0, /*until=*/kDuration - 20.0));
+    // Crashed fraction: group * outage / (period * n) of server-time.
+    const double crashed = 2.0 * 8.0 / (20.0 * n);
+    s.invariants.availability_floor =
+        chaos_availability_floor(family, background_miss(s.config) + crashed, 0.05);
+    s.invariants.stale_envelope = chaos_stale_envelope(
+        alpha, background_miss(s.config) + crashed, 15.0, 2e-3);
+    scenarios.push_back(std::move(s));
+  }
+
+  {
+    // 4. Gray half-fleet: the first n/2 servers serve 300x slower than the
+    // probe timeout for most of the run; adaptive timeouts fail them fast.
+    ChaosScenario s;
+    s.name = "gray_servers";
+    s.description = "half the fleet goes gray (300x service time)";
+    s.config = base;
+    s.config.seed = 0xFA0704;
+    s.config.client.adaptive_timeout = true;
+    s.config.client.max_probe_timeout = 0.3;
+    s.config.fault_hook = fault_hook(make_gray_plan(
+        n, n / 2, /*factor=*/300.0, /*start=*/0.125 * kDuration,
+        /*duration=*/0.75 * kDuration));
+    // Gray servers time out like down servers while the window is active.
+    const double gray_miss = 0.5 * 0.75;
+    s.invariants.availability_floor = chaos_availability_floor(
+        family, background_miss(s.config) + gray_miss, 0.10);
+    // Half the fleet graying out together is correlated adversarial
+    // failure, same as crash_wave: the healthy half's counter lags the
+    // frontier held by gray servers, so the iid envelope does not apply.
+    s.invariants.stale_envelope = 1.0;
+    scenarios.push_back(std::move(s));
+  }
+
+  {
+    // 5. Partition storm with the filtering step on: every 15 s one client
+    // loses 75% of its links for 4 s. The filter aborts most poisoned
+    // acquisitions; retries ride out the storm.
+    ChaosScenario s;
+    s.name = "partition_storm";
+    s.description = "partial client partitions every 15 s, filter on";
+    s.config = base;
+    s.config.seed = 0xFA0705;
+    s.config.client.use_partition_filter = true;
+    s.config.client.max_attempts = 4;
+    s.config.fault_hook = fault_hook(make_partition_storm_plan(
+        base.num_clients, /*start=*/30.0, /*until=*/kDuration - 30.0,
+        /*period=*/15.0, /*outage=*/4.0, /*fraction=*/0.75,
+        Rng(0xFA0705f)));
+    s.invariants.availability_floor =
+        chaos_availability_floor(family, background_miss(s.config), 0.12);
+    s.invariants.stale_envelope =
+        chaos_stale_envelope(alpha, background_miss(s.config) + 0.05, 20.0, 1e-2);
+    scenarios.push_back(std::move(s));
+  }
+
+  {
+    // 6. Lossy bursts: 25% message loss and 6x latency spikes in
+    // alternating 6 s bursts; backoff + retries ride through.
+    ChaosScenario s;
+    s.name = "lossy_bursts";
+    s.description = "periodic 25% loss and 6x latency bursts";
+    s.config = base;
+    s.config.seed = 0xFA0706;
+    s.config.fault_hook = fault_hook(make_lossy_plan(
+        /*start=*/20.0, /*until=*/kDuration - 20.0, /*period=*/20.0,
+        /*burst_len=*/6.0, /*drop_prob=*/0.25, /*latency_factor=*/6.0));
+    // Bursts cover ~30% of the run at ~0.44 per-probe miss.
+    const double burst_miss = 0.3 * 0.44;
+    s.invariants.availability_floor = chaos_availability_floor(
+        family, background_miss(s.config) + burst_miss, 0.10);
+    s.invariants.stale_envelope = chaos_stale_envelope(
+        alpha, background_miss(s.config) + burst_miss, 10.0, 5e-3);
+    scenarios.push_back(std::move(s));
+  }
+
+  {
+    // 7. Amnesia churn — deliberately breaks the crash-model assumption
+    // (servers lose state on recovery), so the monotonicity checker MUST
+    // fire and lost writes are permitted. A clean report here would mean
+    // the invariant checker is blind.
+    ChaosScenario s;
+    s.name = "amnesia_churn";
+    s.description = "state-losing recoveries under churn (detector check)";
+    s.config = base;
+    s.config.seed = 0xFA0707;
+    s.config.server.mean_up = 40.0;
+    s.config.server.mean_down = 4.0;
+    s.config.server.amnesia_on_recovery = true;
+    s.invariants.availability_floor =
+        chaos_availability_floor(family, background_miss(s.config), 0.10);
+    s.invariants.stale_envelope = 1.0;  // unconstrained: assumption broken
+    s.invariants.expect_ts_regressions = true;
+    s.invariants.allow_lost_writes = true;
+    scenarios.push_back(std::move(s));
+  }
+
+  return scenarios;
+}
+
+std::vector<ChaosCellResult> run_chaos(
+    const QuorumFamily& family, const std::vector<ChaosScenario>& scenarios,
+    int replicates, const TrialOptions& opts) {
+  // One replicate per chunk, so replicate r of scenario s draws
+  // Rng(s.config.seed).split(r).next_u64() as its experiment seed — the
+  // exact seeding of run_register_experiment_replicated — and the whole
+  // grid flattens into one pool submission.
+  std::vector<SweepCell> cells;
+  cells.reserve(scenarios.size());
+  for (const ChaosScenario& s : scenarios)
+    cells.push_back({static_cast<std::uint64_t>(replicates),
+                     Rng(s.config.seed)});
+  TrialOptions per_replicate = opts;
+  per_replicate.chunk_size = 1;
+
+  std::vector<std::vector<RegisterExperimentResult>> grid = run_sweep(
+      cells, std::vector<RegisterExperimentResult>{},
+      [&](std::size_t cell, std::vector<RegisterExperimentResult>& acc,
+          const TrialContext& ctx, Rng& rng) {
+        for (std::uint64_t t = ctx.chunk.begin; t < ctx.chunk.end; ++t) {
+          RegisterExperimentConfig replicate_config = scenarios[cell].config;
+          replicate_config.seed = rng.next_u64();
+          acc.push_back(run_register_experiment(family, replicate_config));
+        }
+      },
+      [](std::vector<RegisterExperimentResult>& total,
+         std::vector<RegisterExperimentResult>&& part) {
+        for (auto& r : part) total.push_back(std::move(r));
+      },
+      per_replicate);
+
+  std::vector<ChaosCellResult> out;
+  out.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ChaosScenario& scenario = scenarios[i];
+    ChaosCellResult cell;
+    cell.scenario = scenario.name;
+    cell.replicates = std::move(grid[i]);
+
+    long ok = 0;
+    for (const RegisterExperimentResult& r : cell.replicates) {
+      cell.ops_attempted += r.reads_attempted + r.writes_attempted;
+      ok += r.reads_ok + r.writes_ok;
+      cell.reads_ok += r.reads_ok;
+      cell.stale_reads += r.stale_reads;
+      cell.retries += r.client_retries;
+      cell.deadline_failures += r.deadline_failures;
+      cell.server_ts_regressions += r.server_ts_regressions;
+      cell.read_ts_regressions += r.read_ts_regressions;
+      cell.lost_writes += r.lost_writes;
+    }
+    cell.availability =
+        cell.ops_attempted > 0
+            ? static_cast<double>(ok) / static_cast<double>(cell.ops_attempted)
+            : 0.0;
+    cell.stale_fraction =
+        cell.reads_ok > 0 ? static_cast<double>(cell.stale_reads) /
+                                static_cast<double>(cell.reads_ok)
+                          : 0.0;
+
+    const ChaosInvariants& inv = scenario.invariants;
+    char buf[160];
+    if (cell.availability < inv.availability_floor) {
+      std::snprintf(buf, sizeof buf, "availability %.4f < floor %.4f",
+                    cell.availability, inv.availability_floor);
+      cell.violations.push_back({"availability-floor", buf});
+    }
+    if (cell.stale_fraction > inv.stale_envelope) {
+      std::snprintf(buf, sizeof buf, "stale fraction %.5f > envelope %.5f",
+                    cell.stale_fraction, inv.stale_envelope);
+      cell.violations.push_back({"stale-read-envelope", buf});
+    }
+    // Server-side monotonicity is absolute under the crash model: a server
+    // can only serve below its own high-water mark if state was lost.
+    if (inv.expect_ts_regressions) {
+      if (cell.server_ts_regressions == 0) {
+        cell.violations.push_back(
+            {"ts-regression-detector",
+             "scenario breaks the crash model but no regression was observed"});
+      }
+    } else if (cell.server_ts_regressions > 0) {
+      std::snprintf(buf, sizeof buf, "%ld server timestamp regressions",
+                    cell.server_ts_regressions);
+      cell.violations.push_back({"timestamp-monotonicity", buf});
+    }
+    // Client-observed read regressions are a stale read seen twice by the
+    // same client — probabilistically allowed, so they share the stale
+    // envelope rather than being forbidden outright.
+    const double read_regr_fraction =
+        cell.reads_ok > 0 ? static_cast<double>(cell.read_ts_regressions) /
+                                static_cast<double>(cell.reads_ok)
+                          : 0.0;
+    if (read_regr_fraction > inv.stale_envelope) {
+      std::snprintf(buf, sizeof buf,
+                    "read-regression fraction %.5f > envelope %.5f",
+                    read_regr_fraction, inv.stale_envelope);
+      cell.violations.push_back({"monotonic-read-envelope", buf});
+    }
+    if (!inv.allow_lost_writes && cell.lost_writes > 0) {
+      std::snprintf(buf, sizeof buf, "%ld replicates lost an acked write",
+                    cell.lost_writes);
+      cell.violations.push_back({"lost-write", buf});
+    }
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+}  // namespace sqs

@@ -1,0 +1,107 @@
+// Invariant-checking chaos harness.
+//
+// A ChaosScenario is a register experiment with a fault plan installed and
+// a budget of paper invariants it must satisfy:
+//
+//   * availability floor — operation availability stays above a floor
+//     derived from the family's exact availability (closed form / DP
+//     enumeration) at the scenario's effective per-server failure
+//     probability, minus an explicit slack for load effects. In the
+//     "any alpha up" mass-crash scenario this is the Theorem 34 guarantee
+//     under the harshest survivable failure pattern.
+//   * stale-read envelope — the stale-read fraction stays within a slack
+//     factor of the Theorem 9 bound epsilon^(2 alpha) (epsilon = 2m/(1+m)
+//     from the scenario's per-probe miss probability) plus a Monte Carlo
+//     noise floor.
+//   * timestamp monotonicity — no server ever serves a timestamp below its
+//     own high-water mark and no client observes its reads go backwards.
+//     Scenarios that break the crash model on purpose (amnesia) instead
+//     *expect* regressions: the harness must detect them, proving the
+//     checker has teeth.
+//   * no lost write — a write acked by at least one server is still held
+//     by some server at the end of the run (crash preserves state).
+//
+// run_chaos executes replicates of every scenario through ONE run_sweep
+// submission (scenario x replicate flattened across the thread pool;
+// replicate r of a scenario draws its seed exactly like
+// run_register_experiment_replicated), so a whole chaos grid saturates the
+// machine and is bit-identical at any thread count.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/quorum_family.h"
+#include "faults/fault_plan.h"
+#include "sim/harness.h"
+
+namespace sqs {
+
+struct ChaosInvariants {
+  double availability_floor = 0.0;
+  double stale_envelope = 1.0;
+  // True only for scenarios that deliberately break the crash-failure
+  // assumption (amnesia): the run must then OBSERVE ts regressions — a
+  // clean report would mean the checker is blind.
+  bool expect_ts_regressions = false;
+  bool allow_lost_writes = false;
+};
+
+struct ChaosScenario {
+  std::string name;
+  std::string description;
+  RegisterExperimentConfig config;  // fault_hook already installed
+  ChaosInvariants invariants;
+};
+
+struct ChaosViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+struct ChaosCellResult {
+  std::string scenario;
+  std::vector<RegisterExperimentResult> replicates;
+  // Aggregates over replicates.
+  double availability = 0.0;
+  double stale_fraction = 0.0;
+  long ops_attempted = 0;
+  long reads_ok = 0;
+  long stale_reads = 0;
+  long retries = 0;
+  long deadline_failures = 0;
+  long server_ts_regressions = 0;
+  long read_ts_regressions = 0;
+  long lost_writes = 0;
+  std::vector<ChaosViolation> violations;
+  bool passed() const { return violations.empty(); }
+};
+
+// Exact availability of `family` at per-server failure probability `p`,
+// minus `slack` (clamped at 0) — the exact-DP floor the chaos invariant
+// compares measured availability against.
+double chaos_availability_floor(const QuorumFamily& family, double p,
+                                double slack);
+
+// Theorem 9 envelope: slack_factor * epsilon^(2 alpha) + noise_floor, with
+// epsilon = 2m/(1+m) for per-probe miss probability m. The slack factor
+// absorbs the gap between the i.i.d. model and the simulator's temporal
+// correlation; the noise floor absorbs small-sample Monte Carlo jitter.
+double chaos_stale_envelope(int alpha, double per_probe_miss,
+                            double slack_factor, double noise_floor);
+
+// The shipped scenario grid for `family`'s fleet (n = universe_size(),
+// alpha = alpha()): steady flaky links, a mass-crash "any alpha up" window,
+// rolling churn, a gray half-fleet, a partition storm (filter on), lossy
+// bursts, and an amnesia-churn detector scenario. Floors/envelopes are
+// derived from the family's exact availability and Theorem 9.
+std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family);
+
+// Runs `replicates` independent runs of every scenario and evaluates its
+// invariants; results are index-aligned with `scenarios`.
+std::vector<ChaosCellResult> run_chaos(
+    const QuorumFamily& family, const std::vector<ChaosScenario>& scenarios,
+    int replicates, const TrialOptions& opts = {});
+
+}  // namespace sqs

@@ -1,14 +1,58 @@
 #include "sim/client.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
 #include <utility>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace sqs {
 
+namespace {
+
+struct ClientMetrics {
+  obs::Counter retries = obs::Registry::instance().counter("sim.client.retries");
+  obs::Counter deadline_exceeded =
+      obs::Registry::instance().counter("sim.client.deadline_exceeded");
+  static const ClientMetrics& get() {
+    static const ClientMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+bool ClientConfig::validate() const {
+  bool ok = true;
+  const auto reject = [&ok](const char* what, double value) {
+    std::fprintf(stderr, "ClientConfig: invalid %s %g\n", what, value);
+    ok = false;
+  };
+  if (!(probe_timeout > 0.0)) reject("probe_timeout", probe_timeout);
+  if (max_attempts < 1) reject("max_attempts", max_attempts);
+  if (!(backoff_base >= 0.0)) reject("backoff_base", backoff_base);
+  if (!(backoff_jitter >= 0.0 && backoff_jitter <= 1.0))
+    reject("backoff_jitter", backoff_jitter);
+  if (!(ewma_gain > 0.0 && ewma_gain <= 1.0)) reject("ewma_gain", ewma_gain);
+  if (!(timeout_multiplier > 0.0))
+    reject("timeout_multiplier", timeout_multiplier);
+  if (!(min_probe_timeout > 0.0))
+    reject("min_probe_timeout", min_probe_timeout);
+  if (!(max_probe_timeout >= min_probe_timeout))
+    reject("max_probe_timeout", max_probe_timeout);
+  if (!(op_deadline >= 0.0)) reject("op_deadline", op_deadline);
+  return ok;
+}
+
 struct SimClient::Acquisition {
+  const QuorumFamily* family = nullptr;
   std::unique_ptr<ProbeStrategy> strategy;
   AcquisitionResult result;
-  double start_time = 0.0;
+  double op_start = 0.0;
+  double probe_sent_at = 0.0;
   std::uint64_t pending_seq = 0;  // id of the in-flight probe; 0 = none
   int object = 0;
   std::function<void(AcquisitionResult)> done;
@@ -27,56 +71,77 @@ SimClient::SimClient(Simulator* sim, Network* net,
       config_(config),
       rng_(std::move(rng)) {}
 
+double SimClient::current_probe_timeout() const {
+  if (!config_.adaptive_timeout || !have_rtt_) return config_.probe_timeout;
+  return std::clamp(config_.timeout_multiplier * ewma_rtt_,
+                    config_.min_probe_timeout, config_.max_probe_timeout);
+}
+
 void SimClient::acquire(std::function<void(AcquisitionResult)> done) {
   acquire(*family_, /*object=*/0, std::move(done));
 }
 
 void SimClient::acquire(const QuorumFamily& family, int object,
                         std::function<void(AcquisitionResult)> done) {
+  auto acq = std::make_shared<Acquisition>();
+  acq->family = &family;
+  acq->op_start = sim_->now();
+  acq->object = object;
+  acq->done = std::move(done);
+  start_attempt(std::move(acq));
+}
+
+void SimClient::start_attempt(std::shared_ptr<Acquisition> acq) {
+  const QuorumFamily& family = *acq->family;
   if (config_.use_partition_filter && net_->client_partition_active(id_)) {
     // Beacon check: the beacon is an arbitrary node outside the client's
     // domain, so during a partition it is unreachable with probability
     // equal to the partitioned fraction.
     const double fraction = net_->client_partition_fraction(id_);
     if (rng_.bernoulli(fraction)) {
-      AcquisitionResult result;
-      result.filtered = true;
-      result.probed = SignedSet(family.universe_size());
-      result.quorum = SignedSet(family.universe_size());
-      result.replies.assign(static_cast<std::size_t>(family.universe_size()),
-                            std::nullopt);
-      sim_->schedule(config_.probe_timeout, [result, done = std::move(done)] {
-        done(result);
-      });
+      acq->result.filtered = true;
+      acq->strategy.reset();
+      acq->result.probed = SignedSet(family.universe_size());
+      acq->result.quorum = SignedSet(family.universe_size());
+      acq->result.replies.assign(
+          static_cast<std::size_t>(family.universe_size()), std::nullopt);
+      // The failed beacon check costs one timeout before the attempt
+      // resolves (and can then be retried like any other failure).
+      sim_->schedule(current_probe_timeout(),
+                     [this, acq] { finish_attempt(acq, /*acquired=*/false); });
       return;
     }
   }
-  auto acq = std::make_shared<Acquisition>();
+  acq->result.filtered = false;
   acq->strategy = family.make_probe_strategy();
   acq->strategy_rng = rng_.split(next_seq_ * 2 + 1);
   acq->strategy->reset(&acq->strategy_rng);
+  // Each attempt gathers fresh evidence; only num_probes/attempts carry
+  // over, so the result reflects the final attempt's world view.
   acq->result.probed = SignedSet(family.universe_size());
   acq->result.quorum = SignedSet(family.universe_size());
   acq->result.replies.assign(static_cast<std::size_t>(family.universe_size()),
                              std::nullopt);
-  acq->start_time = sim_->now();
-  acq->object = object;
-  acq->done = std::move(done);
   issue_next_probe(std::move(acq));
 }
 
 void SimClient::issue_next_probe(std::shared_ptr<Acquisition> acq) {
-  if (acq->strategy->status() != ProbeStatus::kInProgress) {
-    acq->result.acquired = acq->strategy->status() == ProbeStatus::kAcquired;
-    if (acq->result.acquired) acq->result.quorum = acq->strategy->acquired_quorum();
-    acq->result.latency = sim_->now() - acq->start_time;
-    acq->done(acq->result);
+  const ProbeStatus status = acq->strategy->status();
+  if (status != ProbeStatus::kInProgress) {
+    finish_attempt(std::move(acq), status == ProbeStatus::kAcquired);
+    return;
+  }
+  if (config_.op_deadline > 0.0 &&
+      sim_->now() - acq->op_start >= config_.op_deadline) {
+    acq->result.deadline_exceeded = true;
+    finish_attempt(std::move(acq), /*acquired=*/false);
     return;
   }
 
   const int server = acq->strategy->next_server();
   const std::uint64_t seq = ++next_seq_;
   acq->pending_seq = seq;
+  acq->probe_sent_at = sim_->now();
   ++acq->result.num_probes;
 
   // Request leg.
@@ -94,7 +159,7 @@ void SimClient::issue_next_probe(std::shared_ptr<Acquisition> acq) {
   });
 
   // Timeout leg.
-  sim_->schedule(config_.probe_timeout, [this, acq, seq, server] {
+  sim_->schedule(current_probe_timeout(), [this, acq, seq, server] {
     finish_probe(acq, seq, server, std::nullopt);
   });
 }
@@ -106,6 +171,14 @@ void SimClient::finish_probe(
   acq->pending_seq = 0;
   const bool reached = reply.has_value();
   if (reached) {
+    if (config_.adaptive_timeout) {
+      const double rtt = sim_->now() - acq->probe_sent_at;
+      ewma_rtt_ = have_rtt_
+                      ? (1.0 - config_.ewma_gain) * ewma_rtt_ +
+                            config_.ewma_gain * rtt
+                      : rtt;
+      have_rtt_ = true;
+    }
     acq->result.probed.add_positive(server);
     acq->result.replies[static_cast<std::size_t>(server)] = *reply;
   } else {
@@ -113,6 +186,35 @@ void SimClient::finish_probe(
   }
   acq->strategy->observe(server, reached);
   issue_next_probe(std::move(acq));
+}
+
+void SimClient::finish_attempt(std::shared_ptr<Acquisition> acq, bool acquired) {
+  acq->result.acquired = acquired;
+  if (acquired) acq->result.quorum = acq->strategy->acquired_quorum();
+  if (!acquired && !acq->result.deadline_exceeded &&
+      acq->result.attempts < config_.max_attempts) {
+    double backoff =
+        config_.backoff_base * std::ldexp(1.0, acq->result.attempts - 1);
+    if (config_.backoff_jitter > 0.0)
+      backoff *= 1.0 + config_.backoff_jitter * rng_.next_double();
+    // Retry only if the attempt could still start inside the deadline.
+    if (config_.op_deadline <= 0.0 ||
+        (sim_->now() - acq->op_start) + backoff < config_.op_deadline) {
+      ++acq->result.attempts;
+      ClientMetrics::get().retries.add(1);
+      obs::instant("sim", "client_retry", "client",
+                   static_cast<std::uint64_t>(id_));
+      sim_->schedule(backoff, [this, acq] { start_attempt(acq); });
+      return;
+    }
+  }
+  if (acq->result.deadline_exceeded) {
+    ClientMetrics::get().deadline_exceeded.add(1);
+    obs::instant("sim", "client_deadline_exceeded", "client",
+                 static_cast<std::uint64_t>(id_));
+  }
+  acq->result.latency = sim_->now() - acq->op_start;
+  acq->done(acq->result);
 }
 
 void SimClient::read(std::function<void(ReadResult)> done) {
@@ -124,6 +226,8 @@ void SimClient::read(const QuorumFamily& family, int object,
   acquire(family, object, [this, object, done = std::move(done)](AcquisitionResult acq) {
     ReadResult result;
     result.num_probes = acq.num_probes;
+    result.attempts = acq.attempts;
+    result.deadline_exceeded = acq.deadline_exceeded;
     result.latency = acq.latency;
     result.ok = acq.acquired;
     result.filtered = acq.filtered;
@@ -167,6 +271,8 @@ void SimClient::write(const QuorumFamily& family, int object,
   acquire(family, object, [this, object, value, done = std::move(done)](AcquisitionResult acq) {
     WriteResult result;
     result.num_probes = acq.num_probes;
+    result.attempts = acq.attempts;
+    result.deadline_exceeded = acq.deadline_exceeded;
     result.filtered = acq.filtered;
     result.probed = acq.probed;
     if (!acq.acquired) {
@@ -211,7 +317,7 @@ void SimClient::write(const QuorumFamily& family, int object,
                                 });
                    });
                  });
-      sim_->schedule(config_.probe_timeout, [resolved, finish_one] {
+      sim_->schedule(current_probe_timeout(), [resolved, finish_one] {
         if (*resolved) return;
         *resolved = true;
         finish_one(false);

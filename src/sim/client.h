@@ -14,6 +14,15 @@
 //           paper's requirement that clients coordinate with all of S+.
 // All operations are asynchronous (completion callbacks), driven by the
 // event loop.
+//
+// Graceful degradation (all off by default, so the classic single-shot
+// behaviour — and its rng stream — is unchanged): a failed acquisition can
+// be retried up to max_attempts times with exponential backoff and
+// deterministic jitter drawn from the client's own rng; the probe timeout
+// can adapt to an EWMA of observed reply round-trips (so a gray fleet is
+// failed over quickly and a slow-but-healthy one is not); and a
+// per-operation deadline bounds the total time an operation may spend
+// before reporting failure instead of wedging.
 
 #pragma once
 
@@ -41,15 +50,43 @@ struct ClientConfig {
   // back to every reached server holding an older one. Shrinks the window
   // in which a later non-intersecting quorum could miss the value.
   bool read_repair = false;
+
+  // --- graceful degradation (defaults preserve the classic behaviour) ---
+  // Acquisition attempts per operation. A failed attempt (no quorum, or
+  // aborted by the partition filter) is retried after
+  //   backoff_base * 2^(attempt-1) * (1 + backoff_jitter * U)
+  // seconds, U uniform in [0,1) from the client rng — deterministic given
+  // the seed, desynchronized across clients.
+  int max_attempts = 1;
+  double backoff_base = 0.05;
+  double backoff_jitter = 0.5;
+  // Adaptive probe timeout: timeout = timeout_multiplier * EWMA of observed
+  // reply round-trips, clamped to [min_probe_timeout, max_probe_timeout];
+  // probe_timeout is used until the first reply has been observed.
+  bool adaptive_timeout = false;
+  double ewma_gain = 0.2;  // weight of the newest sample
+  double timeout_multiplier = 4.0;
+  double min_probe_timeout = 0.02;
+  double max_probe_timeout = 1.0;
+  // Per-operation deadline in seconds (0 = unbounded): once an operation
+  // has been running this long it fails — no further probes, no retry —
+  // and the result carries deadline_exceeded.
+  double op_deadline = 0.0;
+
+  // True iff timeouts/attempt counts/fractions are usable; complaints go
+  // to stderr, one line per bad field.
+  bool validate() const;
 };
 
 struct AcquisitionResult {
   bool acquired = false;
-  bool filtered = false;  // aborted by the partition filter
-  SignedSet probed;  // +i reached, -i timed out
+  bool filtered = false;  // final attempt aborted by the partition filter
+  SignedSet probed;  // +i reached, -i timed out (final attempt's evidence)
   SignedSet quorum;
-  int num_probes = 0;
-  double latency = 0.0;
+  int num_probes = 0;      // across all attempts
+  int attempts = 1;
+  bool deadline_exceeded = false;
+  double latency = 0.0;  // whole operation, first attempt start to done
   // Reply snapshot per server (only reached servers have values).
   std::vector<std::optional<std::pair<Timestamp, std::uint64_t>>> replies;
 };
@@ -60,6 +97,8 @@ struct ReadResult {
   std::uint64_t value = 0;
   Timestamp timestamp;
   int num_probes = 0;
+  int attempts = 1;
+  bool deadline_exceeded = false;
   double latency = 0.0;
   SignedSet probed;  // servers probed during acquisition (+reached/-not)
 };
@@ -69,6 +108,8 @@ struct WriteResult {
   bool filtered = false;
   Timestamp timestamp;
   int num_probes = 0;
+  int attempts = 1;
+  bool deadline_exceeded = false;
   int acks = 0;
   double latency = 0.0;
   SignedSet probed;  // servers probed during acquisition (+reached/-not)
@@ -97,12 +138,17 @@ class SimClient {
   void write(const QuorumFamily& family, int object, std::uint64_t value,
              std::function<void(WriteResult)> done);
 
+  // The probe timeout the next probe would use (adaptive or fixed).
+  double current_probe_timeout() const;
+
  private:
   struct Acquisition;
+  void start_attempt(std::shared_ptr<Acquisition> acq);
   void issue_next_probe(std::shared_ptr<Acquisition> acq);
   void finish_probe(std::shared_ptr<Acquisition> acq, std::uint64_t seq,
                     int server,
                     std::optional<std::pair<Timestamp, std::uint64_t>> reply);
+  void finish_attempt(std::shared_ptr<Acquisition> acq, bool acquired);
 
   Simulator* sim_;
   Network* net_;
@@ -112,6 +158,8 @@ class SimClient {
   ClientConfig config_;
   Rng rng_;
   std::uint64_t next_seq_ = 0;
+  double ewma_rtt_ = 0.0;
+  bool have_rtt_ = false;
 };
 
 }  // namespace sqs

@@ -1,5 +1,6 @@
 #include "sim/harness.h"
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
@@ -32,6 +33,12 @@ struct Experiment {
   Rng rng;
   RegisterExperimentResult result;
   Timestamp max_completed_write_ts;
+  // Highest timestamp of a write that was acked by at least one server:
+  // under the crash model that server keeps the state, so this frontier
+  // must still exist somewhere at the end of the run (lost_writes check).
+  Timestamp max_acked_write_ts;
+  // Per-client frontier of observed read timestamps (monotonic-read check).
+  std::vector<Timestamp> last_read_ts;
   std::uint64_t next_value = 1;
   // Empty unless telemetry was enabled when the experiment started.
   std::vector<obs::Histogram> latency_hists;
@@ -60,12 +67,19 @@ struct Experiment {
       clients[static_cast<std::size_t>(client_idx)].read(
           [this, client_idx, frontier](ReadResult r) {
             result.probes_per_op.add(r.num_probes);
+            result.client_retries += r.attempts - 1;
+            if (r.deadline_exceeded) ++result.deadline_failures;
             if (r.filtered) ++result.ops_filtered;
             if (r.ok) {
               ++result.reads_ok;
               result.latency_ok.add(r.latency);
               result.latencies_ok.push_back(r.latency);
               if (r.timestamp < frontier) ++result.stale_reads;
+              Timestamp& last = last_read_ts[static_cast<std::size_t>(client_idx)];
+              if (r.timestamp < last)
+                ++result.read_ts_regressions;
+              else
+                last = r.timestamp;
             }
             note_op(client_idx, "read", r.ok, r.latency);
             schedule_next_op(client_idx);
@@ -75,6 +89,8 @@ struct Experiment {
       clients[static_cast<std::size_t>(client_idx)].write(
           next_value++, [this, client_idx](WriteResult w) {
             result.probes_per_op.add(w.num_probes);
+            result.client_retries += w.attempts - 1;
+            if (w.deadline_exceeded) ++result.deadline_failures;
             if (w.filtered) ++result.ops_filtered;
             if (w.ok) {
               ++result.writes_ok;
@@ -82,6 +98,8 @@ struct Experiment {
               result.latencies_ok.push_back(w.latency);
               if (max_completed_write_ts < w.timestamp)
                 max_completed_write_ts = w.timestamp;
+              if (w.acks > 0 && max_acked_write_ts < w.timestamp)
+                max_acked_write_ts = w.timestamp;
             }
             note_op(client_idx, "write", w.ok, w.latency);
             schedule_next_op(client_idx);
@@ -92,8 +110,32 @@ struct Experiment {
 
 }  // namespace
 
+bool RegisterExperimentConfig::validate() const {
+  bool ok = true;
+  const auto reject = [&ok](const char* what, double value) {
+    std::fprintf(stderr, "RegisterExperimentConfig: invalid %s %g\n", what,
+                 value);
+    ok = false;
+  };
+  if (num_clients < 1) reject("num_clients", num_clients);
+  if (!(duration > 0.0)) reject("duration", duration);
+  if (!(think_time > 0.0)) reject("think_time", think_time);
+  if (!(read_fraction >= 0.0 && read_fraction <= 1.0))
+    reject("read_fraction", read_fraction);
+  if (!(partition_rate >= 0.0)) reject("partition_rate", partition_rate);
+  if (!(partition_fraction >= 0.0 && partition_fraction <= 1.0))
+    reject("partition_fraction", partition_fraction);
+  if (!(partition_duration >= 0.0))
+    reject("partition_duration", partition_duration);
+  if (!network.validate()) ok = false;
+  if (!server.validate()) ok = false;
+  if (!client.validate()) ok = false;
+  return ok;
+}
+
 RegisterExperimentResult run_register_experiment(
     const QuorumFamily& family, const RegisterExperimentConfig& config) {
+  if (!config.validate()) return {};  // rejected; details already on stderr
   obs::Span span("sim", "register_experiment");
   span.arg("clients", static_cast<std::uint64_t>(config.num_clients));
   Experiment e;
@@ -118,6 +160,13 @@ RegisterExperimentResult run_register_experiment(
     e.clients.emplace_back(&e.sim, e.net.get(), &e.servers, c, &family,
                            config.client,
                            e.rng.split(2000 + static_cast<std::uint64_t>(c)));
+  e.last_read_ts.assign(static_cast<std::size_t>(config.num_clients),
+                        Timestamp{});
+
+  // Install the fault plan (if any) before the first load event. The hook
+  // draws no randomness, so runs with and without it consume identical
+  // rng streams for everything else.
+  if (config.fault_hook) config.fault_hook(e.sim, *e.net, e.servers);
 
   for (int c = 0; c < config.num_clients; ++c) e.schedule_next_op(c);
 
@@ -142,6 +191,24 @@ RegisterExperimentResult run_register_experiment(
   }
   e.result.events_executed = e.sim.executed_events();
   e.result.peak_event_queue = e.sim.peak_pending_events();
+
+  // End-of-run invariant evidence. A write acked by >= 1 server must still
+  // be visible in some server's register: crash failures preserve state,
+  // so only an assumption-breaking scenario (amnesia) can lose it.
+  Timestamp best_server_ts;
+  for (const SimServer& s : e.servers) {
+    e.result.server_ts_regressions +=
+        static_cast<long>(s.ts_regressions());
+    e.result.server_dropped_requests += s.dropped_requests();
+    const Timestamp ts = s.timestamp(0);
+    if (best_server_ts < ts) best_server_ts = ts;
+  }
+  if (Timestamp{} < e.max_acked_write_ts &&
+      best_server_ts < e.max_acked_write_ts)
+    e.result.lost_writes = 1;
+  e.result.net_delivered = e.net->messages_delivered();
+  e.result.net_dropped = e.net->messages_dropped();
+
   span.arg("events", e.sim.executed_events());
   return e.result;
 }

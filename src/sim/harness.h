@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/quorum_family.h"
@@ -37,6 +38,16 @@ struct RegisterExperimentConfig {
   double partition_fraction = 0.6;
   double partition_duration = 5.0;
   std::uint64_t seed = 1;
+  // Fault-injection hook (see src/faults): invoked once after the world is
+  // built, before any load or background event is scheduled. It must not
+  // draw from the experiment's rng (fault plans are pre-expanded), so
+  // installing a plan never perturbs the load's random streams and the
+  // same plan + seed reproduces a bit-identical run.
+  std::function<void(Simulator&, Network&, std::vector<SimServer>&)> fault_hook;
+
+  // True iff every duration/fraction is usable (delegates to the network/
+  // server/client validators); complaints go to stderr.
+  bool validate() const;
 };
 
 struct RegisterExperimentResult {
@@ -46,6 +57,18 @@ struct RegisterExperimentResult {
   long writes_ok = 0;
   long stale_reads = 0;
   long ops_filtered = 0;  // aborted by the partition filter
+  // Self-healing-client telemetry (zero unless retries/deadlines enabled).
+  long client_retries = 0;      // extra acquisition attempts across all ops
+  long deadline_failures = 0;   // ops that gave up at the per-op deadline
+  // Invariant-checker evidence (consumed by src/faults/chaos):
+  long server_ts_regressions = 0;  // reads served below a server's max-ever ts
+  long read_ts_regressions = 0;    // per-client monotonic-read violations
+  long lost_writes = 0;  // 1 if the max acked write ts vanished from every
+                         // server register (impossible under pure crash)
+  // Network/server drop totals for the run (always on, mirrors sim.net.*).
+  std::uint64_t net_delivered = 0;
+  std::uint64_t net_dropped = 0;
+  std::uint64_t server_dropped_requests = 0;
   // Event-loop statistics of the run's Simulator (observability of the
   // harness itself, not a paper metric).
   std::uint64_t events_executed = 0;

@@ -1,9 +1,39 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace sqs {
+
+namespace {
+
+struct NetMetrics {
+  obs::Counter delivered = obs::Registry::instance().counter("sim.net.delivered");
+  obs::Counter dropped = obs::Registry::instance().counter("sim.net.dropped");
+  static const NetMetrics& get() {
+    static const NetMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+bool NetworkConfig::validate() const {
+  bool ok = true;
+  const auto reject = [&ok](const char* what, double value) {
+    std::fprintf(stderr, "NetworkConfig: invalid %s %g\n", what, value);
+    ok = false;
+  };
+  if (!(base_latency >= 0.0)) reject("base_latency", base_latency);
+  if (!(jitter_mean > 0.0)) reject("jitter_mean", jitter_mean);
+  if (!(link_mean_up > 0.0)) reject("link_mean_up", link_mean_up);
+  if (!(link_mean_down > 0.0)) reject("link_mean_down", link_mean_down);
+  return ok;
+}
 
 Network::Network(Simulator* sim, int num_clients, int num_servers,
                  const NetworkConfig& config, Rng rng)
@@ -12,6 +42,7 @@ Network::Network(Simulator* sim, int num_clients, int num_servers,
   client_partition_until_.assign(static_cast<std::size_t>(num_clients), 0.0);
   partial_partitions_.resize(static_cast<std::size_t>(num_clients));
   link_block_until_.assign(static_cast<std::size_t>(num_clients * num_servers), 0.0);
+  server_partition_until_.assign(static_cast<std::size_t>(num_servers), 0.0);
   // Start each link in its stationary distribution so short experiments are
   // unbiased.
   const double p_down = config_.stationary_link_down();
@@ -33,6 +64,8 @@ void Network::advance_link(Link& l) {
 bool Network::link_up(int client, int server) {
   if (sim_->now() < client_partition_until_[static_cast<std::size_t>(client)])
     return false;
+  if (sim_->now() < server_partition_until_[static_cast<std::size_t>(server)])
+    return false;
   if (sim_->now() <
       link_block_until_[static_cast<std::size_t>(client * num_servers_ + server)])
     return false;
@@ -46,9 +79,24 @@ bool Network::link_up(int client, int server) {
 
 void Network::send(int client, int server, Direction /*direction*/,
                    std::function<void()> on_delivery) {
-  if (!link_up(client, server)) return;  // lost
-  const double latency =
+  if (!link_up(client, server)) {  // lost
+    ++dropped_;
+    NetMetrics::get().dropped.add(1);
+    return;
+  }
+  // An active loss burst drops deliverable messages too. The extra
+  // bernoulli draw happens only while a burst is live, so runs without
+  // injected loss consume the exact same rng stream as before.
+  if (sim_->now() < loss_burst_until_ && rng_.bernoulli(loss_prob_)) {
+    ++dropped_;
+    NetMetrics::get().dropped.add(1);
+    return;
+  }
+  double latency =
       config_.base_latency + rng_.exponential(1.0 / config_.jitter_mean);
+  if (sim_->now() < latency_burst_until_) latency *= latency_factor_;
+  ++delivered_;
+  NetMetrics::get().delivered.add(1);
   sim_->schedule(latency, std::move(on_delivery));
 }
 
@@ -70,6 +118,21 @@ void Network::partition_client_partial(int client, double fraction,
 void Network::block_link(int client, int server, double duration) {
   link_block_until_[static_cast<std::size_t>(client * num_servers_ + server)] =
       sim_->now() + duration;
+}
+
+void Network::force_partition(int server, double duration) {
+  double& until = server_partition_until_[static_cast<std::size_t>(server)];
+  until = std::max(until, sim_->now() + duration);
+}
+
+void Network::inject_latency_burst(double factor, double duration) {
+  latency_factor_ = factor;
+  latency_burst_until_ = sim_->now() + duration;
+}
+
+void Network::inject_loss_burst(double drop_prob, double duration) {
+  loss_prob_ = drop_prob;
+  loss_burst_until_ = sim_->now() + duration;
 }
 
 bool Network::client_partition_active(int client) const {

@@ -9,6 +9,13 @@
 // mismatches on different servers stay independent (each pair has its own
 // process), matching the Sect. 4 assumption. A partition switch makes a
 // whole client's links fail together for testing the correlated case.
+//
+// Fault-injection hooks (driven by src/faults fault plans, usable directly
+// too): `force_partition` cuts a server off from every client,
+// `inject_latency_burst` multiplies delivery latency, and
+// `inject_loss_burst` adds an extra drop probability — each for a bounded
+// window. Every send outcome is counted (`sim.net.delivered` /
+// `sim.net.dropped`) so injected trouble is visible in metric snapshots.
 
 #pragma once
 
@@ -29,6 +36,9 @@ struct NetworkConfig {
   double stationary_link_down() const {
     return link_mean_down / (link_mean_up + link_mean_down);
   }
+  // True iff every duration is usable (positive means, non-negative
+  // latency); complaints go to stderr, one line per bad field.
+  bool validate() const;
 };
 
 class Network {
@@ -62,12 +72,34 @@ class Network {
   // on one link is indistinguishable from loss to a timeout-based client).
   void block_link(int client, int server, double duration);
 
+  // Forces every client's link to `server` down for `duration` seconds (a
+  // server-side partition: the server stays up but is cut off from the
+  // world). Extends, never shortens, an active forced window, and composes
+  // with in-flight natural down-periods: the link resumes whichever state
+  // its flap process prescribes once both windows have passed.
+  void force_partition(int server, double duration);
+
+  // Latency-spike burst: until it expires, every delivered message's
+  // latency is multiplied by `factor` (>= 1). A new burst replaces the
+  // current one.
+  void inject_latency_burst(double factor, double duration);
+
+  // Message-loss burst: until it expires, every send that would be
+  // delivered is instead dropped with probability `drop_prob`.
+  void inject_loss_burst(double drop_prob, double duration);
+
   // True while any (full or partial) partition of `client` is active.
   bool client_partition_active(int client) const;
   // The active partition's fraction (1.0 for a full partition, 0.0 if none).
   double client_partition_fraction(int client) const;
 
   const NetworkConfig& config() const { return config_; }
+
+  // Lifetime totals of the send path (mirrors the sim.net.{delivered,
+  // dropped} counters, but always on so harness invariants need no
+  // telemetry).
+  std::uint64_t messages_delivered() const { return delivered_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
 
  private:
   struct Link {
@@ -93,6 +125,13 @@ class Network {
   };
   std::vector<PartialPartition> partial_partitions_;
   std::vector<double> link_block_until_;
+  std::vector<double> server_partition_until_;
+  double latency_factor_ = 1.0;
+  double latency_burst_until_ = 0.0;
+  double loss_prob_ = 0.0;
+  double loss_burst_until_ = 0.0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace sqs

@@ -1,8 +1,39 @@
 #include "sim/server.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace sqs {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter dropped =
+      obs::Registry::instance().counter("sim.server.dropped_requests");
+  obs::Counter regressions =
+      obs::Registry::instance().counter("sim.server.ts_regressions");
+  static const ServerMetrics& get() {
+    static const ServerMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+bool ServerConfig::validate() const {
+  bool ok = true;
+  const auto reject = [&ok](const char* what, double value) {
+    std::fprintf(stderr, "ServerConfig: invalid %s %g\n", what, value);
+    ok = false;
+  };
+  if (!(mean_up > 0.0)) reject("mean_up", mean_up);
+  if (!(mean_down > 0.0)) reject("mean_down", mean_down);
+  if (!(service_time >= 0.0)) reject("service_time", service_time);
+  return ok;
+}
 
 SimServer::SimServer(Simulator* sim, int id, const ServerConfig& config, Rng rng)
     : sim_(sim), id_(id), config_(config), rng_(std::move(rng)) {
@@ -21,26 +52,59 @@ void SimServer::advance_failure_process() const {
 }
 
 bool SimServer::up() const {
+  // The stochastic process always advances (so it resumes in the right
+  // phase when an override lapses), but a forced window decides the
+  // answer; crash beats pin-up when both are active.
   advance_failure_process();
+  if (sim_->now() < forced_down_until_) return false;
+  if (sim_->now() < forced_up_until_) return true;
   return up_;
 }
 
 std::optional<std::pair<Timestamp, std::uint64_t>> SimServer::handle_read(
     int object) {
-  if (!up()) return std::nullopt;
+  if (!up()) {
+    ++dropped_requests_;
+    ServerMetrics::get().dropped.add(1);
+    return std::nullopt;
+  }
   const Cell& cell = objects_[object];
+  const auto max_it = max_ts_seen_.find(object);
+  if (max_it != max_ts_seen_.end() && cell.ts < max_it->second) {
+    ++ts_regressions_;
+    ServerMetrics::get().regressions.add(1);
+  }
   return std::make_pair(cell.ts, cell.value);
 }
 
 bool SimServer::handle_write(const Timestamp& ts, std::uint64_t value,
                              int object) {
-  if (!up()) return false;
+  if (!up()) {
+    ++dropped_requests_;
+    ServerMetrics::get().dropped.add(1);
+    return false;
+  }
   Cell& cell = objects_[object];
   if (cell.ts < ts) {
     cell.ts = ts;
     cell.value = value;
+    Timestamp& max_seen = max_ts_seen_[object];
+    max_seen = std::max(max_seen, ts);
   }
   return true;
+}
+
+void SimServer::force_crash(double duration) {
+  forced_down_until_ = std::max(forced_down_until_, sim_->now() + duration);
+}
+
+void SimServer::force_up(double duration) {
+  forced_up_until_ = std::max(forced_up_until_, sim_->now() + duration);
+}
+
+void SimServer::set_gray(double factor, double duration) {
+  gray_factor_ = factor;
+  gray_until_ = sim_->now() + duration;
 }
 
 Timestamp SimServer::timestamp(int object) const {
@@ -51,6 +115,11 @@ Timestamp SimServer::timestamp(int object) const {
 std::uint64_t SimServer::value(int object) const {
   auto it = objects_.find(object);
   return it == objects_.end() ? 0 : it->second.value;
+}
+
+Timestamp SimServer::max_timestamp_seen(int object) const {
+  auto it = max_ts_seen_.find(object);
+  return it == max_ts_seen_.end() ? Timestamp{} : it->second;
 }
 
 }  // namespace sqs

@@ -9,6 +9,17 @@
 // the standard ABD tag. Servers hold one register per *object id*, so a
 // single simulated fleet can serve many replicated objects (the Sect. 6.3
 // rotation scenario).
+//
+// Fault-injection hooks (src/faults): `force_crash` / `force_up` pin the
+// server's availability for a bounded window regardless of the stochastic
+// failure process (which keeps advancing underneath and resumes control
+// when the override lapses — so a fault plan composes with, rather than
+// replaces, background churn), and `set_gray` inflates service_time so the
+// server degrades without dropping requests. The server also keeps the
+// highest timestamp it has ever held per object — surviving amnesia wipes
+// on purpose — so the chaos harness can count reads served below that
+// high-water mark (`ts_regressions`), the paper's timestamp-monotonicity
+// invariant made checkable.
 
 #pragma once
 
@@ -43,6 +54,9 @@ struct ServerConfig {
   // probabilistic guarantee costs when that assumption is broken too.
   bool amnesia_on_recovery = false;
   double stationary_down() const { return mean_down / (mean_up + mean_down); }
+  // True iff every duration is usable (positive means and a non-negative
+  // service time); complaints go to stderr, one line per bad field.
+  bool validate() const;
 };
 
 class SimServer {
@@ -60,10 +74,33 @@ class SimServer {
   // returns true (ack) if up.
   bool handle_write(const Timestamp& ts, std::uint64_t value, int object = 0);
 
-  double service_time() const { return config_.service_time; }
+  // Pins the server down ("crash") or up ("restart") for `duration`
+  // seconds. A window extends, never shortens, an earlier one of the same
+  // kind; if both are active, crash wins.
+  void force_crash(double duration);
+  void force_up(double duration);
+
+  // Gray degradation: service_time is multiplied by `factor` until the
+  // window expires (a new call replaces the current window). The server
+  // still answers — slowly enough that clients may time its replies out.
+  void set_gray(double factor, double duration);
+  bool gray_active() const { return sim_->now() < gray_until_; }
+
+  double service_time() const {
+    return config_.service_time * (gray_active() ? gray_factor_ : 1.0);
+  }
 
   Timestamp timestamp(int object = 0) const;
   std::uint64_t value(int object = 0) const;
+
+  // Highest timestamp this server has ever stored for `object` — NOT
+  // cleared by amnesia recovery, so it witnesses what a state wipe lost.
+  Timestamp max_timestamp_seen(int object = 0) const;
+  // Reads that returned a timestamp below max_timestamp_seen — zero under
+  // the paper's crash model, positive once amnesia rolls state back.
+  std::uint64_t ts_regressions() const { return ts_regressions_; }
+  // Requests (read or write) dropped because the server was down.
+  std::uint64_t dropped_requests() const { return dropped_requests_; }
 
  private:
   void advance_failure_process() const;
@@ -74,12 +111,19 @@ class SimServer {
   mutable Rng rng_;
   mutable bool up_ = true;
   mutable double next_toggle_ = 0.0;
+  double forced_down_until_ = 0.0;
+  double forced_up_until_ = 0.0;
+  double gray_factor_ = 1.0;
+  double gray_until_ = 0.0;
+  std::uint64_t ts_regressions_ = 0;
+  std::uint64_t dropped_requests_ = 0;
 
   struct Cell {
     Timestamp ts;
     std::uint64_t value = 0;
   };
   mutable std::unordered_map<int, Cell> objects_;
+  std::unordered_map<int, Timestamp> max_ts_seen_;
 };
 
 }  // namespace sqs

@@ -1,0 +1,116 @@
+// Chaos harness: the shipped scenario grid passes its invariants, the
+// invariant checker actually detects injected violations (amnesia), and the
+// whole grid is bit-identical at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/constructions.h"
+#include "faults/chaos.h"
+
+namespace sqs {
+namespace {
+
+TEST(Chaos, FloorHelperMatchesExactAvailabilityMinusSlack) {
+  const OptDFamily family(12, 2);
+  const double exact = family.availability(0.05);
+  EXPECT_DOUBLE_EQ(chaos_availability_floor(family, 0.05, 0.02), exact - 0.02);
+  // Clamped at zero for absurd slack.
+  EXPECT_DOUBLE_EQ(chaos_availability_floor(family, 0.05, 2.0), 0.0);
+}
+
+TEST(Chaos, EnvelopeHelperFollowsTheorem9) {
+  // m = 1/3 -> epsilon = 2m/(1+m) = 0.5; alpha = 1 -> epsilon^2 = 0.25.
+  EXPECT_NEAR(chaos_stale_envelope(1, 1.0 / 3.0, 1.0, 0.0), 0.25, 1e-12);
+  // Monotone in the miss probability, and the noise floor adds directly.
+  EXPECT_LT(chaos_stale_envelope(2, 0.05, 1.0, 0.0),
+            chaos_stale_envelope(2, 0.10, 1.0, 0.0));
+  EXPECT_NEAR(chaos_stale_envelope(2, 0.05, 1.0, 0.01) -
+                  chaos_stale_envelope(2, 0.05, 1.0, 0.0),
+              0.01, 1e-12);
+}
+
+TEST(Chaos, BuiltinScenariosAllPassTheirInvariants) {
+  const OptDFamily family(12, 2);
+  const auto scenarios = builtin_chaos_scenarios(family);
+  ASSERT_GE(scenarios.size(), 6u);
+  const auto results = run_chaos(family, scenarios, /*replicates=*/2);
+  ASSERT_EQ(results.size(), scenarios.size());
+  for (const ChaosCellResult& cell : results) {
+    EXPECT_TRUE(cell.passed()) << cell.scenario << ": "
+                               << (cell.violations.empty()
+                                       ? ""
+                                       : cell.violations.front().invariant +
+                                             " — " +
+                                             cell.violations.front().detail);
+    EXPECT_GT(cell.ops_attempted, 0);
+  }
+}
+
+TEST(Chaos, AmnesiaScenarioExercisesTheRegressionDetector) {
+  const OptDFamily family(12, 2);
+  const auto scenarios = builtin_chaos_scenarios(family);
+  const ChaosScenario* amnesia = nullptr;
+  for (const ChaosScenario& s : scenarios)
+    if (s.invariants.expect_ts_regressions) amnesia = &s;
+  ASSERT_NE(amnesia, nullptr) << "grid must ship a detector scenario";
+  EXPECT_TRUE(amnesia->config.server.amnesia_on_recovery);
+  const auto results =
+      run_chaos(family, {*amnesia}, /*replicates=*/2);
+  ASSERT_EQ(results.size(), 1u);
+  // The checker has teeth: regressions were actually observed, and because
+  // the scenario declares them expected, the cell still passes.
+  EXPECT_GT(results[0].server_ts_regressions, 0);
+  EXPECT_TRUE(results[0].passed());
+}
+
+TEST(Chaos, ViolatedInvariantIsReported) {
+  const OptDFamily family(12, 2);
+  auto scenarios = builtin_chaos_scenarios(family);
+  ASSERT_FALSE(scenarios.empty());
+  ChaosScenario impossible = scenarios.front();
+  impossible.invariants.availability_floor = 1.1;  // unreachable on purpose
+  const auto results = run_chaos(family, {impossible}, /*replicates=*/1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].passed());
+  ASSERT_FALSE(results[0].violations.empty());
+  EXPECT_EQ(results[0].violations.front().invariant, "availability-floor");
+}
+
+TEST(Chaos, GridBitIdenticalAcrossThreadCounts) {
+  const OptDFamily family(12, 2);
+  const auto scenarios = builtin_chaos_scenarios(family);
+  TrialOptions t1, t8;
+  t1.threads = 1;
+  t8.threads = 8;
+  const auto r1 = run_chaos(family, scenarios, /*replicates=*/2, t1);
+  const auto r8 = run_chaos(family, scenarios, /*replicates=*/2, t8);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].scenario, r8[i].scenario);
+    // Bit-identical doubles, not approximate.
+    EXPECT_EQ(r1[i].availability, r8[i].availability);
+    EXPECT_EQ(r1[i].stale_fraction, r8[i].stale_fraction);
+    EXPECT_EQ(r1[i].ops_attempted, r8[i].ops_attempted);
+    EXPECT_EQ(r1[i].reads_ok, r8[i].reads_ok);
+    EXPECT_EQ(r1[i].stale_reads, r8[i].stale_reads);
+    EXPECT_EQ(r1[i].retries, r8[i].retries);
+    EXPECT_EQ(r1[i].deadline_failures, r8[i].deadline_failures);
+    EXPECT_EQ(r1[i].server_ts_regressions, r8[i].server_ts_regressions);
+    EXPECT_EQ(r1[i].read_ts_regressions, r8[i].read_ts_regressions);
+    EXPECT_EQ(r1[i].lost_writes, r8[i].lost_writes);
+    EXPECT_EQ(r1[i].violations.size(), r8[i].violations.size());
+    ASSERT_EQ(r1[i].replicates.size(), r8[i].replicates.size());
+    for (std::size_t r = 0; r < r1[i].replicates.size(); ++r) {
+      EXPECT_EQ(r1[i].replicates[r].events_executed,
+                r8[i].replicates[r].events_executed);
+      EXPECT_EQ(r1[i].replicates[r].latency_ok.mean(),
+                r8[i].replicates[r].latency_ok.mean());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqs

@@ -26,6 +26,34 @@ TEST(PartialPartition, BlocksTheChosenFractionOfLinks) {
   for (int s = 0; s < 400; ++s) EXPECT_TRUE(net.link_up(0, s));
 }
 
+TEST(PartialPartition, FractionZeroBlocksNoLinks) {
+  Simulator sim;
+  NetworkConfig config;
+  config.link_mean_down = 1e-9;
+  config.link_mean_up = 1e9;
+  Network net(&sim, 1, 400, config, Rng(7));
+  net.partition_client_partial(0, 0.0, 10.0);
+  // The partition window is active (the filter can still see it) but the
+  // degenerate fraction leaves every link up.
+  EXPECT_TRUE(net.client_partition_active(0));
+  EXPECT_DOUBLE_EQ(net.client_partition_fraction(0), 0.0);
+  for (int s = 0; s < 400; ++s) EXPECT_TRUE(net.link_up(0, s));
+}
+
+TEST(PartialPartition, FractionOneBlocksEveryLink) {
+  Simulator sim;
+  NetworkConfig config;
+  config.link_mean_down = 1e-9;
+  config.link_mean_up = 1e9;
+  Network net(&sim, 1, 400, config, Rng(9));
+  net.partition_client_partial(0, 1.0, 10.0);
+  EXPECT_TRUE(net.client_partition_active(0));
+  EXPECT_DOUBLE_EQ(net.client_partition_fraction(0), 1.0);
+  for (int s = 0; s < 400; ++s) EXPECT_FALSE(net.link_up(0, s));
+  sim.run_until(11.0);
+  for (int s = 0; s < 400; ++s) EXPECT_TRUE(net.link_up(0, s));
+}
+
 TEST(PartialPartition, FullPartitionReportsFractionOne) {
   Simulator sim;
   Network net(&sim, 2, 4, NetworkConfig{}, Rng(5));

@@ -157,6 +157,20 @@ TEST(SimServer, StationaryFailureRate) {
   EXPECT_NEAR(static_cast<double>(down) / samples, 0.2, 0.03);
 }
 
+TEST(Timestamp, LexicographicOrdering) {
+  // (counter, writer) pairs compare counter-first, writer as tie-break —
+  // the standard ABD tag order every monotonicity invariant relies on.
+  EXPECT_LT((Timestamp{1, 5}), (Timestamp{2, 0}));
+  EXPECT_LT((Timestamp{3, 1}), (Timestamp{3, 2}));
+  EXPECT_FALSE((Timestamp{3, 2}) < (Timestamp{3, 2}));
+  EXPECT_FALSE((Timestamp{4, 0}) < (Timestamp{3, 9}));
+  EXPECT_EQ((Timestamp{3, 2}), (Timestamp{3, 2}));
+  EXPECT_FALSE((Timestamp{3, 2}) == (Timestamp{3, 1}));
+  // The default tag is below every real write's tag.
+  EXPECT_LT(Timestamp{}, (Timestamp{0, 0}));
+  EXPECT_LT(Timestamp{}, (Timestamp{1, -1}));
+}
+
 TEST(SimServer, WriteAdvancesTimestampMonotonically) {
   Simulator sim;
   ServerConfig config;

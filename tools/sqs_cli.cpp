@@ -9,6 +9,14 @@
 //   sqs_cli sweep   --kind avail --families optd,opta --ps 0.1,0.2,0.3
 //   sqs_cli sweep   --kind nonintersect --n 24 --alphas 1,2,3 --misses 0.1,0.2
 //   sqs_cli search  --target-nonint 1e-3 --target-avail 0.999 --n 24 --p 0.1
+//   sqs_cli chaos   --scenario churn --n 12 --alpha 2 --replicates 4
+//
+// `chaos` sweeps fault-injection scenarios (src/faults) through the
+// register-experiment harness and checks the paper's invariants per
+// scenario: availability above the exact-DP floor, stale reads within the
+// epsilon^2alpha envelope, timestamp monotonicity, no lost acked write.
+// Exit code 1 if any invariant is violated. `--scenario all` runs the whole
+// grid; `--list` names the shipped scenarios.
 //
 // `sweep` flattens the whole grid (every cell × every trial-chunk) into one
 // submission on the shared thread pool; results are bit-identical to running
@@ -43,6 +51,7 @@
 #include "core/composition.h"
 #include "core/constructions.h"
 #include "analysis/profile.h"
+#include "faults/chaos.h"
 #include "core/explicit_sqs.h"
 #include "core/witness.h"
 #include "mismatch/exact.h"
@@ -451,14 +460,67 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+int cmd_chaos(const Args& args) {
+  auto family = make_family(args.gets("family", "optd"), args);
+  std::vector<ChaosScenario> scenarios = builtin_chaos_scenarios(*family);
+
+  const std::string pick = args.gets("scenario", "all");
+  if (args.flags.count("list")) {
+    for (const ChaosScenario& s : scenarios)
+      std::printf("%-16s %s\n", s.name.c_str(), s.description.c_str());
+    return 0;
+  }
+  if (pick != "all") {
+    std::vector<ChaosScenario> chosen;
+    for (ChaosScenario& s : scenarios)
+      if (s.name == pick) chosen.push_back(std::move(s));
+    if (chosen.empty()) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   pick.c_str());
+      return 2;
+    }
+    scenarios = std::move(chosen);
+  }
+
+  const int replicates = args.geti("replicates", 4);
+  const std::vector<ChaosCellResult> results =
+      run_chaos(*family, scenarios, replicates);
+
+  Table table({"scenario", "avail", "floor", "stale", "envelope", "retries",
+               "deadline", "ts-regr", "lost", "verdict"});
+  bool all_passed = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ChaosCellResult& cell = results[i];
+    const ChaosInvariants& inv = scenarios[i].invariants;
+    all_passed = all_passed && cell.passed();
+    table.add_row({cell.scenario, Table::fmt(cell.availability),
+                   Table::fmt(inv.availability_floor),
+                   Table::fmt_sci(cell.stale_fraction),
+                   Table::fmt_sci(inv.stale_envelope),
+                   std::to_string(cell.retries),
+                   std::to_string(cell.deadline_failures),
+                   std::to_string(cell.server_ts_regressions),
+                   std::to_string(cell.lost_writes),
+                   cell.passed() ? "pass" : "FAIL"});
+  }
+  table.print("chaos invariants (" + std::to_string(replicates) +
+              " replicates per scenario)");
+  for (const ChaosCellResult& cell : results)
+    for (const ChaosViolation& v : cell.violations)
+      std::printf("VIOLATION %s/%s: %s\n", cell.scenario.c_str(),
+                  v.invariant.c_str(), v.detail.c_str());
+  return all_passed ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: sqs_cli <avail|probes|nonintersect|verify|trace|profile|"
-               "sweep|search> "
+               "sweep|search|chaos> "
                "[--flags]\n  global: --threads N (or SQS_THREADS) for the "
                "parallel trial runtime;\n          --metrics FILE / --trace FILE "
-               "/ --trace-jsonl FILE for telemetry\n  see the header of "
-               "tools/sqs_cli.cpp\n");
+               "/ --trace-jsonl FILE for telemetry\n  chaos: --scenario NAME|all "
+               "--replicates R --family F --n N --alpha A (--list)\n  see the "
+               "header of tools/sqs_cli.cpp\n");
   return 2;
 }
 
@@ -480,6 +542,7 @@ int main(int argc, char** argv) {
   else if (command == "profile") rc = sqs::cmd_profile(args);
   else if (command == "sweep") rc = sqs::cmd_sweep(args);
   else if (command == "search") rc = sqs::cmd_search(args);
+  else if (command == "chaos") rc = sqs::cmd_chaos(args);
   else return sqs::usage();
   sqs::obs::export_telemetry_files();
   return rc;
