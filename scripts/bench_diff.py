@@ -9,6 +9,16 @@ records with the baseline copies committed under bench/baselines/ and fails
 25%) in wall_ms — but only when the workloads are actually comparable, i.e.
 the trial counts (and the rest of the workload parameters) are equal.
 
+Runs from latency-oriented benches (BENCH_service.json) additionally carry
+p50_us/p99_us/p999_us quantiles; when both sides have p99_us, it is gated
+with the same threshold as wall_ms, so a served-latency regression fails
+the diff even if the wall clock got faster (the service computes latency in
+virtual time — wall_ms measures the harness, p99_us measures the system
+under test). p50/p999 are printed as context, never gated: the median moves
+with benign scheduling detail and the p999 tail of a bucketed histogram is
+too coarse to threshold. Runs without quantile fields diff exactly as
+before.
+
 Records may also carry a "metrics" telemetry snapshot ({"counters": {...},
 "histograms": [...]}); when both sides have one, counter context (e.g. how
 many runtime chunks the workload executed) is printed next to the timing
@@ -48,6 +58,10 @@ CONTEXT_COUNTERS = (
     "sim.net.dropped",
     "sim.client.retries",
     "sim.server.dropped_requests",
+    "service.requests",
+    "service.decode_failures",
+    "service.stale_reads",
+    "service.replica.dropped_requests",
 )
 
 
@@ -86,6 +100,36 @@ def counter_context(baseline, fresh):
     return "; ".join(parts)
 
 
+def diff_quantiles(name, threads, base, fresh, threshold):
+    """Gates p99_us when both runs carry it; p50/p999 are context only.
+
+    Latency quantiles are computed on the service's virtual timeline, so on
+    an identical workload they only move when the served behavior changed —
+    the gate catches that even when wall_ms improved. Runs written by
+    wall-clock-only benches have no quantile fields and return [] untouched.
+    """
+    base_p99, fresh_p99 = base.get("p99_us"), fresh.get("p99_us")
+    if base_p99 is None or fresh_p99 is None:
+        return []
+    ratio = fresh_p99 / base_p99 if base_p99 > 0 else float("inf")
+    status = "ok"
+    regressions = []
+    if ratio > 1.0 + threshold:
+        status = "REGRESSION"
+        regressions.append(
+            f"{name} threads={threads}: p99 {base_p99:.0f} us -> "
+            f"{fresh_p99:.0f} us ({(ratio - 1.0) * 100:+.1f}%)")
+    context = "; ".join(
+        f"{q} {base.get(q):.0f} -> {fresh.get(q):.0f} us"
+        for q in ("p50_us", "p999_us")
+        if base.get(q) is not None and fresh.get(q) is not None)
+    print(f"[bench_diff] {name} threads={threads}: "
+          f"p99 {base_p99:.0f} us -> {fresh_p99:.0f} us "
+          f"({(ratio - 1.0) * 100:+.1f}%) {status}"
+          f"{' [' + context + ']' if context else ''}")
+    return regressions
+
+
 def diff_record(name, baseline, fresh, threshold):
     """Returns a list of regression strings (empty when the record is ok)."""
     if not comparable(baseline, fresh):
@@ -117,6 +161,7 @@ def diff_record(name, baseline, fresh, threshold):
         print(f"[bench_diff] {name} threads={threads}: "
               f"{base_ms:.1f} ms -> {fresh_ms:.1f} ms "
               f"({(ratio - 1.0) * 100:+.1f}%) {status}")
+        regressions += diff_quantiles(name, threads, base, run, threshold)
     context = counter_context(baseline, fresh)
     if context:
         print(f"[bench_diff] {name}: telemetry: {context}")
@@ -180,12 +225,15 @@ def run(argv):
 # --- self tests -------------------------------------------------------------
 
 
-def _record(wall_ms_by_threads, workload=None, metrics=None, drop_wall=False):
+def _record(wall_ms_by_threads, workload=None, metrics=None, drop_wall=False,
+            quantiles=None):
     runs = []
     for threads, ms in wall_ms_by_threads.items():
         entry = {"threads": threads}
         if not drop_wall:
             entry["wall_ms"] = ms
+        if quantiles is not None:
+            entry.update(quantiles)
         runs.append(entry)
     rec = {"workload": workload or {"name": "w", "trials": 100}, "runs": runs}
     if metrics is not None:
@@ -251,6 +299,30 @@ def self_test():
         _record({1: 1.0}, metrics={"counters": {"sim.faults.injected": 42}}))
     check("fault counter context rendered",
           "sim.faults.injected 42 -> 42" in faults)
+    # Latency-quantile runs (BENCH_service.json shape): p99 within threshold
+    # passes even alongside a matching wall_ms.
+    q = {"p50_us": 1000.0, "p99_us": 5000.0, "p999_us": 9000.0}
+    q_worse = {"p50_us": 1000.0, "p99_us": 9000.0, "p999_us": 9000.0}
+    check("p99 within threshold",
+          diff_record("s", _record({1: 100.0}, quantiles=q),
+                      _record({1: 100.0}, quantiles=q), 0.25) == [])
+    # p99 regression fails even though wall_ms improved.
+    regs = diff_record("s", _record({1: 100.0}, quantiles=q),
+                       _record({1: 50.0}, quantiles=q_worse), 0.25)
+    check("p99 regression gated", len(regs) == 1 and "p99" in regs[0])
+    # p50/p999 drift alone never gates — context only.
+    q_p50 = {"p50_us": 9000.0, "p99_us": 5000.0, "p999_us": 99000.0}
+    check("p50/p999 drift not gated",
+          diff_record("s", _record({1: 100.0}, quantiles=q),
+                      _record({1: 100.0}, quantiles=q_p50), 0.25) == [])
+    # Baseline without quantile fields vs fresh with them (or vice versa):
+    # wall_ms-only diff, no crash, no gate.
+    try:
+        regs = diff_record("s", _record({1: 100.0}),
+                           _record({1: 100.0}, quantiles=q_worse), 0.25)
+        check("mixed-era quantiles skipped", regs == [])
+    except (KeyError, TypeError, AttributeError) as err:
+        check(f"mixed-era quantiles skipped (raised {err!r})", False)
     # Record lacking wall_ms entirely: skipped, not fatal.
     try:
         regs = diff_record("a", _record({1: 100.0}, drop_wall=True),

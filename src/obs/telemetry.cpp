@@ -193,6 +193,35 @@ void Registry::reset() {
   }
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; ceil so quantile(1.0) is the last.
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const std::uint64_t next = cum + counts[b];
+    if (static_cast<double>(next) < target) {
+      cum = next;
+      continue;
+    }
+    // Bucket b covers (bounds[b-1], bounds[b]]; the overflow bucket's upper
+    // edge is the recorded max. min/max tighten the outermost buckets.
+    double lo = b == 0 ? static_cast<double>(min)
+                       : static_cast<double>(bounds[b - 1]);
+    double hi = b < bounds.size() ? static_cast<double>(bounds[b])
+                                  : static_cast<double>(max);
+    lo = std::max(lo, static_cast<double>(min));
+    hi = std::min(hi, static_cast<double>(max));
+    if (hi < lo) hi = lo;
+    const double frac =
+        (target - static_cast<double>(cum)) / static_cast<double>(counts[b]);
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(max);  // unreachable when counts sum to count
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   for (const auto& [n, v] : counters)
     if (n == name) return v;
@@ -215,6 +244,7 @@ void MetricsSnapshot::write_json(JsonWriter& json) const {
   for (const HistogramSnapshot& h : histograms) {
     json.key(h.name).begin_object();
     json.kv("count", h.count).kv("sum", h.sum).kv("min", h.min).kv("max", h.max);
+    json.kv("p50", h.p50()).kv("p99", h.p99()).kv("p999", h.p999());
     json.key("buckets").begin_array();
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       json.begin_object();

@@ -110,6 +110,18 @@ struct HistogramSnapshot {
   std::uint64_t sum = 0;
   std::uint64_t min = 0;  // 0 when count == 0
   std::uint64_t max = 0;
+
+  // The q-quantile (q in [0, 1]) estimated from the fixed buckets: the
+  // target rank is located in its bucket and interpolated linearly between
+  // the bucket's edges, with the recorded min/max tightening the first,
+  // last, and overflow buckets. Exact whenever a bucket holds one distinct
+  // value; otherwise within one bucket width. 0 when the histogram is
+  // empty. Downstream consumers (bench records, bench_diff gates) read
+  // p50/p99/p999 through this instead of re-deriving percentile math.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
 };
 
 struct MetricsSnapshot {

@@ -1,0 +1,53 @@
+// Open-loop load generation for the staged register service.
+//
+// An open-loop generator fixes *arrival* times up front — clients do not
+// wait for replies before issuing the next op — which is what makes a rate
+// sweep honest: when the service saturates, queueing delay shows up in the
+// latency distribution instead of silently throttling the offered load
+// (the coordinated-omission trap of closed-loop harnesses).
+//
+// The schedule is deterministic and thread-count independent: operation i
+// arrives at (i + u_i) / rate where u_i ~ U[0,1) comes from the chunk rng of
+// the shared trial runtime (chunk c draws from seed.split(c)), so the
+// encoded request stream is bit-identical however many threads generate it,
+// and strictly monotone in arrival time — the order the staged runner's
+// solo stage requires.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/run_trials.h"
+#include "service/message.h"
+
+namespace sqs {
+
+struct LoadGenConfig {
+  double rate = 10000.0;     // target arrivals per virtual second
+  double duration = 1.0;     // virtual seconds; total ops = round(rate*duration)
+  double read_fraction = 0.8;
+  int num_clients = 64;      // op i issued by a uniformly drawn client id
+  std::uint64_t seed = 1;
+
+  std::uint64_t total_ops() const;
+  // True iff every field is usable (positive finite rate/duration, fraction
+  // in [0,1], at least one client, at least one op); complaints go to
+  // stderr, one line per bad field.
+  bool validate() const;
+};
+
+// Generates the encoded request stream: total_ops() records of
+// kRequestWireSize bytes, arrival-sorted. Aborts (assert) on an invalid
+// config — call validate() at the trust boundary first.
+std::vector<std::uint8_t> generate_load(const LoadGenConfig& config,
+                                        const TrialOptions& opts = {});
+
+// Parses a strictly positive finite double (full string, no trailing junk).
+// Returns 0.0 and complains on stderr naming `flag` for anything else —
+// the shared validator behind the CLI's --rate / --duration flags, in the
+// same spirit as parse_thread_count: malformed input is rejected loudly,
+// never silently defaulted.
+double parse_positive_double(const char* flag, const char* text);
+
+}  // namespace sqs

@@ -1,0 +1,107 @@
+#include "service/message.h"
+
+namespace sqs {
+
+namespace {
+
+// All fields little-endian; offsets fixed by the layout tables below.
+//
+// Request (40 bytes):            Reply (56 bytes):
+//   0  u32 magic "SQRQ"            0  u32 magic "SQRP"
+//   4  u32 checksum                4  u32 checksum
+//   8  u64 seq                     8  u64 seq
+//  16  u64 arrival_us             16  u64 latency_us
+//  24  u32 client                 24  u64 value
+//  28  u8  kind                   32  u64 ts.counter
+//  29  u8[3] reserved (zero)      40  i32 ts.writer
+//  32  u64 value                  44  u32 probes
+//                                 48  u8  kind
+//                                 49  u8  ok
+//                                 50  u8[6] reserved (zero)
+//
+// The checksum is FNV-1a over the record with bytes [4, 8) zeroed.
+
+template <typename T>
+void put(std::uint8_t* out, std::size_t offset, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out[offset + i] = static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(value) >> (8 * i));
+}
+
+template <typename T>
+T get(const std::uint8_t* in, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    v |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
+  return static_cast<T>(v);
+}
+
+std::uint32_t record_checksum(const std::uint8_t* rec, std::size_t size) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint8_t byte = (i >= 4 && i < 8) ? 0 : rec[i];
+    h ^= byte;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+void encode_request(const Request& req, std::uint8_t* out) {
+  std::memset(out, 0, kRequestWireSize);
+  put<std::uint32_t>(out, 0, kRequestMagic);
+  put<std::uint64_t>(out, 8, req.seq);
+  put<std::uint64_t>(out, 16, req.arrival_us);
+  put<std::uint32_t>(out, 24, req.client);
+  put<std::uint8_t>(out, 28, static_cast<std::uint8_t>(req.kind));
+  put<std::uint64_t>(out, 32, req.value);
+  put<std::uint32_t>(out, 4, record_checksum(out, kRequestWireSize));
+}
+
+Request decode_request(const std::uint8_t* in) {
+  Request req;
+  if (get<std::uint32_t>(in, 0) != kRequestMagic) return req;
+  if (get<std::uint32_t>(in, 4) != record_checksum(in, kRequestWireSize))
+    return req;
+  const std::uint8_t kind = get<std::uint8_t>(in, 28);
+  if (kind > static_cast<std::uint8_t>(OpKind::kWrite)) return req;
+  req.seq = get<std::uint64_t>(in, 8);
+  req.arrival_us = get<std::uint64_t>(in, 16);
+  req.client = get<std::uint32_t>(in, 24);
+  req.kind = static_cast<OpKind>(kind);
+  req.value = get<std::uint64_t>(in, 32);
+  req.valid = true;
+  return req;
+}
+
+void encode_reply(const Reply& rep, std::uint8_t* out) {
+  std::memset(out, 0, kReplyWireSize);
+  put<std::uint32_t>(out, 0, kReplyMagic);
+  put<std::uint64_t>(out, 8, rep.seq);
+  put<std::uint64_t>(out, 16, rep.latency_us);
+  put<std::uint64_t>(out, 24, rep.value);
+  put<std::uint64_t>(out, 32, rep.ts.counter);
+  put<std::uint32_t>(out, 40, static_cast<std::uint32_t>(rep.ts.writer));
+  put<std::uint32_t>(out, 44, rep.probes);
+  put<std::uint8_t>(out, 48, static_cast<std::uint8_t>(rep.kind));
+  put<std::uint8_t>(out, 49, rep.ok ? 1 : 0);
+  put<std::uint32_t>(out, 4, record_checksum(out, kReplyWireSize));
+}
+
+bool decode_reply(const std::uint8_t* in, Reply* out) {
+  if (get<std::uint32_t>(in, 0) != kReplyMagic) return false;
+  if (get<std::uint32_t>(in, 4) != record_checksum(in, kReplyWireSize))
+    return false;
+  out->seq = get<std::uint64_t>(in, 8);
+  out->latency_us = get<std::uint64_t>(in, 16);
+  out->value = get<std::uint64_t>(in, 24);
+  out->ts.counter = get<std::uint64_t>(in, 32);
+  out->ts.writer = static_cast<int>(get<std::uint32_t>(in, 40));
+  out->probes = get<std::uint32_t>(in, 44);
+  out->kind = static_cast<OpKind>(get<std::uint8_t>(in, 48));
+  out->ok = get<std::uint8_t>(in, 49) != 0;
+  return true;
+}
+
+}  // namespace sqs

@@ -1,0 +1,75 @@
+// Wire format of the replicated-register service.
+//
+// Requests and replies travel as fixed-size little-endian records so the
+// staged runner can address request i at offset i * kRequestWireSize with no
+// framing pass, and so the stateless stages have real work: the prologue
+// decodes and checksum-verifies every request in parallel, the epilogue
+// encodes and checksums every reply in parallel, while the ordered solo
+// stage touches only decoded structs. The checksum is FNV-1a over the
+// record with the checksum field zeroed — a stand-in for the signature
+// verification a WAN deployment would hoist into the prologue (dsnet hoists
+// exactly that into its stateless stage).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/server.h"  // Timestamp
+
+namespace sqs {
+
+inline constexpr std::uint32_t kRequestMagic = 0x51525153u;  // "SQRQ"
+inline constexpr std::uint32_t kReplyMagic = 0x50525153u;    // "SQRP"
+inline constexpr std::size_t kRequestWireSize = 40;
+inline constexpr std::size_t kReplyWireSize = 56;
+
+enum class OpKind : std::uint8_t { kRead = 0, kWrite = 1 };
+
+// A decoded register-operation request. `arrival_us` is the open-loop
+// schedule's virtual arrival time in integer microseconds (the service's
+// whole timeline is virtual; see runner.h).
+struct Request {
+  std::uint64_t seq = 0;
+  std::uint64_t arrival_us = 0;
+  std::uint64_t value = 0;
+  std::uint32_t client = 0;
+  OpKind kind = OpKind::kRead;
+  bool valid = false;  // decoded and checksum-verified
+
+  double arrival() const { return static_cast<double>(arrival_us) * 1e-6; }
+};
+
+// A decoded (or to-be-encoded) reply.
+struct Reply {
+  std::uint64_t seq = 0;
+  std::uint64_t latency_us = 0;
+  std::uint64_t value = 0;
+  Timestamp ts;
+  std::uint32_t probes = 0;
+  OpKind kind = OpKind::kRead;
+  bool ok = false;
+};
+
+// FNV-1a over `size` bytes.
+inline std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// Encoders write exactly kRequestWireSize / kReplyWireSize bytes at `out`.
+void encode_request(const Request& req, std::uint8_t* out);
+void encode_reply(const Reply& rep, std::uint8_t* out);
+
+// Decoders verify magic + checksum; on failure the result's `valid` flag
+// (request) or the return value (reply) says so and other fields are
+// unspecified.
+Request decode_request(const std::uint8_t* in);
+bool decode_reply(const std::uint8_t* in, Reply* out);
+
+}  // namespace sqs

@@ -1,0 +1,120 @@
+#include "service/replica.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/telemetry.h"
+
+namespace sqs {
+
+namespace {
+
+struct ReplicaMetrics {
+  obs::Counter dropped =
+      obs::Registry::instance().counter("service.replica.dropped_requests");
+  obs::Counter regressions =
+      obs::Registry::instance().counter("service.replica.ts_regressions");
+  static const ReplicaMetrics& get() {
+    static const ReplicaMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+ServiceReplica::ServiceReplica(int id, const ServerConfig& config, Rng rng)
+    : id_(id), config_(config), rng_(std::move(rng)) {
+  // Same draw order as SimServer: stationary state, then first toggle.
+  up_ = !rng_.bernoulli(config_.stationary_down());
+  next_toggle_ =
+      rng_.exponential(1.0 / (up_ ? config_.mean_up : config_.mean_down));
+}
+
+void ServiceReplica::advance_failure_process(double now) const {
+  while (next_toggle_ <= now) {
+    up_ = !up_;
+    if (up_ && config_.amnesia_on_recovery) objects_.clear();
+    next_toggle_ +=
+        rng_.exponential(1.0 / (up_ ? config_.mean_up : config_.mean_down));
+  }
+}
+
+bool ServiceReplica::up(double now) const {
+  advance_failure_process(now);
+  if (now < forced_down_until_) return false;
+  if (now < forced_up_until_) return true;
+  return up_;
+}
+
+double ServiceReplica::begin_service(double now, double qnow) {
+  // FIFO backlog on the monotone arrival clock (see header): the request
+  // waits out the existing backlog, then runs for one (possibly
+  // gray-inflated) service time.
+  const double start = std::max(qnow, busy_until_);
+  const double dt = service_time(now);
+  busy_until_ = start + dt;
+  busy_seconds_ += dt;
+  return (start - qnow) + dt;  // wait + service
+}
+
+std::optional<ServiceReplica::ReadServed> ServiceReplica::serve_read(
+    int object, double now, double qnow) {
+  if (!up(now)) {
+    ++dropped_requests_;
+    ReplicaMetrics::get().dropped.add(1);
+    return std::nullopt;
+  }
+  const double done = now + begin_service(now, qnow);
+  const Cell& cell = objects_[object];
+  const auto max_it = max_ts_seen_.find(object);
+  if (max_it != max_ts_seen_.end() && cell.ts < max_it->second) {
+    ++ts_regressions_;
+    ReplicaMetrics::get().regressions.add(1);
+  }
+  return ReadServed{done, cell.ts, cell.value};
+}
+
+std::optional<double> ServiceReplica::serve_write(const Timestamp& ts,
+                                                 std::uint64_t value,
+                                                 int object, double now,
+                                                 double qnow) {
+  if (!up(now)) {
+    ++dropped_requests_;
+    ReplicaMetrics::get().dropped.add(1);
+    return std::nullopt;
+  }
+  const double done = now + begin_service(now, qnow);
+  Cell& cell = objects_[object];
+  if (cell.ts < ts) {
+    cell.ts = ts;
+    cell.value = value;
+    Timestamp& max_seen = max_ts_seen_[object];
+    max_seen = std::max(max_seen, ts);
+  }
+  return done;
+}
+
+void ServiceReplica::force_crash(double now, double duration) {
+  forced_down_until_ = std::max(forced_down_until_, now + duration);
+}
+
+void ServiceReplica::force_up(double now, double duration) {
+  forced_up_until_ = std::max(forced_up_until_, now + duration);
+}
+
+void ServiceReplica::set_gray(double factor, double now, double duration) {
+  gray_factor_ = factor;
+  gray_until_ = now + duration;
+}
+
+Timestamp ServiceReplica::timestamp(int object) const {
+  auto it = objects_.find(object);
+  return it == objects_.end() ? Timestamp{} : it->second.ts;
+}
+
+Timestamp ServiceReplica::max_timestamp_seen(int object) const {
+  auto it = max_ts_seen_.find(object);
+  return it == max_ts_seen_.end() ? Timestamp{} : it->second;
+}
+
+}  // namespace sqs

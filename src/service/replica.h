@@ -1,0 +1,113 @@
+// Explicit-time replica for the staged register service.
+//
+// Mirrors SimServer's failure model — exponentially flapping up/down periods
+// (stationary unavailability mean_down / (mean_up + mean_down)), forced
+// crash/up windows, gray slowdowns, optional amnesia on recovery — but takes
+// the caller's `now` on every call instead of reading a simulator clock, and
+// adds what a served workload needs that a closed-loop simulation did not:
+// a single-server FIFO queue. Queueing is accounted on the *op-arrival*
+// clock `qnow` (monotone across the served stream): the backlog starts at
+// max(qnow, busy_until), runs one service_time, and the induced wait is
+// added to the reply's completion. Charging the queue on the monotone
+// arrival clock rather than the probe-delivery time keeps the backlog a
+// stable M/G/1-style process — probe timelines extend past later arrivals
+// (sequential probing plus timeouts), and feeding those late times back
+// into busy_until would let one slow op inflate the next op's queue wait,
+// a feedback loop that collapses the service far below its real capacity.
+// This way per-replica utilization turns into queueing delay and the
+// latency curve rises toward saturation instead of staying flat (the load
+// half of the paper's availability/load trade-off, measured not asserted).
+//
+// Same invariant evidence as SimServer: max_timestamp_seen survives amnesia
+// wipes, ts_regressions counts reads served below that high-water mark,
+// dropped_requests counts arrivals while down.
+//
+// Like Transport, the failure process advances lazily and only forward; the
+// runner guarantees that by evaluating operations in arrival order.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/server.h"  // Timestamp, ServerConfig
+#include "util/rng.h"
+
+namespace sqs {
+
+class ServiceReplica {
+ public:
+  ServiceReplica(int id, const ServerConfig& config, Rng rng);
+
+  int id() const { return id_; }
+
+  // True if the replica is up at `now` (forced windows override the
+  // stochastic process; crash wins when both are active).
+  bool up(double now) const;
+
+  struct ReadServed {
+    double done = 0.0;  // completion time (queueing + service included)
+    Timestamp ts;
+    std::uint64_t value = 0;
+  };
+
+  // A read/probe of `object` delivered at `now`, issued by an op that
+  // arrived at `qnow` (<= now, monotone across ops): nullopt if the replica
+  // is down (request dropped), otherwise the register contents and the
+  // time the reply leaves the replica (now + queue wait + service time).
+  std::optional<ReadServed> serve_read(int object, double now, double qnow);
+
+  // A write delivered at `now` from an op that arrived at `qnow`: applies
+  // (ts, value) if ts advances the register, acks either way; nullopt if
+  // down. Returns the time the ack leaves the replica.
+  std::optional<double> serve_write(const Timestamp& ts, std::uint64_t value,
+                                    int object, double now, double qnow);
+
+  // Fault hooks, windows measured from `now` (same semantics as SimServer:
+  // extend-never-shorten per kind, crash beats forced-up, gray replaces).
+  void force_crash(double now, double duration);
+  void force_up(double now, double duration);
+  void set_gray(double factor, double now, double duration);
+
+  double service_time(double now) const {
+    return config_.service_time * (now < gray_until_ ? gray_factor_ : 1.0);
+  }
+
+  Timestamp timestamp(int object = 0) const;
+  Timestamp max_timestamp_seen(int object = 0) const;
+  std::uint64_t ts_regressions() const { return ts_regressions_; }
+  std::uint64_t dropped_requests() const { return dropped_requests_; }
+  // Total seconds of service time performed — utilization evidence for the
+  // load report (busy fraction = busy_seconds / elapsed virtual time).
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  void advance_failure_process(double now) const;
+  // Returns the queue wait + service span to add after `now`; advances the
+  // backlog on the monotone `qnow` clock.
+  double begin_service(double now, double qnow);
+
+  int id_;
+  ServerConfig config_;
+  mutable Rng rng_;
+  mutable bool up_ = true;
+  mutable double next_toggle_ = 0.0;
+  double forced_down_until_ = 0.0;
+  double forced_up_until_ = 0.0;
+  double gray_factor_ = 1.0;
+  double gray_until_ = 0.0;
+  double busy_until_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::uint64_t ts_regressions_ = 0;
+  std::uint64_t dropped_requests_ = 0;
+
+  struct Cell {
+    Timestamp ts;
+    std::uint64_t value = 0;
+  };
+  mutable std::unordered_map<int, Cell> objects_;
+  std::unordered_map<int, Timestamp> max_ts_seen_;
+};
+
+}  // namespace sqs

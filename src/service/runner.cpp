@@ -1,0 +1,421 @@
+#include "service/runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/trace.h"
+#include "runtime/thread_pool.h"
+
+namespace sqs {
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Counter requests = obs::Registry::instance().counter("service.requests");
+  obs::Counter decode_failures =
+      obs::Registry::instance().counter("service.decode_failures");
+  obs::Counter reads_ok = obs::Registry::instance().counter("service.reads_ok");
+  obs::Counter writes_ok =
+      obs::Registry::instance().counter("service.writes_ok");
+  obs::Counter stale_reads =
+      obs::Registry::instance().counter("service.stale_reads");
+  obs::Counter faults_injected =
+      obs::Registry::instance().counter("service.faults.injected");
+  obs::Histogram op_latency_us = obs::Registry::instance().histogram(
+      "service.op_latency_us", service_latency_bounds());
+  obs::Histogram prologue_ns = obs::Registry::instance().histogram(
+      "service.prologue_batch_ns", obs::pow2_bounds(10, 34));
+  obs::Histogram solo_ns = obs::Registry::instance().histogram(
+      "service.solo_batch_ns", obs::pow2_bounds(10, 34));
+  obs::Histogram epilogue_ns = obs::Registry::instance().histogram(
+      "service.epilogue_batch_ns", obs::pow2_bounds(10, 34));
+  static const ServiceMetrics& get() {
+    static const ServiceMetrics m;
+    return m;
+  }
+};
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> service_latency_bounds() {
+  std::vector<std::uint64_t> bounds =
+      obs::linear_bounds(1000, 200000, 1000);  // 1 ms steps to 200 ms
+  for (int e = 18; e <= 26; ++e)               // 262 ms .. 67 s
+    bounds.push_back(1ull << e);
+  return bounds;
+}
+
+bool ServiceConfig::validate(int num_servers) const {
+  bool ok = network.validate() && server.validate();
+  const auto reject = [&ok](const char* what, double value) {
+    std::fprintf(stderr, "ServiceConfig: invalid %s %g\n", what, value);
+    ok = false;
+  };
+  if (num_clients < 1) reject("num_clients", num_clients);
+  if (!(probe_timeout > 0.0)) reject("probe_timeout", probe_timeout);
+  if (batch < 1) reject("batch", batch);
+  if (threads < 0) reject("threads", threads);
+  if (!plan.validate(num_clients, num_servers)) ok = false;
+  return ok;
+}
+
+ServiceRunner::ServiceRunner(const QuorumFamily& family,
+                             const ServiceConfig& config)
+    : config_(config),
+      transport_(config.num_clients, family.universe_size(), config.network,
+                 Rng(config.seed).split("network")),
+      strategy_(family.make_probe_strategy()),
+      op_rng_base_(Rng(config.seed).split("ops")),
+      fault_timeline_(config.plan.events),
+      lat_bounds_(service_latency_bounds()) {
+  assert(config.validate(family.universe_size()));
+  const Rng server_base = Rng(config.seed).split("servers");
+  replicas_.reserve(static_cast<std::size_t>(family.universe_size()));
+  for (int i = 0; i < family.universe_size(); ++i)
+    replicas_.emplace_back(i, config.server, server_base.split(
+                                                 static_cast<std::uint64_t>(i)));
+  std::stable_sort(fault_timeline_.begin(), fault_timeline_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  replies_.resize(replicas_.size());
+  lat_counts_.assign(lat_bounds_.size() + 1, 0);
+}
+
+ServiceRunner::~ServiceRunner() = default;
+
+void ServiceRunner::apply_faults_until(double now) {
+  while (next_fault_ < fault_timeline_.size() &&
+         fault_timeline_[next_fault_].at <= now) {
+    const FaultEvent& e = fault_timeline_[next_fault_++];
+    switch (e.kind) {
+      case FaultEvent::Kind::kServerCrash:
+        replicas_[static_cast<std::size_t>(e.server)].force_crash(e.at,
+                                                                  e.duration);
+        break;
+      case FaultEvent::Kind::kServerPin:
+        replicas_[static_cast<std::size_t>(e.server)].force_up(e.at,
+                                                               e.duration);
+        break;
+      case FaultEvent::Kind::kGrayServer:
+        replicas_[static_cast<std::size_t>(e.server)].set_gray(e.magnitude,
+                                                               e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kLinkDown:
+        transport_.block_link(e.client, e.server, e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kClientPartition:
+        if (e.magnitude >= 1.0) {
+          transport_.partition_client(e.client, e.at, e.duration);
+        } else {
+          transport_.partition_client_partial(e.client, e.magnitude, e.at,
+                                              e.duration);
+        }
+        break;
+      case FaultEvent::Kind::kServerPartition:
+        transport_.force_partition(e.server, e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kLatencyBurst:
+        transport_.inject_latency_burst(e.magnitude, e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kLossBurst:
+        transport_.inject_loss_burst(e.magnitude, e.at, e.duration);
+        break;
+    }
+    ServiceMetrics::get().faults_injected.add(1);
+  }
+}
+
+void ServiceRunner::pop_completed_writes(double now) {
+  while (!pending_writes_.empty() && pending_writes_.top().finish <= now) {
+    frontier_ts_ = std::max(frontier_ts_, pending_writes_.top().ts);
+    pending_writes_.pop();
+  }
+}
+
+void ServiceRunner::record_latency(std::uint64_t us) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(lat_bounds_.begin(), lat_bounds_.end(), us) -
+      lat_bounds_.begin());
+  ++lat_counts_[bucket];
+  ++lat_count_;
+  lat_sum_ += us;
+  lat_min_ = std::min(lat_min_, us);
+  lat_max_ = std::max(lat_max_, us);
+  ServiceMetrics::get().op_latency_us.record(us);
+}
+
+Reply ServiceRunner::execute_op(const Request& req) {
+  const double arrival = req.arrival();
+  last_arrival_ = std::max(last_arrival_, arrival);
+  apply_faults_until(arrival);
+  pop_completed_writes(arrival);
+
+  Reply rep;
+  rep.seq = req.seq;
+  rep.kind = req.kind;
+
+  // Acquisition: sequential timeout probing in virtual time, the SimClient
+  // loop evaluated synchronously. A probe's round trip is to-server leg +
+  // replica queueing/service + to-client leg; replies later than
+  // probe_timeout count as failures (the server still did the work).
+  const double timeout = config_.probe_timeout;
+  Rng op_rng = op_rng_base_.split(req.seq);
+  strategy_->reset(&op_rng);
+  for (int s : touched_) replies_[static_cast<std::size_t>(s)].reset();
+  touched_.clear();
+  double t = arrival;
+  std::uint32_t probes = 0;
+  while (strategy_->status() == ProbeStatus::kInProgress) {
+    const int s = strategy_->next_server();
+    ++probes;
+    bool reached = false;
+    const Transport::Delivery to =
+        transport_.attempt(static_cast<int>(req.client), s, t);
+    if (to.delivered) {
+      if (auto served = replicas_[static_cast<std::size_t>(s)].serve_read(
+              0, t + to.latency, arrival)) {
+        const Transport::Delivery back = transport_.attempt(
+            static_cast<int>(req.client), s, served->done);
+        if (back.delivered) {
+          const double rtt = served->done + back.latency - t;
+          if (rtt <= timeout) {
+            reached = true;
+            replies_[static_cast<std::size_t>(s)] = {served->ts, served->value};
+            touched_.push_back(s);
+            t += rtt;
+          }
+        }
+      }
+    }
+    if (!reached) t += timeout;
+    strategy_->observe(s, reached);
+  }
+  const bool acquired = strategy_->status() == ProbeStatus::kAcquired;
+  totals_.probes += probes;
+  rep.probes = probes;
+  double finish = t;
+
+  if (req.kind == OpKind::kRead) {
+    ++totals_.reads;
+    if (acquired) {
+      ++totals_.reads_ok;
+      // Max-timestamp value among reached servers; the default {0, -1} tag
+      // with value 0 is exactly an unwritten cell, so no special first-case.
+      Timestamp best;
+      std::uint64_t value = 0;
+      for (int s : touched_) {
+        const auto& r = replies_[static_cast<std::size_t>(s)];
+        if (best < r->first) {
+          best = r->first;
+          value = r->second;
+        }
+      }
+      rep.ok = true;
+      rep.ts = best;
+      rep.value = value;
+      if (best < frontier_ts_) ++totals_.stale_reads;
+    }
+  } else {
+    ++totals_.writes;
+    if (acquired) {
+      ++totals_.writes_ok;
+      Timestamp max_ts;
+      for (int s : touched_) {
+        const auto& r = replies_[static_cast<std::size_t>(s)];
+        max_ts = std::max(max_ts, r->first);
+      }
+      const Timestamp new_ts{max_ts.counter + 1, static_cast<int>(req.client)};
+      // Push to every reached probed server in ascending id order (the
+      // order install paths use everywhere else); each push resolves at its
+      // ack round trip or at the timeout, and the write completes when the
+      // last target resolves.
+      std::vector<int> targets(touched_);
+      std::sort(targets.begin(), targets.end());
+      int acks = 0;
+      double end = t;
+      for (int s : targets) {
+        const Transport::Delivery to =
+            transport_.attempt(static_cast<int>(req.client), s, t);
+        double resolve = timeout;
+        if (to.delivered) {
+          if (auto done = replicas_[static_cast<std::size_t>(s)].serve_write(
+                  new_ts, req.value, 0, t + to.latency, arrival)) {
+            const Transport::Delivery back = transport_.attempt(
+                static_cast<int>(req.client), s, *done);
+            if (back.delivered) {
+              const double rtt = *done + back.latency - t;
+              if (rtt <= timeout) {
+                ++acks;
+                resolve = rtt;
+              }
+            }
+          }
+        }
+        end = std::max(end, t + resolve);
+      }
+      totals_.write_acks += static_cast<std::uint64_t>(acks);
+      rep.ok = true;
+      rep.ts = new_ts;
+      rep.value = req.value;
+      if (acks > 0) {
+        any_acked_write_ = true;
+        max_acked_ts_ = std::max(max_acked_ts_, new_ts);
+      }
+      pending_writes_.push(PendingWrite{end, new_ts});
+      finish = end;
+    }
+  }
+
+  const std::uint64_t latency_us = static_cast<std::uint64_t>(
+      std::llround((finish - arrival) * 1e6));
+  rep.latency_us = latency_us;
+  record_latency(latency_us);
+  return rep;
+}
+
+ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
+                                   std::vector<std::uint8_t>* replies_out) {
+  assert(requests.size() % kRequestWireSize == 0);
+  const std::uint64_t n = requests.size() / kRequestWireSize;
+  const std::uint64_t batch = static_cast<std::uint64_t>(config_.batch);
+  const std::uint64_t num_batches = (n + batch - 1) / batch;
+  const std::uint8_t* in = requests.data();
+
+  std::vector<std::uint8_t> encoded(n * kReplyWireSize);
+  std::vector<Request> parsed(n);
+  std::vector<Reply> decoded(n);
+  std::vector<std::uint64_t> decode_fail(num_batches, 0);
+
+  {
+    std::lock_guard<std::mutex> lk(turn_mu_);
+    solo_turn_ = 0;
+  }
+  const Totals before = totals_;  // obs counters get this call's deltas
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto process = [&](std::uint64_t b) {
+    const std::uint64_t begin = b * batch;
+    const std::uint64_t end = std::min(n, begin + batch);
+    const bool timed = obs::telemetry_enabled();
+    const ServiceMetrics& metrics = ServiceMetrics::get();
+
+    // Prologue: decode + verify this batch's records (private slice).
+    std::uint64_t stage_start = timed ? obs::trace_now_ns() : 0;
+    std::uint64_t bad = 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      parsed[i] = decode_request(in + i * kRequestWireSize);
+      if (!parsed[i].valid) ++bad;
+    }
+    decode_fail[b] = bad;
+    if (timed) metrics.prologue_ns.record(obs::trace_now_ns() - stage_start);
+
+    // Solo: wait for this batch's ticket, run its ops in arrival order,
+    // hand the ticket on.
+    {
+      std::unique_lock<std::mutex> lk(turn_mu_);
+      turn_cv_.wait(lk, [&] { return solo_turn_ == b; });
+    }
+    stage_start = timed ? obs::trace_now_ns() : 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (parsed[i].valid) {
+        decoded[i] = execute_op(parsed[i]);
+      } else {
+        decoded[i] = Reply{};
+        decoded[i].seq = i;
+      }
+    }
+    if (timed) metrics.solo_ns.record(obs::trace_now_ns() - stage_start);
+    {
+      std::lock_guard<std::mutex> lk(turn_mu_);
+      ++solo_turn_;
+    }
+    turn_cv_.notify_all();
+
+    // Epilogue: encode + checksum this batch's replies (private slice).
+    stage_start = timed ? obs::trace_now_ns() : 0;
+    for (std::uint64_t i = begin; i < end; ++i)
+      encode_reply(decoded[i], encoded.data() + i * kReplyWireSize);
+    if (timed) metrics.epilogue_ns.record(obs::trace_now_ns() - stage_start);
+  };
+
+  const int threads = config_.threads > 0 ? config_.threads : default_threads();
+  if (threads > 1 && num_batches > 1 && !ThreadPool::inside_worker()) {
+    ThreadPool::global(threads - 1).for_each_chunk(
+        num_batches, threads, process);
+  } else {
+    for (std::uint64_t b = 0; b < num_batches; ++b) process(b);
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  totals_.requests += n;
+  for (std::uint64_t b = 0; b < num_batches; ++b)
+    totals_.decode_failures += decode_fail[b];
+
+  ServiceResult result;
+  result.requests = totals_.requests;
+  result.decode_failures = totals_.decode_failures;
+  result.reads = totals_.reads;
+  result.reads_ok = totals_.reads_ok;
+  result.writes = totals_.writes;
+  result.writes_ok = totals_.writes_ok;
+  result.stale_reads = totals_.stale_reads;
+  result.probes = totals_.probes;
+  result.write_acks = totals_.write_acks;
+  for (const ServiceReplica& r : replicas_) {
+    result.replica_dropped += r.dropped_requests();
+    result.ts_regressions += r.ts_regressions();
+  }
+  result.net_delivered = transport_.messages_delivered();
+  result.net_dropped = transport_.messages_dropped();
+
+  // No-lost-acked-write: the highest acked write timestamp must still be
+  // readable on some replica (crashes preserve state; only amnesia can
+  // break this).
+  if (any_acked_write_) {
+    bool visible = false;
+    for (const ServiceReplica& r : replicas_)
+      if (!(r.timestamp(0) < max_acked_ts_)) visible = true;
+    result.lost_acked_writes = visible ? 0 : 1;
+  }
+
+  result.latency_us.name = "service.op_latency_us";
+  result.latency_us.bounds = lat_bounds_;
+  result.latency_us.counts = lat_counts_;
+  result.latency_us.count = lat_count_;
+  result.latency_us.sum = lat_sum_;
+  result.latency_us.min = lat_count_ > 0 ? lat_min_ : 0;
+  result.latency_us.max = lat_max_;
+
+  result.reply_fingerprint = fnv1a64(encoded.data(), encoded.size());
+  result.virtual_duration = last_arrival_;
+  result.wall_ms = wall_ms;
+
+  const ServiceMetrics& metrics = ServiceMetrics::get();
+  metrics.requests.add(n);
+  metrics.decode_failures.add(totals_.decode_failures - before.decode_failures);
+  metrics.reads_ok.add(totals_.reads_ok - before.reads_ok);
+  metrics.writes_ok.add(totals_.writes_ok - before.writes_ok);
+  metrics.stale_reads.add(totals_.stale_reads - before.stale_reads);
+
+  if (replies_out != nullptr) *replies_out = std::move(encoded);
+  return result;
+}
+
+}  // namespace sqs

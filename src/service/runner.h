@@ -1,0 +1,194 @@
+// The staged request runner: SQS experiments as served traffic.
+//
+// ServiceRunner executes an encoded, arrival-ordered request stream in three
+// stages, the classic staged-replica split (dsnet's Runner):
+//
+//   prologue  — stateless decode + checksum verification, fanned out over
+//               the shared ThreadPool in batches;
+//   solo      — every stateful step (probe strategy over the Transport,
+//               replica reads/writes, fault-plan application, latency
+//               accounting), executed strictly in arrival order under a
+//               sequence-number ticket: batch b's owner blocks until
+//               solo_turn == b, runs its batch's operations, hands the
+//               ticket to b+1;
+//   epilogue  — stateless reply encoding + checksumming, fanned out again.
+//
+// The ticket discipline is deadlock-free on the pool because for_each_chunk
+// hands out batch indices through a monotone atomic ticket: claimed batches
+// are a contiguous prefix, so the owner of the lowest unfinished batch is
+// never waiting on a higher turn. And it makes the determinism contract of
+// run_trials hold for served traffic: the solo stage observes the identical
+// operation order at any thread count, per-op randomness comes from
+// seed-split streams keyed by sequence number, and the stateless stages
+// touch only their own batch's records — results are bit-identical for 1,
+// 2, or N threads (tests/test_service.cpp asserts it).
+//
+// Time is virtual. Operation semantics and latencies are computed on the
+// load schedule's deterministic timeline (probe RTTs from the Transport,
+// queueing from ServiceReplica's busy window, timeouts from probe_timeout);
+// the wall clock is used only for throughput reporting. Operations are
+// evaluated to completion at their arrival point even though their probes
+// extend past later arrivals — an *arrival-ordered linearization* that keeps
+// replica/transport state exact along each op's own timeline while letting
+// the ordered stage stream millions of ops (DESIGN.md "Staged service").
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "core/quorum_family.h"
+#include "faults/fault_plan.h"
+#include "obs/telemetry.h"
+#include "service/message.h"
+#include "service/replica.h"
+#include "sim/transport.h"
+
+namespace sqs {
+
+struct ServiceConfig {
+  NetworkConfig network;
+  ServerConfig server;
+  int num_clients = 64;
+  double probe_timeout = 0.25;  // seconds a probe waits for its reply
+  int batch = 256;              // requests per solo ticket
+  int threads = 0;              // total participating threads; 0 = default
+  std::uint64_t seed = 1;
+  FaultPlan plan;               // applied on the virtual timeline
+
+  // True iff every knob is usable for a fleet of `num_servers`; complaints
+  // go to stderr, one line per bad field.
+  bool validate(int num_servers) const;
+};
+
+struct ServiceResult {
+  std::uint64_t requests = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t reads = 0, reads_ok = 0;
+  std::uint64_t writes = 0, writes_ok = 0;
+  // Reads that returned a timestamp below the highest ok-write timestamp
+  // whose write had completed before the read arrived — the served-path
+  // analogue of the harness's stale-read count.
+  std::uint64_t stale_reads = 0;
+  std::uint64_t probes = 0;      // acquisition probes across all ops
+  std::uint64_t write_acks = 0;  // per-target acks across all ok writes
+  std::uint64_t replica_dropped = 0;
+  std::uint64_t ts_regressions = 0;
+  std::uint64_t net_delivered = 0, net_dropped = 0;
+  // 1 if some write was acked yet no replica still holds a timestamp >= the
+  // highest acked write's — the no-lost-acked-write invariant, violated
+  // only when state durability is broken (amnesia), never by crashes or
+  // partitions alone.
+  std::uint64_t lost_acked_writes = 0;
+
+  // Virtual op latency (arrival to completion, microseconds) of every
+  // decoded op, failures included; quantiles via latency_us.p50() etc.
+  obs::HistogramSnapshot latency_us;
+
+  // FNV-1a over the encoded reply stream — the bit-identity probe: equal
+  // fingerprints mean byte-equal replies.
+  std::uint64_t reply_fingerprint = 0;
+
+  double virtual_duration = 0.0;  // last arrival, virtual seconds
+  double wall_ms = 0.0;           // real time inside serve()
+
+  std::uint64_t ops_ok() const { return reads_ok + writes_ok; }
+  double availability() const {
+    const std::uint64_t ops = reads + writes;
+    return ops == 0 ? 0.0 : static_cast<double>(ops_ok()) / ops;
+  }
+  double wall_ops_per_sec() const {
+    return wall_ms <= 0.0 ? 0.0 : static_cast<double>(requests) / (wall_ms / 1e3);
+  }
+};
+
+// Bucket bounds of the op-latency histograms: 1 ms steps to 200 ms (the
+// regime rate sweeps care about), power-of-two beyond (timeout pile-ups).
+std::vector<std::uint64_t> service_latency_bounds();
+
+class ServiceRunner {
+ public:
+  // The family fixes the server universe; config.validate(universe) must
+  // hold (asserted). The runner owns transport, replicas, and one probe
+  // strategy instance (solo-only, reset per op).
+  ServiceRunner(const QuorumFamily& family, const ServiceConfig& config);
+  ~ServiceRunner();
+
+  ServiceRunner(const ServiceRunner&) = delete;
+  ServiceRunner& operator=(const ServiceRunner&) = delete;
+
+  // Serves an encoded request stream (total_ops records of kRequestWireSize
+  // bytes, arrival-sorted — generate_load's output shape). Repeated calls
+  // continue on the same world state, and the returned stats are lifetime
+  // totals (wall_ms and reply_fingerprint cover the current call). If
+  // `replies_out` is non-null it receives the encoded reply stream
+  // (kReplyWireSize bytes per request).
+  ServiceResult serve(const std::vector<std::uint8_t>& requests,
+                      std::vector<std::uint8_t>* replies_out = nullptr);
+
+  const ServiceConfig& config() const { return config_; }
+  int num_servers() const { return static_cast<int>(replicas_.size()); }
+  const ServiceReplica& replica(int i) const { return replicas_[i]; }
+
+ private:
+  struct OpStats;
+  void apply_faults_until(double now);
+  void pop_completed_writes(double now);
+  Reply execute_op(const Request& req);
+
+  ServiceConfig config_;
+  Transport transport_;
+  std::vector<ServiceReplica> replicas_;
+  std::unique_ptr<ProbeStrategy> strategy_;
+  Rng op_rng_base_;
+
+  // Fault timeline, sorted by time; cursor advances with the arrivals.
+  std::vector<FaultEvent> fault_timeline_;
+  std::size_t next_fault_ = 0;
+
+  // Register frontier: ok writes complete at a virtual finish time; a read
+  // is judged stale against the max timestamp among writes completed before
+  // its arrival.
+  struct PendingWrite {
+    double finish;
+    Timestamp ts;
+    bool operator>(const PendingWrite& other) const {
+      return finish > other.finish;
+    }
+  };
+  std::priority_queue<PendingWrite, std::vector<PendingWrite>,
+                      std::greater<PendingWrite>>
+      pending_writes_;
+  Timestamp frontier_ts_;
+  Timestamp max_acked_ts_;
+  bool any_acked_write_ = false;
+  double last_arrival_ = 0.0;
+
+  // Solo-owned per-op scratch and lifetime totals.
+  std::vector<std::optional<std::pair<Timestamp, std::uint64_t>>> replies_;
+  std::vector<int> touched_;
+  struct Totals {
+    std::uint64_t requests = 0, decode_failures = 0;
+    std::uint64_t reads = 0, reads_ok = 0, writes = 0, writes_ok = 0;
+    std::uint64_t stale_reads = 0, probes = 0, write_acks = 0;
+  } totals_;
+
+  // Always-on local latency histogram (service_latency_bounds buckets), so
+  // quantiles need no telemetry; snapshotted into ServiceResult.
+  std::vector<std::uint64_t> lat_bounds_;
+  std::vector<std::uint64_t> lat_counts_;
+  std::uint64_t lat_count_ = 0, lat_sum_ = 0;
+  std::uint64_t lat_min_ = ~0ull, lat_max_ = 0;
+  void record_latency(std::uint64_t us);
+
+  // Ticket state for the solo stage.
+  std::mutex turn_mu_;
+  std::condition_variable turn_cv_;
+  std::uint64_t solo_turn_ = 0;
+};
+
+}  // namespace sqs

@@ -1,8 +1,5 @@
 #include "sim/network.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cstdio>
 #include <utility>
 
 #include "obs/telemetry.h"
@@ -22,129 +19,57 @@ struct NetMetrics {
 
 }  // namespace
 
-bool NetworkConfig::validate() const {
-  bool ok = true;
-  const auto reject = [&ok](const char* what, double value) {
-    std::fprintf(stderr, "NetworkConfig: invalid %s %g\n", what, value);
-    ok = false;
-  };
-  if (!(base_latency >= 0.0)) reject("base_latency", base_latency);
-  if (!(jitter_mean > 0.0)) reject("jitter_mean", jitter_mean);
-  if (!(link_mean_up > 0.0)) reject("link_mean_up", link_mean_up);
-  if (!(link_mean_down > 0.0)) reject("link_mean_down", link_mean_down);
-  return ok;
-}
-
 Network::Network(Simulator* sim, int num_clients, int num_servers,
                  const NetworkConfig& config, Rng rng)
-    : sim_(sim), num_servers_(num_servers), config_(config), rng_(std::move(rng)) {
-  links_.resize(static_cast<std::size_t>(num_clients * num_servers));
-  client_partition_until_.assign(static_cast<std::size_t>(num_clients), 0.0);
-  partial_partitions_.resize(static_cast<std::size_t>(num_clients));
-  link_block_until_.assign(static_cast<std::size_t>(num_clients * num_servers), 0.0);
-  server_partition_until_.assign(static_cast<std::size_t>(num_servers), 0.0);
-  // Start each link in its stationary distribution so short experiments are
-  // unbiased.
-  const double p_down = config_.stationary_link_down();
-  for (auto& l : links_) {
-    l.up = !rng_.bernoulli(p_down);
-    const double mean = l.up ? config_.link_mean_up : config_.link_mean_down;
-    l.next_toggle = rng_.exponential(1.0 / mean);
-  }
-}
-
-void Network::advance_link(Link& l) {
-  while (l.next_toggle <= sim_->now()) {
-    l.up = !l.up;
-    const double mean = l.up ? config_.link_mean_up : config_.link_mean_down;
-    l.next_toggle += rng_.exponential(1.0 / mean);
-  }
-}
+    : sim_(sim),
+      transport_(num_clients, num_servers, config, std::move(rng)) {}
 
 bool Network::link_up(int client, int server) {
-  if (sim_->now() < client_partition_until_[static_cast<std::size_t>(client)])
-    return false;
-  if (sim_->now() < server_partition_until_[static_cast<std::size_t>(server)])
-    return false;
-  if (sim_->now() <
-      link_block_until_[static_cast<std::size_t>(client * num_servers_ + server)])
-    return false;
-  const PartialPartition& pp = partial_partitions_[static_cast<std::size_t>(client)];
-  if (sim_->now() < pp.until && pp.blocked[static_cast<std::size_t>(server)])
-    return false;
-  Link& l = link(client, server);
-  advance_link(l);
-  return l.up;
+  return transport_.link_up(client, server, sim_->now());
 }
 
 void Network::send(int client, int server, Direction /*direction*/,
                    std::function<void()> on_delivery) {
-  if (!link_up(client, server)) {  // lost
-    ++dropped_;
+  const Transport::Delivery d = transport_.attempt(client, server, sim_->now());
+  if (!d.delivered) {
     NetMetrics::get().dropped.add(1);
     return;
   }
-  // An active loss burst drops deliverable messages too. The extra
-  // bernoulli draw happens only while a burst is live, so runs without
-  // injected loss consume the exact same rng stream as before.
-  if (sim_->now() < loss_burst_until_ && rng_.bernoulli(loss_prob_)) {
-    ++dropped_;
-    NetMetrics::get().dropped.add(1);
-    return;
-  }
-  double latency =
-      config_.base_latency + rng_.exponential(1.0 / config_.jitter_mean);
-  if (sim_->now() < latency_burst_until_) latency *= latency_factor_;
-  ++delivered_;
   NetMetrics::get().delivered.add(1);
-  sim_->schedule(latency, std::move(on_delivery));
+  sim_->schedule(d.latency, std::move(on_delivery));
 }
 
 void Network::partition_client(int client, double duration) {
-  client_partition_until_[static_cast<std::size_t>(client)] =
-      sim_->now() + duration;
+  transport_.partition_client(client, sim_->now(), duration);
 }
 
 void Network::partition_client_partial(int client, double fraction,
                                        double duration) {
-  PartialPartition& pp = partial_partitions_[static_cast<std::size_t>(client)];
-  pp.until = sim_->now() + duration;
-  pp.fraction = fraction;
-  pp.blocked.assign(static_cast<std::size_t>(num_servers_), 0);
-  for (int s = 0; s < num_servers_; ++s)
-    if (rng_.bernoulli(fraction)) pp.blocked[static_cast<std::size_t>(s)] = 1;
+  transport_.partition_client_partial(client, fraction, sim_->now(), duration);
 }
 
 void Network::block_link(int client, int server, double duration) {
-  link_block_until_[static_cast<std::size_t>(client * num_servers_ + server)] =
-      sim_->now() + duration;
+  transport_.block_link(client, server, sim_->now(), duration);
 }
 
 void Network::force_partition(int server, double duration) {
-  double& until = server_partition_until_[static_cast<std::size_t>(server)];
-  until = std::max(until, sim_->now() + duration);
+  transport_.force_partition(server, sim_->now(), duration);
 }
 
 void Network::inject_latency_burst(double factor, double duration) {
-  latency_factor_ = factor;
-  latency_burst_until_ = sim_->now() + duration;
+  transport_.inject_latency_burst(factor, sim_->now(), duration);
 }
 
 void Network::inject_loss_burst(double drop_prob, double duration) {
-  loss_prob_ = drop_prob;
-  loss_burst_until_ = sim_->now() + duration;
+  transport_.inject_loss_burst(drop_prob, sim_->now(), duration);
 }
 
 bool Network::client_partition_active(int client) const {
-  return sim_->now() < client_partition_until_[static_cast<std::size_t>(client)] ||
-         sim_->now() < partial_partitions_[static_cast<std::size_t>(client)].until;
+  return transport_.client_partition_active(client, sim_->now());
 }
 
 double Network::client_partition_fraction(int client) const {
-  if (sim_->now() < client_partition_until_[static_cast<std::size_t>(client)])
-    return 1.0;
-  const PartialPartition& pp = partial_partitions_[static_cast<std::size_t>(client)];
-  return sim_->now() < pp.until ? pp.fraction : 0.0;
+  return transport_.client_partition_fraction(client, sim_->now());
 }
 
 }  // namespace sqs

@@ -1,4 +1,5 @@
-// The simulated wide-area network.
+// The simulated wide-area network: the shared Transport link-state machine
+// (see sim/transport.h) adapted to the discrete-event loop.
 //
 // Links between each (client, server) pair flap independently: alternating
 // exponentially-distributed up and down periods, evaluated lazily. A message
@@ -10,9 +11,11 @@
 // process), matching the Sect. 4 assumption. A partition switch makes a
 // whole client's links fail together for testing the correlated case.
 //
-// Fault-injection hooks (driven by src/faults fault plans, usable directly
-// too): `force_partition` cuts a server off from every client,
-// `inject_latency_burst` multiplies delivery latency, and
+// All of that state lives in the Transport; Network's own job is just to
+// stamp Simulator::now() onto every query and turn a delivered attempt into
+// a scheduled event. Fault-injection hooks (driven by src/faults fault
+// plans, usable directly too): `force_partition` cuts a server off from
+// every client, `inject_latency_burst` multiplies delivery latency, and
 // `inject_loss_burst` adds an extra drop probability — each for a bounded
 // window. Every send outcome is counted (`sim.net.delivered` /
 // `sim.net.dropped`) so injected trouble is visible in metric snapshots.
@@ -20,26 +23,12 @@
 #pragma once
 
 #include <functional>
-#include <vector>
 
 #include "sim/simulator.h"
+#include "sim/transport.h"
 #include "util/rng.h"
 
 namespace sqs {
-
-struct NetworkConfig {
-  double base_latency = 0.020;      // one-way, seconds
-  double jitter_mean = 0.010;       // exponential jitter added per hop
-  double link_mean_up = 100.0;      // mean link up-period (seconds)
-  double link_mean_down = 1.0;      // mean link down-period (seconds)
-  // Stationary P[link down] = mean_down / (mean_up + mean_down).
-  double stationary_link_down() const {
-    return link_mean_down / (link_mean_up + link_mean_down);
-  }
-  // True iff every duration is usable (positive means, non-negative
-  // latency); complaints go to stderr, one line per bad field.
-  bool validate() const;
-};
 
 class Network {
  public:
@@ -93,45 +82,21 @@ class Network {
   // The active partition's fraction (1.0 for a full partition, 0.0 if none).
   double client_partition_fraction(int client) const;
 
-  const NetworkConfig& config() const { return config_; }
+  const NetworkConfig& config() const { return transport_.config(); }
 
   // Lifetime totals of the send path (mirrors the sim.net.{delivered,
   // dropped} counters, but always on so harness invariants need no
   // telemetry).
-  std::uint64_t messages_delivered() const { return delivered_; }
-  std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t messages_delivered() const {
+    return transport_.messages_delivered();
+  }
+  std::uint64_t messages_dropped() const {
+    return transport_.messages_dropped();
+  }
 
  private:
-  struct Link {
-    bool up = true;
-    double next_toggle = 0.0;
-  };
-
-  Link& link(int client, int server) {
-    return links_[static_cast<std::size_t>(client * num_servers_ + server)];
-  }
-  void advance_link(Link& l);
-
   Simulator* sim_;
-  int num_servers_;
-  NetworkConfig config_;
-  Rng rng_;
-  std::vector<Link> links_;
-  std::vector<double> client_partition_until_;
-  struct PartialPartition {
-    double until = 0.0;
-    double fraction = 0.0;
-    std::vector<char> blocked;  // per-server
-  };
-  std::vector<PartialPartition> partial_partitions_;
-  std::vector<double> link_block_until_;
-  std::vector<double> server_partition_until_;
-  double latency_factor_ = 1.0;
-  double latency_burst_until_ = 0.0;
-  double loss_prob_ = 0.0;
-  double loss_burst_until_ = 0.0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
+  Transport transport_;
 };
 
 }  // namespace sqs

@@ -112,6 +112,81 @@ TEST(ObsTelemetry, CounterAndHistogramSemantics) {
 // The core determinism claim: totals after a sharded parallel workload are
 // identical for any thread count, because every shard merges exactly once
 // before run_trials returns and all values are order-independent integers.
+TEST(ObsTelemetry, QuantileEmptyAndSingleValue) {
+  obs::HistogramSnapshot h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+
+  // Every sample equal: min/max tighten the bucket to a point, so any q is
+  // exact even though the bucket spans (10, 20].
+  h.bounds = {10, 20, 30};
+  h.counts = {0, 4, 0, 0};
+  h.count = 4;
+  h.sum = 60;
+  h.min = 15;
+  h.max = 15;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 15.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
+}
+
+TEST(ObsTelemetry, QuantileInterpolatesWithinBucket) {
+  obs::HistogramSnapshot h;
+  h.bounds = {0, 100};
+  h.counts = {0, 100, 0};  // all 100 samples in (0, 100]
+  h.count = 100;
+  h.min = 1;
+  h.max = 100;
+  // lo tightened to min=1, hi stays 100; linear in the target rank.
+  EXPECT_DOUBLE_EQ(h.p50(), 1.0 + 0.50 * 99.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 1.0 + 0.99 * 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(ObsTelemetry, QuantileWalksBucketsByRank) {
+  obs::HistogramSnapshot h;
+  h.bounds = {10, 20};
+  h.counts = {5, 5, 0};
+  h.count = 10;
+  h.min = 2;
+  h.max = 18;
+  // target rank 3 lands in the first bucket [min=2, 10].
+  EXPECT_DOUBLE_EQ(h.quantile(0.3), 2.0 + (3.0 / 5.0) * 8.0);
+  // target rank 9 lands in the second bucket (10, max=18].
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 10.0 + (4.0 / 5.0) * 8.0);
+}
+
+TEST(ObsTelemetry, QuantileOverflowBucketUsesRecordedMax) {
+  obs::HistogramSnapshot h;
+  h.bounds = {10};
+  h.counts = {0, 5};  // everything past the last bound
+  h.count = 5;
+  h.min = 50;
+  h.max = 90;
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 90.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 50.0 + (1.0 / 5.0) * 40.0);
+}
+
+TEST(ObsTelemetry, QuantileThroughRegistryAndJson) {
+  TelemetryGuard guard;
+  obs::configure(enabled_config(true, false));
+  obs::Histogram h = obs::Registry::instance().histogram(
+      "test.quantile_hist", obs::linear_bounds(1, 100, 1));
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  const obs::HistogramSnapshot* hs = snap.histogram("test.quantile_hist");
+  ASSERT_NE(hs, nullptr);
+  // One distinct value per bucket -> quantiles are exact at integer ranks.
+  EXPECT_DOUBLE_EQ(hs->p50(), 50.0);
+  EXPECT_DOUBLE_EQ(hs->p99(), 99.0);
+  EXPECT_NEAR(hs->p999(), 99.9, 1e-9);
+  // The snapshot JSON carries the quantiles for downstream consumers.
+  JsonWriter json;
+  snap.write_json(json);
+  EXPECT_NE(json.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"p999\""), std::string::npos);
+}
+
 TEST(ObsTelemetry, MergeDeterminismAcrossThreadCounts) {
   TelemetryGuard guard;
   obs::configure(enabled_config(true, false));

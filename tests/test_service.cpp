@@ -1,0 +1,366 @@
+// Tests of the staged replicated-register service (src/service): wire
+// format, CLI flag parsing, open-loop load generation, the explicit-time
+// replica, and the ServiceRunner's headline contracts — bit-identical
+// results at any thread count, queueing delay that rises with offered
+// rate, and no lost acked write under a FaultPlan partition.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/constructions.h"
+#include "service/load_gen.h"
+#include "service/message.h"
+#include "service/replica.h"
+#include "service/runner.h"
+#include "util/rng.h"
+
+namespace sqs {
+namespace {
+
+// --- wire format ------------------------------------------------------------
+
+TEST(ServiceWire, RequestRoundTrip) {
+  Request req;
+  req.seq = 0x1122334455667788ull;
+  req.arrival_us = 987654321;
+  req.value = 42;
+  req.client = 63;
+  req.kind = OpKind::kWrite;
+  std::uint8_t buf[kRequestWireSize];
+  encode_request(req, buf);
+  const Request out = decode_request(buf);
+  ASSERT_TRUE(out.valid);
+  EXPECT_EQ(out.seq, req.seq);
+  EXPECT_EQ(out.arrival_us, req.arrival_us);
+  EXPECT_EQ(out.value, req.value);
+  EXPECT_EQ(out.client, req.client);
+  EXPECT_EQ(out.kind, req.kind);
+  EXPECT_DOUBLE_EQ(out.arrival(), 987.654321);
+}
+
+TEST(ServiceWire, ReplyRoundTrip) {
+  Reply rep;
+  rep.seq = 7;
+  rep.latency_us = 123456;
+  rep.value = 99;
+  rep.ts = Timestamp{12, 3};
+  rep.probes = 5;
+  rep.kind = OpKind::kRead;
+  rep.ok = true;
+  std::uint8_t buf[kReplyWireSize];
+  encode_reply(rep, buf);
+  Reply out;
+  ASSERT_TRUE(decode_reply(buf, &out));
+  EXPECT_EQ(out.seq, rep.seq);
+  EXPECT_EQ(out.latency_us, rep.latency_us);
+  EXPECT_EQ(out.value, rep.value);
+  EXPECT_TRUE(out.ts == rep.ts);
+  EXPECT_EQ(out.probes, rep.probes);
+  EXPECT_EQ(out.kind, rep.kind);
+  EXPECT_TRUE(out.ok);
+}
+
+TEST(ServiceWire, ChecksumCatchesCorruption) {
+  Request req;
+  req.seq = 5;
+  req.arrival_us = 1000;
+  req.kind = OpKind::kRead;
+  std::uint8_t buf[kRequestWireSize];
+  encode_request(req, buf);
+  // Flipping any single bit outside the checksum field itself must be
+  // caught (the checksum bytes live at [4, 8)).
+  for (std::size_t i = 0; i < kRequestWireSize; ++i) {
+    if (i >= 4 && i < 8) continue;
+    buf[i] ^= 0x01;
+    EXPECT_FALSE(decode_request(buf).valid) << "byte " << i;
+    buf[i] ^= 0x01;
+  }
+  EXPECT_TRUE(decode_request(buf).valid);  // restored
+}
+
+TEST(ServiceWire, BadMagicAndBadKindRejected) {
+  Request req;
+  req.kind = OpKind::kWrite;
+  std::uint8_t buf[kRequestWireSize];
+  encode_request(req, buf);
+  std::uint8_t mangled[kRequestWireSize];
+  std::memcpy(mangled, buf, kRequestWireSize);
+  mangled[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(decode_request(mangled).valid);
+
+  Reply rep;
+  std::uint8_t rbuf[kReplyWireSize];
+  encode_reply(rep, rbuf);
+  rbuf[0] ^= 0xFF;
+  Reply out;
+  EXPECT_FALSE(decode_reply(rbuf, &out));
+}
+
+// --- flag parsing -----------------------------------------------------------
+
+TEST(ServiceFlags, ParsePositiveDoubleAccepts) {
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", "2000"), 2000.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--duration", "1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--duration", "0.25"), 0.25);
+}
+
+TEST(ServiceFlags, ParsePositiveDoubleRejectsLoudly) {
+  // Malformed input returns the 0.0 sentinel (and complains on stderr)
+  // instead of silently defaulting — same contract as parse_thread_count.
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", "bogus"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", ""), 0.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", "12x"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", "-3"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", "0"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", "inf"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("--rate", "nan"), 0.0);
+}
+
+// --- load generation --------------------------------------------------------
+
+TEST(ServiceLoadGen, ConfigValidation) {
+  LoadGenConfig good;
+  EXPECT_TRUE(good.validate());
+  LoadGenConfig bad = good;
+  bad.rate = 0.0;
+  EXPECT_FALSE(bad.validate());
+  bad = good;
+  bad.duration = -1.0;
+  EXPECT_FALSE(bad.validate());
+  bad = good;
+  bad.read_fraction = 1.5;
+  EXPECT_FALSE(bad.validate());
+  bad = good;
+  bad.num_clients = 0;
+  EXPECT_FALSE(bad.validate());
+}
+
+LoadGenConfig small_load() {
+  LoadGenConfig load;
+  load.rate = 500.0;
+  load.duration = 4.0;  // 2000 ops
+  load.num_clients = 16;
+  load.seed = 7;
+  return load;
+}
+
+TEST(ServiceLoadGen, ByteIdenticalAcrossThreadCounts) {
+  TrialOptions one, eight;
+  one.threads = 1;
+  eight.threads = 8;
+  const std::vector<std::uint8_t> a = generate_load(small_load(), one);
+  const std::vector<std::uint8_t> b = generate_load(small_load(), eight);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), small_load().total_ops() * kRequestWireSize);
+}
+
+TEST(ServiceLoadGen, ArrivalsMonotoneAndSchedulePlausible) {
+  const LoadGenConfig load = small_load();
+  const std::vector<std::uint8_t> bytes = generate_load(load);
+  const std::uint64_t n = load.total_ops();
+  std::uint64_t last = 0, reads = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Request req = decode_request(bytes.data() + i * kRequestWireSize);
+    ASSERT_TRUE(req.valid) << "op " << i;
+    EXPECT_EQ(req.seq, i);
+    EXPECT_GE(req.arrival_us, last);  // arrival-sorted
+    last = req.arrival_us;
+    EXPECT_LT(req.client, static_cast<std::uint32_t>(load.num_clients));
+    if (req.kind == OpKind::kRead) ++reads;
+    // op i arrives inside its own rate slot: [i, i+1) / rate.
+    EXPECT_GE(req.arrival(), static_cast<double>(i) / load.rate - 1e-6);
+    EXPECT_LT(req.arrival(), static_cast<double>(i + 1) / load.rate);
+  }
+  // Read mix near the configured fraction (binomial, generous bounds).
+  EXPECT_GT(reads, n * 7 / 10);
+  EXPECT_LT(reads, n * 9 / 10);
+}
+
+// --- explicit-time replica --------------------------------------------------
+
+ServerConfig reliable_server() {
+  ServerConfig config;
+  config.mean_up = 1e12;
+  config.mean_down = 1e-9;
+  config.service_time = 0.001;
+  return config;
+}
+
+TEST(ServiceReplicaTest, ServesAndQueuesOnTheArrivalClock) {
+  ServiceReplica r(0, reliable_server(), Rng(1));
+  // First op: no backlog, completion = delivery + service_time.
+  const auto w1 = r.serve_write(Timestamp{1, 0}, 11, 0, 0.10, 0.10);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_DOUBLE_EQ(*w1, 0.101);
+  // Second op arrives (qnow) before the first finishes: waits its turn.
+  const auto w2 = r.serve_write(Timestamp{2, 0}, 22, 0, 0.1005, 0.1005);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_DOUBLE_EQ(*w2, 0.1005 + (0.101 - 0.1005) + 0.001);
+  // Stale timestamp is acked but not applied.
+  const auto w3 = r.serve_write(Timestamp{1, 0}, 99, 0, 0.2, 0.2);
+  ASSERT_TRUE(w3.has_value());
+  EXPECT_TRUE(r.timestamp(0) == (Timestamp{2, 0}));
+  const auto rd = r.serve_read(0, 0.3, 0.3);
+  ASSERT_TRUE(rd.has_value());
+  EXPECT_EQ(rd->value, 22u);
+  EXPECT_EQ(r.ts_regressions(), 0u);
+  EXPECT_GT(r.busy_seconds(), 0.0);
+}
+
+TEST(ServiceReplicaTest, ForcedCrashDropsRequests) {
+  ServiceReplica r(0, reliable_server(), Rng(2));
+  r.force_crash(1.0, 5.0);
+  EXPECT_FALSE(r.up(3.0));
+  EXPECT_FALSE(r.serve_read(0, 3.0, 3.0).has_value());
+  EXPECT_FALSE(r.serve_write(Timestamp{1, 0}, 1, 0, 4.0, 4.0).has_value());
+  EXPECT_EQ(r.dropped_requests(), 2u);
+  EXPECT_TRUE(r.up(6.5));
+  EXPECT_TRUE(r.serve_read(0, 6.5, 6.5).has_value());
+}
+
+TEST(ServiceReplicaTest, GraySlowdownInflatesServiceTime) {
+  ServiceReplica r(0, reliable_server(), Rng(3));
+  r.set_gray(10.0, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.service_time(1.0), 0.010);
+  EXPECT_DOUBLE_EQ(r.service_time(3.0), 0.001);  // window over
+}
+
+// --- the staged runner ------------------------------------------------------
+
+ServiceConfig service_config() {
+  ServiceConfig config;
+  config.num_clients = 16;
+  config.batch = 64;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Service, ConfigValidation) {
+  EXPECT_TRUE(service_config().validate(12));
+  ServiceConfig bad = service_config();
+  bad.batch = 0;
+  EXPECT_FALSE(bad.validate(12));
+  bad = service_config();
+  bad.probe_timeout = -1.0;
+  EXPECT_FALSE(bad.validate(12));
+  bad = service_config();
+  bad.num_clients = 0;
+  EXPECT_FALSE(bad.validate(12));
+  bad = service_config();
+  bad.threads = -2;
+  EXPECT_FALSE(bad.validate(12));
+}
+
+TEST(Service, BitIdenticalAcrossThreadCounts) {
+  const OptDFamily family(12, 2);
+  const std::vector<std::uint8_t> requests = generate_load(small_load());
+  ServiceResult first;
+  std::vector<std::uint8_t> first_replies;
+  bool have_first = false;
+  for (const int threads : {1, 2, 8}) {
+    ServiceConfig config = service_config();
+    config.threads = threads;
+    ServiceRunner runner(family, config);
+    std::vector<std::uint8_t> replies;
+    const ServiceResult r = runner.serve(requests, &replies);
+    EXPECT_EQ(r.requests, small_load().total_ops());
+    EXPECT_EQ(r.decode_failures, 0u);
+    EXPECT_EQ(r.reads + r.writes, r.requests);
+    if (!have_first) {
+      first = r;
+      first_replies = std::move(replies);
+      have_first = true;
+      continue;
+    }
+    // The whole result is a deterministic function of (requests, config):
+    // reply bytes, fingerprint, every counter, the latency histogram.
+    EXPECT_EQ(replies, first_replies) << "threads=" << threads;
+    EXPECT_EQ(r.reply_fingerprint, first.reply_fingerprint);
+    EXPECT_EQ(r.reads_ok, first.reads_ok);
+    EXPECT_EQ(r.writes_ok, first.writes_ok);
+    EXPECT_EQ(r.stale_reads, first.stale_reads);
+    EXPECT_EQ(r.probes, first.probes);
+    EXPECT_EQ(r.net_delivered, first.net_delivered);
+    EXPECT_EQ(r.net_dropped, first.net_dropped);
+    EXPECT_EQ(r.latency_us.counts, first.latency_us.counts);
+    EXPECT_EQ(r.latency_us.sum, first.latency_us.sum);
+  }
+}
+
+TEST(Service, CorruptRequestCountedAndAnsweredNotOk) {
+  const OptDFamily family(12, 2);
+  std::vector<std::uint8_t> requests = generate_load(small_load());
+  requests[5 * kRequestWireSize + 32] ^= 0xFF;  // corrupt op 5's payload
+  ServiceRunner runner(family, service_config());
+  std::vector<std::uint8_t> replies;
+  const ServiceResult r = runner.serve(requests, &replies);
+  EXPECT_EQ(r.decode_failures, 1u);
+  EXPECT_EQ(r.requests, small_load().total_ops());
+  Reply rep;
+  ASSERT_TRUE(decode_reply(replies.data() + 5 * kReplyWireSize, &rep));
+  EXPECT_EQ(rep.seq, 5u);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Service, QueueingRaisesTailLatencyTowardSaturation) {
+  // OPT_d probes sequentially, so server 0 sees every op: its capacity
+  // (1/service_time = 1000 ops/s) caps the service. Offered load well past
+  // that must show up as queueing delay in the tail; a trickle must not.
+  const OptDFamily family(12, 2);
+  LoadGenConfig trickle = small_load();
+  trickle.rate = 100.0;
+  trickle.duration = 20.0;  // 2000 ops
+  LoadGenConfig flood = small_load();
+  flood.rate = 5000.0;
+  flood.duration = 1.0;  // 5000 ops in one virtual second
+  ServiceRunner slow(family, service_config());
+  ServiceRunner fast(family, service_config());
+  const ServiceResult low = slow.serve(generate_load(trickle));
+  const ServiceResult high = fast.serve(generate_load(flood));
+  EXPECT_GT(high.latency_us.p99(), 2.0 * low.latency_us.p99());
+  EXPECT_GT(high.latency_us.p50(), low.latency_us.p50());
+}
+
+TEST(Service, PartitionPreservesEveryAckedWrite) {
+  const OptDFamily family(12, 2);
+  const std::vector<std::uint8_t> requests = generate_load(small_load());
+
+  ServiceRunner plain_runner(family, service_config());
+  const ServiceResult plain = plain_runner.serve(requests);
+
+  // Cut server 0 (OPT_d's first probe target, so every op feels it) off
+  // from every client for half the run.
+  ServiceConfig partitioned = service_config();
+  partitioned.plan.server_partition(1.0, 0, 2.0);
+  ServiceRunner part_runner(family, partitioned);
+  const ServiceResult part = part_runner.serve(requests);
+
+  // The fault bit: ops during the window burn the probe timeout on server
+  // 0, so total latency strictly grows and the reply stream differs.
+  EXPECT_GT(part.latency_us.sum, plain.latency_us.sum);
+  EXPECT_NE(part.reply_fingerprint, plain.reply_fingerprint);
+  // The invariant: partitions delay and redirect, they do not destroy
+  // state — every acked write stays readable on both runs.
+  EXPECT_EQ(plain.lost_acked_writes, 0u);
+  EXPECT_EQ(part.lost_acked_writes, 0u);
+  EXPECT_GT(part.writes_ok, 0u);
+}
+
+TEST(Service, LifetimeTotalsAccumulateAcrossServeCalls) {
+  const OptDFamily family(12, 2);
+  LoadGenConfig load = small_load();
+  load.duration = 1.0;  // 500 ops
+  const std::vector<std::uint8_t> requests = generate_load(load);
+  ServiceRunner runner(family, service_config());
+  const ServiceResult once = runner.serve(requests);
+  const ServiceResult twice = runner.serve(requests);
+  EXPECT_EQ(once.requests, load.total_ops());
+  EXPECT_EQ(twice.requests, 2 * load.total_ops());
+  EXPECT_GE(twice.probes, once.probes);
+}
+
+}  // namespace
+}  // namespace sqs

@@ -10,6 +10,15 @@
 //   sqs_cli sweep   --kind nonintersect --n 24 --alphas 1,2,3 --misses 0.1,0.2
 //   sqs_cli search  --target-nonint 1e-3 --target-avail 0.999 --n 24 --p 0.1
 //   sqs_cli chaos   --scenario churn --n 12 --alpha 2 --replicates 4
+//   sqs_cli serve   --family optd --n 12 --alpha 2 --rate 2000 --duration 5
+//
+// `serve` runs the staged replicated-register service (src/service): an
+// open-loop load generator issues read/write ops at the target rate through
+// the family's probe strategy over the extracted Transport, executed by the
+// three-stage runner (parallel decode -> ordered solo -> parallel encode).
+// `--rate` / `--duration` are validated (malformed values are rejected on
+// stderr, never silently defaulted); `--scenario` overlays a fault timeline
+// (none|partition|churn|gray|lossy). Exit code 1 if an acked write was lost.
 //
 // `chaos` sweeps fault-injection scenarios (src/faults) through the
 // register-experiment harness and checks the paper's invariants per
@@ -60,6 +69,8 @@
 #include "probe/measurements.h"
 #include "probe/serverprobe.h"
 #include "runtime/thread_pool.h"
+#include "service/load_gen.h"
+#include "service/runner.h"
 #include "sweep/search.h"
 #include "sweep/sweep.h"
 #include "uqs/grid.h"
@@ -512,14 +523,101 @@ int cmd_chaos(const Args& args) {
   return all_passed ? 0 : 1;
 }
 
+int cmd_serve(const Args& args) {
+  auto family = make_family(args.gets("family", "optd"), args);
+
+  // --rate / --duration go through the validating parser: a malformed value
+  // is rejected on stderr and the command exits, mirroring how --threads and
+  // SQS_THREADS share parse_thread_count (which init_threads_from_args
+  // already applied; threads = 0 below picks up that default).
+  LoadGenConfig load;
+  if (args.flags.count("rate")) {
+    load.rate = parse_positive_double("--rate", args.gets("rate", "").c_str());
+    if (load.rate == 0.0) return 2;
+  } else {
+    load.rate = 2000.0;
+  }
+  if (args.flags.count("duration")) {
+    load.duration =
+        parse_positive_double("--duration", args.gets("duration", "").c_str());
+    if (load.duration == 0.0) return 2;
+  } else {
+    load.duration = 5.0;
+  }
+  load.read_fraction = args.getd("read-fraction", 0.8);
+  load.num_clients = args.geti("clients", 64);
+  load.seed = static_cast<std::uint64_t>(args.geti("seed", 1));
+
+  ServiceConfig config;
+  config.num_clients = load.num_clients;
+  config.probe_timeout = args.getd("timeout", 0.25);
+  config.batch = args.geti("batch", 256);
+  config.seed = load.seed;
+  config.server.mean_up = args.getd("mean-up", 95.0);
+  config.server.mean_down = args.getd("mean-down", 5.0);
+  config.server.service_time = args.getd("service-time", 0.001);
+
+  const int n = family->universe_size();
+  const double d = load.duration;
+  const std::string scenario = args.gets("scenario", "none");
+  if (scenario == "partition") {
+    config.plan.server_partition(0.3 * d, 0, 0.3 * d);
+  } else if (scenario == "churn") {
+    config.plan = make_churn_plan(n, 0.1 * d, 0.2 * d, std::max(1, n / 6),
+                                  0.1 * d, d);
+  } else if (scenario == "gray") {
+    config.plan = make_gray_plan(n, std::max(1, n / 4), 8.0, 0.2 * d, 0.6 * d);
+  } else if (scenario == "lossy") {
+    config.plan = make_lossy_plan(0.1 * d, d, 0.25 * d, 0.1 * d, 0.3, 4.0);
+  } else if (scenario != "none") {
+    std::fprintf(stderr,
+                 "unknown scenario '%s' (none|partition|churn|gray|lossy)\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  if (!load.validate() || !config.validate(n)) return 2;
+
+  const std::vector<std::uint8_t> requests = generate_load(load);
+  ServiceRunner runner(*family, config);
+  const ServiceResult r = runner.serve(requests);
+
+  Table table({"metric", "value"});
+  table.add_row({"ops served", std::to_string(r.requests)});
+  table.add_row({"availability", Table::fmt(r.availability(), 6)});
+  table.add_row({"stale reads", std::to_string(r.stale_reads)});
+  table.add_row({"probes/op", Table::fmt(static_cast<double>(r.probes) /
+                                             std::max<std::uint64_t>(1, r.reads + r.writes),
+                                         3)});
+  table.add_row({"p50 latency (ms)", Table::fmt(r.latency_us.p50() / 1e3, 3)});
+  table.add_row({"p99 latency (ms)", Table::fmt(r.latency_us.p99() / 1e3, 3)});
+  table.add_row({"p999 latency (ms)", Table::fmt(r.latency_us.p999() / 1e3, 3)});
+  table.add_row({"net delivered / dropped",
+                 std::to_string(r.net_delivered) + " / " +
+                     std::to_string(r.net_dropped)});
+  table.add_row({"replica drops", std::to_string(r.replica_dropped)});
+  table.add_row({"ts regressions", std::to_string(r.ts_regressions)});
+  table.add_row({"lost acked writes", std::to_string(r.lost_acked_writes)});
+  table.add_row({"wall ms", Table::fmt(r.wall_ms, 1)});
+  table.add_row({"wall ops/s", Table::fmt(r.wall_ops_per_sec(), 0)});
+  table.print("served " + family->name() + " at " + Table::fmt(load.rate, 0) +
+              " ops/s for " + Table::fmt(load.duration, 1) +
+              "s (scenario: " + scenario + ")");
+  std::printf("reply fingerprint %016llx (bit-identical for any --threads)\n",
+              static_cast<unsigned long long>(r.reply_fingerprint));
+  return r.lost_acked_writes > 0 ? 1 : 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: sqs_cli <avail|probes|nonintersect|verify|trace|profile|"
-               "sweep|search|chaos> "
+               "sweep|search|chaos|serve> "
                "[--flags]\n  global: --threads N (or SQS_THREADS) for the "
                "parallel trial runtime;\n          --metrics FILE / --trace FILE "
                "/ --trace-jsonl FILE for telemetry\n  chaos: --scenario NAME|all "
-               "--replicates R --family F --n N --alpha A (--list)\n  see the "
+               "--replicates R --family F --n N --alpha A (--list)\n  serve: "
+               "--rate R --duration S --clients C --scenario "
+               "none|partition|churn|gray|lossy\n  see the "
                "header of tools/sqs_cli.cpp\n");
   return 2;
 }
@@ -543,6 +641,7 @@ int main(int argc, char** argv) {
   else if (command == "sweep") rc = sqs::cmd_sweep(args);
   else if (command == "search") rc = sqs::cmd_search(args);
   else if (command == "chaos") rc = sqs::cmd_chaos(args);
+  else if (command == "serve") rc = sqs::cmd_serve(args);
   else return sqs::usage();
   sqs::obs::export_telemetry_files();
   return rc;
