@@ -245,11 +245,10 @@ void cushion_scaling() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Ablation study of OPT_d's stop rules and the composition cushion.\n");
   sqs::optd_rule_ablation();
   sqs::cushion_ablation();
   sqs::cushion_scaling();
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

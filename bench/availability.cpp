@@ -280,7 +280,7 @@ void telemetry_demo() {
 
 int main(int argc, char** argv) {
   const int threads = sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Availability study (Sect. 5, Theorem 16, Lemma 15).\n");
   sqs::availability_vs_p();
   sqs::availability_vs_n();
@@ -294,6 +294,5 @@ int main(int argc, char** argv) {
       "    ~1 even at p=0.8-0.9 for alpha=1-2 — impossible for majority/PQS.\n"
       "  * Majority/Grid/Paths/PQS all collapse as p crosses 1/2.\n"
       "  * No random SQS and no sub-alpha acceptance set exceeds OPT_a.\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -97,11 +97,10 @@ void corollary46_sweep() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Composition study (Definition 40, Theorems 42/45, Corollary 46).\n");
   sqs::paths_properties();
   sqs::theorem42_bounds();
   sqs::corollary46_sweep();
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -167,13 +167,12 @@ void theorems_22_23_24() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Construction audits for Figs. 2-5 and Theorems 14/20/22/23/24/34/41.\n");
   sqs::fig2_opt_a();
   sqs::fig3_forms();
   sqs::fig4_opt_d_layers();
   sqs::fig5_composition_bands();
   sqs::theorems_22_23_24();
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -162,7 +162,7 @@ void chaos_grid_json() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Fault-injection engine + invariant-checking chaos harness.\n");
   sqs::chaos_grid_json();
   std::printf(
@@ -173,6 +173,5 @@ int main(int argc, char** argv) {
       "    regressions;\n"
       "  * the grid's aggregates are bit-identical at 1 and 8 threads\n"
       "    (fault plans draw nothing from the experiment rng streams).\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

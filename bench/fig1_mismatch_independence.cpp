@@ -101,7 +101,7 @@ void print_violation_modes() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Reproduction of Fig. 1 (Yu, Signed Quorum Systems, PODC'04).\n"
               "Paper: RON1/TACT measurement traces; here: synthetic traces with\n"
               "the same mechanism (independent link flaps), see DESIGN.md.\n");
@@ -111,6 +111,5 @@ int main(int argc, char** argv) {
   std::printf("\nPaper claim: both curves near-linear on log scale => independence.\n"
               "Expected shape reproduced iff the residual above is small and the\n"
               "partitioned/unfiltered variants visibly bend upward in the tail.\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

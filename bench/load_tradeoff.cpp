@@ -124,11 +124,10 @@ void exact_load_profile() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Load study (Sect. 7.1, Sect. 6.3).\n");
   sqs::bounds_table();
   sqs::exact_load_profile();
   sqs::rotation_trick();
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

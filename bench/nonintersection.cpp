@@ -234,7 +234,7 @@ void scaling_json(int configured_threads) {
 
 int main(int argc, char** argv) {
   const int threads = sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Non-intersection study (Sect. 4: Theorems 9/12/44).\n");
   sqs::theorem9_sweep();
   sqs::theorem44_composition();
@@ -247,6 +247,5 @@ int main(int argc, char** argv) {
       "  * the rate falls exponentially in alpha;\n"
       "  * correlated partitions break the iid bound, motivating Fig. 1's\n"
       "    validation and the filtering step.\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -280,11 +280,10 @@ void write_perf_json() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   sqs::write_perf_json();
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -135,7 +135,7 @@ void simulated_scheduler() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Sect. 2.2 reproduction: PQS under an asynchronous scheduler.\n");
   sqs::no_scheduler();
   sqs::adversarial_scheduler();
@@ -144,6 +144,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check vs the paper: 7/9 -> 0 under the adversarial scheduler;\n"
       "SQS makes the needed mismatch assumption explicit instead.\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

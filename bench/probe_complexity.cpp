@@ -123,7 +123,7 @@ void theorem25() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Probe-complexity study (Sect. 6).\n");
   sqs::g_vs_measured();
   sqs::sweep_alpha_p();
@@ -136,6 +136,5 @@ int main(int argc, char** argv) {
       "  * worst case remains n — the lower bounds bind;\n"
       "  * truncated probing caps availability (Theorem 25), while OPT_d\n"
       "    with the same alpha reaches ~1 at large n.\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -137,12 +137,11 @@ void replication_sweep() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("End-to-end replicated register reproduction (Sect. 1 motivation).\n");
   sqs::family_comparison();
   sqs::alpha_sweep();
   sqs::amnesia_ablation();
   sqs::replication_sweep();
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

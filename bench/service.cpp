@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "core/constructions.h"
+#include "obs/recorder.h"
 #include "obs/telemetry.h"
+#include "obs/timeline.h"
 #include "runtime/thread_pool.h"
 #include "service/load_gen.h"
 #include "service/runner.h"
@@ -56,8 +58,15 @@ LoadGenConfig load_for_rate(double rate) {
   return load;
 }
 
-void service_bench() {
+bool service_bench() {
   const OptDFamily family(12, 2);
+
+  // --timeline FILE turns on windowed time-series rows for every sweep
+  // cell, tagged with the cell's offered rate; the file is one JSONL
+  // stream across all rates.
+  const obs::TelemetryArgs& targs = obs::telemetry_args();
+  const bool want_timeline = !targs.timeline_path.empty();
+  std::string timeline_rows;
 
   const obs::TelemetryConfig saved_config = obs::current_config();
   obs::TelemetryConfig metrics_config = saved_config;
@@ -73,8 +82,12 @@ void service_bench() {
   std::vector<Cell> cells;
   for (double rate : rates) {
     const std::vector<std::uint8_t> requests = generate_load(load_for_rate(rate));
-    ServiceRunner runner(family, base_config(64));
+    ServiceConfig config = base_config(64);
+    if (want_timeline) config.timeline_window_us = targs.timeline_window_us;
+    ServiceRunner runner(family, config);
     cells.push_back({rate, runner.serve(requests)});
+    if (want_timeline)
+      runner.timeline().append_jsonl(timeline_rows, "rate", rate);
   }
   double idle_p99 = cells.front().result.latency_us.p99();
   double saturation_rate = cells.front().rate;
@@ -209,6 +222,15 @@ void service_bench() {
       runs[0].result.latency_us.p999() / 1e3, deterministic ? "yes" : "NO",
       part.availability(),
       static_cast<unsigned long long>(part.lost_acked_writes));
+
+  bool ok = true;
+  if (want_timeline) {
+    if (obs::detail::write_text_file(targs.timeline_path, timeline_rows))
+      std::printf("[service] timeline -> %s\n", targs.timeline_path.c_str());
+    else
+      ok = false;  // write_text_file already complained with errno
+  }
+  return ok;
 }
 
 }  // namespace
@@ -216,9 +238,9 @@ void service_bench() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Staged replicated-register service under open-loop load.\n");
-  sqs::service_bench();
+  const bool bench_ok = sqs::service_bench();
   std::printf(
       "\nShape checks:\n"
       "  * latency quantiles rise with offered rate and the knee sits near\n"
@@ -226,6 +248,6 @@ int main(int argc, char** argv) {
       "    concentrates load — the availability/load trade-off, served);\n"
       "  * reply streams are byte-identical at 1/2/8 worker threads;\n"
       "  * no acked write is lost, including under a server partition.\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  const bool exported = sqs::obs::export_telemetry_files();
+  return bench_ok && exported ? 0 : 1;
 }

@@ -100,7 +100,7 @@ class ShuffledFamily : public OptDFamily {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   using namespace sqs;
   std::printf("Strategy-class map for the Sect. 4 bound (open-question probe).\n");
   const int n = 16, alpha = 2;
@@ -142,6 +142,5 @@ int main(int argc, char** argv) {
       "orders make OPT_d prefixes incompatible — which is why Sect. 6.3\n"
       "mandates a shared order. Adaptive strategies (S4) fall outside\n"
       "Theorem 9/12 but the paper proves them separately (Theorem 44).\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

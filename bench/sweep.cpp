@@ -176,7 +176,7 @@ void search_demo() {
 
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Sharded sweep engine + parameter search study.\n");
   sqs::availability_grid();
   sqs::grid_scaling_json();
@@ -188,6 +188,5 @@ int main(int argc, char** argv) {
       "    (the flattening is purely a scheduling change);\n"
       "  * the alpha ladder is monotone: non-intersection falls ~eps^2a\n"
       "    while availability falls toward the floor as alpha grows.\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -83,7 +83,7 @@ void availability_floor_table() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Reproduction of Table 1 (Yu, Signed Quorum Systems).\n");
   sqs::table_for(0.1);
   sqs::table_for(0.3);
@@ -95,6 +95,5 @@ int main(int argc, char** argv) {
       "  * Composition keeps OPT_a availability while probes track the inner\n"
       "    Paths system (growing with l) and load falls as ~1/l.\n"
       "  * Majority/PQS availability collapses once p approaches 1/2.\n");
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

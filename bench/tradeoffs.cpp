@@ -77,10 +77,9 @@ void tradeoff_table(double p) {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Tradeoff study (Naor-Wool Inequalities 1-3 vs SQS; Sect. 1, 7).\n");
   sqs::tradeoff_table(0.2);
   sqs::tradeoff_table(0.35);
-  sqs::obs::export_telemetry_files();
-  return 0;
+  return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -62,6 +62,8 @@ CONTEXT_COUNTERS = (
     "service.decode_failures",
     "service.stale_reads",
     "service.replica.dropped_requests",
+    "obs.recorder.events_recorded",
+    "obs.recorder.events_overwritten",
 )
 
 
@@ -299,6 +301,18 @@ def self_test():
         _record({1: 1.0}, metrics={"counters": {"sim.faults.injected": 42}}))
     check("fault counter context rendered",
           "sim.faults.injected 42 -> 42" in faults)
+    # Flight-recorder counters surface the same way; overwritten creeping up
+    # from zero means the rings wrapped and the dump lost history.
+    recorder = counter_context(
+        _record({1: 1.0}, metrics={"counters": {
+            "obs.recorder.events_recorded": 1000,
+            "obs.recorder.events_overwritten": 0}}),
+        _record({1: 1.0}, metrics={"counters": {
+            "obs.recorder.events_recorded": 1000,
+            "obs.recorder.events_overwritten": 16}}))
+    check("recorder counter context rendered",
+          "obs.recorder.events_recorded 1000 -> 1000" in recorder and
+          "obs.recorder.events_overwritten 0 -> 16" in recorder)
     # Latency-quantile runs (BENCH_service.json shape): p99 within threshold
     # passes even alongside a matching wall_ms.
     q = {"p50_us": 1000.0, "p99_us": 5000.0, "p999_us": 9000.0}

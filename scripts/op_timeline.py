@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Reconstruct one operation's causal timeline from observability dumps.
+
+Two sources, both JSONL, both carrying the 64-bit op id (high 16 bits =
+stream, low 48 = sequence; see src/obs/recorder.h):
+
+  * a flight-recorder dump (--flight FILE) — the black box written by
+    `sqs_cli chaos` on an invariant violation, `sqs_cli serve` on a lost
+    acked write, or obs::write_flight_recorder() directly. First line is a
+    {"flight_recorder": {...}} meta object; every following line is one
+    event {"run", "t_us", "op"/"stream"/"seq" (op null for unattributed
+    events), "kind", "replica", "payload"} in simulated microseconds.
+  * a trace JSONL file (--trace FILE, produced by --trace-jsonl) — wall
+    clock spans/instants {"name", "cat", "ph", "ts_ns", "dur_ns"?, "tid",
+    "op"?, "args"?} in nanoseconds since process trace epoch.
+
+The two clocks are different on purpose (virtual vs wall); the tool prints
+them as separate sections of one op's journey rather than pretending they
+interleave.
+
+Usage:
+  scripts/op_timeline.py --flight chaos_blackbox.jsonl --list 10
+  scripts/op_timeline.py --flight dump.jsonl --trace trace.jsonl --op 1:42
+  scripts/op_timeline.py --op 0x000100000000002a --flight dump.jsonl
+  scripts/op_timeline.py --self-test
+
+Exit status: 0 on success, 1 when the requested op has no events or an
+input file is malformed/missing.
+"""
+
+import argparse
+import json
+import sys
+
+OP_SEQ_BITS = 48
+OP_SEQ_MASK = (1 << OP_SEQ_BITS) - 1
+NO_OP = (1 << 64) - 1
+
+
+def make_op_id(stream, seq):
+    return (stream << OP_SEQ_BITS) | (seq & OP_SEQ_MASK)
+
+
+def op_stream(op):
+    return op >> OP_SEQ_BITS
+
+
+def op_seq(op):
+    return op & OP_SEQ_MASK
+
+
+def parse_op(text):
+    """Accepts STREAM:SEQ (decimal) or a raw op id (decimal or 0x hex)."""
+    if ":" in text:
+        stream, seq = text.split(":", 1)
+        return make_op_id(int(stream, 0), int(seq, 0))
+    return int(text, 0)
+
+
+def stream_name(stream):
+    # Stream assignment mirrors src/obs/recorder.h: 0 = service requests,
+    # 1+c = sim client c, 0xFFFF = probe-layer Monte Carlo trials.
+    if stream == 0:
+        return "service"
+    if stream == 0xFFFF:
+        return "probe-trial"
+    return "sim-client-%d" % (stream - 1)
+
+
+def load_jsonl(path):
+    """Yields (line_number, object) for every non-empty line; raises
+    ValueError naming the offending line on malformed JSON."""
+    out = []
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append((i, json.loads(line)))
+            except json.JSONDecodeError as e:
+                raise ValueError("%s:%d: %s" % (path, i, e))
+    return out
+
+
+def load_flight(path):
+    """Returns (meta_or_None, [event dict, ...])."""
+    rows = load_jsonl(path)
+    meta = None
+    events = []
+    for _, obj in rows:
+        if "flight_recorder" in obj:
+            meta = obj["flight_recorder"]
+        elif "kind" in obj:
+            events.append(obj)
+    return meta, events
+
+
+def load_trace(path):
+    return [obj for _, obj in load_jsonl(path) if "ts_ns" in obj]
+
+
+def event_op(obj):
+    op = obj.get("op")
+    return NO_OP if op is None else op
+
+
+def fmt_us(us):
+    return "%12d us" % us
+
+
+def print_flight_section(events, op, out):
+    mine = [e for e in events if event_op(e) == op]
+    mine.sort(key=lambda e: (e.get("run", 0), e["t_us"]))
+    if not mine:
+        return 0
+    out.write("flight recorder (simulated time):\n")
+    prev = None
+    for e in mine:
+        t = e["t_us"]
+        delta = "" if prev is None else "  (+%d us)" % (t - prev)
+        prev = t
+        replica = e.get("replica", -1)
+        where = "" if replica < 0 else "  replica=%d" % replica
+        out.write("  run %-3d %s  %-16s%s  payload=%d%s\n" %
+                  (e.get("run", 0), fmt_us(t), e["kind"], where,
+                   e.get("payload", 0), delta))
+    return len(mine)
+
+
+def print_trace_section(events, op, out):
+    mine = [e for e in events if event_op(e) == op]
+    mine.sort(key=lambda e: e["ts_ns"])
+    if not mine:
+        return 0
+    out.write("trace (wall clock, ns since trace epoch):\n")
+    prev = None
+    for e in mine:
+        t = e["ts_ns"]
+        delta = "" if prev is None else "  (+%d ns)" % (t - prev)
+        prev = t
+        dur = "  dur=%d ns" % e["dur_ns"] if "dur_ns" in e else ""
+        args = ""
+        if e.get("args"):
+            args = "  " + ",".join("%s=%s" % kv for kv in e["args"].items())
+        out.write("  tid %-3d %12d ns  %s/%-24s%s%s%s\n" %
+                  (e.get("tid", 0), t, e.get("cat", "?"), e.get("name", "?"),
+                   dur, args, delta))
+    return len(mine)
+
+
+def list_ops(flight_events, trace_events, limit, out):
+    counts = {}
+    for e in flight_events:
+        op = event_op(e)
+        if op != NO_OP:
+            counts[op] = counts.get(op, 0) + 1
+    for e in trace_events:
+        op = event_op(e)
+        if op != NO_OP:
+            counts[op] = counts.get(op, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+    out.write("%-20s %-14s %-10s %s\n" % ("op", "stream", "seq", "events"))
+    for op, n in ranked:
+        out.write("%-20s %-14s %-10d %d\n" %
+                  ("%d:%d" % (op_stream(op), op_seq(op)),
+                   stream_name(op_stream(op)), op_seq(op), n))
+    return len(ranked)
+
+
+def run(argv, out=sys.stdout, err=sys.stderr):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--flight", help="flight recorder dump (JSONL)")
+    parser.add_argument("--trace", help="trace JSONL (--trace-jsonl output)")
+    parser.add_argument("--op", help="STREAM:SEQ or raw 64-bit op id")
+    parser.add_argument("--list", type=int, metavar="N", default=0,
+                        help="print the N ops with the most events")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded unit checks")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.flight and not args.trace:
+        err.write("op_timeline: need --flight and/or --trace\n")
+        return 1
+
+    try:
+        flight_meta, flight_events = (None, [])
+        if args.flight:
+            flight_meta, flight_events = load_flight(args.flight)
+        trace_events = load_trace(args.trace) if args.trace else []
+    except (OSError, ValueError) as e:
+        err.write("op_timeline: %s\n" % e)
+        return 1
+
+    if flight_meta is not None:
+        out.write("flight recorder: reason=%r events=%d recorded=%d "
+                  "overwritten=%d rings=%d\n" %
+                  (flight_meta.get("reason", ""), flight_meta.get("events", 0),
+                   flight_meta.get("recorded", 0),
+                   flight_meta.get("overwritten", 0),
+                   flight_meta.get("rings", 0)))
+
+    if args.list:
+        list_ops(flight_events, trace_events, args.list, out)
+        return 0
+
+    if not args.op:
+        err.write("op_timeline: need --op STREAM:SEQ or --list N\n")
+        return 1
+    try:
+        op = parse_op(args.op)
+    except ValueError:
+        err.write("op_timeline: cannot parse op %r\n" % args.op)
+        return 1
+
+    out.write("op %d:%d (%s, id %d / 0x%016x)\n" %
+              (op_stream(op), op_seq(op), stream_name(op_stream(op)), op,
+               op))
+    n = print_flight_section(flight_events, op, out)
+    n += print_trace_section(trace_events, op, out)
+    if n == 0:
+        err.write("op_timeline: no events for op %s\n" % args.op)
+        return 1
+    out.write("%d events\n" % n)
+    return 0
+
+
+# --- self test --------------------------------------------------------------
+
+SAMPLE_FLIGHT = """\
+{"flight_recorder":{"reason":"test: forced","events":5,"recorded":5,"overwritten":0,"rings":2}}
+{"run":0,"t_us":1000,"op":281474976710656,"stream":1,"seq":0,"kind":"arrival","replica":-1,"payload":0}
+{"run":0,"t_us":1200,"op":281474976710656,"stream":1,"seq":0,"kind":"probe","replica":3,"payload":200}
+{"run":0,"t_us":1500,"op":281474976710656,"stream":1,"seq":0,"kind":"quorum_acquired","replica":-1,"payload":2}
+{"run":0,"t_us":1600,"op":281474976710656,"stream":1,"seq":0,"kind":"op_done","replica":-1,"payload":600}
+{"run":0,"t_us":2000,"op":null,"kind":"fault","replica":0,"payload":1}
+"""
+
+SAMPLE_TRACE = """\
+{"name":"run_probe","cat":"probe","ph":"X","ts_ns":5000,"dur_ns":900,"tid":1,"op":281474976710656,"args":{"probes":2,"acquired":1}}
+{"name":"probe_hit","cat":"probe","ph":"i","ts_ns":5400,"tid":1,"op":281474976710656,"args":{"server":3}}
+{"name":"unrelated","cat":"probe","ph":"i","ts_ns":6000,"tid":2}
+"""
+
+
+def self_test():
+    import io
+    import os
+    import tempfile
+
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    check("make/split roundtrip",
+          op_stream(make_op_id(7, 99)) == 7 and op_seq(make_op_id(7, 99)) == 99)
+    check("parse colon", parse_op("1:0") == 281474976710656)
+    check("parse hex", parse_op("0x1000000000000") == 281474976710656)
+    check("stream names", stream_name(0) == "service" and
+          stream_name(1) == "sim-client-0" and
+          stream_name(0xFFFF) == "probe-trial")
+
+    with tempfile.TemporaryDirectory() as d:
+        fpath = os.path.join(d, "flight.jsonl")
+        tpath = os.path.join(d, "trace.jsonl")
+        with open(fpath, "w") as f:
+            f.write(SAMPLE_FLIGHT)
+        with open(tpath, "w") as f:
+            f.write(SAMPLE_TRACE)
+
+        meta, events = load_flight(fpath)
+        check("flight meta", meta is not None and meta["reason"] == "test: forced")
+        check("flight events", len(events) == 5)
+        check("null op", event_op(events[-1]) == NO_OP)
+
+        out = io.StringIO()
+        rc = run(["--flight", fpath, "--trace", tpath, "--op", "1:0"], out=out)
+        text = out.getvalue()
+        check("timeline exit 0", rc == 0)
+        check("timeline flight section", "quorum_acquired" in text)
+        check("timeline trace section", "run_probe" in text)
+        check("timeline event count", "6 events" in text)
+        check("timeline excludes unrelated", "unrelated" not in text)
+        check("timeline deltas", "(+200 us)" in text)
+
+        out = io.StringIO()
+        rc = run(["--flight", fpath, "--list", "5"], out=out)
+        check("list exit 0", rc == 0)
+        check("list shows op", "1:0" in out.getvalue() and
+              "sim-client-0" in out.getvalue())
+
+        out, errs = io.StringIO(), io.StringIO()
+        rc = run(["--flight", fpath, "--op", "2:77"], out=out, err=errs)
+        check("missing op exit 1", rc == 1)
+        check("missing op message", "no events" in errs.getvalue())
+
+        bad = os.path.join(d, "bad.jsonl")
+        with open(bad, "w") as f:
+            f.write("not json\n")
+        errs = io.StringIO()
+        rc = run(["--flight", bad, "--op", "1:0"], out=io.StringIO(), err=errs)
+        check("malformed exit 1", rc == 1)
+        check("malformed names line", "bad.jsonl:1" in errs.getvalue())
+
+    if failures:
+        for name in failures:
+            print("FAIL: %s" % name)
+        return 1
+    print("op_timeline self-test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))

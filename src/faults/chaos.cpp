@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "sweep/sweep.h"
 
 namespace sqs {
@@ -208,7 +209,8 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
 
 std::vector<ChaosCellResult> run_chaos(
     const QuorumFamily& family, const std::vector<ChaosScenario>& scenarios,
-    int replicates, const TrialOptions& opts) {
+    int replicates, const TrialOptions& opts,
+    const std::string& blackbox_path) {
   // One replicate per chunk, so replicate r of scenario s draws
   // Rng(s.config.seed).split(r).next_u64() as its experiment seed — the
   // exact seeding of run_register_experiment_replicated — and the whole
@@ -226,6 +228,11 @@ std::vector<ChaosCellResult> run_chaos(
       [&](std::size_t cell, std::vector<RegisterExperimentResult>& acc,
           const TrialContext& ctx, Rng& rng) {
         for (std::uint64_t t = ctx.chunk.begin; t < ctx.chunk.end; ++t) {
+          // Simulated time restarts every replicate; a grid-unique run id
+          // (cell-major, like the sweep flattening) keeps the merged flight
+          // dump totally ordered.
+          obs::FlightRunScope run_scope(static_cast<std::uint32_t>(
+              cell * static_cast<std::size_t>(replicates) + t));
           RegisterExperimentConfig replicate_config = scenarios[cell].config;
           replicate_config.seed = rng.next_u64();
           acc.push_back(run_register_experiment(family, replicate_config));
@@ -310,6 +317,21 @@ std::vector<ChaosCellResult> run_chaos(
       cell.violations.push_back({"lost-write", buf});
     }
     out.push_back(std::move(cell));
+  }
+
+  // Black-box dump: the first violation's cause names the dump's reason;
+  // the merged rings hold every replicate's causal timeline.
+  if (obs::recorder_enabled() && !blackbox_path.empty()) {
+    for (const ChaosCellResult& cell : out) {
+      if (cell.violations.empty()) continue;
+      const std::string reason = cell.scenario + ": " +
+                                 cell.violations.front().invariant + " (" +
+                                 cell.violations.front().detail + ")";
+      if (obs::write_flight_recorder(blackbox_path, reason))
+        std::printf("[chaos] flight recorder dump -> %s (%s)\n",
+                    blackbox_path.c_str(), reason.c_str());
+      break;
+    }
   }
   return out;
 }

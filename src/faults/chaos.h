@@ -99,9 +99,13 @@ double chaos_stale_envelope(int alpha, double per_probe_miss,
 std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family);
 
 // Runs `replicates` independent runs of every scenario and evaluates its
-// invariants; results are index-aligned with `scenarios`.
+// invariants; results are index-aligned with `scenarios`. When an invariant
+// is violated, the flight recorder is enabled, and `blackbox_path` is
+// non-empty, the merged flight-recorder dump (the black box of the run) is
+// written there automatically.
 std::vector<ChaosCellResult> run_chaos(
     const QuorumFamily& family, const std::vector<ChaosScenario>& scenarios,
-    int replicates, const TrialOptions& opts = {});
+    int replicates, const TrialOptions& opts = {},
+    const std::string& blackbox_path = "");
 
 }  // namespace sqs

@@ -1,10 +1,13 @@
 #include "obs/telemetry.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "obs/store.h"
 #include "obs/trace.h"
 #include "util/json.h"
@@ -59,8 +62,10 @@ void configure(const TelemetryConfig& config) {
     st.config = config;
   }
   st.max_trace_events.store(config.max_trace_events, std::memory_order_relaxed);
-  const unsigned flags =
-      (config.metrics ? 1u : 0u) | (config.trace ? 2u : 0u);
+  detail::set_flight_capacity(config.flight_events);
+  const unsigned flags = (config.metrics ? 1u : 0u) |
+                         (config.trace ? 2u : 0u) |
+                         (config.recorder ? 4u : 0u);
   detail::g_telemetry_flags.store(flags, std::memory_order_relaxed);
 }
 
@@ -168,6 +173,14 @@ MetricsSnapshot Registry::snapshot() {
   const std::uint64_t dropped =
       st.events_dropped.load(std::memory_order_relaxed);
   if (dropped > 0) out.counters.emplace_back("obs.trace_events_dropped", dropped);
+  const FlightRecorderStats recorder = flight_recorder_stats();
+  if (recorder.recorded > 0) {
+    out.counters.emplace_back("obs.recorder.events_recorded",
+                              recorder.recorded);
+    out.counters.emplace_back("obs.recorder.events_overwritten",
+                              recorder.overwritten);
+    out.counters.emplace_back("obs.recorder.dumps", recorder.dumps);
+  }
   std::sort(out.counters.begin(), out.counters.end());
   std::sort(out.histograms.begin(), out.histograms.end(),
             [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
@@ -264,48 +277,125 @@ void MetricsSnapshot::write_json(JsonWriter& json) const {
 
 namespace {
 
-TelemetryArgs& telemetry_args() {
+TelemetryArgs& mutable_telemetry_args() {
   static TelemetryArgs* args = new TelemetryArgs;
   return *args;
 }
 
 }  // namespace
 
+std::uint64_t parse_flag_u64(const char* flag, const char* text,
+                             std::uint64_t lo, std::uint64_t hi) {
+  if (text == nullptr || *text == '\0') {
+    std::fprintf(stderr, "%s: missing value\n", flag);
+    return 0;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || text[0] == '-') {
+    std::fprintf(stderr, "%s: expected a decimal integer, got \"%s\"\n", flag,
+                 text);
+    return 0;
+  }
+  if (value < lo || value > hi) {
+    std::fprintf(stderr, "%s: %llu out of range [%llu, %llu]\n", flag, value,
+                 static_cast<unsigned long long>(lo),
+                 static_cast<unsigned long long>(hi));
+    return 0;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
 TelemetryArgs init_telemetry_from_args(int argc, char** argv) {
-  TelemetryArgs& args = telemetry_args();
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics") == 0) args.metrics_path = argv[i + 1];
-    if (std::strcmp(argv[i], "--trace") == 0) args.trace_path = argv[i + 1];
-    if (std::strcmp(argv[i], "--trace-jsonl") == 0)
-      args.trace_jsonl_path = argv[i + 1];
+  TelemetryArgs& args = mutable_telemetry_args();
+  args = TelemetryArgs{};
+  // Flags taking a string path: complain when the value is missing instead
+  // of silently ignoring the flag.
+  auto take_path = [&](int& i, const char* flag, std::string& out) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing FILE value\n", flag);
+      args.ok = false;
+      return;
+    }
+    out = argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--metrics") == 0) {
+      take_path(i, a, args.metrics_path);
+    } else if (std::strcmp(a, "--trace") == 0) {
+      take_path(i, a, args.trace_path);
+    } else if (std::strcmp(a, "--trace-jsonl") == 0) {
+      take_path(i, a, args.trace_jsonl_path);
+    } else if (std::strcmp(a, "--timeline") == 0) {
+      take_path(i, a, args.timeline_path);
+    } else if (std::strcmp(a, "--timeline-window-ms") == 0) {
+      const char* text = i + 1 < argc ? argv[++i] : nullptr;
+      const std::uint64_t ms = parse_flag_u64(a, text, 1, 3600000);
+      if (ms == 0) {
+        args.ok = false;
+      } else {
+        args.timeline_window_us = ms * 1000;
+      }
+    } else if (std::strcmp(a, "--flight-recorder-events") == 0) {
+      const char* text = i + 1 < argc ? argv[++i] : nullptr;
+      const std::uint64_t events = parse_flag_u64(a, text, 64, 1u << 24);
+      if (events == 0) {
+        args.ok = false;
+      } else {
+        args.flight_events = events;
+      }
+    }
   }
   const bool tracing = !args.trace_path.empty() || !args.trace_jsonl_path.empty();
-  if (tracing || !args.metrics_path.empty()) {
+  if (tracing || !args.metrics_path.empty() || args.flight_events != 0) {
     TelemetryConfig config = current_config();
-    config.metrics = true;  // span durations also feed the histograms
+    // Metrics also turn on with --trace: span durations feed the histograms.
+    config.metrics = config.metrics || tracing || !args.metrics_path.empty();
     config.trace = config.trace || tracing;
+    config.flight_events = args.flight_events != 0 ? args.flight_events
+                                                   : config.flight_events;
     configure(config);
   }
   return args;
 }
 
+const TelemetryArgs& telemetry_args() { return mutable_telemetry_args(); }
+
 bool export_telemetry_files() {
-  const TelemetryArgs& args = telemetry_args();
+  const TelemetryArgs& args = mutable_telemetry_args();
   bool ok = true;
   if (!args.metrics_path.empty()) {
     JsonWriter json;
     Registry::instance().snapshot().write_json(json);
-    ok = json.write_file(args.metrics_path) && ok;
-    std::printf("[obs] metrics snapshot -> %s\n", args.metrics_path.c_str());
+    if (json.write_file(args.metrics_path)) {
+      std::printf("[obs] metrics snapshot -> %s\n", args.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] metrics snapshot export failed: %s\n",
+                   args.metrics_path.c_str());
+      ok = false;
+    }
   }
   if (!args.trace_path.empty()) {
-    ok = write_chrome_trace(args.trace_path) && ok;
-    std::printf("[obs] chrome trace (load in chrome://tracing or Perfetto) -> %s\n",
-                args.trace_path.c_str());
+    if (write_chrome_trace(args.trace_path)) {
+      std::printf(
+          "[obs] chrome trace (load in chrome://tracing or Perfetto) -> %s\n",
+          args.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] chrome trace export failed: %s\n",
+                   args.trace_path.c_str());
+      ok = false;
+    }
   }
   if (!args.trace_jsonl_path.empty()) {
-    ok = write_trace_jsonl(args.trace_jsonl_path) && ok;
-    std::printf("[obs] trace JSONL -> %s\n", args.trace_jsonl_path.c_str());
+    if (write_trace_jsonl(args.trace_jsonl_path)) {
+      std::printf("[obs] trace JSONL -> %s\n", args.trace_jsonl_path.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] trace JSONL export failed: %s\n",
+                   args.trace_jsonl_path.c_str());
+      ok = false;
+    }
   }
   return ok;
 }

@@ -33,15 +33,21 @@ class JsonWriter;
 namespace obs {
 
 struct TelemetryConfig {
-  bool metrics = false;  // counters + histograms
-  bool trace = false;    // spans + instant events (see trace.h)
+  bool metrics = false;   // counters + histograms
+  bool trace = false;     // spans + instant events (see trace.h)
+  bool recorder = false;  // flight-recorder rings (see recorder.h)
   // Global cap on buffered trace events; once reached, further events are
   // dropped (and counted in the "obs.trace_events_dropped" snapshot entry).
   std::uint64_t max_trace_events = 1u << 20;
+  // Per-thread flight-recorder ring capacity in events (0 = keep default).
+  // Applies to rings created after configure() or re-sized by
+  // reset_flight_recorder().
+  std::uint64_t flight_events = 0;
 };
 
 namespace detail {
-// Bit 0: metrics, bit 1: trace. Relaxed loads on the hot path.
+// Bit 0: metrics, bit 1: trace, bit 2: flight recorder. Relaxed loads on
+// the hot path.
 extern std::atomic<unsigned> g_telemetry_flags;
 }  // namespace detail
 
@@ -54,8 +60,10 @@ inline bool metrics_enabled() {
 inline bool trace_enabled() {
   return (detail::g_telemetry_flags.load(std::memory_order_relaxed) & 2u) != 0;
 }
+// Metrics or trace (the consumers that feed the Registry); the flight
+// recorder has its own gate, recorder_enabled() in recorder.h.
 inline bool telemetry_enabled() {
-  return detail::g_telemetry_flags.load(std::memory_order_relaxed) != 0;
+  return (detail::g_telemetry_flags.load(std::memory_order_relaxed) & 3u) != 0;
 }
 
 // Lightweight handles (an index into the Registry); copy freely, cache in
@@ -171,16 +179,37 @@ struct TelemetryArgs {
   std::string metrics_path;      // --metrics FILE: metrics snapshot JSON
   std::string trace_path;        // --trace FILE: Chrome trace_event JSON
   std::string trace_jsonl_path;  // --trace-jsonl FILE: one event per line
+  std::string timeline_path;     // --timeline FILE: windowed series JSONL
+  // --timeline-window-ms N: width of a timeline window (virtual time).
+  std::uint64_t timeline_window_us = 250000;
+  // --flight-recorder-events N: per-thread ring capacity (0 = default).
+  std::uint64_t flight_events = 0;
+  // False when any flag was malformed (missing value, non-integer,
+  // out-of-range); the complaint is already on stderr and drivers must
+  // exit nonzero.
+  bool ok = true;
 };
 
-// Scans argv for --metrics/--trace/--trace-jsonl, enables the matching
-// telemetry (metrics also turn on with --trace: span durations are summarized
-// in the histograms), and remembers the output paths for
-// export_telemetry_files().
+// parse_thread_count-style strict integer parsing for telemetry flags:
+// full-string decimal integer within [lo, hi]. Returns 0 and complains on
+// stderr (naming `flag`) otherwise — callers treat 0 as failure.
+std::uint64_t parse_flag_u64(const char* flag, const char* text,
+                             std::uint64_t lo, std::uint64_t hi);
+
+// Scans argv for --metrics/--trace/--trace-jsonl (enabling the matching
+// telemetry; metrics also turn on with --trace, since span durations are
+// summarized in the histograms), --timeline/--timeline-window-ms (recorded
+// for drivers that emit windowed series), and --flight-recorder-events
+// (ring capacity, applied via configure()). Malformed values set .ok =
+// false with the complaint on stderr.
 TelemetryArgs init_telemetry_from_args(int argc, char** argv);
 
+// The args parsed by the last init_telemetry_from_args call (process-wide).
+const TelemetryArgs& telemetry_args();
+
 // Writes the files requested by init_telemetry_from_args (no-op when none).
-// Returns false if any write failed.
+// Returns false if any write failed; the failing path and errno reason are
+// reported on stderr, and drivers surface the failure as a nonzero exit.
 bool export_telemetry_files();
 
 }  // namespace obs

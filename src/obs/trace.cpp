@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/recorder.h"
 #include "obs/store.h"
 #include "util/json.h"
 
@@ -66,6 +67,7 @@ void write_event_json(JsonWriter& json, const TraceEvent& e, bool chrome) {
     if (e.phase == 'X') json.kv("dur_ns", e.dur_ns);
   }
   json.kv("tid", static_cast<std::uint64_t>(e.tid));
+  if (e.op != ~0ull) json.kv("op", e.op);
   if (e.arg1_name != nullptr) {
     json.key("args").begin_object();
     json.kv(e.arg1_name, e.arg1);
@@ -73,13 +75,6 @@ void write_event_json(JsonWriter& json, const TraceEvent& e, bool chrome) {
     json.end_object();
   }
   json.end_object();
-}
-
-bool write_string_file(const std::string& path, const std::string& out) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
-  return std::fclose(f) == 0 && written == out.size();
 }
 
 }  // namespace
@@ -106,15 +101,21 @@ void Span::finish() {
   event.arg1 = arg1_;
   event.arg2_name = arg2_name_;
   event.arg2 = arg2_;
+  event.op = op_;
   push_event(*s, event);
 }
 
 void instant(const char* category, const char* name) {
-  instant(category, name, nullptr, 0);
+  instant_op(category, name, ~0ull, nullptr, 0);
 }
 
 void instant(const char* category, const char* name, const char* arg_name,
              std::uint64_t value) {
+  instant_op(category, name, ~0ull, arg_name, value);
+}
+
+void instant_op(const char* category, const char* name, std::uint64_t op,
+                const char* arg_name, std::uint64_t value) {
   if (!trace_enabled()) return;
   const std::uint64_t ts = trace_now_ns();
   Shard* s = claim_event_slot();
@@ -127,6 +128,7 @@ void instant(const char* category, const char* name, const char* arg_name,
   event.tid = s->tid;
   event.arg1_name = arg_name;
   event.arg1 = value;
+  event.op = op;
   push_event(*s, event);
 }
 
@@ -164,7 +166,7 @@ std::string chrome_trace_json() {
 }
 
 bool write_chrome_trace(const std::string& path) {
-  return write_string_file(path, chrome_trace_json() + "\n");
+  return detail::write_text_file(path, chrome_trace_json() + "\n");
 }
 
 bool write_trace_jsonl(const std::string& path) {
@@ -176,7 +178,7 @@ bool write_trace_jsonl(const std::string& path) {
     out += json.str();
     out += '\n';
   }
-  return write_string_file(path, out);
+  return detail::write_text_file(path, out);
 }
 
 }  // namespace obs

@@ -33,6 +33,10 @@ struct TraceEvent {
   std::uint64_t arg1 = 0;
   const char* arg2_name = nullptr;
   std::uint64_t arg2 = 0;
+  // Causal op id (recorder.h OpId); ~0 = not tied to an op. Exported as an
+  // "op" field so scripts/op_timeline.py can join trace events with flight
+  // recorder dumps.
+  std::uint64_t op = ~0ull;
 };
 
 // Nanoseconds since the process trace epoch (first telemetry use).
@@ -63,6 +67,11 @@ class Span {
     }
   }
 
+  // Ties the span to a causal op id (recorder.h OpId).
+  void op(std::uint64_t id) {
+    if (active_) op_ = id;
+  }
+
  private:
   void finish();
 
@@ -74,12 +83,16 @@ class Span {
   std::uint64_t arg1_ = 0;
   const char* arg2_name_ = nullptr;
   std::uint64_t arg2_ = 0;
+  std::uint64_t op_ = ~0ull;
 };
 
 // Records an instant event (phase 'i'); no-op when tracing is disabled.
 void instant(const char* category, const char* name);
 void instant(const char* category, const char* name, const char* arg_name,
              std::uint64_t value);
+// Instant event tied to a causal op id (recorder.h OpId; ~0 = none).
+void instant_op(const char* category, const char* name, std::uint64_t op,
+                const char* arg_name, std::uint64_t value);
 
 // Flushes the calling thread's buffer and returns all buffered events sorted
 // by (ts_ns, tid, name); the store keeps them (use clear_trace() to drop).

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/recorder.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -54,6 +55,7 @@ void run_probe_into(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng,
 
   const bool telemetry = obs::telemetry_enabled();
   obs::Span span("probe", "run_probe");
+  span.op(obs::current_op());
 
   int positive = 0;
   while (strategy.status() == ProbeStatus::kInProgress) {
@@ -69,8 +71,9 @@ void run_probe_into(ProbeStrategy& strategy, ProbeOracle& oracle, Rng* rng,
     }
     ++record.num_probes;
     if (telemetry)
-      obs::instant("probe", reached ? "probe_hit" : "probe_miss", "server",
-                   static_cast<std::uint64_t>(server));
+      obs::instant_op("probe", reached ? "probe_hit" : "probe_miss",
+                      obs::current_op(), "server",
+                      static_cast<std::uint64_t>(server));
     strategy.observe(server, reached);
     assert(record.num_probes <= n && "strategy exceeded the universe in probes");
   }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "probe/engine.h"
 
 namespace sqs {
@@ -48,6 +50,12 @@ void probe_measurement_chunk(const QuorumFamily& family, double p,
   Borrowed<ProbeRecord> record = scratch.borrow<ProbeRecord>();
   config->reshape(n);
   for (std::uint64_t t = ctx.chunk.begin; t < ctx.chunk.end; ++t) {
+    // Tag the trial with a probe-stream op id so run_probe's span and
+    // instants join the per-op timeline; skipped when tracing is off so the
+    // hot loop stays untouched.
+    std::optional<obs::ScopedOp> trial_op;
+    if (obs::trace_enabled())
+      trial_op.emplace(obs::make_op_id(obs::kProbeTrialStream, t));
     for (int i = 0; i < n; ++i) config->set_up(i, !rng.bernoulli(p));
     ConfigurationOracle oracle(config.get());
     Rng strategy_rng = rng.split(t - ctx.chunk.begin);

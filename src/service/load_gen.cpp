@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/recorder.h"
+
 namespace sqs {
 
 std::uint64_t LoadGenConfig::total_ops() const {
@@ -58,6 +60,9 @@ std::vector<std::uint8_t> generate_load(const LoadGenConfig& config,
           req.kind = is_read ? OpKind::kRead : OpKind::kWrite;
           req.value = is_read ? 0 : i + 1;  // nonzero, unique per write
           encode_request(req, base + i * kRequestWireSize);
+          obs::flight(obs::FlightKind::kGenerated,
+                      obs::make_op_id(obs::kServiceStream, i), req.arrival_us,
+                      -1, client);
         }
       },
       [](int&, int&&) {}, opts);

@@ -81,6 +81,11 @@ class ServiceReplica {
   // Total seconds of service time performed — utilization evidence for the
   // load report (busy fraction = busy_seconds / elapsed virtual time).
   double busy_seconds() const { return busy_seconds_; }
+  // Queue backlog (seconds of queued work) as seen at time `now`; feeds the
+  // timeline's queue_max_us series.
+  double backlog(double now) const {
+    return busy_until_ > now ? busy_until_ - now : 0.0;
+  }
 
  private:
   void advance_failure_process(double now) const;

@@ -48,6 +48,11 @@ std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
   return h;
 }
 
+// Virtual seconds -> integer microseconds, the flight recorder's time unit.
+std::uint64_t us(double t) {
+  return static_cast<std::uint64_t>(std::llround(t * 1e6));
+}
+
 }  // namespace
 
 std::vector<std::uint64_t> service_latency_bounds() {
@@ -93,6 +98,9 @@ ServiceRunner::ServiceRunner(const QuorumFamily& family,
                    });
   replies_.resize(replicas_.size());
   lat_counts_.assign(lat_bounds_.size() + 1, 0);
+  if (config.timeline_window_us > 0)
+    timeline_ = obs::Timeline(config.timeline_window_us,
+                              service_latency_bounds());
 }
 
 ServiceRunner::~ServiceRunner() = default;
@@ -101,6 +109,8 @@ void ServiceRunner::apply_faults_until(double now) {
   while (next_fault_ < fault_timeline_.size() &&
          fault_timeline_[next_fault_].at <= now) {
     const FaultEvent& e = fault_timeline_[next_fault_++];
+    obs::flight(obs::FlightKind::kFault, obs::kNoOp, us(e.at), e.server,
+                static_cast<std::uint64_t>(e.kind));
     switch (e.kind) {
       case FaultEvent::Kind::kServerCrash:
         replicas_[static_cast<std::size_t>(e.server)].force_crash(e.at,
@@ -164,6 +174,19 @@ Reply ServiceRunner::execute_op(const Request& req) {
   apply_faults_until(arrival);
   pop_completed_writes(arrival);
 
+  const obs::OpId op = obs::make_op_id(obs::kServiceStream, req.seq);
+  obs::flight(obs::FlightKind::kArrival, op, req.arrival_us, -1, req.client);
+  // Queue backlog across the fleet at this arrival (timeline evidence only;
+  // skipped when no timeline so the hot path stays O(probes)).
+  std::uint64_t queue_us = 0;
+  if (timeline_.enabled()) {
+    double backlog = 0.0;
+    for (const ServiceReplica& r : replicas_)
+      backlog = std::max(backlog, r.backlog(arrival));
+    queue_us = us(backlog);
+  }
+  std::uint64_t op_drops = 0;  // arrivals at a down replica, this op
+
   Reply rep;
   rep.seq = req.seq;
   rep.kind = req.kind;
@@ -182,6 +205,7 @@ Reply ServiceRunner::execute_op(const Request& req) {
   while (strategy_->status() == ProbeStatus::kInProgress) {
     const int s = strategy_->next_server();
     ++probes;
+    const double t0 = t;
     bool reached = false;
     const Transport::Delivery to =
         transport_.attempt(static_cast<int>(req.client), s, t);
@@ -199,12 +223,22 @@ Reply ServiceRunner::execute_op(const Request& req) {
             t += rtt;
           }
         }
+      } else {
+        ++op_drops;
       }
     }
     if (!reached) t += timeout;
+    if (reached) {
+      obs::flight(obs::FlightKind::kProbe, op, us(t0), s, us(t - t0));
+    } else {
+      obs::flight(obs::FlightKind::kProbeMiss, op, us(t0), s, us(timeout));
+    }
     strategy_->observe(s, reached);
   }
   const bool acquired = strategy_->status() == ProbeStatus::kAcquired;
+  obs::flight(acquired ? obs::FlightKind::kQuorumAcquired
+                       : obs::FlightKind::kQuorumFailed,
+              op, us(t), -1, probes);
   totals_.probes += probes;
   rep.probes = probes;
   double finish = t;
@@ -227,7 +261,10 @@ Reply ServiceRunner::execute_op(const Request& req) {
       rep.ok = true;
       rep.ts = best;
       rep.value = value;
-      if (best < frontier_ts_) ++totals_.stale_reads;
+      if (best < frontier_ts_) {
+        ++totals_.stale_reads;
+        obs::flight(obs::FlightKind::kStaleRead, op, us(t));
+      }
     }
   } else {
     ++totals_.writes;
@@ -251,6 +288,7 @@ Reply ServiceRunner::execute_op(const Request& req) {
         const Transport::Delivery to =
             transport_.attempt(static_cast<int>(req.client), s, t);
         double resolve = timeout;
+        bool acked = false;
         if (to.delivered) {
           if (auto done = replicas_[static_cast<std::size_t>(s)].serve_write(
                   new_ts, req.value, 0, t + to.latency, arrival)) {
@@ -260,11 +298,17 @@ Reply ServiceRunner::execute_op(const Request& req) {
               const double rtt = *done + back.latency - t;
               if (rtt <= timeout) {
                 ++acks;
+                acked = true;
                 resolve = rtt;
               }
             }
+          } else {
+            ++op_drops;
           }
         }
+        obs::flight(acked ? obs::FlightKind::kWriteAck
+                          : obs::FlightKind::kWriteNack,
+                    op, us(t), s, us(resolve));
         end = std::max(end, t + resolve);
       }
       totals_.write_acks += static_cast<std::uint64_t>(acks);
@@ -284,6 +328,15 @@ Reply ServiceRunner::execute_op(const Request& req) {
       std::llround((finish - arrival) * 1e6));
   rep.latency_us = latency_us;
   record_latency(latency_us);
+  obs::flight(obs::FlightKind::kOpDone, op, us(finish), -1, latency_us);
+  // Op-tagged wall-clock instant so --trace-jsonl reconstructs a served
+  // op's journey (scripts/op_timeline.py) alongside the flight recorder's
+  // virtual-time view.
+  if (obs::trace_enabled())
+    obs::instant_op("service", rep.ok ? "op_served" : "op_failed", op,
+                    "latency_us", latency_us);
+  timeline_.record_op(req.arrival_us, rep.ok, req.kind == OpKind::kRead,
+                      latency_us, probes, queue_us, op_drops);
   return rep;
 }
 
@@ -319,6 +372,11 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
     for (std::uint64_t i = begin; i < end; ++i) {
       parsed[i] = decode_request(in + i * kRequestWireSize);
       if (!parsed[i].valid) ++bad;
+      if (parsed[i].valid) {
+        obs::flight(obs::FlightKind::kDecoded,
+                    obs::make_op_id(obs::kServiceStream, parsed[i].seq),
+                    parsed[i].arrival_us, -1, 1);
+      }
     }
     decode_fail[b] = bad;
     if (timed) metrics.prologue_ns.record(obs::trace_now_ns() - stage_start);
@@ -347,8 +405,15 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
 
     // Epilogue: encode + checksum this batch's replies (private slice).
     stage_start = timed ? obs::trace_now_ns() : 0;
-    for (std::uint64_t i = begin; i < end; ++i)
+    for (std::uint64_t i = begin; i < end; ++i) {
       encode_reply(decoded[i], encoded.data() + i * kReplyWireSize);
+      if (parsed[i].valid) {
+        obs::flight(obs::FlightKind::kEncoded,
+                    obs::make_op_id(obs::kServiceStream, parsed[i].seq),
+                    parsed[i].arrival_us + decoded[i].latency_us, -1,
+                    decoded[i].ok ? 1 : 0);
+      }
+    }
     if (timed) metrics.epilogue_ns.record(obs::trace_now_ns() - stage_start);
   };
 
@@ -393,6 +458,11 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
     for (const ServiceReplica& r : replicas_)
       if (!(r.timestamp(0) < max_acked_ts_)) visible = true;
     result.lost_acked_writes = visible ? 0 : 1;
+    if (!visible) {
+      obs::flight(obs::FlightKind::kLostWrite, obs::kNoOp, us(last_arrival_),
+                  -1, static_cast<std::uint64_t>(max_acked_ts_.counter));
+      obs::flight(obs::FlightKind::kViolation, obs::kNoOp, us(last_arrival_));
+    }
   }
 
   result.latency_us.name = "service.op_latency_us";

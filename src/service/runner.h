@@ -43,7 +43,9 @@
 
 #include "core/quorum_family.h"
 #include "faults/fault_plan.h"
+#include "obs/recorder.h"
 #include "obs/telemetry.h"
+#include "obs/timeline.h"
 #include "service/message.h"
 #include "service/replica.h"
 #include "sim/transport.h"
@@ -59,6 +61,10 @@ struct ServiceConfig {
   int threads = 0;              // total participating threads; 0 = default
   std::uint64_t seed = 1;
   FaultPlan plan;               // applied on the virtual timeline
+  // Width of a windowed time-series bucket in virtual microseconds; 0
+  // disables the timeline (see obs/timeline.h). Fed from the solo stage, so
+  // the emitted series is bit-identical at any thread count.
+  std::uint64_t timeline_window_us = 0;
 
   // True iff every knob is usable for a fleet of `num_servers`; complaints
   // go to stderr, one line per bad field.
@@ -134,6 +140,10 @@ class ServiceRunner {
   int num_servers() const { return static_cast<int>(replicas_.size()); }
   const ServiceReplica& replica(int i) const { return replicas_[i]; }
 
+  // Windowed time-series over the served stream (enabled when
+  // config.timeline_window_us > 0); lifetime of the runner, solo-owned.
+  const obs::Timeline& timeline() const { return timeline_; }
+
  private:
   struct OpStats;
   void apply_faults_until(double now);
@@ -176,6 +186,9 @@ class ServiceRunner {
     std::uint64_t reads = 0, reads_ok = 0, writes = 0, writes_ok = 0;
     std::uint64_t stale_reads = 0, probes = 0, write_acks = 0;
   } totals_;
+
+  // Solo-owned windowed series; disabled (window 0) unless configured.
+  obs::Timeline timeline_;
 
   // Always-on local latency histogram (service_latency_bounds buckets), so
   // quantiles need no telemetry; snapshotted into ServiceResult.

@@ -23,6 +23,11 @@ struct ClientMetrics {
   }
 };
 
+// Simulated seconds -> integer microseconds, the flight recorder's unit.
+std::uint64_t us(double t) {
+  return static_cast<std::uint64_t>(std::llround(t * 1e6));
+}
+
 }  // namespace
 
 bool ClientConfig::validate() const {
@@ -88,6 +93,10 @@ void SimClient::acquire(const QuorumFamily& family, int object,
   acq->op_start = sim_->now();
   acq->object = object;
   acq->done = std::move(done);
+  acq->result.op = obs::make_op_id(1 + static_cast<std::uint32_t>(id_),
+                                   next_op_++);
+  obs::flight(obs::FlightKind::kArrival, acq->result.op, us(acq->op_start), -1,
+              static_cast<std::uint64_t>(id_));
   start_attempt(std::move(acq));
 }
 
@@ -171,6 +180,15 @@ void SimClient::finish_probe(
   acq->pending_seq = 0;
   const bool reached = reply.has_value();
   if (reached) {
+    obs::flight(obs::FlightKind::kProbe, acq->result.op,
+                us(acq->probe_sent_at), server,
+                us(sim_->now() - acq->probe_sent_at));
+  } else {
+    obs::flight(obs::FlightKind::kProbeMiss, acq->result.op,
+                us(acq->probe_sent_at), server,
+                us(sim_->now() - acq->probe_sent_at));
+  }
+  if (reached) {
     if (config_.adaptive_timeout) {
       const double rtt = sim_->now() - acq->probe_sent_at;
       ewma_rtt_ = have_rtt_
@@ -191,6 +209,9 @@ void SimClient::finish_probe(
 void SimClient::finish_attempt(std::shared_ptr<Acquisition> acq, bool acquired) {
   acq->result.acquired = acquired;
   if (acquired) acq->result.quorum = acq->strategy->acquired_quorum();
+  if (acq->result.filtered)
+    obs::flight(obs::FlightKind::kFiltered, acq->result.op, us(sim_->now()),
+                -1, static_cast<std::uint64_t>(id_));
   if (!acquired && !acq->result.deadline_exceeded &&
       acq->result.attempts < config_.max_attempts) {
     double backoff =
@@ -202,18 +223,25 @@ void SimClient::finish_attempt(std::shared_ptr<Acquisition> acq, bool acquired) 
         (sim_->now() - acq->op_start) + backoff < config_.op_deadline) {
       ++acq->result.attempts;
       ClientMetrics::get().retries.add(1);
-      obs::instant("sim", "client_retry", "client",
-                   static_cast<std::uint64_t>(id_));
+      obs::instant_op("sim", "client_retry", acq->result.op, "client",
+                      static_cast<std::uint64_t>(id_));
+      obs::flight(obs::FlightKind::kRetry, acq->result.op, us(sim_->now()), -1,
+                  static_cast<std::uint64_t>(acq->result.attempts));
       sim_->schedule(backoff, [this, acq] { start_attempt(acq); });
       return;
     }
   }
   if (acq->result.deadline_exceeded) {
     ClientMetrics::get().deadline_exceeded.add(1);
-    obs::instant("sim", "client_deadline_exceeded", "client",
-                 static_cast<std::uint64_t>(id_));
+    obs::instant_op("sim", "client_deadline_exceeded", acq->result.op, "client",
+                    static_cast<std::uint64_t>(id_));
+    obs::flight(obs::FlightKind::kDeadline, acq->result.op, us(sim_->now()));
   }
   acq->result.latency = sim_->now() - acq->op_start;
+  obs::flight(acquired ? obs::FlightKind::kQuorumAcquired
+                       : obs::FlightKind::kQuorumFailed,
+              acq->result.op, us(sim_->now()), -1,
+              static_cast<std::uint64_t>(acq->result.num_probes));
   acq->done(acq->result);
 }
 
@@ -225,6 +253,7 @@ void SimClient::read(const QuorumFamily& family, int object,
                      std::function<void(ReadResult)> done) {
   acquire(family, object, [this, object, done = std::move(done)](AcquisitionResult acq) {
     ReadResult result;
+    result.op = acq.op;
     result.num_probes = acq.num_probes;
     result.attempts = acq.attempts;
     result.deadline_exceeded = acq.deadline_exceeded;
@@ -270,6 +299,7 @@ void SimClient::write(const QuorumFamily& family, int object,
                       std::function<void(WriteResult)> done) {
   acquire(family, object, [this, object, value, done = std::move(done)](AcquisitionResult acq) {
     WriteResult result;
+    result.op = acq.op;
     result.num_probes = acq.num_probes;
     result.attempts = acq.attempts;
     result.deadline_exceeded = acq.deadline_exceeded;
@@ -303,23 +333,34 @@ void SimClient::write(const QuorumFamily& family, int object,
     for (std::size_t idx : targets) {
       const int server = static_cast<int>(idx);
       auto resolved = std::make_shared<bool>(false);
+      const double push_start = sim_->now();
+      const obs::OpId op = acq.op;
       net_->send(id_, server, Network::Direction::kToServer,
                  [this, server, object, ts = result.timestamp, value, resolved,
-                  finish_one] {
+                  finish_one, push_start, op] {
                    SimServer& s = (*servers_)[static_cast<std::size_t>(server)];
                    if (!s.handle_write(ts, value, object)) return;
-                   sim_->schedule(s.service_time(), [this, server, resolved, finish_one] {
+                   sim_->schedule(s.service_time(), [this, server, resolved,
+                                                     finish_one, push_start,
+                                                     op] {
                      net_->send(id_, server, Network::Direction::kToClient,
-                                [resolved, finish_one] {
+                                [this, server, resolved, finish_one, push_start,
+                                 op] {
                                   if (*resolved) return;
                                   *resolved = true;
+                                  obs::flight(obs::FlightKind::kWriteAck, op,
+                                              us(push_start), server,
+                                              us(sim_->now() - push_start));
                                   finish_one(true);
                                 });
                    });
                  });
-      sim_->schedule(current_probe_timeout(), [resolved, finish_one] {
+      sim_->schedule(current_probe_timeout(), [this, server, resolved,
+                                               finish_one, push_start, op] {
         if (*resolved) return;
         *resolved = true;
+        obs::flight(obs::FlightKind::kWriteNack, op, us(push_start), server,
+                    us(sim_->now() - push_start));
         finish_one(false);
       });
     }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/quorum_family.h"
+#include "obs/recorder.h"
 #include "sim/network.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
@@ -79,6 +80,9 @@ struct ClientConfig {
 };
 
 struct AcquisitionResult {
+  // Causal op id (stream 1 + client id, per-client sequence); every flight
+  // event this operation records carries it.
+  obs::OpId op = obs::kNoOp;
   bool acquired = false;
   bool filtered = false;  // final attempt aborted by the partition filter
   SignedSet probed;  // +i reached, -i timed out (final attempt's evidence)
@@ -92,6 +96,7 @@ struct AcquisitionResult {
 };
 
 struct ReadResult {
+  obs::OpId op = obs::kNoOp;
   bool ok = false;
   bool filtered = false;
   std::uint64_t value = 0;
@@ -104,6 +109,7 @@ struct ReadResult {
 };
 
 struct WriteResult {
+  obs::OpId op = obs::kNoOp;
   bool ok = false;
   bool filtered = false;
   Timestamp timestamp;
@@ -158,6 +164,7 @@ class SimClient {
   ClientConfig config_;
   Rng rng_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_op_ = 0;  // per-client op sequence (OpId low bits)
   double ewma_rtt_ = 0.0;
   bool have_rtt_ = false;
 };

@@ -1,17 +1,24 @@
 #include "sim/harness.h"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace sqs {
 
 namespace {
+
+// Simulated seconds -> integer microseconds, the flight recorder's unit.
+std::uint64_t sim_us(double t) {
+  return static_cast<std::uint64_t>(std::llround(t * 1e6));
+}
 
 // Acquisition latency per client, in simulated microseconds. Registered
 // lazily (first instrumented experiment) so a disabled run never touches the
@@ -74,13 +81,22 @@ struct Experiment {
               ++result.reads_ok;
               result.latency_ok.add(r.latency);
               result.latencies_ok.push_back(r.latency);
-              if (r.timestamp < frontier) ++result.stale_reads;
+              if (r.timestamp < frontier) {
+                ++result.stale_reads;
+                obs::flight(obs::FlightKind::kStaleRead, r.op,
+                            sim_us(sim.now()));
+              }
               Timestamp& last = last_read_ts[static_cast<std::size_t>(client_idx)];
-              if (r.timestamp < last)
+              if (r.timestamp < last) {
                 ++result.read_ts_regressions;
-              else
+                obs::flight(obs::FlightKind::kReadRegression, r.op,
+                            sim_us(sim.now()));
+              } else {
                 last = r.timestamp;
+              }
             }
+            obs::flight(obs::FlightKind::kOpDone, r.op, sim_us(sim.now()), -1,
+                        sim_us(r.latency));
             note_op(client_idx, "read", r.ok, r.latency);
             schedule_next_op(client_idx);
           });
@@ -101,6 +117,8 @@ struct Experiment {
               if (w.acks > 0 && max_acked_write_ts < w.timestamp)
                 max_acked_write_ts = w.timestamp;
             }
+            obs::flight(obs::FlightKind::kOpDone, w.op, sim_us(sim.now()), -1,
+                        sim_us(w.latency));
             note_op(client_idx, "write", w.ok, w.latency);
             schedule_next_op(client_idx);
           });
@@ -204,8 +222,11 @@ RegisterExperimentResult run_register_experiment(
     if (best_server_ts < ts) best_server_ts = ts;
   }
   if (Timestamp{} < e.max_acked_write_ts &&
-      best_server_ts < e.max_acked_write_ts)
+      best_server_ts < e.max_acked_write_ts) {
     e.result.lost_writes = 1;
+    obs::flight(obs::FlightKind::kLostWrite, obs::kNoOp, sim_us(e.sim.now()),
+                -1, static_cast<std::uint64_t>(e.max_acked_write_ts.counter));
+  }
   e.result.net_delivered = e.net->messages_delivered();
   e.result.net_dropped = e.net->messages_dropped();
 
@@ -225,8 +246,11 @@ ReplicatedRegisterResult run_register_experiment_replicated(
   out.results = run_trials(
       static_cast<std::uint64_t>(replicates), Rng(config.seed),
       std::vector<RegisterExperimentResult>{},
-      [&](std::vector<RegisterExperimentResult>& acc, std::uint64_t,
+      [&](std::vector<RegisterExperimentResult>& acc, std::uint64_t t,
           Rng& rng) {
+        // Replicates restart simulated time at zero; the run scope keeps
+        // their flight events totally ordered in the merged dump.
+        obs::FlightRunScope run_scope(static_cast<std::uint32_t>(t));
         RegisterExperimentConfig replicate_config = config;
         replicate_config.seed = rng.next_u64();
         acc.push_back(run_register_experiment(family, replicate_config));

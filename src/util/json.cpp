@@ -1,7 +1,9 @@
 #include "util/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace sqs {
 
@@ -120,10 +122,21 @@ JsonWriter& JsonWriter::null() {
 
 bool JsonWriter::write_file(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    std::fprintf(stderr, "[json] cannot open %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
   const std::size_t written = std::fwrite(out_.data(), 1, out_.size(), f);
   const bool ok = written == out_.size() && std::fputc('\n', f) != EOF;
-  return std::fclose(f) == 0 && ok;
+  if (!ok)
+    std::fprintf(stderr, "[json] short write to %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+  const bool closed = std::fclose(f) == 0;
+  if (!closed)
+    std::fprintf(stderr, "[json] cannot close %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+  return closed && ok;
 }
 
 }  // namespace sqs

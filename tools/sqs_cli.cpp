@@ -47,6 +47,15 @@
 // `--trace FILE` writes a Chrome trace_event file (open in chrome://tracing
 // or https://ui.perfetto.dev), `--trace-jsonl FILE` the same events as
 // JSONL. Enabling telemetry never changes any reported number.
+//
+// Observability (this PR's layer; DESIGN.md section 3.11): `serve` accepts
+// `--timeline FILE` (+ `--timeline-window-ms N`) for a windowed time-series
+// of the served stream, keyed to virtual time and bit-identical at any
+// thread count. `serve` and `chaos` keep an always-on flight recorder
+// (per-thread rings, capacity `--flight-recorder-events N`); when a chaos
+// invariant fails or serve loses an acked write, the merged causal dump is
+// written to `--blackbox FILE` (defaults chaos_blackbox.jsonl /
+// serve_blackbox.jsonl). Reconstruct one op with scripts/op_timeline.py.
 
 #include <cmath>
 #include <cstdio>
@@ -65,7 +74,9 @@
 #include "core/witness.h"
 #include "mismatch/exact.h"
 #include "mismatch/trace_gen.h"
+#include "obs/recorder.h"
 #include "obs/telemetry.h"
+#include "obs/timeline.h"
 #include "probe/measurements.h"
 #include "probe/serverprobe.h"
 #include "runtime/thread_pool.h"
@@ -475,6 +486,11 @@ int cmd_chaos(const Args& args) {
   auto family = make_family(args.gets("family", "optd"), args);
   std::vector<ChaosScenario> scenarios = builtin_chaos_scenarios(*family);
 
+  // CI smoke hook: an impossible availability floor trips every scenario,
+  // proving the violation path (exit 1 + black-box dump) end to end.
+  if (args.flags.count("force-violation"))
+    for (ChaosScenario& s : scenarios) s.invariants.availability_floor = 1.01;
+
   const std::string pick = args.gets("scenario", "all");
   if (args.flags.count("list")) {
     for (const ChaosScenario& s : scenarios)
@@ -494,8 +510,17 @@ int cmd_chaos(const Args& args) {
   }
 
   const int replicates = args.geti("replicates", 4);
+
+  // The flight recorder is always on for chaos runs: when an invariant
+  // trips, run_chaos writes the merged black box automatically.
+  obs::TelemetryConfig tc = obs::current_config();
+  tc.recorder = true;
+  obs::configure(tc);
+  obs::reset_flight_recorder();
+
   const std::vector<ChaosCellResult> results =
-      run_chaos(*family, scenarios, replicates);
+      run_chaos(*family, scenarios, replicates, {},
+                args.gets("blackbox", "chaos_blackbox.jsonl"));
 
   Table table({"scenario", "avail", "floor", "stale", "envelope", "retries",
                "deadline", "ts-regr", "lost", "verdict"});
@@ -578,6 +603,17 @@ int cmd_serve(const Args& args) {
 
   if (!load.validate() || !config.validate(n)) return 2;
 
+  // Windowed time-series (--timeline FILE [--timeline-window-ms N]) and the
+  // always-on flight recorder: serve runs record the black box so a lost
+  // acked write leaves a causal dump behind.
+  const obs::TelemetryArgs& targs = obs::telemetry_args();
+  if (!targs.timeline_path.empty())
+    config.timeline_window_us = targs.timeline_window_us;
+  obs::TelemetryConfig tc = obs::current_config();
+  tc.recorder = true;
+  obs::configure(tc);
+  obs::reset_flight_recorder();
+
   const std::vector<std::uint8_t> requests = generate_load(load);
   ServiceRunner runner(*family, config);
   const ServiceResult r = runner.serve(requests);
@@ -605,6 +641,16 @@ int cmd_serve(const Args& args) {
               "s (scenario: " + scenario + ")");
   std::printf("reply fingerprint %016llx (bit-identical for any --threads)\n",
               static_cast<unsigned long long>(r.reply_fingerprint));
+
+  if (!targs.timeline_path.empty()) {
+    if (!runner.timeline().write_jsonl(targs.timeline_path)) return 1;
+    std::printf("[obs] timeline JSONL -> %s\n", targs.timeline_path.c_str());
+  }
+  if (r.lost_acked_writes > 0) {
+    const std::string blackbox = args.gets("blackbox", "serve_blackbox.jsonl");
+    if (obs::write_flight_recorder(blackbox, "serve: lost acked write"))
+      std::printf("[serve] flight recorder dump -> %s\n", blackbox.c_str());
+  }
   return r.lost_acked_writes > 0 ? 1 : 0;
 }
 
@@ -614,10 +660,14 @@ int usage() {
                "sweep|search|chaos|serve> "
                "[--flags]\n  global: --threads N (or SQS_THREADS) for the "
                "parallel trial runtime;\n          --metrics FILE / --trace FILE "
-               "/ --trace-jsonl FILE for telemetry\n  chaos: --scenario NAME|all "
-               "--replicates R --family F --n N --alpha A (--list)\n  serve: "
+               "/ --trace-jsonl FILE for telemetry;\n          "
+               "--flight-recorder-events N for the black-box ring capacity\n"
+               "  chaos: --scenario NAME|all "
+               "--replicates R --family F --n N --alpha A (--list)\n"
+               "         --blackbox FILE --force-violation\n  serve: "
                "--rate R --duration S --clients C --scenario "
-               "none|partition|churn|gray|lossy\n  see the "
+               "none|partition|churn|gray|lossy\n         --timeline FILE "
+               "--timeline-window-ms N --blackbox FILE\n  see the "
                "header of tools/sqs_cli.cpp\n");
   return 2;
 }
@@ -628,7 +678,7 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return sqs::usage();
   sqs::init_threads_from_args(argc, argv);
-  sqs::obs::init_telemetry_from_args(argc, argv);
+  if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   const std::string command = argv[1];
   const sqs::Args args = sqs::parse(argc, argv, 2);
   int rc = 2;
@@ -643,6 +693,8 @@ int main(int argc, char** argv) {
   else if (command == "chaos") rc = sqs::cmd_chaos(args);
   else if (command == "serve") rc = sqs::cmd_serve(args);
   else return sqs::usage();
-  sqs::obs::export_telemetry_files();
+  // A failed telemetry export is a real failure: the requested evidence is
+  // missing, so the run must not look green.
+  if (!sqs::obs::export_telemetry_files() && rc == 0) rc = 1;
   return rc;
 }
