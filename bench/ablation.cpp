@@ -31,6 +31,7 @@
 #include "util/table.h"
 
 #include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
 
 namespace sqs {
 namespace {
@@ -245,6 +246,7 @@ void cushion_scaling() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Ablation study of OPT_d's stop rules and the composition cushion.\n");
   sqs::optd_rule_ablation();

@@ -20,6 +20,7 @@
 #include "util/table.h"
 
 #include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
 
 namespace sqs {
 namespace {
@@ -97,6 +98,7 @@ void corollary46_sweep() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Composition study (Definition 40, Theorems 42/45, Corollary 46).\n");
   sqs::paths_properties();

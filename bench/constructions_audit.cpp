@@ -18,6 +18,7 @@
 #include "util/table.h"
 
 #include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
 
 namespace sqs {
 namespace {
@@ -167,6 +168,7 @@ void theorems_22_23_24() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Construction audits for Figs. 2-5 and Theorems 14/20/22/23/24/34/41.\n");
   sqs::fig2_opt_a();

@@ -16,6 +16,7 @@
 #include "util/table.h"
 
 #include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
 
 namespace sqs {
 namespace {
@@ -101,6 +102,7 @@ void print_violation_modes() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Reproduction of Fig. 1 (Yu, Signed Quorum Systems, PODC'04).\n"
               "Paper: RON1/TACT measurement traces; here: synthetic traces with\n"

@@ -21,6 +21,7 @@
 #include "util/table.h"
 
 #include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
 
 namespace sqs {
 namespace {
@@ -135,6 +136,7 @@ void simulated_scheduler() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Sect. 2.2 reproduction: PQS under an asynchronous scheduler.\n");
   sqs::no_scheduler();

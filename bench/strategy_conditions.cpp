@@ -28,6 +28,7 @@
 #include "util/table.h"
 
 #include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
 
 namespace sqs {
 namespace {
@@ -100,6 +101,7 @@ class ShuffledFamily : public OptDFamily {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   using namespace sqs;
   std::printf("Strategy-class map for the Sect. 4 bound (open-question probe).\n");

@@ -4,21 +4,32 @@
 //       binomial tail (the MC sweep must land within sampling noise);
 //   (b) the timed workload: a 9-cell OPT_d non-intersection grid — every
 //       cell x trial-chunk flattened into one pool submission — timed at
-//       1 and 8 threads with the per-cell counts compared bit-for-bit
-//       (the determinism contract of DESIGN.md);
+//       1 and 8 threads in both the scalar and batched (SoA bit-sliced)
+//       chunk kernels, with every run's per-cell counts compared
+//       bit-for-bit (the determinism contract of DESIGN.md: the batch
+//       kernel preserves the scalar draw order, so mode is as invisible
+//       to the estimates as thread count);
 //   (c) the availability-targeted parameter search: minimal alpha for a
 //       non-intersection ceiling (exact DP witness) and the successive-
 //       halving composition race at that alpha.
 //
 // Writes BENCH_sweep.json (runs + per-cell counts + telemetry snapshot) for
-// the bench_diff trajectory gate.
+// the bench_diff trajectory gate; runs carry a "mode" field so bench_diff
+// pairs scalar with scalar and batched with batched.
+//
+// `--batch differential` additionally replays the grid with every batched
+// trial cross-checked against the scalar oracle (CI runs this; a mismatch
+// fails the bench).
 
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/constructions.h"
+#include "runtime/run_trials.h"
 #include "sweep/search.h"
 #include "sweep/sweep.h"
 #include "util/json.h"
@@ -57,9 +68,12 @@ void availability_grid() {
 
 // The timed workload: 9 non-intersection cells (alpha x link-miss grid on
 // OPT_d n=24), submitted as ONE sweep. Records wall time at 1 and 8 threads
-// plus every cell's raw non-intersection count — the runs must agree
-// bit-for-bit for "deterministic" to be true.
-void grid_scaling_json() {
+// for both the scalar and batched kernels plus every cell's raw
+// non-intersection count — all four runs must agree bit-for-bit for
+// "deterministic" to be true. With policy == kDifferential, a fifth
+// (untimed) pass replays the grid with per-trial scalar cross-checking;
+// returns false if that pass reports a mismatch.
+bool grid_scaling_json(BatchPolicy policy) {
   const int n = 24;
   const std::uint64_t trials = 40000;
   std::vector<NonintersectionCell> cells;
@@ -75,6 +89,7 @@ void grid_scaling_json() {
     }
 
   struct Run {
+    const char* mode;
     int threads;
     double wall_ms;
     std::vector<std::size_t> counts;  // per-cell non-intersection counts
@@ -84,20 +99,37 @@ void grid_scaling_json() {
   metrics_config.metrics = true;
   obs::configure(metrics_config);
   std::vector<Run> runs;
-  for (const int threads : {1, 8}) {
+  for (const BatchPolicy mode : {BatchPolicy::kScalar, BatchPolicy::kBatched})
+    for (const int threads : {1, 8}) {
+      TrialOptions opts;
+      opts.threads = threads;
+      opts.batch = mode;
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<NonintersectionStats> stats =
+          sweep_nonintersection(cells, opts);
+      const auto stop = std::chrono::steady_clock::now();
+      Run run;
+      run.mode = batch_policy_name(mode);
+      run.threads = threads;
+      run.wall_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      for (const NonintersectionStats& s : stats)
+        run.counts.push_back(s.nonintersection.successes);
+      runs.push_back(std::move(run));
+    }
+  bool differential_ok = true;
+  if (policy == BatchPolicy::kDifferential) {
     TrialOptions opts;
-    opts.threads = threads;
-    const auto start = std::chrono::steady_clock::now();
-    const std::vector<NonintersectionStats> stats =
-        sweep_nonintersection(cells, opts);
-    const auto stop = std::chrono::steady_clock::now();
-    Run run;
-    run.threads = threads;
-    run.wall_ms =
-        std::chrono::duration<double, std::milli>(stop - start).count();
-    for (const NonintersectionStats& s : stats)
-      run.counts.push_back(s.nonintersection.successes);
-    runs.push_back(std::move(run));
+    opts.threads = 8;
+    opts.batch = BatchPolicy::kDifferential;
+    try {
+      sweep_nonintersection(cells, opts);
+      std::printf("  differential cross-check over the grid: every batched "
+                  "trial matched the scalar oracle\n");
+    } catch (const std::exception& err) {
+      std::printf("  differential cross-check FAILED: %s\n", err.what());
+      differential_ok = false;
+    }
   }
   const obs::MetricsSnapshot metrics = obs::Registry::instance().snapshot();
   obs::configure(saved_config);
@@ -117,7 +149,10 @@ void grid_scaling_json() {
       .end_object();
   json.key("runs").begin_array();
   for (const Run& r : runs) {
-    json.begin_object().kv("threads", r.threads).kv("wall_ms", r.wall_ms);
+    json.begin_object()
+        .kv("threads", r.threads)
+        .kv("mode", r.mode)
+        .kv("wall_ms", r.wall_ms);
     json.key("nonintersections").begin_array();
     for (const std::size_t c : r.counts)
       json.value(static_cast<std::uint64_t>(c));
@@ -125,19 +160,26 @@ void grid_scaling_json() {
     json.end_object();
   }
   json.end_array();
+  // runs[] order: scalar@1, scalar@8, batched@1, batched@8.
   json.kv("speedup_8v1", runs[0].wall_ms / runs[1].wall_ms);
-  json.kv("deterministic", runs[0].counts == runs[1].counts);
+  json.kv("speedup_batched_1t", runs[0].wall_ms / runs[2].wall_ms);
+  bool deterministic = true;
+  for (const Run& r : runs) deterministic &= r.counts == runs[0].counts;
+  json.kv("deterministic", deterministic);
   json.key("metrics");
   metrics.write_json(json);
   json.end_object();
   json.write_file("BENCH_sweep.json");
   std::printf(
-      "\n[runtime] 9-cell non-intersection grid (%llu trials total): %.1f ms "
-      "@1 thread, %.1f ms @8 threads (speedup %.2fx, identical=%s) -> "
+      "\n[runtime] 9-cell non-intersection grid (%llu trials total): scalar "
+      "%.1f ms @1 / %.1f ms @8 threads (speedup %.2fx), batched %.1f ms @1 / "
+      "%.1f ms @8 threads (%.2fx over scalar @1, identical=%s) -> "
       "BENCH_sweep.json\n",
       static_cast<unsigned long long>(trials * cells.size()), runs[0].wall_ms,
-      runs[1].wall_ms, runs[0].wall_ms / runs[1].wall_ms,
-      runs[0].counts == runs[1].counts ? "yes" : "NO");
+      runs[1].wall_ms, runs[0].wall_ms / runs[1].wall_ms, runs[2].wall_ms,
+      runs[3].wall_ms, runs[0].wall_ms / runs[2].wall_ms,
+      deterministic ? "yes" : "NO");
+  return differential_ok;
 }
 
 void search_demo() {
@@ -177,16 +219,38 @@ void search_demo() {
 int main(int argc, char** argv) {
   sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
+  // `--batch differential` adds the per-trial scalar cross-check pass over
+  // the timed grid (the scalar/batched timed runs always happen).
+  sqs::BatchPolicy policy = sqs::BatchPolicy::kScalar;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--batch" && i + 1 < argc)
+      value = argv[++i];
+    else if (arg.rfind("--batch=", 0) == 0)
+      value = arg.substr(8);
+    else
+      continue;
+    if (!sqs::parse_batch_policy(value, policy)) {
+      std::fprintf(stderr,
+                   "unknown --batch policy '%s' "
+                   "(scalar|batched|differential)\n",
+                   value.c_str());
+      return 2;
+    }
+  }
   std::printf("Sharded sweep engine + parameter search study.\n");
   sqs::availability_grid();
-  sqs::grid_scaling_json();
+  const bool grid_ok = sqs::grid_scaling_json(policy);
   sqs::search_demo();
   std::printf(
       "\nShape checks:\n"
       "  * sweep MC availability matches the closed-form tail per cell;\n"
       "  * per-cell non-intersection counts identical at 1 and 8 threads\n"
-      "    (the flattening is purely a scheduling change);\n"
+      "    and across scalar/batched kernels (scheduling and lane packing\n"
+      "    are both invisible to the draws);\n"
       "  * the alpha ladder is monotone: non-intersection falls ~eps^2a\n"
       "    while availability falls toward the floor as alpha grows.\n");
+  if (!grid_ok) return 1;
   return sqs::obs::export_telemetry_files() ? 0 : 1;
 }

@@ -25,6 +25,7 @@
 #include "util/table.h"
 
 #include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
 
 namespace sqs {
 namespace {
@@ -83,6 +84,7 @@ void availability_floor_table() {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Reproduction of Table 1 (Yu, Signed Quorum Systems).\n");
   sqs::table_for(0.1);

@@ -23,6 +23,7 @@
 #include "util/table.h"
 
 #include "obs/telemetry.h"
+#include "runtime/thread_pool.h"
 
 namespace sqs {
 namespace {
@@ -77,6 +78,7 @@ void tradeoff_table(double p) {
 }  // namespace sqs
 
 int main(int argc, char** argv) {
+  sqs::init_threads_from_args(argc, argv);
   if (!sqs::obs::init_telemetry_from_args(argc, argv).ok) return 2;
   std::printf("Tradeoff study (Naor-Wool Inequalities 1-3 vs SQS; Sect. 1, 7).\n");
   sqs::tradeoff_table(0.2);

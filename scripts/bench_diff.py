@@ -85,6 +85,24 @@ def comparable(baseline, fresh):
     return baseline.get("workload") == fresh.get("workload")
 
 
+def run_key(run):
+    """Pairs runs by (threads, mode).
+
+    Benches that exercise the SoA batch kernels write scalar and batched
+    timings of the same workload at the same thread count; "mode"
+    disambiguates them. Records written before the batch layer existed have
+    no "mode" field and default to "scalar", so old baselines keep pairing
+    with new scalar runs.
+    """
+    return (run.get("threads"), run.get("mode", "scalar"))
+
+
+def run_label(run):
+    label = f"threads={run.get('threads')}"
+    mode = run.get("mode", "scalar")
+    return label if mode == "scalar" else f"{label} mode={mode}"
+
+
 def counter_context(baseline, fresh):
     """Returns a short string of matched telemetry counters, or ''.
 
@@ -102,7 +120,7 @@ def counter_context(baseline, fresh):
     return "; ".join(parts)
 
 
-def diff_quantiles(name, threads, base, fresh, threshold):
+def diff_quantiles(name, label, base, fresh, threshold):
     """Gates p99_us when both runs carry it; p50/p999 are context only.
 
     Latency quantiles are computed on the service's virtual timeline, so on
@@ -119,13 +137,13 @@ def diff_quantiles(name, threads, base, fresh, threshold):
     if ratio > 1.0 + threshold:
         status = "REGRESSION"
         regressions.append(
-            f"{name} threads={threads}: p99 {base_p99:.0f} us -> "
+            f"{name} {label}: p99 {base_p99:.0f} us -> "
             f"{fresh_p99:.0f} us ({(ratio - 1.0) * 100:+.1f}%)")
     context = "; ".join(
         f"{q} {base.get(q):.0f} -> {fresh.get(q):.0f} us"
         for q in ("p50_us", "p999_us")
         if base.get(q) is not None and fresh.get(q) is not None)
-    print(f"[bench_diff] {name} threads={threads}: "
+    print(f"[bench_diff] {name} {label}: "
           f"p99 {base_p99:.0f} us -> {fresh_p99:.0f} us "
           f"({(ratio - 1.0) * 100:+.1f}%) {status}"
           f"{' [' + context + ']' if context else ''}")
@@ -139,18 +157,18 @@ def diff_record(name, baseline, fresh, threshold):
               f"(baseline {baseline.get('workload')} vs "
               f"fresh {fresh.get('workload')}); refresh with --update")
         return []
-    baseline_runs = {r.get("threads"): r for r in baseline.get("runs", [])}
+    baseline_runs = {run_key(r): r for r in baseline.get("runs", [])}
     regressions = []
     for run in fresh.get("runs", []):
-        threads = run.get("threads")
-        base = baseline_runs.get(threads)
+        label = run_label(run)
+        base = baseline_runs.get(run_key(run))
         if base is None:
             print(f"[bench_diff] {name}: no baseline run at "
-                  f"threads={threads}, skipping")
+                  f"{label}, skipping")
             continue
         base_ms, fresh_ms = base.get("wall_ms"), run.get("wall_ms")
         if base_ms is None or fresh_ms is None:
-            print(f"[bench_diff] {name} threads={threads}: record lacks "
+            print(f"[bench_diff] {name} {label}: record lacks "
                   f"wall_ms, skipping")
             continue
         ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
@@ -158,12 +176,12 @@ def diff_record(name, baseline, fresh, threshold):
         if ratio > 1.0 + threshold:
             status = "REGRESSION"
             regressions.append(
-                f"{name} threads={threads}: {base_ms:.1f} ms -> "
+                f"{name} {label}: {base_ms:.1f} ms -> "
                 f"{fresh_ms:.1f} ms ({(ratio - 1.0) * 100:+.1f}%)")
-        print(f"[bench_diff] {name} threads={threads}: "
+        print(f"[bench_diff] {name} {label}: "
               f"{base_ms:.1f} ms -> {fresh_ms:.1f} ms "
               f"({(ratio - 1.0) * 100:+.1f}%) {status}")
-        regressions += diff_quantiles(name, threads, base, run, threshold)
+        regressions += diff_quantiles(name, label, base, run, threshold)
     context = counter_context(baseline, fresh)
     if context:
         print(f"[bench_diff] {name}: telemetry: {context}")
@@ -229,9 +247,14 @@ def run(argv):
 
 def _record(wall_ms_by_threads, workload=None, metrics=None, drop_wall=False,
             quantiles=None):
+    # Keys are either a thread count or a (threads, mode) tuple; the bare
+    # form writes no "mode" field, matching pre-batch-era records.
     runs = []
-    for threads, ms in wall_ms_by_threads.items():
+    for key, ms in wall_ms_by_threads.items():
+        threads, mode = key if isinstance(key, tuple) else (key, None)
         entry = {"threads": threads}
+        if mode is not None:
+            entry["mode"] = mode
         if not drop_wall:
             entry["wall_ms"] = ms
         if quantiles is not None:
@@ -265,6 +288,23 @@ def self_test():
                       _record({1: 900.0}, workload={"name": "w2",
                                                     "trials": 999}),
                       0.25) == [])
+    # Scalar and batched runs at the same thread count pair by mode: the
+    # batched regression is caught without confusing it for the scalar run.
+    regs = diff_record("a",
+                       _record({(1, "scalar"): 100.0, (1, "batched"): 40.0}),
+                       _record({(1, "scalar"): 100.0, (1, "batched"): 80.0}),
+                       0.25)
+    check("batched run paired by mode",
+          len(regs) == 1 and "mode=batched" in regs[0])
+    # A missing "mode" field means "scalar": old baselines keep pairing with
+    # fresh records that spell it out.
+    check("absent mode defaults to scalar",
+          diff_record("a", _record({1: 100.0}),
+                      _record({(1, "scalar"): 105.0}), 0.25) == [])
+    # A batched run with no batched baseline is skipped, never a regression.
+    check("unmatched batched run skipped",
+          diff_record("a", _record({1: 100.0}),
+                      _record({1: 100.0, (1, "batched"): 900.0}), 0.25) == [])
     # Pre-telemetry baseline (no "metrics" key) vs fresh record with one:
     # must not raise and must still diff wall_ms.
     pre = _record({1: 100.0})

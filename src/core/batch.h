@@ -1,0 +1,180 @@
+// Structure-of-arrays batch evaluation (the "vectorized batch probe
+// kernels" rung of ROADMAP.md; see DESIGN.md §3.12).
+//
+// A WorldBatch holds T Monte Carlo trials over an n-server universe in
+// column-major bit-sliced form: trial t's up/down (or reachability) bit for
+// server s lives in bit (t mod 64) of lane word (t/64, s). One pass over a
+// lane word therefore evaluates 64 trials at once — population-count
+// ladders for threshold-style acceptance, frontier BFS for Paths.
+//
+// The batch kernels are bit-identity replacements for the scalar loops, not
+// approximations. The contract that makes that hold:
+//
+//   * Sampling draws the chunk rng in EXACTLY the scalar order (trial-major,
+//     server-minor) into per-trial row masks, then flips rows into columns
+//     with a 64x64 bit transpose. The rng stream consumed by
+//     BatchPolicy::kScalar, kBatched, and kDifferential is identical, so
+//     estimates stay bit-identical at any thread count and batch width.
+//   * accepts_batch(worlds, out) must satisfy out[t] == accepts(world t)
+//     for every trial. BatchPolicy::kDifferential re-runs the scalar oracle
+//     per trial and throws std::runtime_error on the first disagreement.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/signed_set.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace sqs {
+
+class QuorumFamily;
+class WorkerScratch;
+struct TrialContext;
+
+// Number of trials packed per lane word.
+inline constexpr std::uint64_t kBatchLaneBits = 64;
+
+// Row words needed to hold one trial's n server bits.
+inline std::size_t batch_row_words(int n) {
+  return (static_cast<std::size_t>(n) + kBatchLaneBits - 1) / kBatchLaneBits;
+}
+
+// T trials x n servers of one bit each, stored lane-word-major: the n
+// column words of trial-word w are contiguous (`lanes(w)[s]`), which is the
+// access pattern of every batch kernel (ladder adds, frontier BFS, and the
+// row<->column transposes).
+class WorldBatch {
+ public:
+  WorldBatch() = default;
+
+  // Re-targets to n servers x num_trials trials, all bits clear, reusing
+  // the word storage (the scratch-arena reuse idiom of Bitset::reshape).
+  void reshape(int n, std::uint64_t num_trials) {
+    assert(n >= 0);
+    n_ = n;
+    trials_ = num_trials;
+    lane_words_ = static_cast<std::size_t>(
+        (num_trials + kBatchLaneBits - 1) / kBatchLaneBits);
+    words_.assign(lane_words_ * static_cast<std::size_t>(n), 0);
+  }
+
+  int universe_size() const { return n_; }
+  std::uint64_t num_trials() const { return trials_; }
+  std::size_t num_lane_words() const { return lane_words_; }
+
+  // All-ones for full lane words; the ragged tail keeps only live trials.
+  std::uint64_t lane_mask(std::size_t w) const {
+    assert(w < lane_words_);
+    const std::uint64_t live = trials_ - w * kBatchLaneBits;
+    return live >= kBatchLaneBits ? ~0ull : (~0ull >> (kBatchLaneBits - live));
+  }
+
+  // The n column words of lane word w; lanes(w)[s] is server s's 64 trials.
+  const std::uint64_t* lanes(std::size_t w) const {
+    assert(w < lane_words_);
+    return words_.data() + w * static_cast<std::size_t>(n_);
+  }
+  std::uint64_t* lanes(std::size_t w) {
+    assert(w < lane_words_);
+    return words_.data() + w * static_cast<std::size_t>(n_);
+  }
+
+  bool test(std::uint64_t trial, int server) const {
+    assert(trial < trials_ && server >= 0 && server < n_);
+    return (lanes(trial / kBatchLaneBits)[server] >>
+            (trial % kBatchLaneBits)) & 1u;
+  }
+
+  void set(std::uint64_t trial, int server) {
+    assert(trial < trials_ && server >= 0 && server < n_);
+    lanes(trial / kBatchLaneBits)[server] |=
+        1ull << (trial % kBatchLaneBits);
+  }
+
+  // Loads up to 64 trial rows into lane word `w` via 64x64 block
+  // transposes. `rows` is row-major scalar-draw-order staging:
+  // rows[r * batch_row_words(n) + rw] holds servers [rw*64, rw*64+64) of
+  // trial w*64+r. Rows beyond `count` are treated as absent (their lanes
+  // stay clear) — the ragged-tail case.
+  void load_rows(std::size_t w, const std::uint64_t* rows, std::size_t count);
+
+  // Writes trial t's row back into a Configuration (up = bit set): the
+  // inverse transpose the differential oracle and the default
+  // accepts_batch fallback use.
+  void extract_trial(std::uint64_t t, Configuration& out) const;
+
+ private:
+  int n_ = 0;
+  std::uint64_t trials_ = 0;
+  std::size_t lane_words_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+// --- bit-sliced lane counters -------------------------------------------
+//
+// planes[j] holds bit j of a 64-lane vertical counter; num_planes planes
+// count up to 2^num_planes - 1 per lane. Used by the threshold ladders and
+// the batched OPT_d probe walks.
+
+// planes += w (per lane, ripple carry). The caller sizes num_planes so the
+// counter cannot overflow (counts are bounded by the universe size);
+// asserted in debug builds.
+inline void lane_counter_add(std::uint64_t* planes, int num_planes,
+                             std::uint64_t w) {
+  std::uint64_t carry = w;
+  for (int j = 0; j < num_planes && carry != 0; ++j) {
+    const std::uint64_t t = planes[j] & carry;
+    planes[j] ^= carry;
+    carry = t;
+  }
+  assert(carry == 0 && "lane counter overflow: too few planes");
+}
+
+// Lanes whose counter is >= c (bit-sliced borrow subtraction). Exact for
+// counter values and c below 2^num_planes; a c beyond that range is simply
+// unreachable and yields 0.
+inline std::uint64_t lane_counter_at_least(const std::uint64_t* planes,
+                                           int num_planes, std::uint64_t c) {
+  if (num_planes < 64 && (c >> num_planes) != 0) return 0;
+  std::uint64_t borrow = 0;
+  for (int j = 0; j < num_planes; ++j) {
+    const std::uint64_t a = planes[j];
+    const std::uint64_t b = ((c >> j) & 1u) ? ~0ull : 0ull;
+    borrow = (~a & (b | borrow)) | (a & b & borrow);
+  }
+  return ~borrow;
+}
+
+// Planes needed to count to n without overflow (2^planes > n).
+inline int lane_counter_planes(int n) {
+  int planes = 1;
+  while ((1ll << planes) <= n) ++planes;
+  return planes;
+}
+
+// --- batch kernels -------------------------------------------------------
+
+// Fills `out` with num_trials configurations where each server is up with
+// probability 1-p, drawing `rng` in exactly the scalar order of
+// availability_mc_chunk (per trial, per server: up iff !rng.bernoulli(p)).
+void sample_worlds_into(int n, double p, std::uint64_t num_trials, Rng& rng,
+                        WorkerScratch& scratch, WorldBatch& out);
+
+// bit t of out = [number of up servers in trial t >= k] — the popcount
+// ladder shared by every threshold-style family (OPT_a, OPT_d acceptance,
+// Threshold/Majority, compositions). out is reshaped to num_trials.
+void batch_count_at_least(const WorldBatch& worlds, int k, Bitset& out);
+
+// The batched/differential body of availability_mc_chunk: sample the
+// chunk's worlds in scalar draw order, evaluate accepts_batch, and (under
+// kDifferential) replay the scalar oracle per trial, throwing
+// std::runtime_error on the first mismatched trial.
+void availability_mc_chunk_batched(const QuorumFamily& family, double p,
+                                   const TrialContext& ctx, Rng& rng,
+                                   std::int64_t& live);
+
+}  // namespace sqs

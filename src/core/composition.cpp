@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch.h"
+
 #include "util/binomial.h"
 
 namespace sqs {
@@ -26,6 +28,11 @@ bool CompositionFamily::accepts(const Configuration& config) const {
   // Every UQ or LADC quorum needs >= 2 alpha >= alpha live servers, and
   // OPT_a ⊆ the family, so acceptance reduces to OPT_a's predicate.
   return config.num_up() >= static_cast<std::size_t>(alpha_);
+}
+
+void CompositionFamily::accepts_batch(const WorldBatch& worlds,
+                                      Bitset& out) const {
+  batch_count_at_least(worlds, alpha_, out);
 }
 
 double CompositionFamily::availability(double p) const {

@@ -42,6 +42,7 @@ class CompositionFamily : public QuorumFamily {
   bool is_strict() const override { return false; }
   // As(UQ + OPT_a) = OPT_a: accepts iff >= alpha servers are up.
   bool accepts(const Configuration& config) const override;
+  void accepts_batch(const WorldBatch& worlds, Bitset& out) const override;
   int min_quorum_size() const override { return uq_->min_quorum_size(); }
   double availability(double p) const override;
   std::unique_ptr<ProbeStrategy> make_probe_strategy() const override;

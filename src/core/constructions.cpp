@@ -3,6 +3,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/batch.h"
+
 #include "util/binomial.h"
 
 namespace sqs {
@@ -133,6 +135,10 @@ bool OptAFamily::accepts(const Configuration& config) const {
   return config.num_up() >= static_cast<std::size_t>(alpha_);
 }
 
+void OptAFamily::accepts_batch(const WorldBatch& worlds, Bitset& out) const {
+  batch_count_at_least(worlds, alpha_, out);
+}
+
 double OptAFamily::availability(double p) const {
   return binom_tail_geq(n_, alpha_, 1.0 - p);
 }
@@ -210,6 +216,10 @@ std::string OptDFamily::name() const {
 bool OptDFamily::accepts(const Configuration& config) const {
   // As(OPT_d) = OPT_a (Theorem 34): a quorum exists iff >= alpha servers up.
   return config.num_up() >= static_cast<std::size_t>(alpha_);
+}
+
+void OptDFamily::accepts_batch(const WorldBatch& worlds, Bitset& out) const {
+  batch_count_at_least(worlds, alpha_, out);
 }
 
 double OptDFamily::availability(double p) const {

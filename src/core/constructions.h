@@ -50,6 +50,8 @@ class OptAFamily : public QuorumFamily {
   int alpha() const override { return alpha_; }
   bool is_strict() const override { return false; }
   bool accepts(const Configuration& config) const override;
+  // Popcount ladder: |C+| >= alpha across 64 trials per word pass.
+  void accepts_batch(const WorldBatch& worlds, Bitset& out) const override;
   int min_quorum_size() const override { return n_; }
   // Closed form: P[Bin(n, 1-p) >= alpha].
   double availability(double p) const override;
@@ -75,6 +77,8 @@ class OptDFamily : public QuorumFamily {
   int alpha() const override { return alpha_; }
   bool is_strict() const override { return false; }
   bool accepts(const Configuration& config) const override;
+  // Same acceptance set as OPT_a (Theorem 34), same popcount ladder.
+  void accepts_batch(const WorldBatch& worlds, Bitset& out) const override;
   int min_quorum_size() const override { return 2 * alpha_; }
   double availability(double p) const override;
   std::unique_ptr<ProbeStrategy> make_probe_strategy() const override;

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <utility>
 
+#include "core/batch.h"
+
 namespace sqs {
 
 ExplicitSqs::ExplicitSqs(int n, int alpha, std::vector<SignedSet> quorums)
@@ -92,6 +94,24 @@ bool ExplicitSqs::accepts(const Configuration& config) const {
   for (const auto& q : quorums_)
     if (config.accepts(q)) return true;
   return false;
+}
+
+void ExplicitSqs::accepts_batch(const WorldBatch& worlds, Bitset& out) const {
+  out.reshape(static_cast<std::size_t>(worlds.num_trials()));
+  for (std::size_t w = 0; w < worlds.num_lane_words(); ++w) {
+    const std::uint64_t mask = worlds.lane_mask(w);
+    const std::uint64_t* col = worlds.lanes(w);
+    std::uint64_t accept = 0;
+    for (const SignedSet& q : quorums_) {
+      // Lanes where Q ⊆ C: every +i up, every -i down.
+      std::uint64_t lanes = mask & ~accept;
+      q.positive().for_each([&](std::size_t s) { lanes &= col[s]; });
+      q.negative().for_each([&](std::size_t s) { lanes &= ~col[s]; });
+      accept |= lanes;
+      if (accept == mask) break;
+    }
+    out.set_word(w, accept);
+  }
 }
 
 int ExplicitSqs::min_quorum_size() const {

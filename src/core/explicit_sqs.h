@@ -73,6 +73,10 @@ class ExplicitSqs : public QuorumFamily {
   int alpha() const override { return alpha_; }
   bool is_strict() const override;
   bool accepts(const Configuration& config) const override;
+  // Per-quorum lane masks: a trial's lane bit survives a quorum iff every
+  // positive literal's column bit is set and every negative literal's is
+  // clear; accepts = OR over quorums. 64 trials per quorum pass.
+  void accepts_batch(const WorldBatch& worlds, Bitset& out) const override;
   int min_quorum_size() const override;
   double availability(double p) const override;
   // Probes servers 0..n-1 in index order, stopping as soon as the observed

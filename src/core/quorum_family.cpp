@@ -1,5 +1,6 @@
 #include "core/quorum_family.h"
 
+#include "core/batch.h"
 #include "runtime/run_trials.h"
 
 namespace sqs {
@@ -22,6 +23,12 @@ double QuorumFamily::availability_exact_enumeration(double p) const {
 void availability_mc_chunk(const QuorumFamily& family, double p,
                            const TrialContext& ctx, Rng& rng,
                            std::int64_t& live) {
+  if (ctx.batch != BatchPolicy::kScalar) {
+    // Batched / differential: identical rng draw order (sample-then-
+    // transpose), identical live count — see core/batch.h.
+    availability_mc_chunk_batched(family, p, ctx, rng, live);
+    return;
+  }
   const int n = family.universe_size();
   // One pooled configuration per chunk; every trial assigns all n bits, so
   // no inter-trial clearing is needed and the draw order is unchanged.

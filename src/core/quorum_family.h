@@ -20,6 +20,8 @@
 namespace sqs {
 
 struct TrialContext;
+class Bitset;
+class WorldBatch;
 
 // Defaults of the Monte Carlo availability fallback. Exposed so the sweep
 // engine (src/sweep) can schedule grid cells that reduce to exactly the
@@ -46,6 +48,14 @@ class QuorumFamily {
   // Does some quorum Q of the family satisfy Q ⊆ C? Availability and the
   // probe-complexity lower bounds are defined through this predicate.
   virtual bool accepts(const Configuration& config) const = 0;
+
+  // Batched acceptance over a WorldBatch (src/core/batch.h): bit t of `out`
+  // must equal accepts(trial t) — the scalar predicate is the oracle, and
+  // BatchPolicy::kDifferential enforces the equality trial by trial.
+  // Threshold-style families override this with a popcount ladder and Paths
+  // with a frontier BFS (64 trials per word pass); the default extracts
+  // each trial and runs accepts(), so every family is batch-callable.
+  virtual void accepts_batch(const WorldBatch& worlds, Bitset& out) const;
 
   // Size of the smallest quorum; drives the load lower bound of Theorem 38
   // and the composition precondition of Definition 40 (>= 2 alpha).

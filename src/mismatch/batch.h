@@ -1,0 +1,44 @@
+// Batched two-client mismatch worlds and the bit-sliced non-intersection
+// kernel (see core/batch.h and probe/batch.h for the SoA conventions).
+//
+// The two clients of one trial live in the same lane: bit t of
+// reach1/reach2's column s says whether client 1/2 would reach server s in
+// trial t. Sampling consumes the chunk rng in exactly sample_world_into's
+// order (per server: crash draw, then both link draws; then the optional
+// partition redraw pass), so scalar and batched estimates share one stream.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/batch.h"
+#include "mismatch/model.h"
+#include "runtime/run_trials.h"
+
+namespace sqs {
+
+struct TwoClientWorldBatch {
+  WorldBatch reach1;
+  WorldBatch reach2;
+};
+
+// Fills `out` with num_trials joint worlds, drawing `rng` bit-for-bit like
+// num_trials successive sample_world_into calls.
+void sample_two_client_worlds_into(int n, const MismatchModel& model,
+                                   std::uint64_t num_trials, Rng& rng,
+                                   WorkerScratch& scratch,
+                                   TwoClientWorldBatch& out);
+
+// Batched body of nonintersection_chunk for families whose probe strategy
+// has a bit-sliced walk (OPT_d, any probe order): both clients' walks and
+// the Definition 8 probed-positive intersection advance 64 trials per word.
+// Returns false — rng and acc untouched — when the family has none, so the
+// caller falls back to the scalar two-client loop. Under
+// BatchPolicy::kDifferential every trial is replayed through run_probe_into
+// and a disagreement throws std::runtime_error.
+bool nonintersection_chunk_batched(const QuorumFamily& family,
+                                   const MismatchModel& model,
+                                   const TrialContext& ctx, Rng& rng,
+                                   NonintersectionCounts& acc);
+
+}  // namespace sqs

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "mismatch/batch.h"
+
 namespace sqs {
 
 void sample_world_into(int n, const MismatchModel& model, Rng& rng,
@@ -32,6 +34,9 @@ TwoClientWorld sample_world(int n, const MismatchModel& model, Rng& rng) {
 void nonintersection_chunk(const QuorumFamily& family,
                            const MismatchModel& model, const TrialContext& ctx,
                            Rng& rng, NonintersectionCounts& acc) {
+  if (ctx.batch != BatchPolicy::kScalar &&
+      nonintersection_chunk_batched(family, model, ctx, rng, acc))
+    return;
   const int n = family.universe_size();
   // Probe strategies are stateful between run_probe resets, so each shard
   // instantiates its own pair (fresh, not pooled — see

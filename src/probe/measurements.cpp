@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/recorder.h"
+#include "probe/batch.h"
 #include "probe/engine.h"
 
 namespace sqs {
@@ -38,6 +39,9 @@ void ProbeAccumulator::merge(ProbeAccumulator&& other) {
 void probe_measurement_chunk(const QuorumFamily& family, double p,
                              const TrialContext& ctx, Rng& rng,
                              ProbeAccumulator& acc) {
+  if (ctx.batch != BatchPolicy::kScalar &&
+      probe_measurement_chunk_batched(family, p, ctx, rng, acc))
+    return;
   const int n = family.universe_size();
   WorkerScratch& scratch = ctx.scratch();
   acc.probe_counts = scratch.take_counts(static_cast<std::size_t>(n));

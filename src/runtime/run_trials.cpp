@@ -1,0 +1,27 @@
+#include "runtime/run_trials.h"
+
+namespace sqs {
+
+const char* batch_policy_name(BatchPolicy policy) {
+  switch (policy) {
+    case BatchPolicy::kScalar: return "scalar";
+    case BatchPolicy::kBatched: return "batched";
+    case BatchPolicy::kDifferential: return "differential";
+  }
+  return "scalar";
+}
+
+bool parse_batch_policy(const std::string& text, BatchPolicy& out) {
+  if (text == "scalar") {
+    out = BatchPolicy::kScalar;
+  } else if (text == "batched") {
+    out = BatchPolicy::kBatched;
+  } else if (text == "differential") {
+    out = BatchPolicy::kDifferential;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sqs

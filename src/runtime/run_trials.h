@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -52,11 +53,28 @@ struct ChunkMetrics {
 
 inline constexpr std::uint64_t kDefaultTrialChunk = 1024;
 
+// How a chunk kernel evaluates its trials (see DESIGN.md §3.12):
+//   kScalar       — the original one-trial-at-a-time loop (the oracle).
+//   kBatched      — structure-of-arrays kernels, 64 trials per word pass.
+//   kDifferential — run both and throw std::runtime_error on the first trial
+//                   whose batched bit differs from the scalar oracle's.
+// Batched kernels draw the chunk rng in exactly the scalar order, so all
+// three policies consume identical rng streams and kScalar/kBatched publish
+// bit-identical estimates; kDifferential is the proof harness.
+enum class BatchPolicy { kScalar, kBatched, kDifferential };
+
+const char* batch_policy_name(BatchPolicy policy);
+// Parses "scalar" / "batched" / "differential"; returns false on any other
+// spelling and leaves `out` untouched.
+bool parse_batch_policy(const std::string& text, BatchPolicy& out);
+
 struct TrialOptions {
   // Total participating threads (caller included); 0 means default_threads().
   int threads = 0;
   // Trials per shard; also the granularity of rng splitting and reduction.
   std::uint64_t chunk_size = kDefaultTrialChunk;
+  // Trial evaluation policy, forwarded to every chunk via TrialContext.
+  BatchPolicy batch = BatchPolicy::kScalar;
 };
 
 struct TrialChunk {
@@ -72,6 +90,9 @@ struct TrialChunk {
 struct TrialContext {
   TrialChunk chunk;
   WorkerScratch* arena = nullptr;
+  // Policy the submitting caller selected; kernels that have no batched
+  // implementation simply ignore it and stay scalar.
+  BatchPolicy batch = BatchPolicy::kScalar;
 
   WorkerScratch& scratch() const {
     assert(arena != nullptr);
@@ -121,6 +142,7 @@ Acc run_trial_chunks(std::uint64_t n_trials, const Rng& base, const Acc& zero,
     ctx.chunk.begin = c * chunk_size;
     ctx.chunk.end = std::min(n_trials, ctx.chunk.begin + chunk_size);
     ctx.arena = &WorkerScratch::for_thread();
+    ctx.batch = opts.batch;
     Rng rng = base.split(c);
     if (obs::telemetry_enabled()) {
       const runtime_detail::ChunkMetrics& metrics =

@@ -126,6 +126,7 @@ std::vector<Acc> run_sweep(const std::vector<SweepCell>& cells, const Acc& zero,
     ctx.chunk.begin = ctx.chunk.index * chunk_size;
     ctx.chunk.end = std::min(cells[cell].n_trials, ctx.chunk.begin + chunk_size);
     ctx.arena = &WorkerScratch::for_thread();
+    ctx.batch = opts.batch;
     Rng rng = cells[cell].base.split(ctx.chunk.index);
     if (obs::telemetry_enabled()) {
       const sweep_detail::SweepMetrics& metrics =

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/batch.h"
+
 #include "util/binomial.h"
 
 namespace sqs {
@@ -80,6 +82,11 @@ std::string ThresholdFamily::name() const {
 
 bool ThresholdFamily::accepts(const Configuration& config) const {
   return config.num_up() >= static_cast<std::size_t>(threshold_);
+}
+
+void ThresholdFamily::accepts_batch(const WorldBatch& worlds,
+                                    Bitset& out) const {
+  batch_count_at_least(worlds, threshold_, out);
 }
 
 double ThresholdFamily::availability(double p) const {

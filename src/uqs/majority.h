@@ -26,6 +26,8 @@ class ThresholdFamily : public QuorumFamily {
   int alpha() const override { return 0; }
   bool is_strict() const override { return 2 * threshold_ > n_; }
   bool accepts(const Configuration& config) const override;
+  // Popcount ladder against `threshold` (see core/batch.h).
+  void accepts_batch(const WorldBatch& worlds, Bitset& out) const override;
   int min_quorum_size() const override { return threshold_; }
   // Closed form: P[Bin(n, 1-p) >= threshold].
   double availability(double p) const override;

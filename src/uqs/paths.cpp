@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch.h"
 #include "runtime/scratch.h"
 
 namespace sqs {
@@ -179,6 +180,75 @@ bool PathsFamily::has_tb_dual_path(const Configuration& config) const {
 
 bool PathsFamily::accepts(const Configuration& config) const {
   return has_lr_path(config) && has_tb_dual_path(config);
+}
+
+namespace {
+
+// Lane-word reachability to fixpoint over one 64-trial word: visited[node]
+// holds the lanes that reached the node, and every relaxation advances all
+// 64 trials at once (frontier bit = seed & edge-up lanes). The scalar BFS
+// above is the per-trial oracle this must agree with — same graph, same
+// edge-liveness predicate, order-independent because reachability is a
+// monotone fixpoint.
+template <typename MovesFn>
+void batch_reach(int num_nodes, const MovesFn& moves_of,
+                 const std::uint64_t* up, std::uint64_t seed_mask,
+                 std::vector<std::uint64_t>& visited,
+                 std::vector<Move>& moves_buf) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < num_nodes; ++v) {
+      const std::uint64_t from = visited[static_cast<std::size_t>(v)];
+      if (from == 0) continue;
+      moves_of(v, moves_buf);
+      for (const Move& m : moves_buf) {
+        const std::uint64_t add =
+            from & up[m.edge] & ~visited[static_cast<std::size_t>(m.to)] &
+            seed_mask;
+        if (add != 0) {
+          visited[static_cast<std::size_t>(m.to)] |= add;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void PathsFamily::accepts_batch(const WorldBatch& worlds, Bitset& out) const {
+  assert(worlds.universe_size() == universe_size());
+  const int l = l_;
+  out.reshape(static_cast<std::size_t>(worlds.num_trials()));
+  WorkerScratch& scratch = WorkerScratch::for_thread();
+  Borrowed<std::vector<std::uint64_t>> visited =
+      scratch.borrow<std::vector<std::uint64_t>>();
+  Borrowed<std::vector<Move>> moves = scratch.borrow<std::vector<Move>>();
+  const auto primal_of = [&](int v, std::vector<Move>& mv) {
+    primal_moves(*this, v / (l + 1), v % (l + 1), false, mv);
+  };
+  const auto dual_of = [&](int v, std::vector<Move>& mv) {
+    dual_moves(*this, v, false, mv);
+  };
+  for (std::size_t w = 0; w < worlds.num_lane_words(); ++w) {
+    const std::uint64_t mask = worlds.lane_mask(w);
+    const std::uint64_t* up = worlds.lanes(w);
+    // Left-right in the primal grid: seed column 0, read column l.
+    visited->assign(static_cast<std::size_t>((l + 1) * (l + 1)), 0);
+    for (int r = 0; r <= l; ++r)
+      (*visited)[static_cast<std::size_t>(vertex_id(l, r, 0))] = mask;
+    batch_reach((l + 1) * (l + 1), primal_of, up, mask, *visited, *moves);
+    std::uint64_t lr = 0;
+    for (int r = 0; r <= l; ++r)
+      lr |= (*visited)[static_cast<std::size_t>(vertex_id(l, r, l))];
+    // Top-bottom in the dual grid: seed TOP, read BOTTOM.
+    visited->assign(static_cast<std::size_t>(l * l + 2), 0);
+    (*visited)[static_cast<std::size_t>(top_id(l))] = mask;
+    batch_reach(l * l + 2, dual_of, up, mask, *visited, *moves);
+    const std::uint64_t tb = (*visited)[static_cast<std::size_t>(bottom_id(l))];
+    out.set_word(w, lr & tb);
+  }
 }
 
 namespace {

@@ -77,6 +77,25 @@ class Bitset {
     trim();
   }
 
+  // Word-granular access for the SoA batch kernels (src/core/batch.h): a
+  // lane word holds bits [w*64, w*64+64) of the set. num_words() covers the
+  // ragged tail — a width-65 set has two words, the second with one live bit.
+  std::size_t num_words() const { return words_.size(); }
+
+  std::uint64_t word(std::size_t w) const {
+    assert(w < words_.size());
+    return words_[w];
+  }
+
+  // Stores a full lane word; bits beyond size() are cleared so count()/==
+  // stay exact (the width-0/64/65/128 boundary cases are regression-tested
+  // in tests/test_bitset.cpp).
+  void set_word(std::size_t w, std::uint64_t value) {
+    assert(w < words_.size());
+    words_[w] = value;
+    if (w + 1 == words_.size()) trim();
+  }
+
   std::size_t count() const {
     std::size_t c = 0;
     for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
@@ -222,5 +241,22 @@ class Bitset {
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3): bit (r, c) of
+// the input — bit c of m[r] — moves to bit (c, r). This is the primitive
+// behind the draw-order-preserving row→column flip of WorldBatch sampling:
+// rows are per-trial server masks drawn in scalar order, columns are the
+// per-server trial lanes the batch kernels consume.
+inline void transpose_64x64(std::uint64_t m[64]) {
+  std::uint64_t mask = 0x00000000ffffffffull;
+  for (std::size_t shift = 32; shift != 0; shift >>= 1) {
+    for (std::size_t r = 0; r < 64; r = (r + shift + 1) & ~shift) {
+      const std::uint64_t t = ((m[r] >> shift) ^ m[r + shift]) & mask;
+      m[r] ^= t << shift;
+      m[r + shift] ^= t;
+    }
+    mask ^= mask << (shift >> 1);
+  }
+}
 
 }  // namespace sqs

@@ -1,0 +1,524 @@
+// The SoA batch layer's bit-identity contract (DESIGN.md §3.12): for every
+// family, accepts_batch must equal the scalar accepts() oracle trial by
+// trial, the batched estimator kernels must publish the same bits as the
+// scalar loops at any thread count and batch width, and
+// BatchPolicy::kDifferential must catch any kernel that disagrees. The
+// scalar path is always the oracle — these tests never trust two batched
+// runs against each other.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/composition.h"
+#include "core/constructions.h"
+#include "core/explicit_sqs.h"
+#include "core/quorum_family.h"
+#include "mismatch/model.h"
+#include "probe/measurements.h"
+#include "runtime/run_trials.h"
+#include "sweep/sweep.h"
+#include "uqs/majority.h"
+#include "uqs/paths.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace sqs {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+const std::uint64_t kRaggedTails[] = {1, 63, 64, 65, 1000};
+
+// A deliberately non-monotone family with no vectorized kernel: accepts iff
+// the number of up servers is even. Exercises the default accepts_batch
+// fallback (per-trial extraction) under the differential harness.
+class ParityFamily : public QuorumFamily {
+ public:
+  explicit ParityFamily(int n) : n_(n) {}
+  std::string name() const override { return "parity"; }
+  int universe_size() const override { return n_; }
+  int alpha() const override { return 0; }
+  bool is_strict() const override { return false; }
+  bool accepts(const Configuration& config) const override {
+    return config.up().count() % 2 == 0;
+  }
+  int min_quorum_size() const override { return 0; }
+  std::unique_ptr<ProbeStrategy> make_probe_strategy() const override {
+    return nullptr;
+  }
+
+ private:
+  int n_;
+};
+
+// An intentionally wrong kernel: flips trial 0 of every lane word. The
+// differential harness must reject it on the first chunk.
+class BrokenBatchFamily : public OptAFamily {
+ public:
+  BrokenBatchFamily(int n, int alpha) : OptAFamily(n, alpha) {}
+  void accepts_batch(const WorldBatch& worlds, Bitset& out) const override {
+    OptAFamily::accepts_batch(worlds, out);
+    for (std::size_t w = 0; w < out.num_words(); ++w)
+      out.set_word(w, out.word(w) ^ 1u);
+  }
+};
+
+// Every implicit family shape at one (n, alpha) grid point. n >= 3 alpha - 1
+// (the OPT_d precondition); the composition's inner majority must have
+// min quorum >= 2 alpha, i.e. inner size >= 4 alpha - 1.
+std::vector<std::shared_ptr<QuorumFamily>> family_grid_cell(int n, int alpha) {
+  std::vector<std::shared_ptr<QuorumFamily>> families;
+  families.push_back(std::make_shared<OptAFamily>(n, alpha));
+  families.push_back(std::make_shared<OptDFamily>(n, alpha));
+  families.push_back(std::make_shared<MajorityFamily>(n));
+  families.push_back(
+      std::make_shared<ThresholdFamily>(n, alpha, "threshold-alpha"));
+  if (4 * alpha - 1 <= n)
+    families.push_back(std::make_shared<CompositionFamily>(
+        std::make_shared<MajorityFamily>(4 * alpha - 1), n, alpha));
+  if (n <= 8)
+    families.push_back(std::make_shared<ExplicitSqs>(opt_d_explicit(n, alpha)));
+  families.push_back(std::make_shared<ParityFamily>(n));
+  return families;
+}
+
+std::vector<std::shared_ptr<QuorumFamily>> full_family_grid() {
+  std::vector<std::shared_ptr<QuorumFamily>> families;
+  for (const auto& [n, alpha] : {std::pair{5, 1}, {8, 2}, {11, 3}})
+    for (auto& f : family_grid_cell(n, alpha)) families.push_back(std::move(f));
+  for (const int l : {1, 2, 3})
+    families.push_back(std::make_shared<PathsFamily>(l));
+  return families;
+}
+
+// Availability live-count through the shared chunk kernel under an explicit
+// policy — the exact code path run_trial_chunks and run_sweep dispatch.
+std::int64_t count_live(const QuorumFamily& family, double p,
+                        std::uint64_t trials, std::uint64_t seed,
+                        BatchPolicy policy, int threads = 1,
+                        std::uint64_t chunk_size = 256) {
+  TrialOptions opts;
+  opts.threads = threads;
+  opts.chunk_size = chunk_size;
+  opts.batch = policy;
+  return run_trial_chunks(
+      trials, Rng(seed), std::int64_t{0},
+      [&](std::int64_t& acc, const TrialContext& ctx, Rng& rng) {
+        availability_mc_chunk(family, p, ctx, rng, acc);
+      },
+      [](std::int64_t& total, std::int64_t part) { total += part; }, opts);
+}
+
+TEST(Batch, TransposeContractAndInvolution) {
+  Rng rng(42);
+  std::uint64_t m[64], orig[64];
+  for (auto& w : m) w = rng.next_u64();
+  std::copy(std::begin(m), std::end(m), std::begin(orig));
+  transpose_64x64(m);
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c)
+      ASSERT_EQ((m[c] >> r) & 1u, (orig[r] >> c) & 1u)
+          << "bit (" << r << "," << c << ")";
+  transpose_64x64(m);
+  for (int r = 0; r < 64; ++r) ASSERT_EQ(m[r], orig[r]);
+}
+
+TEST(Batch, WorldBatchRoundTripAtWordBoundaryWidths) {
+  // The widths where the row<->column transpose blocks go ragged: empty,
+  // one short word, exactly one word, one word + 1 bit, two exact words.
+  for (const int n : {0, 1, 63, 64, 65, 128}) {
+    for (const std::uint64_t trials : kRaggedTails) {
+      Rng rng(static_cast<std::uint64_t>(n) * 1000 + trials);
+      const std::size_t row_words = batch_row_words(n);
+      // Reference row staging across all trials, then load word by word.
+      std::vector<std::uint64_t> rows(trials * row_words, 0);
+      for (std::uint64_t t = 0; t < trials; ++t)
+        for (int s = 0; s < n; ++s)
+          if (rng.bernoulli(0.5))
+            rows[t * row_words + static_cast<std::size_t>(s) / 64] |=
+                1ull << (static_cast<std::size_t>(s) % 64);
+      WorldBatch batch;
+      batch.reshape(n, trials);
+      for (std::size_t w = 0; w < batch.num_lane_words(); ++w) {
+        const std::uint64_t begin = w * kBatchLaneBits;
+        const std::uint64_t block =
+            std::min<std::uint64_t>(kBatchLaneBits, trials - begin);
+        batch.load_rows(w, rows.data() + begin * row_words,
+                        static_cast<std::size_t>(block));
+      }
+      Configuration config(Bitset(static_cast<std::size_t>(n)));
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        batch.extract_trial(t, config);
+        for (int s = 0; s < n; ++s) {
+          const bool expected =
+              (rows[t * row_words + static_cast<std::size_t>(s) / 64] >>
+               (static_cast<std::size_t>(s) % 64)) &
+              1u;
+          ASSERT_EQ(batch.test(t, s), expected)
+              << "n=" << n << " trial " << t << " server " << s;
+          ASSERT_EQ(config.is_up(s), expected);
+        }
+      }
+    }
+  }
+}
+
+TEST(Batch, LaneCountersMatchScalarCounts) {
+  Rng rng(7);
+  for (int n : {1, 2, 7, 31, 64, 200}) {
+    const int planes_n = lane_counter_planes(n);
+    ASSERT_GT(1ll << planes_n, n);
+    std::vector<std::uint64_t> planes(static_cast<std::size_t>(planes_n), 0);
+    std::vector<int> scalar(64, 0);
+    for (int s = 0; s < n; ++s) {
+      const std::uint64_t w = rng.next_u64();
+      lane_counter_add(planes.data(), planes_n, w);
+      for (int b = 0; b < 64; ++b) scalar[static_cast<std::size_t>(b)] +=
+          static_cast<int>((w >> b) & 1u);
+    }
+    for (const int k : {0, 1, n / 2, n, n + 1}) {
+      const std::uint64_t at_least = lane_counter_at_least(
+          planes.data(), planes_n, static_cast<std::uint64_t>(k));
+      for (int b = 0; b < 64; ++b)
+        ASSERT_EQ((at_least >> b) & 1u,
+                  scalar[static_cast<std::size_t>(b)] >= k ? 1u : 0u)
+            << "n=" << n << " k=" << k << " lane " << b;
+    }
+  }
+}
+
+TEST(Batch, AcceptsBatchMatchesScalarOracleOnRaggedTails) {
+  for (const auto& family : full_family_grid()) {
+    const int n = family->universe_size();
+    for (const std::uint64_t trials : kRaggedTails) {
+      Rng rng(900 + trials);
+      WorldBatch worlds;
+      sample_worlds_into(n, 0.35, trials, rng, WorkerScratch::for_thread(),
+                         worlds);
+      Bitset out;
+      family->accepts_batch(worlds, out);
+      ASSERT_EQ(out.size(), trials);
+      Configuration config(Bitset(static_cast<std::size_t>(n)));
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        worlds.extract_trial(t, config);
+        ASSERT_EQ(out.test(static_cast<std::size_t>(t)),
+                  family->accepts(config))
+            << family->name() << " trial " << t << " of " << trials;
+      }
+    }
+  }
+}
+
+TEST(Batch, DifferentialAvailabilityPassesOverFamilyGrid) {
+  // The acceptance gate: zero batched/scalar mismatches over the whole
+  // family x miss-probability matrix, enforced by the throwing harness.
+  for (const auto& family : full_family_grid()) {
+    for (const double p : {0.05, 0.3, 0.6}) {
+      const std::int64_t scalar =
+          count_live(*family, p, 4097, 77, BatchPolicy::kScalar);
+      std::int64_t differential = 0;
+      ASSERT_NO_THROW(differential = count_live(*family, p, 4097, 77,
+                                                BatchPolicy::kDifferential))
+          << family->name() << " p=" << p;
+      EXPECT_EQ(differential, scalar) << family->name() << " p=" << p;
+      EXPECT_EQ(count_live(*family, p, 4097, 77, BatchPolicy::kBatched), scalar)
+          << family->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(Batch, BrokenKernelIsCaughtByDifferentialMode) {
+  const BrokenBatchFamily broken(10, 2);
+  EXPECT_THROW(count_live(broken, 0.3, 500, 5, BatchPolicy::kDifferential),
+               std::runtime_error);
+  // And silently accepted when nothing checks it — which is exactly why the
+  // differential harness exists.
+  EXPECT_NE(count_live(broken, 0.3, 500, 5, BatchPolicy::kBatched),
+            count_live(broken, 0.3, 500, 5, BatchPolicy::kScalar));
+}
+
+TEST(Batch, AvailabilityBitIdenticalAcrossThreadCountsAndChunkSizes) {
+  const OptDFamily family(40, 3);
+  const std::int64_t scalar =
+      count_live(family, 0.25, 20000, 123, BatchPolicy::kScalar);
+  for (const int threads : kThreadCounts)
+    for (const std::uint64_t chunk : {64ull, 1000ull, 4096ull})
+      EXPECT_EQ(count_live(family, 0.25, 20000, 123, BatchPolicy::kBatched,
+                           threads, chunk),
+                scalar)
+          << threads << " threads, chunk " << chunk;
+}
+
+TEST(Batch, ProbeKernelMatchesScalarBitForBit) {
+  const OptDFamily family(48, 2);
+  TrialOptions scalar_opts;
+  const ProbeMeasurement scalar =
+      measure_probes(family, 0.25, 10000, Rng(91), scalar_opts);
+  for (const BatchPolicy policy :
+       {BatchPolicy::kBatched, BatchPolicy::kDifferential}) {
+    TrialOptions opts;
+    opts.batch = policy;
+    const ProbeMeasurement batched =
+        measure_probes(family, 0.25, 10000, Rng(91), opts);
+    // Bit-identical including the order-sensitive Welford aggregates.
+    EXPECT_EQ(batched.acquired.successes, scalar.acquired.successes);
+    EXPECT_EQ(batched.acquired.trials, scalar.acquired.trials);
+    EXPECT_EQ(batched.probes_overall.mean(), scalar.probes_overall.mean());
+    EXPECT_EQ(batched.probes_overall.variance(),
+              scalar.probes_overall.variance());
+    EXPECT_EQ(batched.probes_acquired.mean(), scalar.probes_acquired.mean());
+    EXPECT_EQ(batched.probes_failed.mean(), scalar.probes_failed.mean());
+    EXPECT_EQ(batched.max_probes_seen, scalar.max_probes_seen);
+    EXPECT_EQ(batched.server_probe_frequency, scalar.server_probe_frequency);
+  }
+}
+
+TEST(Batch, ProbeKernelRespectsRotatedProbeOrders) {
+  // The OPT_d probe order is a construction parameter (Sect. 6.3 rotation);
+  // the lane walk must consume it identically.
+  OptDFamily family(20, 2);
+  std::vector<int> order(20);
+  for (int i = 0; i < 20; ++i) order[static_cast<std::size_t>(i)] = (i + 7) % 20;
+  family.set_probe_order(order);
+  TrialOptions opts;
+  opts.batch = BatchPolicy::kDifferential;
+  const ProbeMeasurement batched =
+      measure_probes(family, 0.3, 6000, Rng(17), opts);
+  const ProbeMeasurement scalar = measure_probes(family, 0.3, 6000, Rng(17));
+  EXPECT_EQ(batched.server_probe_frequency, scalar.server_probe_frequency);
+  EXPECT_EQ(batched.probes_overall.mean(), scalar.probes_overall.mean());
+}
+
+TEST(Batch, ProbeKernelFallsBackForRandomizedStrategies) {
+  // Threshold probing shuffles its order: no bit-sliced kernel exists, so
+  // kBatched must quietly take the scalar path and change nothing.
+  const MajorityFamily family(15);
+  TrialOptions opts;
+  opts.batch = BatchPolicy::kBatched;
+  const ProbeMeasurement batched =
+      measure_probes(family, 0.2, 5000, Rng(8), opts);
+  const ProbeMeasurement scalar = measure_probes(family, 0.2, 5000, Rng(8));
+  EXPECT_EQ(batched.acquired.successes, scalar.acquired.successes);
+  EXPECT_EQ(batched.probes_overall.mean(), scalar.probes_overall.mean());
+  EXPECT_EQ(batched.server_probe_frequency, scalar.server_probe_frequency);
+}
+
+TEST(Batch, NonintersectionKernelMatchesScalarBitForBit) {
+  for (const int alpha : {1, 2}) {
+    const OptDFamily family(20, alpha);
+    MismatchModel model;
+    model.p = 0.1;
+    model.link_miss = 0.25;
+    const NonintersectionStats scalar =
+        measure_nonintersection(family, model, 20000, Rng(500));
+    for (const BatchPolicy policy :
+         {BatchPolicy::kBatched, BatchPolicy::kDifferential}) {
+      TrialOptions opts;
+      opts.batch = policy;
+      const NonintersectionStats batched =
+          measure_nonintersection(family, model, 20000, Rng(500), 1.0, opts);
+      EXPECT_EQ(batched.both_acquired.successes, scalar.both_acquired.successes)
+          << "alpha " << alpha;
+      EXPECT_EQ(batched.both_acquired.trials, scalar.both_acquired.trials);
+      EXPECT_EQ(batched.nonintersection.successes,
+                scalar.nonintersection.successes);
+      EXPECT_EQ(batched.nonintersection.trials, scalar.nonintersection.trials);
+    }
+  }
+}
+
+TEST(Batch, NonintersectionKernelHandlesCorrelatedPartitions) {
+  // The partition knob adds a second rng pass over reach2; the batched
+  // sampler must consume it in exactly the scalar order.
+  const OptDFamily family(18, 2);
+  MismatchModel model;
+  model.p = 0.1;
+  model.link_miss = 0.2;
+  model.partition_rate = 0.3;
+  model.partition_fraction = 0.5;
+  const NonintersectionStats scalar =
+      measure_nonintersection(family, model, 12000, Rng(31));
+  TrialOptions opts;
+  opts.batch = BatchPolicy::kDifferential;
+  const NonintersectionStats batched =
+      measure_nonintersection(family, model, 12000, Rng(31), 1.0, opts);
+  EXPECT_EQ(batched.both_acquired.successes, scalar.both_acquired.successes);
+  EXPECT_EQ(batched.nonintersection.successes,
+            scalar.nonintersection.successes);
+}
+
+TEST(Batch, EstimatorsBitIdenticalAcrossThreadCountsWhenBatched) {
+  const auto family = std::make_shared<OptDFamily>(24, 2);
+  MismatchModel model;
+  model.p = 0.15;
+  model.link_miss = 0.2;
+  std::vector<ProbeMeasurement> probe_runs;
+  std::vector<NonintersectionStats> noni_runs;
+  for (const int threads : kThreadCounts) {
+    TrialOptions opts;
+    opts.threads = threads;
+    opts.chunk_size = 512;
+    opts.batch = BatchPolicy::kBatched;
+    probe_runs.push_back(measure_probes(*family, 0.2, 12000, Rng(64), opts));
+    noni_runs.push_back(
+        measure_nonintersection(*family, model, 12000, Rng(65), 1.0, opts));
+  }
+  for (std::size_t r = 1; r < probe_runs.size(); ++r) {
+    EXPECT_EQ(probe_runs[r].probes_overall.mean(),
+              probe_runs[0].probes_overall.mean())
+        << kThreadCounts[r] << " threads";
+    EXPECT_EQ(probe_runs[r].probes_overall.variance(),
+              probe_runs[0].probes_overall.variance());
+    EXPECT_EQ(probe_runs[r].acquired.successes,
+              probe_runs[0].acquired.successes);
+    EXPECT_EQ(probe_runs[r].server_probe_frequency,
+              probe_runs[0].server_probe_frequency);
+    EXPECT_EQ(noni_runs[r].both_acquired.successes,
+              noni_runs[0].both_acquired.successes);
+    EXPECT_EQ(noni_runs[r].nonintersection.successes,
+              noni_runs[0].nonintersection.successes);
+  }
+}
+
+TEST(Batch, SweepDispatchesBatchPolicyPerCell) {
+  // run_sweep forwards opts.batch through TrialContext: a batched grid must
+  // reduce to the scalar grid's bits (and differential must pass).
+  std::vector<AvailabilityCell> cells;
+  for (const int n : {30, 40})
+    for (const double p : {0.2, 0.4})
+      cells.push_back({std::make_shared<OptDFamily>(n, 2), p, 20000, 777});
+  const std::vector<AvailabilityEstimate> scalar = sweep_availability(cells);
+  for (const BatchPolicy policy :
+       {BatchPolicy::kBatched, BatchPolicy::kDifferential}) {
+    TrialOptions opts;
+    opts.batch = policy;
+    opts.threads = 4;
+    const std::vector<AvailabilityEstimate> batched =
+        sweep_availability(cells, opts);
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      EXPECT_EQ(batched[i].live, scalar[i].live) << "cell " << i;
+  }
+}
+
+TEST(Batch, PopcountAccumulationSurvivesBatchesBeyond64kTrials) {
+  // Regression guard for 16-bit popcount accumulation: a single 70000-trial
+  // chunk whose accept count exceeds 2^16 must not wrap.
+  const OptAFamily family(10, 1);
+  const std::int64_t scalar = count_live(family, 0.01, 70000, 99,
+                                         BatchPolicy::kScalar, 1, 70000);
+  const std::int64_t batched = count_live(family, 0.01, 70000, 99,
+                                          BatchPolicy::kBatched, 1, 70000);
+  EXPECT_EQ(batched, scalar);
+  EXPECT_GT(batched, 1 << 16);
+}
+
+// --- randomized property tests ------------------------------------------
+
+// Arbitrary signed systems: quorums with random positive/negative literals
+// (not necessarily valid SQSs — accepts() is defined regardless).
+ExplicitSqs random_signed_system(Rng& rng, int n, bool positive_only) {
+  ExplicitSqs system(n, 1);
+  const int num_quorums = 1 + static_cast<int>(rng.next_below(6));
+  for (int q = 0; q < num_quorums; ++q) {
+    SignedSet quorum(n);
+    for (int s = 0; s < n; ++s) {
+      if (rng.bernoulli(0.3)) {
+        quorum.add_positive(s);
+      } else if (!positive_only && rng.bernoulli(0.25)) {
+        quorum.add_negative(s);
+      }
+    }
+    quorum.add_positive(static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(n))));  // at least one positive
+    system.add_quorum(quorum);
+  }
+  return system;
+}
+
+TEST(Batch, RandomizedExplicitSystemsAgreeWithScalarOracle) {
+  // ~10k (system, world) cases: batched acceptance of arbitrary signed
+  // systems must equal the scalar predicate on every sampled trial.
+  Rng rng(2024);
+  std::uint64_t cases = 0;
+  Configuration config;
+  for (int iter = 0; iter < 160; ++iter) {
+    const int n = 1 + static_cast<int>(rng.next_below(16));
+    const ExplicitSqs system = random_signed_system(rng, n, false);
+    const std::uint64_t trials = 1 + rng.next_below(130);
+    const double p = rng.next_double();
+    Rng world_rng = rng.split(static_cast<std::uint64_t>(iter));
+    WorldBatch worlds;
+    sample_worlds_into(n, p, trials, world_rng, WorkerScratch::for_thread(),
+                       worlds);
+    Bitset out;
+    system.accepts_batch(worlds, out);
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      worlds.extract_trial(t, config);
+      ASSERT_EQ(out.test(static_cast<std::size_t>(t)), system.accepts(config))
+          << "iter " << iter << " trial " << t;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 10000u);
+}
+
+TEST(Batch, MonotoneSystemsStayMonotoneUnderBatchEvaluation) {
+  // Monotonicity holds only without negative literals (a signed quorum can
+  // reject a superset world): for positive-only systems and implicit
+  // threshold families, turning servers up can never clear an accept lane.
+  Rng rng(77);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int n = 2 + static_cast<int>(rng.next_below(14));
+    std::vector<std::shared_ptr<QuorumFamily>> families;
+    families.push_back(std::make_shared<ExplicitSqs>(
+        random_signed_system(rng, n, /*positive_only=*/true)));
+    families.push_back(std::make_shared<ThresholdFamily>(
+        n, 1 + static_cast<int>(rng.next_below(
+                   static_cast<std::uint64_t>(n)))));
+    const std::uint64_t trials = 1 + rng.next_below(100);
+    Rng world_rng = rng.split(static_cast<std::uint64_t>(iter));
+    WorldBatch worlds;
+    sample_worlds_into(n, 0.5, trials, world_rng, WorkerScratch::for_thread(),
+                       worlds);
+    // A superset batch: every world with a few extra servers forced up.
+    WorldBatch bigger = worlds;
+    for (std::uint64_t t = 0; t < trials; ++t)
+      for (int s = 0; s < n; ++s)
+        if (rng.bernoulli(0.2) && !bigger.test(t, s)) bigger.set(t, s);
+    Configuration config;
+    for (const auto& family : families) {
+      Bitset accept_small, accept_big;
+      family->accepts_batch(worlds, accept_small);
+      family->accepts_batch(bigger, accept_big);
+      for (std::size_t w = 0; w < accept_small.num_words(); ++w)
+        ASSERT_EQ(accept_small.word(w) & ~accept_big.word(w), 0u)
+            << family->name() << " iter " << iter
+            << ": accept lane lost under a superset world";
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        bigger.extract_trial(t, config);
+        ASSERT_EQ(accept_big.test(static_cast<std::size_t>(t)),
+                  family->accepts(config));
+      }
+    }
+  }
+}
+
+TEST(Batch, PolicyNamesRoundTrip) {
+  for (const BatchPolicy policy : {BatchPolicy::kScalar, BatchPolicy::kBatched,
+                                   BatchPolicy::kDifferential}) {
+    BatchPolicy parsed = BatchPolicy::kScalar;
+    EXPECT_TRUE(parse_batch_policy(batch_policy_name(policy), parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  BatchPolicy parsed = BatchPolicy::kBatched;
+  EXPECT_FALSE(parse_batch_policy("vectorized", parsed));
+  EXPECT_EQ(parsed, BatchPolicy::kBatched);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace sqs

@@ -173,6 +173,32 @@ TEST(RunTrials, InitThreadsFromArgsAppliesDefault) {
   set_default_threads(0);
 }
 
+// Rejected --threads values must be reported, not dropped on the floor: a
+// bench invoked with "--threads=9999" silently running single-threaded is
+// the bug that motivated routing every driver through this parser.
+TEST(RunTrials, InitThreadsFromArgsReportsRejectedValuesOnStderr) {
+  std::vector<std::string> tokens = {"prog", "--threads=4097"};
+  std::vector<char*> argv;
+  for (std::string& t : tokens) argv.push_back(t.data());
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(init_threads_from_args(static_cast<int>(argv.size()), argv.data()),
+            0);
+  const std::string err = testing::internal::GetCapturedStderr();
+  set_default_threads(0);
+  EXPECT_NE(err.find("4097"), std::string::npos) << err;
+  EXPECT_NE(err.find("--threads"), std::string::npos) << err;
+  // A valid flag must stay silent.
+  std::vector<std::string> ok_tokens = {"prog", "--threads=2"};
+  std::vector<char*> ok_argv;
+  for (std::string& t : ok_tokens) ok_argv.push_back(t.data());
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(init_threads_from_args(static_cast<int>(ok_argv.size()),
+                                   ok_argv.data()),
+            2);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  set_default_threads(0);
+}
+
 TEST(RuntimeDeterminism, AvailabilityMonteCarlo) {
   // n = 40 > 24 forces QuorumFamily::availability onto the Monte Carlo
   // path, which runs on the runtime with the process-default thread count.

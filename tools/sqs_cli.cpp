@@ -29,7 +29,10 @@
 //
 // `sweep` flattens the whole grid (every cell × every trial-chunk) into one
 // submission on the shared thread pool; results are bit-identical to running
-// the cells one by one. `search` finds the minimal alpha meeting the targets
+// the cells one by one. `--batch scalar|batched|differential` picks the
+// chunk-kernel policy (DESIGN.md §3.12): batched runs the SoA bit-sliced
+// kernels (same bits, faster), differential replays the scalar oracle per
+// trial and aborts on the first disagreement. `search` finds the minimal alpha meeting the targets
 // (exact DP by default, `--mc` for a sweep-backed Monte Carlo ladder) and
 // then races the UQ + OPT_a compositions at that alpha by successive halving.
 //
@@ -304,6 +307,18 @@ int cmd_sweep(const Args& args) {
   const std::string kind = args.gets("kind", "avail");
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.geti("seed", 1));
+  // --batch scalar|batched|differential selects the chunk-kernel policy
+  // (see DESIGN.md §3.12); all three publish identical bits, differential
+  // additionally replays the scalar oracle per trial and aborts on any
+  // disagreement.
+  TrialOptions opts;
+  const std::string batch = args.gets("batch", "scalar");
+  if (!parse_batch_policy(batch, opts.batch)) {
+    std::fprintf(stderr,
+                 "unknown --batch policy '%s' (scalar|batched|differential)\n",
+                 batch.c_str());
+    return 2;
+  }
 
   if (kind == "avail") {
     const std::vector<std::string> specs =
@@ -317,7 +332,7 @@ int cmd_sweep(const Args& args) {
     for (const std::string& spec : specs) families.push_back(make_family(spec, args));
     for (const auto& family : families)
       for (double p : ps) cells.push_back({family, p, samples, seed});
-    const auto estimates = sweep_availability(cells);
+    const auto estimates = sweep_availability(cells, opts);
     Table table({"family", "p", "avail (MC)", "avail (closed form)"});
     for (std::size_t i = 0; i < cells.size(); ++i)
       table.add_row({cells[i].family->name(), Table::fmt(cells[i].p, 2),
@@ -346,7 +361,7 @@ int cmd_sweep(const Args& args) {
         cell.base = Rng(seed).split(cells.size());
         cells.push_back(std::move(cell));
       }
-    const auto measured = sweep_probes(cells);
+    const auto measured = sweep_probes(cells, opts);
     Table table({"family", "p", "E[probes]", "acquire rate", "load"});
     for (std::size_t i = 0; i < cells.size(); ++i)
       table.add_row({cells[i].family->name(), Table::fmt(cells[i].p, 2),
@@ -376,7 +391,7 @@ int cmd_sweep(const Args& args) {
         cell.base = Rng(seed).split(cells.size());
         cells.push_back(std::move(cell));
       }
-    const auto stats = sweep_nonintersection(cells);
+    const auto stats = sweep_nonintersection(cells, opts);
     Table table({"alpha", "miss", "P[nonint] (MC)", "eps^2a bound"});
     for (std::size_t i = 0; i < cells.size(); ++i)
       table.add_row({std::to_string(cells[i].family->alpha()),
@@ -662,6 +677,9 @@ int usage() {
                "parallel trial runtime;\n          --metrics FILE / --trace FILE "
                "/ --trace-jsonl FILE for telemetry;\n          "
                "--flight-recorder-events N for the black-box ring capacity\n"
+               "  sweep: --batch scalar|batched|differential picks the chunk "
+               "kernel\n         (same bits; differential cross-checks every "
+               "trial)\n"
                "  chaos: --scenario NAME|all "
                "--replicates R --family F --n N --alpha A (--list)\n"
                "         --blackbox FILE --force-violation\n  serve: "
