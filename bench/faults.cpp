@@ -4,7 +4,11 @@
 // an amnesia detector — is run through run_chaos (ONE run_sweep submission,
 // scenario x replicate flattened over the pool), timed at 1 and 8 threads
 // with every cell's aggregates compared bit-for-bit, and each cell's
-// invariant verdict reported.
+// invariant verdict reported. A Byzantine cell rides along: the same grid
+// run again for a masking-threshold family whose builtin grid appends the
+// byzantine scenario (lying replicas cycling wrong-value / equivocate /
+// stale / fabricate-ack), checking the no-fabricated-write invariant under
+// the masking vote.
 //
 // Writes BENCH_faults.json (runs + per-scenario cells + telemetry snapshot,
 // including the sim.faults.* injection counters) for the bench_diff
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "core/constructions.h"
+#include "core/masking.h"
 #include "faults/chaos.h"
 #include "obs/telemetry.h"
 #include "runtime/thread_pool.h"
@@ -50,6 +55,7 @@ std::vector<std::uint64_t> fingerprint(
     fp.push_back(static_cast<std::uint64_t>(c.server_ts_regressions));
     fp.push_back(static_cast<std::uint64_t>(c.read_ts_regressions));
     fp.push_back(static_cast<std::uint64_t>(c.lost_writes));
+    fp.push_back(static_cast<std::uint64_t>(c.fabricated_reads));
     fp.push_back(c.violations.size());
     for (const RegisterExperimentResult& r : c.replicates)
       fp.push_back(r.events_executed);
@@ -60,6 +66,12 @@ std::vector<std::uint64_t> fingerprint(
 void chaos_grid_json() {
   const OptDFamily family(12, 2);
   const std::vector<ChaosScenario> scenarios = builtin_chaos_scenarios(family);
+  // Byzantine cell: a masking-threshold family (b = 1 liar among 12) under
+  // the lying-replica scenario. The masking vote must keep fabricated reads
+  // at zero while availability stays above the liar-discounted exact floor.
+  const MaskingThresholdFamily masking(12, 1);
+  const std::vector<ChaosScenario> byz_scenarios = {
+      byzantine_chaos_scenario(masking, 1)};
 
   struct Run {
     int threads;
@@ -78,6 +90,9 @@ void chaos_grid_json() {
     Run run;
     run.threads = threads;
     run.cells = run_chaos(family, scenarios, kReplicates, opts);
+    std::vector<ChaosCellResult> byz_cells =
+        run_chaos(masking, byz_scenarios, kReplicates, opts);
+    for (ChaosCellResult& c : byz_cells) run.cells.push_back(std::move(c));
     const auto stop = std::chrono::steady_clock::now();
     run.wall_ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
@@ -91,7 +106,7 @@ void chaos_grid_json() {
   bool all_passed = true;
 
   Table table({"scenario", "avail", "stale", "retries", "ts-regr", "lost",
-               "verdict"});
+               "fabricated", "verdict"});
   for (const ChaosCellResult& c : runs[0].cells) {
     all_passed = all_passed && c.passed();
     table.add_row({c.scenario, Table::fmt(c.availability, 4),
@@ -99,19 +114,22 @@ void chaos_grid_json() {
                    std::to_string(c.retries),
                    std::to_string(c.server_ts_regressions),
                    std::to_string(c.lost_writes),
+                   std::to_string(c.fabricated_reads),
                    c.passed() ? "pass" : "FAIL"});
   }
-  table.print("chaos grid, OPT_d(12,2), " + std::to_string(kReplicates) +
-              " replicates/scenario");
+  table.print("chaos grid, OPT_d(12,2) + byzantine " + masking.name() + ", " +
+              std::to_string(kReplicates) + " replicates/scenario");
 
   JsonWriter json;
   json.begin_object();
   json.kv("bench", "faults");
   json.key("workload");
   json.begin_object()
-      .kv("name", "builtin_chaos_grid")
+      .kv("name", "builtin_chaos_grid_plus_byzantine")
       .kv("family", family.name())
-      .kv("scenarios", static_cast<std::uint64_t>(scenarios.size()))
+      .kv("byzantine_family", masking.name())
+      .kv("scenarios",
+          static_cast<std::uint64_t>(scenarios.size() + byz_scenarios.size()))
       .kv("replicates", kReplicates)
       .end_object();
   json.key("runs").begin_array();
@@ -136,6 +154,7 @@ void chaos_grid_json() {
         .kv("read_ts_regressions",
             static_cast<std::uint64_t>(c.read_ts_regressions))
         .kv("lost_writes", static_cast<std::uint64_t>(c.lost_writes))
+        .kv("fabricated_reads", static_cast<std::uint64_t>(c.fabricated_reads))
         .kv("passed", c.passed())
         .end_object();
   }
@@ -152,7 +171,8 @@ void chaos_grid_json() {
       "\n[runtime] %zu-scenario chaos grid (x%d replicates): %.1f ms @1 "
       "thread, %.1f ms @8 threads (speedup %.2fx, identical=%s, "
       "invariants=%s) -> BENCH_faults.json\n",
-      scenarios.size(), kReplicates, runs[0].wall_ms, runs[1].wall_ms,
+      scenarios.size() + byz_scenarios.size(), kReplicates, runs[0].wall_ms,
+      runs[1].wall_ms,
       runs[0].wall_ms / runs[1].wall_ms, deterministic ? "yes" : "NO",
       all_passed ? "pass" : "FAIL");
 }
@@ -169,8 +189,9 @@ int main(int argc, char** argv) {
       "\nShape checks:\n"
       "  * every shipped scenario passes its invariant budget (availability\n"
       "    floor, stale/monotonic-read envelope, no server ts regression,\n"
-      "    no lost write) — the amnesia cell passes by DETECTING\n"
-      "    regressions;\n"
+      "    no lost write, no fabricated read) — the amnesia cell passes by\n"
+      "    DETECTING regressions, the byzantine cell by the masking vote\n"
+      "    outvoting the liar;\n"
       "  * the grid's aggregates are bit-identical at 1 and 8 threads\n"
       "    (fault plans draw nothing from the experiment rng streams).\n");
   return sqs::obs::export_telemetry_files() ? 0 : 1;

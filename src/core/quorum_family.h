@@ -61,6 +61,14 @@ class QuorumFamily {
   // and the composition precondition of Definition 40 (>= 2 alpha).
   virtual int min_quorum_size() const = 0;
 
+  // Byzantine masking degree b (Malkhi–Reiter–Wool): any two quorums of the
+  // family share >= 2b+1 servers, so among the replies backing two
+  // overlapping accesses the correct servers outvote b liars. Plain
+  // families report 0 — the paper's machinery defends against silence, not
+  // lies. Masking variants (src/core/masking.h) override; clients use this
+  // as the vote threshold (b+1 matching replies) when reading.
+  virtual int masking_b() const { return 0; }
+
   // Availability at i.i.d. failure probability p. Families with a closed
   // form override this; the default falls back to Monte Carlo over accepts()
   // with a fixed internal seed (reproducible), or exact enumeration when the

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "mismatch/exact.h"
 #include "obs/recorder.h"
 #include "sweep/sweep.h"
 
@@ -32,28 +33,66 @@ double background_miss(const RegisterExperimentConfig& config) {
   return 1.0 - (1.0 - q) * (1.0 - q) * (1.0 - p);
 }
 
-}  // namespace
-
-std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
-  const int n = family.universe_size();
-  const int alpha = family.alpha();
-  const double kDuration = 400.0;
-
-  // Shared shape: a mid-size closed-loop fleet with self-healing clients.
+// Shared scenario shape: a mid-size closed-loop fleet with self-healing
+// clients over a mostly-healthy background; scenarios dial knobs up.
+RegisterExperimentConfig base_chaos_config(double duration) {
   RegisterExperimentConfig base;
   base.num_clients = 6;
-  base.duration = kDuration;
+  base.duration = duration;
   base.think_time = 0.5;
   base.read_fraction = 0.6;
   base.client.max_attempts = 3;
   base.client.backoff_base = 0.1;
   base.client.backoff_jitter = 0.5;
   base.client.op_deadline = 15.0;
-  // Mostly-healthy background; scenarios dial individual knobs up.
   base.network.link_mean_up = 200.0;
   base.network.link_mean_down = 1.0;
   base.server.mean_up = 2000.0;
   base.server.mean_down = 1.0;
+  return base;
+}
+
+}  // namespace
+
+ChaosScenario byzantine_chaos_scenario(const QuorumFamily& family, int b) {
+  const int n = family.universe_size();
+  const double kDuration = 400.0;
+  ChaosScenario s;
+  s.name = "byzantine";
+  s.description = "lying servers cycle wrong/equivocate/stale/fabricate";
+  s.config = base_chaos_config(kDuration);
+  s.config.seed = 0xFA0708;
+  // Clients vote per the family's masking budget: a masking family filters
+  // every lie (zero fabricated reads); a plain family (masking_b() == 0)
+  // folds max-timestamp and adopts the liars' boosted fabrications.
+  s.config.client.lie_tolerance = family.masking_b();
+  s.config.fault_hook = fault_hook(make_byzantine_plan(
+      n, b, /*start=*/0.1 * kDuration, /*duration=*/0.8 * kDuration));
+  // Floor: liars answer probes but their replies carry no vote, so they are
+  // discounted from both the universe and the accept threshold. Plain
+  // families (no vote) clear this trivially; masking families must keep
+  // voting reads available through the lie window.
+  const int accept = family.alpha() > 0 ? family.alpha()
+                                        : family.min_quorum_size();
+  s.invariants.availability_floor =
+      b < accept ? std::max(0.0, exact_byzantine_availability(
+                                     n, accept, b,
+                                     background_miss(s.config)) -
+                                     0.12)
+                 : 0.0;
+  // Lies poison the iid mismatch model, so the epsilon^2alpha envelope does
+  // not apply; fabricated-write (strict, always) and lost-write are the
+  // contract here.
+  s.invariants.stale_envelope = 1.0;
+  return s;
+}
+
+std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
+  const int n = family.universe_size();
+  const int alpha = family.alpha();
+  const double kDuration = 400.0;
+
+  const RegisterExperimentConfig base = base_chaos_config(kDuration);
 
   std::vector<ChaosScenario> scenarios;
 
@@ -84,8 +123,12 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
     s.description = "all but alpha servers crash for half the run";
     s.config = base;
     s.config.seed = 0xFA0702;
+    // Survivors: alpha for the alpha-accepting families; threshold families
+    // (alpha() == 0, e.g. the masking variants) need a full minimal quorum
+    // to stay live, so crashing past that would test nothing survivable.
+    const int keep = alpha > 0 ? alpha : family.min_quorum_size();
     s.config.fault_hook = fault_hook(
-        make_mass_crash_plan(n, alpha, 0.25 * kDuration, 0.5 * kDuration));
+        make_mass_crash_plan(n, keep, 0.25 * kDuration, 0.5 * kDuration));
     s.invariants.availability_floor =
         chaos_availability_floor(family, background_miss(s.config), 0.10);
     // An adversarial mass crash is OUTSIDE the iid mismatch model: the
@@ -204,6 +247,14 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
     scenarios.push_back(std::move(s));
   }
 
+  // 8. Byzantine lies — only for masking families: their voting clients
+  // must ride out masking_b() liars with zero fabricated reads and zero
+  // lost writes. Plain families are NOT given this scenario by default
+  // (they would fail by design); build it explicitly via
+  // byzantine_chaos_scenario for the detector check.
+  if (family.masking_b() > 0)
+    scenarios.push_back(byzantine_chaos_scenario(family, family.masking_b()));
+
   return scenarios;
 }
 
@@ -263,6 +314,7 @@ std::vector<ChaosCellResult> run_chaos(
       cell.server_ts_regressions += r.server_ts_regressions;
       cell.read_ts_regressions += r.read_ts_regressions;
       cell.lost_writes += r.lost_writes;
+      cell.fabricated_reads += r.fabricated_reads;
     }
     cell.availability =
         cell.ops_attempted > 0
@@ -315,6 +367,14 @@ std::vector<ChaosCellResult> run_chaos(
       std::snprintf(buf, sizeof buf, "%ld replicates lost an acked write",
                     cell.lost_writes);
       cell.violations.push_back({"lost-write", buf});
+    }
+    // Strict and unconditional: no scenario may ever hand an application a
+    // binding that no genuine write produced.
+    if (cell.fabricated_reads > 0) {
+      std::snprintf(buf, sizeof buf,
+                    "%ld reads returned a never-written (ts, value) binding",
+                    cell.fabricated_reads);
+      cell.violations.push_back({"fabricated-write", buf});
     }
     out.push_back(std::move(cell));
   }

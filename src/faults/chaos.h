@@ -20,6 +20,12 @@
 //     checker has teeth.
 //   * no lost write — a write acked by at least one server is still held
 //     by some server at the end of the run (crash preserves state).
+//   * no fabricated write — a successful read never returns a (timestamp,
+//     value) binding that no genuine write produced. This one is strict and
+//     unconditional: under the crash model nothing can fabricate state, and
+//     under a Byzantine plan a masking family's voting clients must filter
+//     every lie. A plain family run under a Byzantine plan trips it — the
+//     designed-to-fail CI smoke.
 //
 // run_chaos executes replicates of every scenario through ONE run_sweep
 // submission (scenario x replicate flattened across the thread pool;
@@ -74,6 +80,7 @@ struct ChaosCellResult {
   long server_ts_regressions = 0;
   long read_ts_regressions = 0;
   long lost_writes = 0;
+  long fabricated_reads = 0;
   std::vector<ChaosViolation> violations;
   bool passed() const { return violations.empty(); }
 };
@@ -97,6 +104,17 @@ double chaos_stale_envelope(int alpha, double per_probe_miss,
 // bursts, and an amnesia-churn detector scenario. Floors/envelopes are
 // derived from the family's exact availability and Theorem 9.
 std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family);
+
+// Byzantine scenario: the first `b` servers lie for 80% of the run (see
+// make_byzantine_plan), clients vote with lie_tolerance = family.masking_b().
+// The availability floor discounts the b liars from both the universe and
+// the accept threshold (exact_byzantine_availability); the stale envelope is
+// unconstrained (liars poison the iid model) but the fabricated-write and
+// lost-write invariants are strict. builtin_chaos_scenarios() appends this
+// scenario automatically when family.masking_b() >= b > 0; building it
+// explicitly for a plain family yields the designed-to-fail configuration
+// whose black box the CI smoke validates.
+ChaosScenario byzantine_chaos_scenario(const QuorumFamily& family, int b);
 
 // Runs `replicates` independent runs of every scenario and evaluates its
 // invariants; results are index-aligned with `scenarios`. When an invariant

@@ -26,6 +26,7 @@ struct FaultMetrics {
       obs::Registry::instance().counter("sim.faults.latency_burst");
   obs::Counter loss_burst =
       obs::Registry::instance().counter("sim.faults.loss_burst");
+  obs::Counter lie = obs::Registry::instance().counter("sim.faults.lie");
   static const FaultMetrics& get() {
     static const FaultMetrics m;
     return m;
@@ -41,10 +42,25 @@ struct FaultMetrics {
       case FaultEvent::Kind::kServerPartition: return server_partition;
       case FaultEvent::Kind::kLatencyBurst: return latency_burst;
       case FaultEvent::Kind::kLossBurst: return loss_burst;
+      case FaultEvent::Kind::kLieWrongValue:
+      case FaultEvent::Kind::kLieStaleTs:
+      case FaultEvent::Kind::kLieEquivocate:
+      case FaultEvent::Kind::kLieFabricateAck:
+        return lie;
     }
     return injected;
   }
 };
+
+LieMode lie_mode_for(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kLieWrongValue: return LieMode::kWrongValue;
+    case FaultEvent::Kind::kLieStaleTs: return LieMode::kStaleTs;
+    case FaultEvent::Kind::kLieEquivocate: return LieMode::kEquivocate;
+    case FaultEvent::Kind::kLieFabricateAck: return LieMode::kFabricateAck;
+    default: return LieMode::kNone;
+  }
+}
 
 void apply_event(const FaultEvent& ev, Network* net,
                  std::vector<SimServer>* servers) {
@@ -77,6 +93,13 @@ void apply_event(const FaultEvent& ev, Network* net,
     case FaultEvent::Kind::kLossBurst:
       net->inject_loss_burst(ev.magnitude, ev.duration);
       break;
+    case FaultEvent::Kind::kLieWrongValue:
+    case FaultEvent::Kind::kLieStaleTs:
+    case FaultEvent::Kind::kLieEquivocate:
+    case FaultEvent::Kind::kLieFabricateAck:
+      (*servers)[static_cast<std::size_t>(ev.server)].set_lie(
+          lie_mode_for(ev.kind), ev.duration);
+      break;
   }
   const FaultMetrics& m = FaultMetrics::get();
   m.injected.add(1);
@@ -99,6 +122,10 @@ const char* fault_kind_name(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kServerPartition: return "server_partition";
     case FaultEvent::Kind::kLatencyBurst: return "latency_burst";
     case FaultEvent::Kind::kLossBurst: return "loss_burst";
+    case FaultEvent::Kind::kLieWrongValue: return "lie_wrong_value";
+    case FaultEvent::Kind::kLieStaleTs: return "lie_stale_ts";
+    case FaultEvent::Kind::kLieEquivocate: return "lie_equivocate";
+    case FaultEvent::Kind::kLieFabricateAck: return "lie_fabricate_ack";
   }
   return "unknown";
 }
@@ -152,6 +179,24 @@ FaultPlan& FaultPlan::loss_burst(double at, double drop_prob, double duration) {
   return *this;
 }
 
+FaultPlan& FaultPlan::lie(double at, int server, LieMode mode,
+                          double duration) {
+  FaultEvent::Kind kind;
+  switch (mode) {
+    case LieMode::kWrongValue: kind = FaultEvent::Kind::kLieWrongValue; break;
+    case LieMode::kStaleTs: kind = FaultEvent::Kind::kLieStaleTs; break;
+    case LieMode::kEquivocate: kind = FaultEvent::Kind::kLieEquivocate; break;
+    case LieMode::kFabricateAck:
+      kind = FaultEvent::Kind::kLieFabricateAck;
+      break;
+    case LieMode::kNone:
+    default:
+      return *this;  // a no-op lie is not an event
+  }
+  events.push_back({kind, at, duration, server, -1, 1.0});
+  return *this;
+}
+
 bool FaultPlan::validate(int num_clients, int num_servers) const {
   bool ok = true;
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -163,11 +208,16 @@ bool FaultPlan::validate(int num_clients, int num_servers) const {
     };
     if (!(ev.at >= 0.0)) reject("negative time");
     if (!(ev.duration >= 0.0)) reject("negative duration");
-    const bool needs_server = ev.kind == FaultEvent::Kind::kServerCrash ||
-                              ev.kind == FaultEvent::Kind::kServerPin ||
-                              ev.kind == FaultEvent::Kind::kGrayServer ||
-                              ev.kind == FaultEvent::Kind::kLinkDown ||
-                              ev.kind == FaultEvent::Kind::kServerPartition;
+    const bool needs_server =
+        ev.kind == FaultEvent::Kind::kServerCrash ||
+        ev.kind == FaultEvent::Kind::kServerPin ||
+        ev.kind == FaultEvent::Kind::kGrayServer ||
+        ev.kind == FaultEvent::Kind::kLinkDown ||
+        ev.kind == FaultEvent::Kind::kServerPartition ||
+        ev.kind == FaultEvent::Kind::kLieWrongValue ||
+        ev.kind == FaultEvent::Kind::kLieStaleTs ||
+        ev.kind == FaultEvent::Kind::kLieEquivocate ||
+        ev.kind == FaultEvent::Kind::kLieFabricateAck;
     const bool needs_client = ev.kind == FaultEvent::Kind::kLinkDown ||
                               ev.kind == FaultEvent::Kind::kClientPartition;
     if (needs_server && (ev.server < 0 || ev.server >= num_servers))
@@ -248,6 +298,29 @@ FaultPlan make_lossy_plan(double start, double until, double period,
   for (double t = start; t < until; t += period) {
     plan.loss_burst(t, drop_prob, burst_len);
     plan.latency_burst(t + period / 2.0, latency_factor, burst_len);
+  }
+  return plan;
+}
+
+FaultPlan make_byzantine_plan(int num_servers, int num_liars, double start,
+                              double duration) {
+  FaultPlan plan;
+  // Phase fractions chosen so the headline lie (fabricated writes) owns
+  // most of the window while every mode still gets meaningful coverage.
+  const double wrong = 0.45 * duration;
+  const double equiv = 0.25 * duration;
+  const double stale = 0.15 * duration;
+  const double fab = duration - wrong - equiv - stale;
+  for (int s = 0; s < num_liars && s < num_servers; ++s) {
+    plan.pin_up(start, s, duration);
+    double t = start;
+    plan.lie(t, s, LieMode::kWrongValue, wrong);
+    t += wrong;
+    plan.lie(t, s, LieMode::kEquivocate, equiv);
+    t += equiv;
+    plan.lie(t, s, LieMode::kStaleTs, stale);
+    t += stale;
+    plan.lie(t, s, LieMode::kFabricateAck, fab);
   }
   return plan;
 }

@@ -40,6 +40,13 @@ struct FaultEvent {
     kServerPartition,   // every client's link to `server` down for `duration`
     kLatencyBurst,      // deliveries x `magnitude` latency for `duration`
     kLossBurst,         // extra drop probability `magnitude` for `duration`
+    // Byzantine lie windows: `server` keeps answering but its replies are
+    // corrupted per sim/server.h's LieMode for `duration`. Lies are pure
+    // functions of (liar id, genuine state) — no rng stream is touched.
+    kLieWrongValue,     // inflated timestamps + fabricated values
+    kLieStaleTs,        // pretends the register was never written
+    kLieEquivocate,     // truth to even clients, fabrication to odd clients
+    kLieFabricateAck,   // acks writes without applying them
   };
   Kind kind;
   double at = 0.0;        // absolute simulated seconds
@@ -64,6 +71,7 @@ struct FaultPlan {
   FaultPlan& server_partition(double at, int server, double duration);
   FaultPlan& latency_burst(double at, double factor, double duration);
   FaultPlan& loss_burst(double at, double drop_prob, double duration);
+  FaultPlan& lie(double at, int server, LieMode mode, double duration);
 
   // True iff every event's time/duration/indices/magnitudes make sense for
   // a world of num_clients x num_servers; complaints go to stderr, one line
@@ -103,6 +111,15 @@ FaultPlan make_partition_storm_plan(int num_clients, double start,
 FaultPlan make_lossy_plan(double start, double until, double period,
                           double burst_len, double drop_prob,
                           double latency_factor);
+
+// Byzantine window: the first `num_liars` servers (the head of every
+// sequential probe order — adversarial placement) lie over
+// [start, start + duration), cycling through all four lie modes —
+// wrong values (45% of the window), equivocation (25%), stale timestamps
+// (15%), fabricated write acks (15%) — and are pinned *up* for the whole
+// window so the lies actually reach clients deterministically.
+FaultPlan make_byzantine_plan(int num_servers, int num_liars, double start,
+                              double duration);
 
 // --- application -----------------------------------------------------------
 

@@ -1,7 +1,10 @@
 #include "mismatch/exact.h"
 
+#include <cassert>
 #include <cmath>
 #include <vector>
+
+#include "util/binomial.h"
 
 namespace sqs {
 
@@ -160,6 +163,12 @@ ExactNonintersection exact_nonintersection(int n, int alpha, double p,
   out.epsilon = 2.0 * m / (1.0 + m);
   out.bound = std::pow(out.epsilon, 2.0 * alpha);
   return out;
+}
+
+double exact_byzantine_availability(int n, int accept, int b, double miss) {
+  assert(0 <= b && b < accept && accept <= n);
+  assert(miss >= 0.0 && miss <= 1.0);
+  return binom_tail_geq(n - b, accept - b, 1.0 - miss);
 }
 
 }  // namespace sqs

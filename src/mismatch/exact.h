@@ -35,4 +35,16 @@ ExactNonintersection exact_nonintersection(int n, int alpha, double p,
                                            double link_miss,
                                            const StopRule& rule);
 
+// Exact availability floor of a masking acquisition under b always-lying
+// replicas. A liar still answers probes (so it counts toward quorum
+// *acquisition*) but its replies never contribute a usable vote, so the
+// pessimistic bound treats the b liars as absent on both sides of the
+// threshold: an op that needs `accept` positives must collect accept - b
+// of them from the n - b correct servers, each reachable independently
+// with probability 1 - miss (miss = the combined server-down/link-miss
+// probability of the mismatch model). This is the DP floor the chaos
+// harness checks a Byzantine scenario's measured availability against;
+// requires 0 <= b < accept <= n.
+double exact_byzantine_availability(int n, int accept, int b, double miss);
+
 }  // namespace sqs

@@ -104,6 +104,7 @@ const char* flight_kind_name(FlightKind kind) {
     case FlightKind::kWriteAck: return "write_ack";
     case FlightKind::kWriteNack: return "write_nack";
     case FlightKind::kStaleRead: return "stale_read";
+    case FlightKind::kFabricatedRead: return "fabricated_read";
     case FlightKind::kReadRegression: return "read_regression";
     case FlightKind::kOpDone: return "op_done";
     case FlightKind::kEncoded: return "encoded";

@@ -83,6 +83,7 @@ enum class FlightKind : std::uint8_t {
   kWriteAck,        // write push to `replica` acked (payload: rtt us)
   kWriteNack,       // write push to `replica` lost/timed out (payload: timeout us)
   kStaleRead,       // read returned below the completed-write frontier
+  kFabricatedRead,  // read returned a binding no genuine write produced
   kReadRegression,  // client saw its own reads go backwards
   kOpDone,          // op completed (payload: latency us)
   kEncoded,         // epilogue encoded the reply (payload: ok)

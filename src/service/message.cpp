@@ -6,7 +6,7 @@ namespace {
 
 // All fields little-endian; offsets fixed by the layout tables below.
 //
-// Request (40 bytes):            Reply (56 bytes):
+// Request (48 bytes):            Reply (56 bytes):
 //   0  u32 magic "SQRQ"            0  u32 magic "SQRP"
 //   4  u32 checksum                4  u32 checksum
 //   8  u64 seq                     8  u64 seq
@@ -15,11 +15,13 @@ namespace {
 //  28  u8  kind                   32  u64 ts.counter
 //  29  u8[3] reserved (zero)      40  i32 ts.writer
 //  32  u64 value                  44  u32 probes
-//                                 48  u8  kind
-//                                 49  u8  ok
-//                                 50  u8[6] reserved (zero)
+//  40  u32 cert (client key)      48  u8  kind
+//  44  u8[4] reserved (zero)      49  u8  ok
+//                                 50  u8[2] reserved (zero)
+//                                 52  u32 cert (service key, bytes [8, 52))
 //
 // The checksum is FNV-1a over the record with bytes [4, 8) zeroed.
+// Reserved bytes are enforced zero on decode (see header).
 
 template <typename T>
 void put(std::uint8_t* out, std::size_t offset, T value) {
@@ -46,7 +48,36 @@ std::uint32_t record_checksum(const std::uint8_t* rec, std::size_t size) {
   return h;
 }
 
+// True iff bytes [begin, end) are all zero.
+bool zero_range(const std::uint8_t* rec, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i)
+    if (rec[i] != 0) return false;
+  return true;
+}
+
 }  // namespace
+
+std::uint32_t request_cert(const Request& req) {
+  // Canonical 29-byte signing buffer: the semantic fields in wire order.
+  std::uint8_t buf[29];
+  put<std::uint64_t>(buf, 0, req.seq);
+  put<std::uint64_t>(buf, 8, req.arrival_us);
+  put<std::uint32_t>(buf, 16, req.client);
+  put<std::uint8_t>(buf, 20, static_cast<std::uint8_t>(req.kind));
+  put<std::uint64_t>(buf, 21, req.value);
+  return hmac32(cert_key(req.client), buf, sizeof buf);
+}
+
+std::uint32_t replica_cert(int replica, const Timestamp& ts,
+                           std::uint64_t value) {
+  std::uint8_t buf[20];
+  put<std::uint64_t>(buf, 0, ts.counter);
+  put<std::uint32_t>(buf, 8, static_cast<std::uint32_t>(ts.writer));
+  put<std::uint64_t>(buf, 12, value);
+  return hmac32(
+      cert_key(kReplicaPrincipalBase + static_cast<std::uint64_t>(replica)),
+      buf, sizeof buf);
+}
 
 void encode_request(const Request& req, std::uint8_t* out) {
   std::memset(out, 0, kRequestWireSize);
@@ -56,6 +87,7 @@ void encode_request(const Request& req, std::uint8_t* out) {
   put<std::uint32_t>(out, 24, req.client);
   put<std::uint8_t>(out, 28, static_cast<std::uint8_t>(req.kind));
   put<std::uint64_t>(out, 32, req.value);
+  put<std::uint32_t>(out, 40, request_cert(req));
   put<std::uint32_t>(out, 4, record_checksum(out, kRequestWireSize));
 }
 
@@ -66,11 +98,13 @@ Request decode_request(const std::uint8_t* in) {
     return req;
   const std::uint8_t kind = get<std::uint8_t>(in, 28);
   if (kind > static_cast<std::uint8_t>(OpKind::kWrite)) return req;
+  if (!zero_range(in, 29, 32) || !zero_range(in, 44, 48)) return req;
   req.seq = get<std::uint64_t>(in, 8);
   req.arrival_us = get<std::uint64_t>(in, 16);
   req.client = get<std::uint32_t>(in, 24);
   req.kind = static_cast<OpKind>(kind);
   req.value = get<std::uint64_t>(in, 32);
+  req.cert = get<std::uint32_t>(in, 40);
   req.valid = true;
   return req;
 }
@@ -86,6 +120,9 @@ void encode_reply(const Reply& rep, std::uint8_t* out) {
   put<std::uint32_t>(out, 44, rep.probes);
   put<std::uint8_t>(out, 48, static_cast<std::uint8_t>(rep.kind));
   put<std::uint8_t>(out, 49, rep.ok ? 1 : 0);
+  // Service signature over the semantic bytes [8, 52) — after the fields,
+  // before the checksum, so the cert is itself checksummed.
+  put<std::uint32_t>(out, 52, hmac32(cert_key(kServicePrincipal), out + 8, 44));
   put<std::uint32_t>(out, 4, record_checksum(out, kReplyWireSize));
 }
 
@@ -93,13 +130,20 @@ bool decode_reply(const std::uint8_t* in, Reply* out) {
   if (get<std::uint32_t>(in, 0) != kReplyMagic) return false;
   if (get<std::uint32_t>(in, 4) != record_checksum(in, kReplyWireSize))
     return false;
+  const std::uint8_t kind = get<std::uint8_t>(in, 48);
+  if (kind > static_cast<std::uint8_t>(OpKind::kWrite)) return false;
+  if (!zero_range(in, 50, 52)) return false;
+  if (get<std::uint32_t>(in, 52) !=
+      hmac32(cert_key(kServicePrincipal), in + 8, 44))
+    return false;
   out->seq = get<std::uint64_t>(in, 8);
   out->latency_us = get<std::uint64_t>(in, 16);
   out->value = get<std::uint64_t>(in, 24);
   out->ts.counter = get<std::uint64_t>(in, 32);
   out->ts.writer = static_cast<int>(get<std::uint32_t>(in, 40));
   out->probes = get<std::uint32_t>(in, 44);
-  out->kind = static_cast<OpKind>(get<std::uint8_t>(in, 48));
+  out->kind = static_cast<OpKind>(kind);
+  out->cert = get<std::uint32_t>(in, 52);
   out->ok = get<std::uint8_t>(in, 49) != 0;
   return true;
 }

@@ -9,6 +9,21 @@
 // record with the checksum field zeroed — a stand-in for the signature
 // verification a WAN deployment would hoist into the prologue (dsnet hoists
 // exactly that into its stateless stage).
+//
+// On top of the integrity checksum (anyone can recompute it) each record
+// carries a keyed certificate — hmac32 under a per-principal key — modeling
+// the unforgeable signatures of the Byzantine model: a request is signed by
+// its client, a service reply by the service, and a replica's probe reply
+// (ServiceReplica::ReadServed) by the replica *over its true stored state*.
+// A Byzantine replica can corrupt the (ts, value) it reports but cannot
+// forge a certificate for the fabricated contents, so cert verification in
+// the runner strips lies off the quorum path before they can vote. The
+// "HMAC" is a keyed-FNV stand-in with the same interface shape as the real
+// thing; only unforgeability-in-model matters here, not cryptography.
+//
+// Reserved bytes are zero on encode AND enforced zero on decode, so a
+// record with garbage padding is rejected even when its (public) checksum
+// has been recomputed to match.
 
 #pragma once
 
@@ -22,8 +37,13 @@ namespace sqs {
 
 inline constexpr std::uint32_t kRequestMagic = 0x51525153u;  // "SQRQ"
 inline constexpr std::uint32_t kReplyMagic = 0x50525153u;    // "SQRP"
-inline constexpr std::size_t kRequestWireSize = 40;
+inline constexpr std::size_t kRequestWireSize = 48;
 inline constexpr std::size_t kReplyWireSize = 56;
+
+// Principal id the service signs its replies under (clients are principals
+// 0..num_clients-1, replicas kReplicaPrincipalBase + id).
+inline constexpr std::uint64_t kServicePrincipal = 0xFFFFFFFFull;
+inline constexpr std::uint64_t kReplicaPrincipalBase = 0x100000000ull;
 
 enum class OpKind : std::uint8_t { kRead = 0, kWrite = 1 };
 
@@ -35,8 +55,12 @@ struct Request {
   std::uint64_t arrival_us = 0;
   std::uint64_t value = 0;
   std::uint32_t client = 0;
+  std::uint32_t cert = 0;  // client certificate as carried on the wire
   OpKind kind = OpKind::kRead;
-  bool valid = false;  // decoded and checksum-verified
+  bool valid = false;  // decoded and checksum-verified (cert NOT verified
+                       // here — the runner's prologue does that, so an
+                       // impersonated request is observable as a cert
+                       // reject rather than a generic decode failure)
 
   double arrival() const { return static_cast<double>(arrival_us) * 1e-6; }
 };
@@ -48,6 +72,8 @@ struct Reply {
   std::uint64_t value = 0;
   Timestamp ts;
   std::uint32_t probes = 0;
+  std::uint32_t cert = 0;  // service certificate (filled by decode; encode
+                           // computes it fresh from the record contents)
   OpKind kind = OpKind::kRead;
   bool ok = false;
 };
@@ -62,13 +88,64 @@ inline std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
   return h;
 }
 
+// Keyed-FNV "HMAC" stand-in: absorbs the key, the data, then the key again
+// (the sandwich shape of the real construction). Unforgeable in-model
+// because lying code paths never call it with another principal's key.
+inline std::uint32_t hmac32(std::uint64_t key, const std::uint8_t* data,
+                            std::size_t n) {
+  std::uint32_t h = 2166136261u;
+  const auto absorb_key = [&h, key] {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(key >> (8 * i));
+      h *= 16777619u;
+    }
+  };
+  absorb_key();
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  absorb_key();
+  return h;
+}
+
+// Per-principal signing key (a splitmix-style mix of the principal id with
+// a baked-in secret — the model's stand-in for a key distribution scheme).
+inline std::uint64_t cert_key(std::uint64_t principal) {
+  std::uint64_t x = principal ^ 0xC2B2AE3D27D4EB4Full;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// The certificate a well-behaved client attaches to a request: signs the
+// semantic fields (seq, arrival_us, client, kind, value) under the client's
+// key. encode_request computes and embeds it; the runner's prologue
+// recomputes it from the decoded fields and rejects mismatches.
+std::uint32_t request_cert(const Request& req);
+
+// The certificate a replica attaches to a probe reply: signs the reported
+// (ts, value) under the replica's key. ServiceReplica computes it over its
+// TRUE stored state even while lying — a Byzantine replica can corrupt what
+// it reports but cannot sign the fabrication.
+std::uint32_t replica_cert(int replica, const Timestamp& ts,
+                           std::uint64_t value);
+
 // Encoders write exactly kRequestWireSize / kReplyWireSize bytes at `out`.
+// encode_request signs with the request's client key; encode_reply signs
+// with the service key. Both certificates are recomputed from the record
+// contents (the structs' cert fields are outputs of decode, not inputs).
 void encode_request(const Request& req, std::uint8_t* out);
 void encode_reply(const Reply& rep, std::uint8_t* out);
 
-// Decoders verify magic + checksum; on failure the result's `valid` flag
-// (request) or the return value (reply) says so and other fields are
-// unspecified.
+// Decoders verify magic + checksum + kind range + zero reserved bytes; the
+// reply decoder additionally verifies the service certificate. On failure
+// the result's `valid` flag (request) or the return value (reply) says so
+// and other fields are unspecified. Request certs are intentionally NOT
+// verified here (see Request::valid).
 Request decode_request(const std::uint8_t* in);
 bool decode_reply(const std::uint8_t* in, Reply* out);
 

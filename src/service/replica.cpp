@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/telemetry.h"
+#include "service/message.h"
 
 namespace sqs {
 
@@ -14,6 +15,8 @@ struct ReplicaMetrics {
       obs::Registry::instance().counter("service.replica.dropped_requests");
   obs::Counter regressions =
       obs::Registry::instance().counter("service.replica.ts_regressions");
+  obs::Counter lies =
+      obs::Registry::instance().counter("service.replica.lies_told");
   static const ReplicaMetrics& get() {
     static const ReplicaMetrics m;
     return m;
@@ -58,7 +61,7 @@ double ServiceReplica::begin_service(double now, double qnow) {
 }
 
 std::optional<ServiceReplica::ReadServed> ServiceReplica::serve_read(
-    int object, double now, double qnow) {
+    int object, double now, double qnow, int client) {
   if (!up(now)) {
     ++dropped_requests_;
     ReplicaMetrics::get().dropped.add(1);
@@ -71,7 +74,18 @@ std::optional<ServiceReplica::ReadServed> ServiceReplica::serve_read(
     ++ts_regressions_;
     ReplicaMetrics::get().regressions.add(1);
   }
-  return ReadServed{done, cell.ts, cell.value};
+  // The certificate always signs the TRUE stored state — the lie branch
+  // below corrupts only the reported fields (unforgeable signatures).
+  const std::uint32_t cert = replica_cert(id_, cell.ts, cell.value);
+  if (lie_active(now) && lie_corrupts_read(lie_mode_, client)) {
+    ++lies_told_;
+    ReplicaMetrics::get().lies.add(1);
+    if (lie_mode_ == LieMode::kStaleTs)
+      return ReadServed{done, Timestamp{}, 0, cert};
+    return ReadServed{done, fabricated_timestamp(id_, cell.ts),
+                      fabricated_value(id_, cell.ts, cell.value), cert};
+  }
+  return ReadServed{done, cell.ts, cell.value, cert};
 }
 
 std::optional<double> ServiceReplica::serve_write(const Timestamp& ts,
@@ -84,6 +98,13 @@ std::optional<double> ServiceReplica::serve_write(const Timestamp& ts,
     return std::nullopt;
   }
   const double done = now + begin_service(now, qnow);
+  if (lie_active(now) && lie_mode_ == LieMode::kFabricateAck) {
+    // Ack without applying: the client counts this replica toward write
+    // durability, but the state was dropped on the floor.
+    ++lies_told_;
+    ReplicaMetrics::get().lies.add(1);
+    return done;
+  }
   Cell& cell = objects_[object];
   if (cell.ts < ts) {
     cell.ts = ts;
@@ -105,6 +126,11 @@ void ServiceReplica::force_up(double now, double duration) {
 void ServiceReplica::set_gray(double factor, double now, double duration) {
   gray_factor_ = factor;
   gray_until_ = now + duration;
+}
+
+void ServiceReplica::set_lie(LieMode mode, double now, double duration) {
+  lie_mode_ = mode;
+  lie_until_ = now + duration;
 }
 
 Timestamp ServiceReplica::timestamp(int object) const {

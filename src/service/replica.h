@@ -50,17 +50,25 @@ class ServiceReplica {
     double done = 0.0;  // completion time (queueing + service included)
     Timestamp ts;
     std::uint64_t value = 0;
+    // Replica certificate over the replica's TRUE stored (ts, value) — see
+    // service/message.h replica_cert. While lying, ts/value above may be
+    // fabricated but the cert still signs the genuine state (signatures are
+    // unforgeable in-model), so a verifying runner catches the mismatch.
+    std::uint32_t cert = 0;
   };
 
   // A read/probe of `object` delivered at `now`, issued by an op that
   // arrived at `qnow` (<= now, monotone across ops): nullopt if the replica
   // is down (request dropped), otherwise the register contents and the
   // time the reply leaves the replica (now + queue wait + service time).
-  std::optional<ReadServed> serve_read(int object, double now, double qnow);
+  // `client` feeds the equivocation lie mode (lies only to odd clients).
+  std::optional<ReadServed> serve_read(int object, double now, double qnow,
+                                       int client = -1);
 
   // A write delivered at `now` from an op that arrived at `qnow`: applies
   // (ts, value) if ts advances the register, acks either way; nullopt if
-  // down. Returns the time the ack leaves the replica.
+  // down. Returns the time the ack leaves the replica. Under the
+  // fabricate-ack lie the ack is returned but the state is dropped.
   std::optional<double> serve_write(const Timestamp& ts, std::uint64_t value,
                                     int object, double now, double qnow);
 
@@ -69,6 +77,13 @@ class ServiceReplica {
   void force_crash(double now, double duration);
   void force_up(double now, double duration);
   void set_gray(double factor, double now, double duration);
+  // Byzantine lie window (replace semantics, like set_gray): replies over
+  // [now, now + duration) are corrupted per sim/server.h's LieMode.
+  void set_lie(LieMode mode, double now, double duration);
+  bool lie_active(double now) const {
+    return lie_mode_ != LieMode::kNone && now < lie_until_;
+  }
+  std::uint64_t lies_told() const { return lies_told_; }
 
   double service_time(double now) const {
     return config_.service_time * (now < gray_until_ ? gray_factor_ : 1.0);
@@ -102,10 +117,13 @@ class ServiceReplica {
   double forced_up_until_ = 0.0;
   double gray_factor_ = 1.0;
   double gray_until_ = 0.0;
+  LieMode lie_mode_ = LieMode::kNone;
+  double lie_until_ = 0.0;
   double busy_until_ = 0.0;
   double busy_seconds_ = 0.0;
   std::uint64_t ts_regressions_ = 0;
   std::uint64_t dropped_requests_ = 0;
+  std::uint64_t lies_told_ = 0;
 
   struct Cell {
     Timestamp ts;

@@ -23,6 +23,10 @@ struct ServiceMetrics {
       obs::Registry::instance().counter("service.writes_ok");
   obs::Counter stale_reads =
       obs::Registry::instance().counter("service.stale_reads");
+  obs::Counter cert_rejects =
+      obs::Registry::instance().counter("service.cert_rejects");
+  obs::Counter fabricated_reads =
+      obs::Registry::instance().counter("service.fabricated_reads");
   obs::Counter faults_injected =
       obs::Registry::instance().counter("service.faults.injected");
   obs::Histogram op_latency_us = obs::Registry::instance().histogram(
@@ -53,6 +57,27 @@ std::uint64_t us(double t) {
   return static_cast<std::uint64_t>(std::llround(t * 1e6));
 }
 
+// Masking vote (mirrors sim/client.cpp): the highest-timestamped (ts,
+// value) pair reported identically by at least b+1 replicas, or nullopt.
+// Deterministic in replica index order.
+std::optional<std::pair<Timestamp, std::uint64_t>> vote_replies(
+    const std::vector<std::optional<std::pair<Timestamp, std::uint64_t>>>&
+        replies,
+    int b) {
+  std::optional<std::pair<Timestamp, std::uint64_t>> best;
+  for (const auto& cand : replies) {
+    if (!cand.has_value()) continue;
+    if (best.has_value() && !(best->first < cand->first)) continue;
+    int votes = 0;
+    for (const auto& other : replies)
+      if (other.has_value() && other->first == cand->first &&
+          other->second == cand->second)
+        ++votes;
+    if (votes >= b + 1) best = *cand;
+  }
+  return best;
+}
+
 }  // namespace
 
 std::vector<std::uint64_t> service_latency_bounds() {
@@ -73,6 +98,7 @@ bool ServiceConfig::validate(int num_servers) const {
   if (!(probe_timeout > 0.0)) reject("probe_timeout", probe_timeout);
   if (batch < 1) reject("batch", batch);
   if (threads < 0) reject("threads", threads);
+  if (lie_tolerance < 0) reject("lie_tolerance", lie_tolerance);
   if (!plan.validate(num_clients, num_servers)) ok = false;
   return ok;
 }
@@ -144,6 +170,22 @@ void ServiceRunner::apply_faults_until(double now) {
       case FaultEvent::Kind::kLossBurst:
         transport_.inject_loss_burst(e.magnitude, e.at, e.duration);
         break;
+      case FaultEvent::Kind::kLieWrongValue:
+        replicas_[static_cast<std::size_t>(e.server)].set_lie(
+            LieMode::kWrongValue, e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kLieStaleTs:
+        replicas_[static_cast<std::size_t>(e.server)].set_lie(
+            LieMode::kStaleTs, e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kLieEquivocate:
+        replicas_[static_cast<std::size_t>(e.server)].set_lie(
+            LieMode::kEquivocate, e.at, e.duration);
+        break;
+      case FaultEvent::Kind::kLieFabricateAck:
+        replicas_[static_cast<std::size_t>(e.server)].set_lie(
+            LieMode::kFabricateAck, e.at, e.duration);
+        break;
     }
     ServiceMetrics::get().faults_injected.add(1);
   }
@@ -207,19 +249,31 @@ Reply ServiceRunner::execute_op(const Request& req) {
     ++probes;
     const double t0 = t;
     bool reached = false;
+    bool cert_rejected = false;
     const Transport::Delivery to =
         transport_.attempt(static_cast<int>(req.client), s, t);
     if (to.delivered) {
       if (auto served = replicas_[static_cast<std::size_t>(s)].serve_read(
-              0, t + to.latency, arrival)) {
+              0, t + to.latency, arrival, static_cast<int>(req.client))) {
         const Transport::Delivery back = transport_.attempt(
             static_cast<int>(req.client), s, served->done);
         if (back.delivered) {
           const double rtt = served->done + back.latency - t;
           if (rtt <= timeout) {
-            reached = true;
-            replies_[static_cast<std::size_t>(s)] = {served->ts, served->value};
-            touched_.push_back(s);
+            // The reply arrived in time; it joins the quorum only if its
+            // certificate matches what it reports. A lying replica signs
+            // its true state, so its fabrication fails here and the probe
+            // counts as a miss (the client spent the rtt, not the timeout).
+            if (!config_.verify_replica_certs ||
+                served->cert == replica_cert(s, served->ts, served->value)) {
+              reached = true;
+              replies_[static_cast<std::size_t>(s)] = {served->ts,
+                                                       served->value};
+              touched_.push_back(s);
+            } else {
+              cert_rejected = true;
+              ++totals_.cert_rejects;
+            }
             t += rtt;
           }
         }
@@ -227,7 +281,7 @@ Reply ServiceRunner::execute_op(const Request& req) {
         ++op_drops;
       }
     }
-    if (!reached) t += timeout;
+    if (!reached && !cert_rejected) t += timeout;
     if (reached) {
       obs::flight(obs::FlightKind::kProbe, op, us(t0), s, us(t - t0));
     } else {
@@ -245,19 +299,35 @@ Reply ServiceRunner::execute_op(const Request& req) {
 
   if (req.kind == OpKind::kRead) {
     ++totals_.reads;
+    bool have_value = acquired;
+    Timestamp best;
+    std::uint64_t value = 0;
     if (acquired) {
-      ++totals_.reads_ok;
-      // Max-timestamp value among reached servers; the default {0, -1} tag
-      // with value 0 is exactly an unwritten cell, so no special first-case.
-      Timestamp best;
-      std::uint64_t value = 0;
-      for (int s : touched_) {
-        const auto& r = replies_[static_cast<std::size_t>(s)];
-        if (best < r->first) {
-          best = r->first;
-          value = r->second;
+      if (config_.lie_tolerance > 0) {
+        // Masking read: adopt only a pair vouched for by more replicas than
+        // can lie; no such pair fails the read instead of fabricating.
+        const auto voted = vote_replies(replies_, config_.lie_tolerance);
+        if (voted.has_value()) {
+          best = voted->first;
+          value = voted->second;
+        } else {
+          have_value = false;
+        }
+      } else {
+        // Max-timestamp value among reached servers; the default {0, -1}
+        // tag with value 0 is exactly an unwritten cell, so no special
+        // first-case.
+        for (int s : touched_) {
+          const auto& r = replies_[static_cast<std::size_t>(s)];
+          if (best < r->first) {
+            best = r->first;
+            value = r->second;
+          }
         }
       }
+    }
+    if (have_value) {
+      ++totals_.reads_ok;
       rep.ok = true;
       rep.ts = best;
       rep.value = value;
@@ -265,16 +335,38 @@ Reply ServiceRunner::execute_op(const Request& req) {
         ++totals_.stale_reads;
         obs::flight(obs::FlightKind::kStaleRead, op, us(t));
       }
+      // No-fabricated-write check, exact because the solo stage runs in
+      // arrival order: a non-zero binding must have been produced by some
+      // earlier ok write of this runner.
+      if (Timestamp{} < best &&
+          genuine_writes_.count({best.counter, best.writer, value}) == 0) {
+        ++totals_.fabricated_reads;
+        obs::flight(obs::FlightKind::kFabricatedRead, op, us(t), -1, value);
+      }
     }
   } else {
     ++totals_.writes;
+    bool have_ts = acquired;
+    Timestamp max_ts;
     if (acquired) {
-      ++totals_.writes_ok;
-      Timestamp max_ts;
-      for (int s : touched_) {
-        const auto& r = replies_[static_cast<std::size_t>(s)];
-        max_ts = std::max(max_ts, r->first);
+      if (config_.lie_tolerance > 0) {
+        // Masking write: the new timestamp grows from voted replies only,
+        // so a liar's boosted counter never enters the genuine order.
+        const auto voted = vote_replies(replies_, config_.lie_tolerance);
+        if (voted.has_value()) {
+          max_ts = voted->first;
+        } else {
+          have_ts = false;
+        }
+      } else {
+        for (int s : touched_) {
+          const auto& r = replies_[static_cast<std::size_t>(s)];
+          max_ts = std::max(max_ts, r->first);
+        }
       }
+    }
+    if (have_ts) {
+      ++totals_.writes_ok;
       const Timestamp new_ts{max_ts.counter + 1, static_cast<int>(req.client)};
       // Push to every reached probed server in ascending id order (the
       // order install paths use everywhere else); each push resolves at its
@@ -315,6 +407,7 @@ Reply ServiceRunner::execute_op(const Request& req) {
       rep.ok = true;
       rep.ts = new_ts;
       rep.value = req.value;
+      genuine_writes_.insert({new_ts.counter, new_ts.writer, req.value});
       if (acks > 0) {
         any_acked_write_ = true;
         max_acked_ts_ = std::max(max_acked_ts_, new_ts);
@@ -352,6 +445,7 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
   std::vector<Request> parsed(n);
   std::vector<Reply> decoded(n);
   std::vector<std::uint64_t> decode_fail(num_batches, 0);
+  std::vector<std::uint64_t> cert_fail(num_batches, 0);
 
   {
     std::lock_guard<std::mutex> lk(turn_mu_);
@@ -366,12 +460,20 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
     const bool timed = obs::telemetry_enabled();
     const ServiceMetrics& metrics = ServiceMetrics::get();
 
-    // Prologue: decode + verify this batch's records (private slice).
+    // Prologue: decode + verify this batch's records (private slice). The
+    // client-certificate check lives here too — the signature verification
+    // a WAN deployment hoists into the stateless stage — so an impersonated
+    // request never reaches the solo stage.
     std::uint64_t stage_start = timed ? obs::trace_now_ns() : 0;
-    std::uint64_t bad = 0;
+    std::uint64_t bad = 0, bad_cert = 0;
     for (std::uint64_t i = begin; i < end; ++i) {
       parsed[i] = decode_request(in + i * kRequestWireSize);
-      if (!parsed[i].valid) ++bad;
+      if (!parsed[i].valid) {
+        ++bad;
+      } else if (parsed[i].cert != request_cert(parsed[i])) {
+        parsed[i].valid = false;
+        ++bad_cert;
+      }
       if (parsed[i].valid) {
         obs::flight(obs::FlightKind::kDecoded,
                     obs::make_op_id(obs::kServiceStream, parsed[i].seq),
@@ -379,6 +481,7 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
       }
     }
     decode_fail[b] = bad;
+    cert_fail[b] = bad_cert;
     if (timed) metrics.prologue_ns.record(obs::trace_now_ns() - stage_start);
 
     // Solo: wait for this batch's ticket, run its ops in arrival order,
@@ -430,8 +533,10 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
           .count();
 
   totals_.requests += n;
-  for (std::uint64_t b = 0; b < num_batches; ++b)
+  for (std::uint64_t b = 0; b < num_batches; ++b) {
     totals_.decode_failures += decode_fail[b];
+    totals_.cert_rejects += cert_fail[b];
+  }
 
   ServiceResult result;
   result.requests = totals_.requests;
@@ -443,6 +548,10 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
   result.stale_reads = totals_.stale_reads;
   result.probes = totals_.probes;
   result.write_acks = totals_.write_acks;
+  result.cert_rejects = totals_.cert_rejects;
+  result.fabricated_reads = totals_.fabricated_reads;
+  if (totals_.fabricated_reads > 0)
+    obs::flight(obs::FlightKind::kViolation, obs::kNoOp, us(last_arrival_));
   for (const ServiceReplica& r : replicas_) {
     result.replica_dropped += r.dropped_requests();
     result.ts_regressions += r.ts_regressions();
@@ -483,6 +592,9 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
   metrics.reads_ok.add(totals_.reads_ok - before.reads_ok);
   metrics.writes_ok.add(totals_.writes_ok - before.writes_ok);
   metrics.stale_reads.add(totals_.stale_reads - before.stale_reads);
+  metrics.cert_rejects.add(totals_.cert_rejects - before.cert_rejects);
+  metrics.fabricated_reads.add(totals_.fabricated_reads -
+                               before.fabricated_reads);
 
   if (replies_out != nullptr) *replies_out = std::move(encoded);
   return result;

@@ -39,6 +39,8 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/quorum_family.h"
@@ -65,6 +67,18 @@ struct ServiceConfig {
   // disables the timeline (see obs/timeline.h). Fed from the solo stage, so
   // the emitted series is bit-identical at any thread count.
   std::uint64_t timeline_window_us = 0;
+  // Verify each replica reply's certificate against the reported (ts,
+  // value) and treat mismatches as not-reached (the reply never joins the
+  // quorum or votes). Default on: with honest replicas it never fires, so
+  // behaviour and replies are bit-identical to a non-verifying runner; with
+  // liars it strips fabrications off the quorum path. Request certificates
+  // are always verified in the prologue.
+  bool verify_replica_certs = true;
+  // Masking vote (see sim/client.h): when > 0 a read adopts only the
+  // highest-timestamped reply vouched for by >= lie_tolerance+1 replicas,
+  // and a write derives its timestamp from voted replies; no voted pair
+  // fails the op. 0 keeps the classic max-timestamp fold.
+  int lie_tolerance = 0;
 
   // True iff every knob is usable for a fleet of `num_servers`; complaints
   // go to stderr, one line per bad field.
@@ -90,6 +104,15 @@ struct ServiceResult {
   // only when state durability is broken (amnesia), never by crashes or
   // partitions alone.
   std::uint64_t lost_acked_writes = 0;
+  // Certificate rejections: requests whose client cert failed the prologue
+  // check, plus replica replies whose cert did not match the reported
+  // contents (each such reply is excluded from its op's quorum).
+  std::uint64_t cert_rejects = 0;
+  // Ok reads that returned a (ts, value) binding no genuine write of this
+  // runner produced — the no-fabricated-write invariant. Zero with honest
+  // replicas; zero under liars too when cert verification and/or a masking
+  // lie_tolerance filters them.
+  std::uint64_t fabricated_reads = 0;
 
   // Virtual op latency (arrival to completion, microseconds) of every
   // decoded op, failures included; quantiles via latency_us.p50() etc.
@@ -185,7 +208,13 @@ class ServiceRunner {
     std::uint64_t requests = 0, decode_failures = 0;
     std::uint64_t reads = 0, reads_ok = 0, writes = 0, writes_ok = 0;
     std::uint64_t stale_reads = 0, probes = 0, write_acks = 0;
+    std::uint64_t cert_rejects = 0, fabricated_reads = 0;
   } totals_;
+  // (counter, writer, value) bindings of every ok write, solo-owned. The
+  // solo stage runs in arrival order, so a read can only observe a binding
+  // after its write registered it — the fabricated-read check is exact and
+  // synchronous (no end-of-run pass like the sim harness needs).
+  std::set<std::tuple<std::uint64_t, int, std::uint64_t>> genuine_writes_;
 
   // Solo-owned windowed series; disabled (window 0) unless configured.
   obs::Timeline timeline_;

@@ -28,6 +28,31 @@ std::uint64_t us(double t) {
   return static_cast<std::uint64_t>(std::llround(t * 1e6));
 }
 
+// Masking vote: the highest-timestamped (ts, value) pair reported
+// identically by at least b+1 reached servers, or nullopt if no pair has
+// enough vouchers. O(n^2) over a small fleet, deterministic in server
+// index order. Two distinct pairs can never both clear b+1 at the same
+// timestamp in-model (that would need b+1 coordinated liars), and the
+// strict `<` keeps the first-seen winner stable if the model is ever
+// violated.
+std::optional<std::pair<Timestamp, std::uint64_t>> vote_reply(
+    const std::vector<std::optional<std::pair<Timestamp, std::uint64_t>>>&
+        replies,
+    int b) {
+  std::optional<std::pair<Timestamp, std::uint64_t>> best;
+  for (const auto& cand : replies) {
+    if (!cand.has_value()) continue;
+    if (best.has_value() && !(best->first < cand->first)) continue;
+    int votes = 0;
+    for (const auto& other : replies)
+      if (other.has_value() && other->first == cand->first &&
+          other->second == cand->second)
+        ++votes;
+    if (votes >= b + 1) best = *cand;
+  }
+  return best;
+}
+
 }  // namespace
 
 bool ClientConfig::validate() const {
@@ -49,6 +74,8 @@ bool ClientConfig::validate() const {
   if (!(max_probe_timeout >= min_probe_timeout))
     reject("max_probe_timeout", max_probe_timeout);
   if (!(op_deadline >= 0.0)) reject("op_deadline", op_deadline);
+  if (lie_tolerance < 0)
+    reject("lie_tolerance", static_cast<double>(lie_tolerance));
   return ok;
 }
 
@@ -156,7 +183,7 @@ void SimClient::issue_next_probe(std::shared_ptr<Acquisition> acq) {
   // Request leg.
   net_->send(id_, server, Network::Direction::kToServer, [this, acq, seq, server] {
     SimServer& s = (*servers_)[static_cast<std::size_t>(server)];
-    const auto reply = s.handle_read(acq->object);
+    const auto reply = s.handle_read(acq->object, id_);
     if (!reply.has_value()) return;  // server crashed: no reply
     // Service delay, then the reply leg.
     sim_->schedule(s.service_time(), [this, acq, seq, server, reply] {
@@ -262,16 +289,29 @@ void SimClient::read(const QuorumFamily& family, int object,
     result.filtered = acq.filtered;
     result.probed = acq.probed;
     if (result.ok) {
-      // Max-timestamp value over every reached probed server (S+), per the
-      // Sect. 4 client requirement.
-      for (const auto& reply : acq.replies) {
-        if (!reply.has_value()) continue;
-        if (result.timestamp < reply->first) {
-          result.timestamp = reply->first;
-          result.value = reply->second;
+      if (config_.lie_tolerance > 0) {
+        // Masking read: only a (ts, value) pair vouched for by more servers
+        // than can lie is trusted; otherwise the read fails rather than
+        // returning a possible fabrication.
+        const auto voted = vote_reply(acq.replies, config_.lie_tolerance);
+        if (voted.has_value()) {
+          result.timestamp = voted->first;
+          result.value = voted->second;
+        } else {
+          result.ok = false;
+        }
+      } else {
+        // Max-timestamp value over every reached probed server (S+), per the
+        // Sect. 4 client requirement.
+        for (const auto& reply : acq.replies) {
+          if (!reply.has_value()) continue;
+          if (result.timestamp < reply->first) {
+            result.timestamp = reply->first;
+            result.value = reply->second;
+          }
         }
       }
-      if (config_.read_repair) {
+      if (config_.read_repair && result.ok) {
         // Fire-and-forget write-back to stale reached servers.
         for (std::size_t i = 0; i < acq.replies.size(); ++i) {
           const auto& reply = acq.replies[i];
@@ -311,8 +351,21 @@ void SimClient::write(const QuorumFamily& family, int object,
       return;
     }
     Timestamp max_ts;
-    for (const auto& reply : acq.replies)
-      if (reply.has_value() && max_ts < reply->first) max_ts = reply->first;
+    if (config_.lie_tolerance > 0) {
+      // Masking write: derive the new timestamp from voted pairs only, so a
+      // liar's inflated counter never enters the genuine timestamp order.
+      // No voted pair -> fail the write without pushing anything.
+      const auto voted = vote_reply(acq.replies, config_.lie_tolerance);
+      if (!voted.has_value()) {
+        result.latency = acq.latency;
+        done(result);
+        return;
+      }
+      max_ts = voted->first;
+    } else {
+      for (const auto& reply : acq.replies)
+        if (reply.has_value() && max_ts < reply->first) max_ts = reply->first;
+    }
     result.ok = true;
     result.timestamp = Timestamp{max_ts.counter + 1, id_};
 

@@ -51,6 +51,15 @@ struct ClientConfig {
   // back to every reached server holding an older one. Shrinks the window
   // in which a later non-intersecting quorum could miss the value.
   bool read_repair = false;
+  // Masking vote (Malkhi–Reiter–Wool): when > 0, up to this many servers
+  // may lie, so a read only adopts the highest-timestamped (ts, value)
+  // pair reported identically by >= lie_tolerance+1 reached servers, and a
+  // write derives its new timestamp from voted pairs only. An acquisition
+  // whose replies contain no such pair fails the operation instead of
+  // returning a possible fabrication. 0 (default) keeps the classic
+  // max-timestamp fold — correct under the paper's fail-stop model, and
+  // exactly what a Byzantine plan exploits against a non-masking family.
+  int lie_tolerance = 0;
 
   // --- graceful degradation (defaults preserve the classic behaviour) ---
   // Acquisition attempts per operation. A failed attempt (no quorum, or

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -47,6 +49,17 @@ struct Experiment {
   // Per-client frontier of observed read timestamps (monotonic-read check).
   std::vector<Timestamp> last_read_ts;
   std::uint64_t next_value = 1;
+  // (counter, writer, value) bindings produced by genuine completed writes.
+  // Ok reads are audited against this set at end-of-run — after the grace
+  // period every write completion callback has fired, so a read that raced
+  // its writer's completion is not a false alarm.
+  std::set<std::tuple<std::uint64_t, int, std::uint64_t>> genuine_writes;
+  struct ReadObservation {
+    obs::OpId op = obs::kNoOp;
+    Timestamp ts;
+    std::uint64_t value = 0;
+  };
+  std::vector<ReadObservation> read_observations;
   // Empty unless telemetry was enabled when the experiment started.
   std::vector<obs::Histogram> latency_hists;
 
@@ -94,6 +107,7 @@ struct Experiment {
               } else {
                 last = r.timestamp;
               }
+              read_observations.push_back({r.op, r.timestamp, r.value});
             }
             obs::flight(obs::FlightKind::kOpDone, r.op, sim_us(sim.now()), -1,
                         sim_us(r.latency));
@@ -102,13 +116,16 @@ struct Experiment {
           });
     } else {
       ++result.writes_attempted;
+      const std::uint64_t value = next_value++;
       clients[static_cast<std::size_t>(client_idx)].write(
-          next_value++, [this, client_idx](WriteResult w) {
+          value, [this, client_idx, value](WriteResult w) {
             result.probes_per_op.add(w.num_probes);
             result.client_retries += w.attempts - 1;
             if (w.deadline_exceeded) ++result.deadline_failures;
             if (w.filtered) ++result.ops_filtered;
             if (w.ok) {
+              genuine_writes.insert(
+                  {w.timestamp.counter, w.timestamp.writer, value});
               ++result.writes_ok;
               result.latency_ok.add(w.latency);
               result.latencies_ok.push_back(w.latency);
@@ -226,6 +243,19 @@ RegisterExperimentResult run_register_experiment(
     e.result.lost_writes = 1;
     obs::flight(obs::FlightKind::kLostWrite, obs::kNoOp, sim_us(e.sim.now()),
                 -1, static_cast<std::uint64_t>(e.max_acked_write_ts.counter));
+  }
+  // Fabricated-read audit: every ok read must have returned either the
+  // unwritten register (zero timestamp) or a (ts, value) binding that some
+  // genuine write produced. Anything else is a fabrication that a lying
+  // server smuggled past the client — the durability invariant chaos gates.
+  for (const Experiment::ReadObservation& seen : e.read_observations) {
+    if (!(Timestamp{} < seen.ts)) continue;  // unwritten register is genuine
+    if (e.genuine_writes.count({seen.ts.counter, seen.ts.writer, seen.value}) ==
+        0) {
+      ++e.result.fabricated_reads;
+      obs::flight(obs::FlightKind::kFabricatedRead, seen.op, sim_us(e.sim.now()),
+                  -1, seen.value);
+    }
   }
   e.result.net_delivered = e.net->messages_delivered();
   e.result.net_dropped = e.net->messages_dropped();

@@ -65,6 +65,9 @@ struct RegisterExperimentResult {
   long read_ts_regressions = 0;    // per-client monotonic-read violations
   long lost_writes = 0;  // 1 if the max acked write ts vanished from every
                          // server register (impossible under pure crash)
+  long fabricated_reads = 0;  // ok reads whose (ts, value) binding no genuine
+                              // write ever produced (Byzantine evidence; a
+                              // masking-voting client must keep this at 0)
   // Network/server drop totals for the run (always on, mirrors sim.net.*).
   std::uint64_t net_delivered = 0;
   std::uint64_t net_dropped = 0;

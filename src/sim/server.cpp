@@ -15,6 +15,7 @@ struct ServerMetrics {
       obs::Registry::instance().counter("sim.server.dropped_requests");
   obs::Counter regressions =
       obs::Registry::instance().counter("sim.server.ts_regressions");
+  obs::Counter lies = obs::Registry::instance().counter("sim.server.lies_told");
   static const ServerMetrics& get() {
     static const ServerMetrics m;
     return m;
@@ -22,6 +23,17 @@ struct ServerMetrics {
 };
 
 }  // namespace
+
+const char* lie_mode_name(LieMode mode) {
+  switch (mode) {
+    case LieMode::kNone: return "none";
+    case LieMode::kWrongValue: return "wrong_value";
+    case LieMode::kStaleTs: return "stale_ts";
+    case LieMode::kEquivocate: return "equivocate";
+    case LieMode::kFabricateAck: return "fabricate_ack";
+  }
+  return "unknown";
+}
 
 bool ServerConfig::validate() const {
   bool ok = true;
@@ -62,7 +74,7 @@ bool SimServer::up() const {
 }
 
 std::optional<std::pair<Timestamp, std::uint64_t>> SimServer::handle_read(
-    int object) {
+    int object, int client) {
   if (!up()) {
     ++dropped_requests_;
     ServerMetrics::get().dropped.add(1);
@@ -74,6 +86,14 @@ std::optional<std::pair<Timestamp, std::uint64_t>> SimServer::handle_read(
     ++ts_regressions_;
     ServerMetrics::get().regressions.add(1);
   }
+  if (lie_active() && lie_corrupts_read(lie_mode_, client)) {
+    ++lies_told_;
+    ServerMetrics::get().lies.add(1);
+    if (lie_mode_ == LieMode::kStaleTs)
+      return std::make_pair(Timestamp{}, std::uint64_t{0});
+    return std::make_pair(fabricated_timestamp(id_, cell.ts),
+                          fabricated_value(id_, cell.ts, cell.value));
+  }
   return std::make_pair(cell.ts, cell.value);
 }
 
@@ -83,6 +103,13 @@ bool SimServer::handle_write(const Timestamp& ts, std::uint64_t value,
     ++dropped_requests_;
     ServerMetrics::get().dropped.add(1);
     return false;
+  }
+  if (lie_active() && lie_mode_ == LieMode::kFabricateAck) {
+    // Ack without applying: the client counts this server toward write
+    // durability, but the state was dropped on the floor.
+    ++lies_told_;
+    ServerMetrics::get().lies.add(1);
+    return true;
   }
   Cell& cell = objects_[object];
   if (cell.ts < ts) {
@@ -105,6 +132,11 @@ void SimServer::force_up(double duration) {
 void SimServer::set_gray(double factor, double duration) {
   gray_factor_ = factor;
   gray_until_ = sim_->now() + duration;
+}
+
+void SimServer::set_lie(LieMode mode, double duration) {
+  lie_mode_ = mode;
+  lie_until_ = sim_->now() + duration;
 }
 
 Timestamp SimServer::timestamp(int object) const {

@@ -45,6 +45,56 @@ struct Timestamp {
   }
 };
 
+// --- Byzantine lie model (fault injection) ---------------------------------
+//
+// A lying server keeps serving — it answers probes and acks writes — but
+// its *replies* are corrupted. The corruption is a pure function of the
+// liar's id and the genuine register state (no rng draw), so a lie window
+// shifts no random stream and a Byzantine plan stays bit-identical at any
+// thread count. The genuine cell is never touched: lies live on the wire,
+// which is exactly what signed-reply verification and masking votes can
+// catch.
+enum class LieMode : std::uint8_t {
+  kNone = 0,
+  kWrongValue,    // inflated timestamp + fabricated value (a write nobody made)
+  kStaleTs,       // pretends the register was never written
+  kEquivocate,    // truth to even clients, the kWrongValue fabrication to odd
+  kFabricateAck,  // acks writes without applying them (reads stay truthful)
+};
+
+const char* lie_mode_name(LieMode mode);
+
+// The fabricated timestamp outranks every honest one by a large constant,
+// so an unprotected max-timestamp read reliably adopts the lie; the liar
+// signs itself as the writer.
+inline constexpr std::uint64_t kLieCounterBoost = 1ull << 20;
+
+inline Timestamp fabricated_timestamp(int server, const Timestamp& truth) {
+  return Timestamp{truth.counter + kLieCounterBoost +
+                       static_cast<std::uint64_t>(server),
+                   server};
+}
+
+inline std::uint64_t fabricated_value(int server, const Timestamp& truth,
+                                      std::uint64_t value) {
+  // Distinct per (liar, state): two liars never corroborate each other, so
+  // a b+1 vote can never assemble behind a fabrication of b liars.
+  return value ^ (0x9E3779B97F4A7C15ull *
+                      (static_cast<std::uint64_t>(server) + 2) +
+                  truth.counter + 1);
+}
+
+// Does `mode` corrupt a read served to `client`? (kEquivocate splits the
+// client space by parity; kFabricateAck corrupts only writes.)
+inline bool lie_corrupts_read(LieMode mode, int client) {
+  switch (mode) {
+    case LieMode::kWrongValue: return true;
+    case LieMode::kStaleTs: return true;
+    case LieMode::kEquivocate: return client >= 0 && client % 2 == 1;
+    default: return false;
+  }
+}
+
 struct ServerConfig {
   double mean_up = 95.0;
   double mean_down = 5.0;  // stationary p = 0.05 with the defaults
@@ -66,12 +116,16 @@ class SimServer {
   int id() const { return id_; }
   bool up() const;
 
-  // Handles a probe/read of `object`: returns the current (timestamp,
-  // value) if up, nullopt if crashed (the message is silently dropped).
-  std::optional<std::pair<Timestamp, std::uint64_t>> handle_read(int object = 0);
+  // Handles a probe/read of `object` issued by `client`: returns the
+  // current (timestamp, value) if up, nullopt if crashed (the message is
+  // silently dropped). Under an active lie window the *reply* is corrupted
+  // per LieMode — the stored cell is untouched.
+  std::optional<std::pair<Timestamp, std::uint64_t>> handle_read(
+      int object = 0, int client = -1);
 
   // Handles a write to `object`: applies if it advances the timestamp;
-  // returns true (ack) if up.
+  // returns true (ack) if up. A kFabricateAck lie window acks without
+  // applying.
   bool handle_write(const Timestamp& ts, std::uint64_t value, int object = 0);
 
   // Pins the server down ("crash") or up ("restart") for `duration`
@@ -85,6 +139,17 @@ class SimServer {
   // still answers — slowly enough that clients may time its replies out.
   void set_gray(double factor, double duration);
   bool gray_active() const { return sim_->now() < gray_until_; }
+
+  // Byzantine lie window: replies are corrupted per `mode` until the window
+  // expires (a new call replaces the current window, like set_gray).
+  void set_lie(LieMode mode, double duration);
+  bool lie_active() const {
+    return lie_mode_ != LieMode::kNone && sim_->now() < lie_until_;
+  }
+  // Replies this server corrupted (reads answered with a fabrication or a
+  // stale pretense, write acks fabricated) — ground truth for the chaos
+  // harness's fabricated-read accounting.
+  std::uint64_t lies_told() const { return lies_told_; }
 
   double service_time() const {
     return config_.service_time * (gray_active() ? gray_factor_ : 1.0);
@@ -115,6 +180,9 @@ class SimServer {
   double forced_up_until_ = 0.0;
   double gray_factor_ = 1.0;
   double gray_until_ = 0.0;
+  LieMode lie_mode_ = LieMode::kNone;
+  double lie_until_ = 0.0;
+  std::uint64_t lies_told_ = 0;
   std::uint64_t ts_regressions_ = 0;
   std::uint64_t dropped_requests_ = 0;
 

@@ -12,6 +12,9 @@ double StoreExperimentResult::max_server_load() const {
 }
 
 double StoreExperimentResult::min_server_load() const {
+  // An empty fleet has no load anywhere: 0.0, matching max_server_load,
+  // not the old sentinel 1.0 (which read as "some server saw every probe").
+  if (server_probe_fraction.empty()) return 0.0;
   double lo = 1.0;
   for (double f : server_probe_fraction) lo = std::min(lo, f);
   return lo;

@@ -5,10 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/constructions.h"
+#include "core/masking.h"
 #include "faults/chaos.h"
+#include "obs/recorder.h"
+#include "obs/telemetry.h"
 
 namespace sqs {
 namespace {
@@ -109,6 +115,112 @@ TEST(Chaos, GridBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(r1[i].replicates[r].latency_ok.mean(),
                 r8[i].replicates[r].latency_ok.mean());
     }
+  }
+}
+
+// --- the Byzantine scenario -------------------------------------------------
+
+TEST(Byzantine, MaskingGridShipsTheScenarioAndPlainGridsDoNot) {
+  const MaskingThresholdFamily masking(12, 1);
+  const OptDFamily plain(12, 2);
+  const auto count_byz = [](const std::vector<ChaosScenario>& scenarios) {
+    int hits = 0;
+    for (const ChaosScenario& s : scenarios)
+      if (s.name == "byzantine") ++hits;
+    return hits;
+  };
+  EXPECT_EQ(count_byz(builtin_chaos_scenarios(masking)), 1);
+  EXPECT_EQ(count_byz(builtin_chaos_scenarios(plain)), 0);
+}
+
+TEST(Byzantine, MaskingFamilySurvivesLiarsAcrossTheWholeGrid) {
+  // The headline acceptance run: a masking family sized for b = 1 liar
+  // runs the ENTIRE builtin grid (the eight classic scenarios plus the
+  // byzantine cell its masking_b() pulls in) and keeps every invariant —
+  // in particular zero reads of never-written values and zero lost acked
+  // writes — while staying above the liar-discounted availability floor.
+  const MaskingThresholdFamily family(12, 1);
+  const auto scenarios = builtin_chaos_scenarios(family);
+  const auto results = run_chaos(family, scenarios, /*replicates=*/1);
+  ASSERT_EQ(results.size(), scenarios.size());
+  bool saw_byzantine = false;
+  for (const ChaosCellResult& cell : results) {
+    EXPECT_TRUE(cell.passed())
+        << cell.scenario << ": "
+        << (cell.violations.empty()
+                ? ""
+                : cell.violations.front().invariant + " — " +
+                      cell.violations.front().detail);
+    EXPECT_GT(cell.ops_attempted, 0) << cell.scenario;
+    EXPECT_EQ(cell.fabricated_reads, 0) << cell.scenario;
+    EXPECT_EQ(cell.lost_writes, 0) << cell.scenario;
+    saw_byzantine = saw_byzantine || cell.scenario == "byzantine";
+  }
+  EXPECT_TRUE(saw_byzantine);
+}
+
+TEST(Byzantine, PlainFamilyTripsTheFabricatedWriteInvariant) {
+  // Without the masking vote, the boosted fabricated timestamps win the
+  // max-timestamp fold: the durability invariant must trip and — with the
+  // recorder on — leave a black-box dump behind.
+  obs::TelemetryConfig saved = obs::current_config();
+  obs::TelemetryConfig tc = saved;
+  tc.recorder = true;
+  obs::configure(tc);
+  obs::reset_flight_recorder();
+
+  const OptDFamily family(9, 2);
+  const std::string path = testing::TempDir() + "sqs_byzantine_blackbox.jsonl";
+  const auto results = run_chaos(
+      family, {byzantine_chaos_scenario(family, 1)}, /*replicates=*/1, {},
+      path);
+
+  obs::configure(saved);
+  obs::reset_flight_recorder();
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].passed());
+  EXPECT_GT(results[0].fabricated_reads, 0);
+  bool found = false;
+  for (const ChaosViolation& v : results[0].violations)
+    found = found || v.invariant == "fabricated-write";
+  EXPECT_TRUE(found) << "fabricated-write violation must be reported";
+
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  ASSERT_FALSE(text.str().empty()) << path;
+  EXPECT_NE(text.str().find("fabricated-write"), std::string::npos);
+  EXPECT_NE(text.str().find("\"kind\":\"fabricated_read\""), std::string::npos);
+}
+
+TEST(Byzantine, ChaosCellBitIdenticalAt1_2_8Threads) {
+  const MaskingThresholdFamily family(12, 1);
+  const std::vector<ChaosScenario> scenarios = {
+      byzantine_chaos_scenario(family, 1)};
+  std::vector<ChaosCellResult> first;
+  for (const int threads : {1, 2, 8}) {
+    TrialOptions opts;
+    opts.threads = threads;
+    auto results = run_chaos(family, scenarios, /*replicates=*/2, opts);
+    ASSERT_EQ(results.size(), 1u);
+    if (first.empty()) {
+      first = std::move(results);
+      continue;
+    }
+    EXPECT_EQ(results[0].availability, first[0].availability) << threads;
+    EXPECT_EQ(results[0].stale_fraction, first[0].stale_fraction) << threads;
+    EXPECT_EQ(results[0].ops_attempted, first[0].ops_attempted) << threads;
+    EXPECT_EQ(results[0].reads_ok, first[0].reads_ok) << threads;
+    EXPECT_EQ(results[0].fabricated_reads, first[0].fabricated_reads)
+        << threads;
+    EXPECT_EQ(results[0].lost_writes, first[0].lost_writes) << threads;
+    EXPECT_EQ(results[0].retries, first[0].retries) << threads;
+    ASSERT_EQ(results[0].replicates.size(), first[0].replicates.size());
+    for (std::size_t r = 0; r < first[0].replicates.size(); ++r)
+      EXPECT_EQ(results[0].replicates[r].events_executed,
+                first[0].replicates[r].events_executed)
+          << threads;
   }
 }
 

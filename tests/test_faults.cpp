@@ -217,6 +217,103 @@ TEST(Faults, InstallPlanFiresAtAbsoluteTimes) {
   EXPECT_TRUE(servers[0].up());
 }
 
+// ---- Byzantine lie windows ----
+
+TEST(Faults, LieWindowCorruptsRepliesNotState) {
+  Simulator sim;
+  SimServer server(&sim, /*id=*/2, reliable_server(), Rng(41));
+  ASSERT_TRUE(server.handle_write(Timestamp{3, 0}, 77));
+  server.set_lie(LieMode::kWrongValue, 5.0);
+  const auto lied = server.handle_read(0, /*client=*/0);
+  ASSERT_TRUE(lied.has_value());
+  EXPECT_TRUE(lied->first == fabricated_timestamp(2, Timestamp{3, 0}));
+  EXPECT_EQ(lied->second, fabricated_value(2, Timestamp{3, 0}, 77));
+  EXPECT_GE(lied->first.counter, kLieCounterBoost);  // boosted past any truth
+  EXPECT_GT(server.lies_told(), 0u);
+  // The stored cell is untouched, and the window expires cleanly.
+  EXPECT_TRUE(server.timestamp() == (Timestamp{3, 0}));
+  sim.run_until(6.0);
+  const auto honest = server.handle_read(0, 0);
+  ASSERT_TRUE(honest.has_value());
+  EXPECT_EQ(honest->second, 77u);
+}
+
+TEST(Faults, StaleTsLiePretendsUnwritten) {
+  Simulator sim;
+  SimServer server(&sim, 0, reliable_server(), Rng(42));
+  ASSERT_TRUE(server.handle_write(Timestamp{9, 1}, 5));
+  server.set_lie(LieMode::kStaleTs, 5.0);
+  const auto r = server.handle_read(0, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->first == Timestamp{});
+  EXPECT_EQ(r->second, 0u);
+}
+
+TEST(Faults, EquivocationLiesOnlyToOddClients) {
+  EXPECT_FALSE(lie_corrupts_read(LieMode::kEquivocate, 0));
+  EXPECT_TRUE(lie_corrupts_read(LieMode::kEquivocate, 1));
+  EXPECT_FALSE(lie_corrupts_read(LieMode::kEquivocate, 2));
+  EXPECT_FALSE(lie_corrupts_read(LieMode::kEquivocate, -1));  // probes
+  EXPECT_TRUE(lie_corrupts_read(LieMode::kWrongValue, 0));
+  EXPECT_TRUE(lie_corrupts_read(LieMode::kWrongValue, -1));
+  EXPECT_FALSE(lie_corrupts_read(LieMode::kFabricateAck, 1));  // writes only
+}
+
+TEST(Faults, FabricateAckDropsTheWriteOnTheFloor) {
+  Simulator sim;
+  SimServer server(&sim, 0, reliable_server(), Rng(43));
+  server.set_lie(LieMode::kFabricateAck, 5.0);
+  EXPECT_TRUE(server.handle_write(Timestamp{4, 0}, 11));  // acked...
+  EXPECT_TRUE(server.timestamp() == Timestamp{});         // ...not applied
+  EXPECT_GT(server.lies_told(), 0u);
+}
+
+TEST(Faults, FabricationsAreDistinctAcrossLiars) {
+  // b colluding-looking liars must never be able to assemble b+1 matching
+  // votes: each liar's fabricated (ts, value) pair is unique to it.
+  const Timestamp truth{6, 2};
+  for (int a = 0; a < 6; ++a)
+    for (int c = a + 1; c < 6; ++c) {
+      EXPECT_FALSE(fabricated_timestamp(a, truth) ==
+                   fabricated_timestamp(c, truth));
+      EXPECT_NE(fabricated_value(a, truth, 50), fabricated_value(c, truth, 50));
+    }
+}
+
+TEST(Faults, ByzantinePlanShapeAndValidation) {
+  const FaultPlan plan = make_byzantine_plan(9, 2, 1.0, 8.0);
+  EXPECT_TRUE(plan.validate(/*num_clients=*/4, /*num_servers=*/9));
+  bool pinned[2] = {false, false};
+  bool saw_mode[4] = {false, false, false, false};
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind == FaultEvent::Kind::kServerPin) {
+      ASSERT_LT(e.server, 2);  // only the liars are pinned up
+      pinned[e.server] = true;
+      continue;
+    }
+    // Every other event is a lie window inside [start, start + duration).
+    ASSERT_LT(e.server, 2);
+    ASSERT_GE(e.at, 1.0);
+    ASSERT_LE(e.at + e.duration, 1.0 + 8.0 + 1e-9);
+    switch (e.kind) {
+      case FaultEvent::Kind::kLieWrongValue: saw_mode[0] = true; break;
+      case FaultEvent::Kind::kLieEquivocate: saw_mode[1] = true; break;
+      case FaultEvent::Kind::kLieStaleTs: saw_mode[2] = true; break;
+      case FaultEvent::Kind::kLieFabricateAck: saw_mode[3] = true; break;
+      default: FAIL() << "unexpected event kind";
+    }
+  }
+  EXPECT_TRUE(pinned[0] && pinned[1]);
+  for (int m = 0; m < 4; ++m) EXPECT_TRUE(saw_mode[m]) << "mode " << m;
+
+  // A liar index out of range is rejected like any other server field.
+  FaultPlan bad;
+  bad.lie(0.0, /*server=*/9, LieMode::kWrongValue, 1.0);
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(bad.validate(2, 4));
+  testing::internal::GetCapturedStderr();
+}
+
 // ---- self-healing clients ----
 
 RegisterExperimentConfig lossy_world() {

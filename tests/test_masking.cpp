@@ -1,0 +1,130 @@
+// Masking-quorum variants (core/masking.h): threshold minimality, the
+// defining >= 2b+1 pairwise-intersection property checked operationally on
+// quorums the probe strategies actually acquire, masking_b() plumbing, and
+// the closed-form availability against exhaustive world enumeration.
+
+#include "core/masking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/constructions.h"
+#include "probe/engine.h"
+#include "probe/measurements.h"
+#include "uqs/majority.h"
+
+namespace sqs {
+namespace {
+
+TEST(Masking, ThresholdIsMinimal) {
+  // masking_threshold(n, b) is the smallest q with 2q - n >= 2b + 1: any
+  // two q-subsets of [n] overlap in >= 2b+1 elements, and q-1 would not.
+  for (int n = 3; n <= 40; ++n)
+    for (int b = 0; 2 * b + 1 <= n; ++b) {
+      const int q = masking_threshold(n, b);
+      ASSERT_LE(q, n) << n << "," << b;
+      ASSERT_GE(2 * q - n, 2 * b + 1) << n << "," << b;
+      ASSERT_LT(2 * (q - 1) - n, 2 * b + 1) << n << "," << b;
+    }
+}
+
+TEST(Masking, BZeroDegeneratesToStrictMajority) {
+  // b = 0 is the plain strict-majority special case.
+  const MaskingThresholdFamily masking(11, 0);
+  const MajorityFamily majority(11);
+  EXPECT_EQ(masking.min_quorum_size(), majority.min_quorum_size());
+  for (double p : {0.1, 0.3})
+    EXPECT_NEAR(masking.availability(p), majority.availability(p), 1e-12);
+}
+
+TEST(Masking, FamiliesReportToleranceAndPlainFamiliesReportZero) {
+  EXPECT_EQ(MaskingThresholdFamily(12, 2).masking_b(), 2);
+  EXPECT_EQ(MaskingOptAFamily(12, 3, 1).masking_b(), 1);
+  EXPECT_EQ(MaskingCompositionFamily(7, 12, 2, 1).masking_b(), 1);
+  EXPECT_EQ(OptAFamily(12, 2).masking_b(), 0);
+  EXPECT_EQ(OptDFamily(12, 2).masking_b(), 0);
+  EXPECT_EQ(MajorityFamily(12).masking_b(), 0);
+}
+
+TEST(Masking, AvailabilityMatchesExhaustiveEnumeration) {
+  // The closed forms (binomial tails, the composition's inner DP) must
+  // equal the exact sum of world probabilities over all 2^n configurations.
+  std::vector<std::shared_ptr<QuorumFamily>> families;
+  families.push_back(std::make_shared<MaskingThresholdFamily>(10, 2));
+  families.push_back(std::make_shared<MaskingOptAFamily>(10, 4, 1));
+  families.push_back(std::make_shared<MaskingCompositionFamily>(5, 10, 2, 1));
+  for (const auto& f : families) {
+    const int n = f->universe_size();
+    for (double p : {0.05, 0.2, 0.4}) {
+      double exact = 0.0;
+      for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+        Configuration c(n, mask);
+        if (!f->accepts(c)) continue;
+        const int up = static_cast<int>(c.num_up());
+        exact += std::pow(1.0 - p, up) * std::pow(p, n - up);
+      }
+      EXPECT_NEAR(f->availability(p), exact, 1e-12) << f->name() << " p=" << p;
+    }
+  }
+}
+
+class MaskingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  int n() const { return std::get<0>(GetParam()); }
+  int alpha() const { return std::get<1>(GetParam()); }
+  int b() const { return std::get<2>(GetParam()); }
+
+  std::vector<std::shared_ptr<QuorumFamily>> families() const {
+    const int k = std::max(2 * b() + 1, n() / 2);
+    std::vector<std::shared_ptr<QuorumFamily>> fams;
+    fams.push_back(std::make_shared<MaskingThresholdFamily>(n(), b()));
+    fams.push_back(std::make_shared<MaskingOptAFamily>(n(), alpha(), b()));
+    fams.push_back(
+        std::make_shared<MaskingCompositionFamily>(k, n(), alpha(), b()));
+    return fams;
+  }
+};
+
+TEST_P(MaskingSweep, AcquiredQuorumsIntersectInAtLeast2bPlus1) {
+  // The property the Byzantine read protocol rests on: ANY two quorums the
+  // strategy can acquire — across independent iid worlds and independent
+  // probe randomness — share >= 2b+1 servers, so the >= b+1 correct
+  // replies in the overlap outvote the at most b liars.
+  for (const auto& f : families()) {
+    auto strategy = f->make_probe_strategy();
+    Rng rng(0xBEEF + static_cast<std::uint64_t>(n() * 100 + b()));
+    std::vector<Bitset> quorums;
+    for (std::uint64_t w = 0; w < 64; ++w) {
+      Bitset up(static_cast<std::size_t>(n()));
+      Rng wrng = rng.split(w);
+      for (int i = 0; i < n(); ++i)
+        if (!wrng.bernoulli(0.25)) up.set(static_cast<std::size_t>(i));
+      Configuration c(up);
+      ConfigurationOracle oracle(&c);
+      Rng srng = rng.split(1000 + w);
+      const ProbeRecord record = run_probe(*strategy, oracle, &srng);
+      ASSERT_EQ(record.acquired, f->accepts(c)) << f->name() << " world " << w;
+      if (record.acquired) quorums.push_back(record.quorum.positive());
+    }
+    ASSERT_GE(quorums.size(), 2u) << f->name();
+    for (std::size_t i = 0; i < quorums.size(); ++i)
+      for (std::size_t j = i + 1; j < quorums.size(); ++j)
+        ASSERT_GE(quorums[i].intersection_count(quorums[j]),
+                  static_cast<std::size_t>(2 * b() + 1))
+            << f->name() << " quorums " << i << "," << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaskingSweep,
+                         ::testing::Values(std::make_tuple(8, 2, 1),
+                                           std::make_tuple(10, 3, 1),
+                                           std::make_tuple(12, 4, 2),
+                                           std::make_tuple(13, 3, 2)));
+
+}  // namespace
+}  // namespace sqs

@@ -7,17 +7,51 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "core/constructions.h"
+#include "core/masking.h"
+#include "faults/fault_plan.h"
 #include "service/load_gen.h"
 #include "service/message.h"
 #include "service/replica.h"
 #include "service/runner.h"
+#include "uqs/majority.h"
 #include "util/rng.h"
 
 namespace sqs {
 namespace {
+
+// Recompute a record's checksum the way the codec does (FNV-1a with bytes
+// [4, 8) zeroed) — lets tests forge records that pass the integrity check
+// so the *semantic* rejections (kind range, reserved bytes, certificates)
+// are what's actually under test.
+std::uint32_t forge_checksum(const std::uint8_t* rec, std::size_t size) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint8_t byte = (i >= 4 && i < 8) ? 0 : rec[i];
+    h ^= byte;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void poke_u32(std::uint8_t* rec, std::size_t offset, std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i)
+    rec[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void fix_request_checksum(std::uint8_t* rec) {
+  poke_u32(rec, 4, forge_checksum(rec, kRequestWireSize));
+}
+
+// Re-signs the reply with the service key and refreshes the checksum, so a
+// tampered reply is internally consistent except for the field under test.
+void resign_reply(std::uint8_t* rec) {
+  poke_u32(rec, 52, hmac32(cert_key(kServicePrincipal), rec + 8, 44));
+  poke_u32(rec, 4, forge_checksum(rec, kReplyWireSize));
+}
 
 // --- wire format ------------------------------------------------------------
 
@@ -96,6 +130,106 @@ TEST(ServiceWire, BadMagicAndBadKindRejected) {
   rbuf[0] ^= 0xFF;
   Reply out;
   EXPECT_FALSE(decode_reply(rbuf, &out));
+}
+
+TEST(ServiceWire, ReplyRejectsOutOfRangeKind) {
+  // Regression: decode_reply used to accept any kind byte and hand back a
+  // Reply whose OpKind was neither kRead nor kWrite. A forged record that
+  // is otherwise fully consistent (valid cert, valid checksum) must fail
+  // on the range check alone.
+  Reply rep;
+  rep.seq = 9;
+  rep.ok = true;
+  rep.kind = OpKind::kRead;
+  std::uint8_t buf[kReplyWireSize];
+  encode_reply(rep, buf);
+  Reply out;
+  for (const std::uint8_t kind : {2, 3, 200, 255}) {
+    buf[48] = kind;
+    resign_reply(buf);
+    EXPECT_FALSE(decode_reply(buf, &out)) << "kind " << int(kind);
+  }
+  buf[48] = static_cast<std::uint8_t>(OpKind::kWrite);
+  resign_reply(buf);
+  EXPECT_TRUE(decode_reply(buf, &out));
+}
+
+TEST(ServiceWire, GarbageReservedBytesRejectedDespiteValidChecksum) {
+  // Reserved bytes are zeroed on encode AND enforced on decode: garbage
+  // there with a recomputed (matching) checksum must still fail, keeping
+  // the bytes available for future protocol versions.
+  Request req;
+  req.seq = 3;
+  req.kind = OpKind::kRead;
+  std::uint8_t rbuf[kRequestWireSize];
+  encode_request(req, rbuf);
+  for (const std::size_t off : {std::size_t{29}, std::size_t{31},
+                                std::size_t{44}, std::size_t{47}}) {
+    rbuf[off] = 0xAB;
+    fix_request_checksum(rbuf);
+    EXPECT_FALSE(decode_request(rbuf).valid) << "reserved byte " << off;
+    rbuf[off] = 0;
+  }
+  fix_request_checksum(rbuf);
+  EXPECT_TRUE(decode_request(rbuf).valid);
+
+  Reply rep;
+  rep.kind = OpKind::kRead;
+  std::uint8_t pbuf[kReplyWireSize];
+  encode_reply(rep, pbuf);
+  Reply out;
+  for (const std::size_t off : {std::size_t{50}, std::size_t{51}}) {
+    pbuf[off] = 0x5C;
+    resign_reply(pbuf);
+    EXPECT_FALSE(decode_reply(pbuf, &out)) << "reserved byte " << off;
+    pbuf[off] = 0;
+  }
+  resign_reply(pbuf);
+  EXPECT_TRUE(decode_reply(pbuf, &out));
+}
+
+TEST(ServiceWire, ReplyCertCatchesTamperingTheChecksumWouldAccept) {
+  // Flip a payload byte and *fix the checksum*: only the service
+  // certificate stands between the tampered record and acceptance.
+  Reply rep;
+  rep.value = 77;
+  rep.kind = OpKind::kRead;
+  std::uint8_t buf[kReplyWireSize];
+  encode_reply(rep, buf);
+  buf[24] ^= 0xFF;  // value field
+  poke_u32(buf, 4, forge_checksum(buf, kReplyWireSize));
+  Reply out;
+  EXPECT_FALSE(decode_reply(buf, &out));
+}
+
+TEST(ServiceWire, RequestCertBindsClientAndContents) {
+  Request req;
+  req.seq = 11;
+  req.client = 3;
+  req.kind = OpKind::kWrite;
+  req.value = 42;
+  const std::uint32_t cert = request_cert(req);
+  Request other = req;
+  other.client = 4;  // different principal, different key
+  EXPECT_NE(request_cert(other), cert);
+  other = req;
+  other.value = 43;  // different contents under the same key
+  EXPECT_NE(request_cert(other), cert);
+  // Round trip preserves the cert for the prologue to verify.
+  std::uint8_t buf[kRequestWireSize];
+  encode_request(req, buf);
+  const Request decoded = decode_request(buf);
+  ASSERT_TRUE(decoded.valid);
+  EXPECT_EQ(decoded.cert, cert);
+}
+
+TEST(ServiceWire, ReplicaCertBindsReplicaAndState) {
+  const Timestamp ts{5, 2};
+  const std::uint32_t cert = replica_cert(1, ts, 99);
+  EXPECT_NE(replica_cert(2, ts, 99), cert);        // different replica key
+  EXPECT_NE(replica_cert(1, ts, 100), cert);       // different value
+  EXPECT_NE(replica_cert(1, Timestamp{6, 2}, 99), cert);  // different ts
+  EXPECT_EQ(replica_cert(1, ts, 99), cert);        // deterministic
 }
 
 // --- flag parsing -----------------------------------------------------------
@@ -347,6 +481,105 @@ TEST(Service, PartitionPreservesEveryAckedWrite) {
   EXPECT_EQ(plain.lost_acked_writes, 0u);
   EXPECT_EQ(part.lost_acked_writes, 0u);
   EXPECT_GT(part.writes_ok, 0u);
+}
+
+TEST(Service, ForgedRequestCertRejectedInPrologue) {
+  // An impersonated request (valid checksum, wrong client certificate) is
+  // rejected by the parallel verify prologue before the solo stage: counted
+  // as a cert reject, answered not-ok, never a decode failure.
+  const OptDFamily family(12, 2);
+  std::vector<std::uint8_t> requests = generate_load(small_load());
+  std::uint8_t* rec = requests.data() + 7 * kRequestWireSize;
+  rec[40] ^= 0xFF;  // cert field
+  fix_request_checksum(rec);
+  ServiceRunner runner(family, service_config());
+  std::vector<std::uint8_t> replies;
+  const ServiceResult r = runner.serve(requests, &replies);
+  EXPECT_EQ(r.decode_failures, 0u);
+  EXPECT_EQ(r.cert_rejects, 1u);
+  Reply rep;
+  ASSERT_TRUE(decode_reply(replies.data() + 7 * kReplyWireSize, &rep));
+  EXPECT_EQ(rep.seq, 7u);
+  EXPECT_FALSE(rep.ok);
+}
+
+// --- Byzantine replicas on the served path ----------------------------------
+
+ServiceConfig byzantine_config(int n, int liars, int lie_tolerance) {
+  ServiceConfig config = service_config();
+  config.plan = make_byzantine_plan(n, liars, 0.5, 3.0);
+  config.lie_tolerance = lie_tolerance;
+  return config;
+}
+
+TEST(ServiceByzantine, CertVerificationStripsLiesOffTheQuorumPath) {
+  // Liars attach the truthful certificate to fabricated contents
+  // (signatures are unforgeable in-model), so the verifying runner drops
+  // every corrupted reply: cert rejects accumulate, fabrications never
+  // reach a client.
+  const MajorityFamily family(9);
+  ServiceRunner runner(family, byzantine_config(9, 1, 0));
+  const ServiceResult r = runner.serve(generate_load(small_load()));
+  EXPECT_GT(r.cert_rejects, 0u);
+  EXPECT_EQ(r.fabricated_reads, 0u);
+  EXPECT_GT(r.reads_ok, 0u);
+}
+
+TEST(ServiceByzantine, UnverifiedUnvotedServiceReturnsFabrications) {
+  // The designed-to-fail control: no cert verification and no masking vote
+  // lets the boosted fabricated timestamps win the max fold.
+  const MajorityFamily family(9);
+  ServiceConfig config = byzantine_config(9, 1, 0);
+  config.verify_replica_certs = false;
+  ServiceRunner runner(family, config);
+  const ServiceResult r = runner.serve(generate_load(small_load()));
+  EXPECT_EQ(r.cert_rejects, 0u);
+  EXPECT_GT(r.fabricated_reads, 0u);
+}
+
+TEST(ServiceByzantine, MaskingVoteAloneStopsFabrications) {
+  // Even with certificates off, a masking family's b+1 vote cannot be
+  // assembled by b liars (fabricated values are distinct per liar): zero
+  // fabricated reads and no lost acked write.
+  const MaskingThresholdFamily family(9, 1);
+  ServiceConfig config = byzantine_config(9, 1, family.masking_b());
+  config.verify_replica_certs = false;
+  ServiceRunner runner(family, config);
+  const ServiceResult r = runner.serve(generate_load(small_load()));
+  EXPECT_EQ(r.fabricated_reads, 0u);
+  EXPECT_EQ(r.lost_acked_writes, 0u);
+  EXPECT_GT(r.reads_ok, 0u);
+}
+
+TEST(ServiceByzantine, BitIdenticalAcrossThreadCounts) {
+  // The byzantine serve path (lie application, cert rejection, the masking
+  // vote) lives entirely in the solo stage: replies stay byte-equal at any
+  // thread count.
+  const MaskingThresholdFamily family(9, 1);
+  const std::vector<std::uint8_t> requests = generate_load(small_load());
+  ServiceResult first;
+  std::vector<std::uint8_t> first_replies;
+  bool have_first = false;
+  for (const int threads : {1, 2, 8}) {
+    ServiceConfig config = byzantine_config(9, 1, family.masking_b());
+    config.threads = threads;
+    ServiceRunner runner(family, config);
+    std::vector<std::uint8_t> replies;
+    const ServiceResult r = runner.serve(requests, &replies);
+    if (!have_first) {
+      first = r;
+      first_replies = std::move(replies);
+      have_first = true;
+      continue;
+    }
+    EXPECT_EQ(replies, first_replies) << "threads=" << threads;
+    EXPECT_EQ(r.reply_fingerprint, first.reply_fingerprint);
+    EXPECT_EQ(r.cert_rejects, first.cert_rejects);
+    EXPECT_EQ(r.fabricated_reads, first.fabricated_reads);
+    EXPECT_EQ(r.reads_ok, first.reads_ok);
+    EXPECT_EQ(r.writes_ok, first.writes_ok);
+    EXPECT_EQ(r.latency_us.counts, first.latency_us.counts);
+  }
 }
 
 TEST(Service, LifetimeTotalsAccumulateAcrossServeCalls) {

@@ -76,5 +76,19 @@ TEST(Store, DeterministicBySeed) {
   EXPECT_DOUBLE_EQ(r1.max_server_load(), r2.max_server_load());
 }
 
+TEST(Store, LoadAccessorsOnEmptyAndSingleEntryVectors) {
+  // Regression: min_server_load() used to return its 1.0 fold seed on an
+  // empty fleet, reading as "some server saw every probe". Both accessors
+  // must agree on 0.0 when there is nothing to fold over.
+  StoreExperimentResult empty;
+  EXPECT_DOUBLE_EQ(empty.min_server_load(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_server_load(), 0.0);
+
+  StoreExperimentResult one;
+  one.server_probe_fraction = {0.4};
+  EXPECT_DOUBLE_EQ(one.min_server_load(), 0.4);
+  EXPECT_DOUBLE_EQ(one.max_server_load(), 0.4);
+}
+
 }  // namespace
 }  // namespace sqs

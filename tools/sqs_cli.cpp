@@ -18,7 +18,8 @@
 // three-stage runner (parallel decode -> ordered solo -> parallel encode).
 // `--rate` / `--duration` are validated (malformed values are rejected on
 // stderr, never silently defaulted); `--scenario` overlays a fault timeline
-// (none|partition|churn|gray|lossy). Exit code 1 if an acked write was lost.
+// (none|partition|churn|gray|lossy|byzantine). Exit code 1 if an acked write
+// was lost or a read returned a never-written value (fabricated read).
 //
 // `chaos` sweeps fault-injection scenarios (src/faults) through the
 // register-experiment harness and checks the paper's invariants per
@@ -40,7 +41,9 @@
 // tree (--depth), pqs (--l as multiplier), plane (--q, prime), witness (--w),
 // comp:<inner> (composition of the
 // inner family over k servers with OPT_a over --n; e.g. comp:majority
-// --k 9 --n 50 --alpha 2).
+// --k 9 --n 50 --alpha 2), and the masking variants masking-majority /
+// masking-opta / masking-comp (--b liars tolerated, default 1; any two
+// quorums intersect in >= 2b+1 servers so reads can outvote the liars).
 //
 // Every Monte Carlo subcommand runs on the shared parallel trial runtime.
 // `--threads N` (or the SQS_THREADS environment variable) picks the thread
@@ -71,6 +74,7 @@
 
 #include "core/composition.h"
 #include "core/constructions.h"
+#include "core/masking.h"
 #include "analysis/profile.h"
 #include "faults/chaos.h"
 #include "core/explicit_sqs.h"
@@ -165,6 +169,15 @@ std::shared_ptr<QuorumFamily> make_family(const std::string& spec, const Args& a
   if (spec == "plane") return std::make_shared<ProjectivePlaneFamily>(args.geti("q", 5));
   if (spec == "witness")
     return std::make_shared<WitnessFamily>(n, args.geti("w", 8), alpha);
+  // Masking variants (--b liars tolerated, default 1): any two quorums
+  // intersect in >= 2b+1 servers, so b+1 correct replies outvote the liars.
+  if (spec == "masking-majority")
+    return std::make_shared<MaskingThresholdFamily>(n, args.geti("b", 1));
+  if (spec == "masking-opta")
+    return std::make_shared<MaskingOptAFamily>(n, alpha, args.geti("b", 1));
+  if (spec == "masking-comp")
+    return std::make_shared<MaskingCompositionFamily>(args.geti("k", 9), n,
+                                                      alpha, args.geti("b", 1));
   std::fprintf(stderr, "unknown family '%s'\n", spec.c_str());
   std::exit(2);
 }
@@ -501,12 +514,20 @@ int cmd_chaos(const Args& args) {
   auto family = make_family(args.gets("family", "optd"), args);
   std::vector<ChaosScenario> scenarios = builtin_chaos_scenarios(*family);
 
+  const std::string pick = args.gets("scenario", "all");
+
+  // Plain families carry no byzantine cell in the builtin grid (no masking
+  // vote to survive the liars); naming it explicitly builds one anyway with
+  // --b liars (default 1) — the designed-to-fail run that demonstrates the
+  // fabricated-write invariant tripping and dumping a black box.
+  if (family->masking_b() == 0 &&
+      (pick == "byzantine" || args.flags.count("list")))
+    scenarios.push_back(byzantine_chaos_scenario(*family, args.geti("b", 1)));
+
   // CI smoke hook: an impossible availability floor trips every scenario,
   // proving the violation path (exit 1 + black-box dump) end to end.
   if (args.flags.count("force-violation"))
     for (ChaosScenario& s : scenarios) s.invariants.availability_floor = 1.01;
-
-  const std::string pick = args.gets("scenario", "all");
   if (args.flags.count("list")) {
     for (const ChaosScenario& s : scenarios)
       std::printf("%-16s %s\n", s.name.c_str(), s.description.c_str());
@@ -538,7 +559,7 @@ int cmd_chaos(const Args& args) {
                 args.gets("blackbox", "chaos_blackbox.jsonl"));
 
   Table table({"scenario", "avail", "floor", "stale", "envelope", "retries",
-               "deadline", "ts-regr", "lost", "verdict"});
+               "deadline", "ts-regr", "lost", "fabricated", "verdict"});
   bool all_passed = true;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ChaosCellResult& cell = results[i];
@@ -552,6 +573,7 @@ int cmd_chaos(const Args& args) {
                    std::to_string(cell.deadline_failures),
                    std::to_string(cell.server_ts_regressions),
                    std::to_string(cell.lost_writes),
+                   std::to_string(cell.fabricated_reads),
                    cell.passed() ? "pass" : "FAIL"});
   }
   table.print("chaos invariants (" + std::to_string(replicates) +
@@ -609,12 +631,22 @@ int cmd_serve(const Args& args) {
     config.plan = make_gray_plan(n, std::max(1, n / 4), 8.0, 0.2 * d, 0.6 * d);
   } else if (scenario == "lossy") {
     config.plan = make_lossy_plan(0.1 * d, d, 0.25 * d, 0.1 * d, 0.3, 4.0);
+  } else if (scenario == "byzantine") {
+    // --b liars (default: the family's tolerance, else 1) cycle through the
+    // lie modes for 80% of the run. A masking family survives with zero
+    // fabricated reads (vote + replica certs); a plain family demonstrates
+    // the invariant tripping. --no-verify-certs drops the signature check.
+    const int b = args.geti("b", std::max(1, family->masking_b()));
+    config.plan = make_byzantine_plan(n, b, 0.1 * d, 0.8 * d);
+    config.lie_tolerance = family->masking_b();
   } else if (scenario != "none") {
-    std::fprintf(stderr,
-                 "unknown scenario '%s' (none|partition|churn|gray|lossy)\n",
-                 scenario.c_str());
+    std::fprintf(
+        stderr,
+        "unknown scenario '%s' (none|partition|churn|gray|lossy|byzantine)\n",
+        scenario.c_str());
     return 2;
   }
+  if (args.flags.count("no-verify-certs")) config.verify_replica_certs = false;
 
   if (!load.validate() || !config.validate(n)) return 2;
 
@@ -648,6 +680,8 @@ int cmd_serve(const Args& args) {
                      std::to_string(r.net_dropped)});
   table.add_row({"replica drops", std::to_string(r.replica_dropped)});
   table.add_row({"ts regressions", std::to_string(r.ts_regressions)});
+  table.add_row({"cert rejects", std::to_string(r.cert_rejects)});
+  table.add_row({"fabricated reads", std::to_string(r.fabricated_reads)});
   table.add_row({"lost acked writes", std::to_string(r.lost_acked_writes)});
   table.add_row({"wall ms", Table::fmt(r.wall_ms, 1)});
   table.add_row({"wall ops/s", Table::fmt(r.wall_ops_per_sec(), 0)});
@@ -661,12 +695,14 @@ int cmd_serve(const Args& args) {
     if (!runner.timeline().write_jsonl(targs.timeline_path)) return 1;
     std::printf("[obs] timeline JSONL -> %s\n", targs.timeline_path.c_str());
   }
-  if (r.lost_acked_writes > 0) {
+  if (r.lost_acked_writes > 0 || r.fabricated_reads > 0) {
     const std::string blackbox = args.gets("blackbox", "serve_blackbox.jsonl");
-    if (obs::write_flight_recorder(blackbox, "serve: lost acked write"))
+    const char* why = r.lost_acked_writes > 0 ? "serve: lost acked write"
+                                              : "serve: fabricated read";
+    if (obs::write_flight_recorder(blackbox, why))
       std::printf("[serve] flight recorder dump -> %s\n", blackbox.c_str());
   }
-  return r.lost_acked_writes > 0 ? 1 : 0;
+  return r.lost_acked_writes > 0 || r.fabricated_reads > 0 ? 1 : 0;
 }
 
 int usage() {
@@ -682,10 +718,14 @@ int usage() {
                "trial)\n"
                "  chaos: --scenario NAME|all "
                "--replicates R --family F --n N --alpha A (--list)\n"
-               "         --blackbox FILE --force-violation\n  serve: "
+               "         --blackbox FILE --force-violation (byzantine: --b "
+               "liars on plain families)\n  serve: "
                "--rate R --duration S --clients C --scenario "
-               "none|partition|churn|gray|lossy\n         --timeline FILE "
-               "--timeline-window-ms N --blackbox FILE\n  see the "
+               "none|partition|churn|gray|lossy|byzantine\n         "
+               "--timeline FILE "
+               "--timeline-window-ms N --blackbox FILE --no-verify-certs\n"
+               "  families incl. masking-majority|masking-opta|masking-comp "
+               "(--b liars, default 1)\n  see the "
                "header of tools/sqs_cli.cpp\n");
   return 2;
 }
