@@ -56,6 +56,11 @@ std::vector<std::uint64_t> fingerprint(
     fp.push_back(static_cast<std::uint64_t>(c.read_ts_regressions));
     fp.push_back(static_cast<std::uint64_t>(c.lost_writes));
     fp.push_back(static_cast<std::uint64_t>(c.fabricated_reads));
+    fp.push_back(static_cast<std::uint64_t>(c.epoch_transitions));
+    fp.push_back(static_cast<std::uint64_t>(c.view_refreshes));
+    fp.push_back(static_cast<std::uint64_t>(c.epoch_rejects));
+    fp.push_back(static_cast<std::uint64_t>(c.retired_reads));
+    fp.push_back(static_cast<std::uint64_t>(c.stale_views_at_end));
     fp.push_back(c.violations.size());
     for (const RegisterExperimentResult& r : c.replicates)
       fp.push_back(r.events_executed);
@@ -72,6 +77,17 @@ void chaos_grid_json() {
   const MaskingThresholdFamily masking(12, 1);
   const std::vector<ChaosScenario> byz_scenarios = {
       byzantine_chaos_scenario(masking, 1)};
+  // Reconfiguration cell: rolling one-server-per-wave replacement over an
+  // even-n majority (spec-built so the churn timeline rides as data); the
+  // epoch machinery must hold the churn invariants — no retired read, no
+  // stale view at end, cross-epoch intersection — at full determinism.
+  FamilySpec churn_spec;
+  churn_spec.kind = "majority";
+  churn_spec.n = 12;
+  churn_spec.alpha = 2;
+  const auto churn_family = churn_spec.make();
+  const std::vector<ChaosScenario> churn_scenarios = {
+      churn_replace_chaos_scenario(churn_spec)};
 
   struct Run {
     int threads;
@@ -93,6 +109,9 @@ void chaos_grid_json() {
     std::vector<ChaosCellResult> byz_cells =
         run_chaos(masking, byz_scenarios, kReplicates, opts);
     for (ChaosCellResult& c : byz_cells) run.cells.push_back(std::move(c));
+    std::vector<ChaosCellResult> churn_cells =
+        run_chaos(*churn_family, churn_scenarios, kReplicates, opts);
+    for (ChaosCellResult& c : churn_cells) run.cells.push_back(std::move(c));
     const auto stop = std::chrono::steady_clock::now();
     run.wall_ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
@@ -128,8 +147,10 @@ void chaos_grid_json() {
       .kv("name", "builtin_chaos_grid_plus_byzantine")
       .kv("family", family.name())
       .kv("byzantine_family", masking.name())
+      .kv("churn_family", churn_spec.label())
       .kv("scenarios",
-          static_cast<std::uint64_t>(scenarios.size() + byz_scenarios.size()))
+          static_cast<std::uint64_t>(scenarios.size() + byz_scenarios.size() +
+                                     churn_scenarios.size()))
       .kv("replicates", kReplicates)
       .end_object();
   json.key("runs").begin_array();
@@ -155,6 +176,9 @@ void chaos_grid_json() {
             static_cast<std::uint64_t>(c.read_ts_regressions))
         .kv("lost_writes", static_cast<std::uint64_t>(c.lost_writes))
         .kv("fabricated_reads", static_cast<std::uint64_t>(c.fabricated_reads))
+        .kv("epoch_transitions", static_cast<std::uint64_t>(c.epoch_transitions))
+        .kv("view_refreshes", static_cast<std::uint64_t>(c.view_refreshes))
+        .kv("retired_reads", static_cast<std::uint64_t>(c.retired_reads))
         .kv("passed", c.passed())
         .end_object();
   }
@@ -171,8 +195,8 @@ void chaos_grid_json() {
       "\n[runtime] %zu-scenario chaos grid (x%d replicates): %.1f ms @1 "
       "thread, %.1f ms @8 threads (speedup %.2fx, identical=%s, "
       "invariants=%s) -> BENCH_faults.json\n",
-      scenarios.size() + byz_scenarios.size(), kReplicates, runs[0].wall_ms,
-      runs[1].wall_ms,
+      scenarios.size() + byz_scenarios.size() + churn_scenarios.size(),
+      kReplicates, runs[0].wall_ms, runs[1].wall_ms,
       runs[0].wall_ms / runs[1].wall_ms, deterministic ? "yes" : "NO",
       all_passed ? "pass" : "FAIL");
 }

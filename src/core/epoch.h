@@ -1,0 +1,94 @@
+// Epoch-based reconfiguration: the server universe and quorum family can
+// change mid-run.
+//
+// A MembershipView maps a family's index space (0..n_e-1) onto *logical*
+// server ids that are stable across epochs; an EpochedFamily is the full
+// deterministic schedule of (time, view, family) transitions. Clients hold a
+// view of some epoch and may fall behind — the safety question is whether a
+// quorum acquired under an old epoch's family still intersects the current
+// epoch's write quorums in logical-id space. check_cross_epoch_intersection
+// answers it exactly on small strict universes (minimal-quorum enumeration)
+// and by Monte Carlo elsewhere (fixed seed, sequential: bit-identical
+// regardless of thread count).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/quorum_family.h"
+
+namespace sqs {
+
+// members[i] = logical server id backing family index i in this epoch.
+struct MembershipView {
+  int epoch = 0;
+  std::vector<int> members;
+
+  int universe_size() const { return static_cast<int>(members.size()); }
+  bool contains(int logical) const;
+  // Family index of a logical id, or -1 when it is not a member.
+  int index_of(int logical) const;
+};
+
+struct EpochEntry {
+  double at = 0.0;  // transition time; epoch 0 starts at 0.0
+  MembershipView view;
+  std::shared_ptr<const QuorumFamily> family;  // universe == view size
+};
+
+// The deterministic reconfiguration schedule for one run. Immutable once
+// built; shared by config value across sweep replicates.
+struct EpochedFamily {
+  std::vector<EpochEntry> epochs;
+  // Total number of distinct logical ids ever used; logical ids are dense
+  // in [0, num_logical).
+  int num_logical = 0;
+
+  int num_epochs() const { return static_cast<int>(epochs.size()); }
+  int final_epoch() const { return num_epochs() - 1; }
+  const EpochEntry& entry(int e) const { return epochs[static_cast<std::size_t>(e)]; }
+  // The epoch in force at time t (last transition with at <= t).
+  int epoch_at(double t) const;
+  bool is_member(int e, int logical) const { return entry(e).view.contains(logical); }
+
+  // Structural sanity: epoch 0 at t=0, strictly increasing times, family
+  // sizes matching views, logical ids in range and distinct per view.
+  // Complains on stderr and returns false when violated.
+  bool validate() const;
+};
+
+// Mutable cursor into a schedule, advanced only by scheduled transition
+// events; stale clients compare their own view epoch against `current`.
+struct EpochState {
+  const EpochedFamily* schedule = nullptr;
+  int current = 0;
+};
+
+struct CrossEpochCheck {
+  // True when the exact minimal-quorum enumeration ran (both families
+  // strict and small enough); then `guaranteed` is authoritative.
+  bool exact = false;
+  bool guaranteed = false;  // every cross-epoch quorum pair intersects
+  std::uint64_t pairs_checked = 0;
+  // Monte Carlo estimate of Pr[both sides acquire quorums with disjoint
+  // logical positive parts]; 0 when the exact check certified intersection.
+  double mc_nonintersection = 0.0;
+  std::uint64_t mc_trials = 0;
+  std::string detail;  // human-readable summary (counterexample or stats)
+};
+
+// Checks the cross-epoch intersection invariant between two adjacent epochs:
+// a quorum of `older` (a stale client's view) against the quorums of
+// `newer`, intersected in logical-id space. p is the per-server miss
+// probability used by the MC fallback.
+CrossEpochCheck check_cross_epoch_intersection(const EpochEntry& older,
+                                               const EpochEntry& newer,
+                                               int num_logical,
+                                               double p = 0.05,
+                                               std::uint64_t mc_trials = 20000,
+                                               std::uint64_t seed = 0x5105e0c4ull);
+
+}  // namespace sqs

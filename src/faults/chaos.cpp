@@ -66,8 +66,8 @@ ChaosScenario byzantine_chaos_scenario(const QuorumFamily& family, int b) {
   // every lie (zero fabricated reads); a plain family (masking_b() == 0)
   // folds max-timestamp and adopts the liars' boosted fabrications.
   s.config.client.lie_tolerance = family.masking_b();
-  s.config.fault_hook = fault_hook(make_byzantine_plan(
-      n, b, /*start=*/0.1 * kDuration, /*duration=*/0.8 * kDuration));
+  s.plan = make_byzantine_plan(n, b, /*start=*/0.1 * kDuration,
+                               /*duration=*/0.8 * kDuration);
   // Floor: liars answer probes but their replies carry no vote, so they are
   // discounted from both the universe and the accept threshold. Plain
   // families (no vote) clear this trivially; masking families must keep
@@ -127,8 +127,7 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
     // (alpha() == 0, e.g. the masking variants) need a full minimal quorum
     // to stay live, so crashing past that would test nothing survivable.
     const int keep = alpha > 0 ? alpha : family.min_quorum_size();
-    s.config.fault_hook = fault_hook(
-        make_mass_crash_plan(n, keep, 0.25 * kDuration, 0.5 * kDuration));
+    s.plan = make_mass_crash_plan(n, keep, 0.25 * kDuration, 0.5 * kDuration);
     s.invariants.availability_floor =
         chaos_availability_floor(family, background_miss(s.config), 0.10);
     // An adversarial mass crash is OUTSIDE the iid mismatch model: the
@@ -148,9 +147,9 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
     s.description = "rolling crash waves, 2 servers per 20 s";
     s.config = base;
     s.config.seed = 0xFA0703;
-    s.config.fault_hook = fault_hook(make_churn_plan(
-        n, /*start=*/20.0, /*period=*/20.0, /*group_size=*/2,
-        /*outage=*/8.0, /*until=*/kDuration - 20.0));
+    s.plan = make_churn_plan(n, /*start=*/20.0, /*period=*/20.0,
+                             /*group_size=*/2, /*outage=*/8.0,
+                             /*until=*/kDuration - 20.0);
     // Crashed fraction: group * outage / (period * n) of server-time.
     const double crashed = 2.0 * 8.0 / (20.0 * n);
     s.invariants.availability_floor =
@@ -170,9 +169,9 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
     s.config.seed = 0xFA0704;
     s.config.client.adaptive_timeout = true;
     s.config.client.max_probe_timeout = 0.3;
-    s.config.fault_hook = fault_hook(make_gray_plan(
-        n, n / 2, /*factor=*/300.0, /*start=*/0.125 * kDuration,
-        /*duration=*/0.75 * kDuration));
+    s.plan = make_gray_plan(n, n / 2, /*factor=*/300.0,
+                            /*start=*/0.125 * kDuration,
+                            /*duration=*/0.75 * kDuration);
     // Gray servers time out like down servers while the window is active.
     const double gray_miss = 0.5 * 0.75;
     s.invariants.availability_floor = chaos_availability_floor(
@@ -195,10 +194,9 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
     s.config.seed = 0xFA0705;
     s.config.client.use_partition_filter = true;
     s.config.client.max_attempts = 4;
-    s.config.fault_hook = fault_hook(make_partition_storm_plan(
+    s.plan = make_partition_storm_plan(
         base.num_clients, /*start=*/30.0, /*until=*/kDuration - 30.0,
-        /*period=*/15.0, /*outage=*/4.0, /*fraction=*/0.75,
-        Rng(0xFA0705f)));
+        /*period=*/15.0, /*outage=*/4.0, /*fraction=*/0.75, Rng(0xFA0705f));
     s.invariants.availability_floor =
         chaos_availability_floor(family, background_miss(s.config), 0.12);
     s.invariants.stale_envelope =
@@ -214,9 +212,9 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
     s.description = "periodic 25% loss and 6x latency bursts";
     s.config = base;
     s.config.seed = 0xFA0706;
-    s.config.fault_hook = fault_hook(make_lossy_plan(
+    s.plan = make_lossy_plan(
         /*start=*/20.0, /*until=*/kDuration - 20.0, /*period=*/20.0,
-        /*burst_len=*/6.0, /*drop_prob=*/0.25, /*latency_factor=*/6.0));
+        /*burst_len=*/6.0, /*drop_prob=*/0.25, /*latency_factor=*/6.0);
     // Bursts cover ~30% of the run at ~0.44 per-probe miss.
     const double burst_miss = 0.3 * 0.44;
     s.invariants.availability_floor = chaos_availability_floor(
@@ -258,19 +256,151 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family) {
   return scenarios;
 }
 
+namespace {
+
+// Shared churn-invariant budget: strict families must come out of the exact
+// cross-epoch enumeration with a guarantee; probabilistic families are held
+// to a small Monte Carlo nonintersection estimate.
+void set_churn_invariants(ChaosScenario& s, const QuorumFamily& family) {
+  const double miss = background_miss(s.config);
+  s.invariants.availability_floor =
+      chaos_availability_floor(family, miss, 0.12);
+  s.invariants.stale_envelope =
+      chaos_stale_envelope(family.alpha(), miss + 0.02, 25.0, 1e-2);
+  s.invariants.require_view_convergence = true;
+  s.invariants.check_cross_epoch = true;
+  s.invariants.max_cross_epoch_nonintersection =
+      family.is_strict() ? 0.0 : 0.05;
+}
+
+}  // namespace
+
+ChaosScenario churn_replace_chaos_scenario(const FamilySpec& spec) {
+  const double kDuration = 400.0;
+  ChaosScenario s;
+  s.name = "churn_replace";
+  s.description = "rolling one-server replacement, 3 waves 80 s apart";
+  s.family = spec;
+  s.config = base_chaos_config(kDuration);
+  s.config.seed = 0xFA0709;
+  // One server per wave: adjacent epochs share n-1 members, which keeps any
+  // two majorities (and every strict construction checked so far)
+  // intersecting across the boundary. Replacing several at once is the
+  // configuration the cross-epoch checker exists to reject.
+  s.churn = make_replace_churn(/*start=*/0.2 * kDuration,
+                               /*period=*/0.2 * kDuration, /*waves=*/3);
+  const std::shared_ptr<const QuorumFamily> family = spec.make();
+  if (family != nullptr) set_churn_invariants(s, *family);
+  return s;
+}
+
+ChaosScenario churn_resize_chaos_scenario(const FamilySpec& spec) {
+  const double kDuration = 400.0;
+  ChaosScenario s;
+  s.name = "churn_resize";
+  s.description = "grow the membership by two servers, then shrink back";
+  s.family = spec;
+  s.config = base_chaos_config(kDuration);
+  s.config.seed = 0xFA070A;
+  s.churn = make_resize_churn(/*grow_at=*/0.25 * kDuration, spec.n + 2,
+                              /*shrink_at=*/0.65 * kDuration, spec.n);
+  const std::shared_ptr<const QuorumFamily> family = spec.make();
+  if (family != nullptr) set_churn_invariants(s, *family);
+  return s;
+}
+
+ChaosScenario stale_view_chaos_scenario(const FamilySpec& spec) {
+  const double kDuration = 400.0;
+  ChaosScenario s;
+  s.name = "stale_view_forever";
+  s.description =
+      "clients never refresh and retired servers keep serving (detector check)";
+  s.family = spec;
+  s.config = base_chaos_config(kDuration);
+  s.config.seed = 0xFA070B;
+  // The two bugs this scenario plants: views are never refreshed, and the
+  // fence on retired servers is disabled — so stale clients silently read
+  // from (and strand acked writes on) servers the current epoch retired.
+  s.config.client.refresh_views = false;
+  s.config.server.serve_while_retired = true;
+  s.churn = make_replace_churn(/*start=*/0.2 * kDuration,
+                               /*period=*/0.2 * kDuration, /*waves=*/3);
+  // Only the reconfiguration invariants are meant to trip, and the first
+  // violation (the black box's reason) must be the retired read.
+  s.invariants.availability_floor = 0.0;
+  s.invariants.stale_envelope = 1.0;
+  s.invariants.allow_lost_writes = true;
+  s.invariants.require_view_convergence = true;
+  return s;
+}
+
+std::vector<ChaosScenario> builtin_chaos_scenarios(const FamilySpec& spec) {
+  const std::shared_ptr<const QuorumFamily> family = spec.make();
+  if (family == nullptr) return {};  // complaint already on stderr
+  std::vector<ChaosScenario> scenarios = builtin_chaos_scenarios(*family);
+  for (ChaosScenario& s : scenarios) s.family = spec;
+  // Membership churn needs a construction that re-instantiates at a new
+  // universe size; grids/trees/planes keep their fixed-size scenario set.
+  if (spec.resizable()) {
+    scenarios.push_back(churn_replace_chaos_scenario(spec));
+    scenarios.push_back(churn_resize_chaos_scenario(spec));
+  }
+  return scenarios;
+}
+
 std::vector<ChaosCellResult> run_chaos(
     const QuorumFamily& family, const std::vector<ChaosScenario>& scenarios,
     int replicates, const TrialOptions& opts,
     const std::string& blackbox_path) {
+  // Expand each scenario's data into a runnable configuration: build its
+  // family from the spec (falling back to `family` for empty specs),
+  // compose the fault plan with any programmatic hook, and expand the
+  // churn plan into the epoch schedule every replicate shares.
+  struct PreparedScenario {
+    std::shared_ptr<const QuorumFamily> spec_family;  // null = caller's family
+    const QuorumFamily* run_family = nullptr;
+    RegisterExperimentConfig config;
+    bool churn_failed = false;
+  };
+  std::vector<PreparedScenario> prepared(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ChaosScenario& s = scenarios[i];
+    PreparedScenario& p = prepared[i];
+    p.config = s.config;
+    if (!s.family.empty()) p.spec_family = s.family.make();
+    p.run_family = p.spec_family != nullptr ? p.spec_family.get() : &family;
+    if (!s.plan.events.empty()) {
+      // The data plan runs first; a hook a caller installed programmatically
+      // still fires (both only schedule events at time 0).
+      const auto prev = p.config.fault_hook;
+      const FaultPlan plan = s.plan;
+      p.config.fault_hook = [plan, prev](Simulator& sim, Network& net,
+                                         std::vector<SimServer>& servers) {
+        install_fault_plan(plan, &sim, &net, &servers);
+        if (prev) prev(sim, net, servers);
+      };
+    }
+    if (!s.churn.empty()) {
+      p.config.epochs = build_epoch_schedule(s.churn, family_factory(s.family),
+                                             p.run_family->universe_size());
+      if (p.config.epochs == nullptr)
+        p.churn_failed = true;  // reported as a violation below
+      else
+        p.run_family = p.config.epochs->entry(0).family.get();
+    }
+  }
+
   // One replicate per chunk, so replicate r of scenario s draws
   // Rng(s.config.seed).split(r).next_u64() as its experiment seed — the
   // exact seeding of run_register_experiment_replicated — and the whole
   // grid flattens into one pool submission.
   std::vector<SweepCell> cells;
   cells.reserve(scenarios.size());
-  for (const ChaosScenario& s : scenarios)
-    cells.push_back({static_cast<std::uint64_t>(replicates),
-                     Rng(s.config.seed)});
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    cells.push_back(
+        {prepared[i].churn_failed ? 0u
+                                  : static_cast<std::uint64_t>(replicates),
+         Rng(scenarios[i].config.seed)});
   TrialOptions per_replicate = opts;
   per_replicate.chunk_size = 1;
 
@@ -284,9 +414,10 @@ std::vector<ChaosCellResult> run_chaos(
           // dump totally ordered.
           obs::FlightRunScope run_scope(static_cast<std::uint32_t>(
               cell * static_cast<std::size_t>(replicates) + t));
-          RegisterExperimentConfig replicate_config = scenarios[cell].config;
+          RegisterExperimentConfig replicate_config = prepared[cell].config;
           replicate_config.seed = rng.next_u64();
-          acc.push_back(run_register_experiment(family, replicate_config));
+          acc.push_back(run_register_experiment(*prepared[cell].run_family,
+                                                replicate_config));
         }
       },
       [](std::vector<RegisterExperimentResult>& total,
@@ -315,6 +446,11 @@ std::vector<ChaosCellResult> run_chaos(
       cell.read_ts_regressions += r.read_ts_regressions;
       cell.lost_writes += r.lost_writes;
       cell.fabricated_reads += r.fabricated_reads;
+      cell.epoch_transitions += r.epoch_transitions;
+      cell.view_refreshes += r.view_refreshes;
+      cell.epoch_rejects += r.epoch_rejects;
+      cell.retired_reads += r.retired_reads;
+      cell.stale_views_at_end += r.stale_views_at_end;
     }
     cell.availability =
         cell.ops_attempted > 0
@@ -375,6 +511,41 @@ std::vector<ChaosCellResult> run_chaos(
                     "%ld reads returned a never-written (ts, value) binding",
                     cell.fabricated_reads);
       cell.violations.push_back({"fabricated-write", buf});
+    }
+    // No read from a retired server — strict and unconditional like the
+    // fabricated-write check: the epoch fence makes it impossible unless
+    // the serve_while_retired bug switch re-opened the hole.
+    if (cell.retired_reads > 0) {
+      std::snprintf(buf, sizeof buf,
+                    "%ld reads adopted state served by a retired server",
+                    cell.retired_reads);
+      cell.violations.push_back({"retired-read", buf});
+    }
+    if (prepared[i].churn_failed)
+      cell.violations.push_back(
+          {"churn-plan",
+           "churn plan failed to expand into an epoch schedule"});
+    // Cross-epoch intersection: a stale client's quorum against the next
+    // epoch's write quorums, per adjacent pair of the expanded schedule.
+    if (inv.check_cross_epoch && prepared[i].config.epochs != nullptr) {
+      const EpochedFamily& sched = *prepared[i].config.epochs;
+      for (int ei = 1; ei < sched.num_epochs(); ++ei) {
+        const CrossEpochCheck c = check_cross_epoch_intersection(
+            sched.entry(ei - 1), sched.entry(ei), sched.num_logical);
+        const double observed =
+            c.exact ? (c.guaranteed ? 0.0 : 1.0) : c.mc_nonintersection;
+        if (observed > inv.max_cross_epoch_nonintersection) {
+          std::snprintf(buf, sizeof buf, "epochs %d->%d: %s", ei - 1, ei,
+                        c.detail.c_str());
+          cell.violations.push_back({"cross-epoch-intersection", buf});
+        }
+      }
+    }
+    if (inv.require_view_convergence && cell.stale_views_at_end > 0) {
+      std::snprintf(buf, sizeof buf,
+                    "%ld clients ended the run on a stale view",
+                    cell.stale_views_at_end);
+      cell.violations.push_back({"view-refresh-converges", buf});
     }
     out.push_back(std::move(cell));
   }

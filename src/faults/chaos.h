@@ -26,6 +26,14 @@
 //     under a Byzantine plan a masking family's voting clients must filter
 //     every lie. A plain family run under a Byzantine plan trips it — the
 //     designed-to-fail CI smoke.
+//   * churn invariants — for scenarios with a ChurnPlan: no acked write is
+//     lost across an epoch boundary (the lost-write scan restricts to the
+//     final epoch's members, so drain-on-leave must strand nothing on a
+//     retired server), no successful read adopts state served by a retired
+//     server (strict and unconditional — only the serve_while_retired bug
+//     switch can produce one), every client converges to the final view,
+//     and adjacent epochs' quorums cross-intersect in logical-id space
+//     (exact on small strict universes, Monte Carlo elsewhere).
 //
 // run_chaos executes replicates of every scenario through ONE run_sweep
 // submission (scenario x replicate flattened across the thread pool;
@@ -39,6 +47,8 @@
 #include <vector>
 
 #include "core/quorum_family.h"
+#include "faults/churn.h"
+#include "faults/family_spec.h"
 #include "faults/fault_plan.h"
 #include "sim/harness.h"
 
@@ -52,12 +62,38 @@ struct ChaosInvariants {
   // clean report would mean the checker is blind.
   bool expect_ts_regressions = false;
   bool allow_lost_writes = false;
+  // --- churn invariants (scenarios with a ChurnPlan) ---------------------
+  // Every client must be back on the final epoch's view when the run ends
+  // (a client still holding an older view never observed — or never acted
+  // on — the reconfiguration).
+  bool require_view_convergence = false;
+  // Run check_cross_epoch_intersection over every adjacent epoch pair of
+  // the expanded schedule: a stale client's quorum must intersect the next
+  // epoch's write quorums with nonintersection probability at most
+  // `max_cross_epoch_nonintersection` (0.0 demands an exact guarantee for
+  // strict families; probabilistic families are held to the MC estimate).
+  bool check_cross_epoch = false;
+  double max_cross_epoch_nonintersection = 0.0;
 };
 
+// A scenario is *data*: the family by spec, the fault timeline, the churn
+// timeline, the experiment knobs, and the invariant budget. run_chaos
+// expands the plans at execution time (installing the fault hook and the
+// epoch schedule), so a scenario round-trips through JSON
+// (src/faults/scenario_io) and replays without recompiling.
 struct ChaosScenario {
   std::string name;
   std::string description;
-  RegisterExperimentConfig config;  // fault_hook already installed
+  // The family under test, by construction spec. Empty kind = inherit the
+  // family passed to run_chaos (the legacy builtin grid).
+  FamilySpec family;
+  // Pre-expanded fault timeline; composed with (runs before) any
+  // config.fault_hook a caller installed programmatically.
+  FaultPlan plan;
+  // Membership timeline; non-empty requires a resizable `family` spec, and
+  // run_chaos expands it into config.epochs for every replicate.
+  ChurnPlan churn;
+  RegisterExperimentConfig config;
   ChaosInvariants invariants;
 };
 
@@ -81,6 +117,12 @@ struct ChaosCellResult {
   long read_ts_regressions = 0;
   long lost_writes = 0;
   long fabricated_reads = 0;
+  // Churn aggregates (zero for churn-free scenarios).
+  long epoch_transitions = 0;
+  long view_refreshes = 0;
+  long epoch_rejects = 0;
+  long retired_reads = 0;
+  long stale_views_at_end = 0;
   std::vector<ChaosViolation> violations;
   bool passed() const { return violations.empty(); }
 };
@@ -102,8 +144,35 @@ double chaos_stale_envelope(int alpha, double per_probe_miss,
 // alpha = alpha()): steady flaky links, a mass-crash "any alpha up" window,
 // rolling churn, a gray half-fleet, a partition storm (filter on), lossy
 // bursts, and an amnesia-churn detector scenario. Floors/envelopes are
-// derived from the family's exact availability and Theorem 9.
+// derived from the family's exact availability and Theorem 9. This overload
+// cannot name the family as data, so the scenarios carry an empty spec and
+// no membership churn cells.
 std::vector<ChaosScenario> builtin_chaos_scenarios(const QuorumFamily& family);
+
+// The same grid built from a spec: every scenario carries the spec (so it
+// serializes), and resizable specs gain the churn_replace / churn_resize
+// reconfiguration cells.
+std::vector<ChaosScenario> builtin_chaos_scenarios(const FamilySpec& spec);
+
+// Rolling one-server-per-wave replacement (3 waves): clients with stale
+// views must observably refresh; adjacent-epoch quorums must intersect;
+// no acked write may be stranded on a retired server. Requires a resizable
+// spec.
+ChaosScenario churn_replace_chaos_scenario(const FamilySpec& spec);
+
+// Grow the membership by two servers mid-run, then shrink back. Same churn
+// invariants as churn_replace, plus Bitset/Configuration reshape coverage
+// across universe sizes.
+ChaosScenario churn_resize_chaos_scenario(const FamilySpec& spec);
+
+// Designed-to-fail reconfiguration scenario (explicit-only, never in the
+// builtin grid): clients never refresh their views (refresh_views = false)
+// and retired servers keep serving (the serve_while_retired bug switch), so
+// stale clients silently read from — and strand writes on — servers the
+// current epoch retired. The strict no-read-from-retired-server invariant
+// and view-refresh-converges MUST trip; a clean report means the checkers
+// are blind. CI validates the resulting black box.
+ChaosScenario stale_view_chaos_scenario(const FamilySpec& spec);
 
 // Byzantine scenario: the first `b` servers lie for 80% of the run (see
 // make_byzantine_plan), clients vote with lie_tolerance = family.masking_b().

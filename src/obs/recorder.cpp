@@ -94,16 +94,20 @@ const char* flight_kind_name(FlightKind kind) {
     case FlightKind::kDecoded: return "decoded";
     case FlightKind::kArrival: return "arrival";
     case FlightKind::kFault: return "fault";
+    case FlightKind::kEpochTransition: return "epoch_transition";
     case FlightKind::kProbe: return "probe";
     case FlightKind::kProbeMiss: return "probe_miss";
+    case FlightKind::kEpochFenced: return "epoch_fenced";
     case FlightKind::kFiltered: return "filtered";
     case FlightKind::kRetry: return "retry";
+    case FlightKind::kViewRefresh: return "view_refresh";
     case FlightKind::kDeadline: return "deadline";
     case FlightKind::kQuorumAcquired: return "quorum_acquired";
     case FlightKind::kQuorumFailed: return "quorum_failed";
     case FlightKind::kWriteAck: return "write_ack";
     case FlightKind::kWriteNack: return "write_nack";
     case FlightKind::kStaleRead: return "stale_read";
+    case FlightKind::kRetiredRead: return "retired_read";
     case FlightKind::kFabricatedRead: return "fabricated_read";
     case FlightKind::kReadRegression: return "read_regression";
     case FlightKind::kOpDone: return "op_done";

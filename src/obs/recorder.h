@@ -73,16 +73,20 @@ enum class FlightKind : std::uint8_t {
   kDecoded,         // prologue decoded it (payload: valid)
   kArrival,         // solo stage / sim client started the op (payload: client)
   kFault,           // fault event applied (op kNoOp, payload: FaultEvent kind)
+  kEpochTransition, // epoch boundary crossed (op kNoOp, payload: new epoch)
   kProbe,           // probe reached `replica` (payload: rtt us)
   kProbeMiss,       // probe to `replica` timed out (payload: timeout us)
+  kEpochFenced,     // probe rejected by retired `replica` (payload: its epoch)
   kFiltered,        // partition filter aborted the attempt
   kRetry,           // acquisition retry scheduled (payload: attempt)
+  kViewRefresh,     // stale view detected, fetch scheduled (payload: epoch)
   kDeadline,        // op deadline exceeded
   kQuorumAcquired,  // acquisition succeeded (payload: probes)
   kQuorumFailed,    // acquisition failed for good (payload: probes)
   kWriteAck,        // write push to `replica` acked (payload: rtt us)
   kWriteNack,       // write push to `replica` lost/timed out (payload: timeout us)
   kStaleRead,       // read returned below the completed-write frontier
+  kRetiredRead,     // read adopted state served by a retired `replica`
   kFabricatedRead,  // read returned a binding no genuine write produced
   kReadRegression,  // client saw its own reads go backwards
   kOpDone,          // op completed (payload: latency us)

@@ -62,7 +62,7 @@ double ServiceReplica::begin_service(double now, double qnow) {
 
 std::optional<ServiceReplica::ReadServed> ServiceReplica::serve_read(
     int object, double now, double qnow, int client) {
-  if (!up(now)) {
+  if (!up(now) || fences_requests()) {  // fence backstop; runner checks first
     ++dropped_requests_;
     ReplicaMetrics::get().dropped.add(1);
     return std::nullopt;
@@ -92,7 +92,7 @@ std::optional<double> ServiceReplica::serve_write(const Timestamp& ts,
                                                  std::uint64_t value,
                                                  int object, double now,
                                                  double qnow) {
-  if (!up(now)) {
+  if (!up(now) || fences_requests()) {  // fence backstop; runner checks first
     ++dropped_requests_;
     ReplicaMetrics::get().dropped.add(1);
     return std::nullopt;
@@ -113,6 +113,26 @@ std::optional<double> ServiceReplica::serve_write(const Timestamp& ts,
     max_seen = std::max(max_seen, ts);
   }
   return done;
+}
+
+std::optional<double> ServiceReplica::serve_fence(double now, double qnow) {
+  if (!up(now)) {
+    ++dropped_requests_;
+    ReplicaMetrics::get().dropped.add(1);
+    return std::nullopt;
+  }
+  return now + begin_service(now, qnow);
+}
+
+void ServiceReplica::adopt_state(const Timestamp& ts, std::uint64_t value,
+                                 int object) {
+  Cell& cell = objects_[object];
+  if (cell.ts < ts) {
+    cell.ts = ts;
+    cell.value = value;
+    Timestamp& max_seen = max_ts_seen_[object];
+    max_seen = std::max(max_seen, ts);
+  }
 }
 
 void ServiceReplica::force_crash(double now, double duration) {
@@ -136,6 +156,11 @@ void ServiceReplica::set_lie(LieMode mode, double now, double duration) {
 Timestamp ServiceReplica::timestamp(int object) const {
   auto it = objects_.find(object);
   return it == objects_.end() ? Timestamp{} : it->second.ts;
+}
+
+std::uint64_t ServiceReplica::value(int object) const {
+  auto it = objects_.find(object);
+  return it == objects_.end() ? 0 : it->second.value;
 }
 
 Timestamp ServiceReplica::max_timestamp_seen(int object) const {

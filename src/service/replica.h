@@ -89,7 +89,33 @@ class ServiceReplica {
     return config_.service_time * (now < gray_until_ ? gray_factor_ : 1.0);
   }
 
+  // --- Epoch membership (reconfiguration, src/core/epoch.h) ---------------
+  // Same contract as SimServer: membership and the epoch stamp are flipped
+  // only by the runner's epoch cursor (solo stage, arrival-ordered), so
+  // neither touches any rng stream. A retired replica fences requests with
+  // an epoch rejection unless the serve_while_retired bug switch is on.
+  void set_member(bool member) { retired_ = !member; }
+  bool retired() const { return retired_; }
+  void set_epoch(int epoch) { epoch_ = epoch; }
+  int epoch() const { return epoch_; }
+  bool fences_requests() const {
+    return retired_ && !config_.serve_while_retired;
+  }
+
+  // Epoch fence: a retired replica answers — at normal queueing cost — with
+  // a rejection carrying its epoch instead of register state; nullopt if
+  // down (a fence is an answer, so it queues like one).
+  std::optional<double> serve_fence(double now, double qnow);
+
+  // State transfer at an epoch boundary (join-sync / drain-on-leave):
+  // adopts (ts, value) if it advances the cell. Applied directly by the
+  // runner's transition cursor — instantaneous, draws no randomness, and
+  // works even while the destination is down (the transfer is modeled as
+  // completing on recovery).
+  void adopt_state(const Timestamp& ts, std::uint64_t value, int object = 0);
+
   Timestamp timestamp(int object = 0) const;
+  std::uint64_t value(int object = 0) const;
   Timestamp max_timestamp_seen(int object = 0) const;
   std::uint64_t ts_regressions() const { return ts_regressions_; }
   std::uint64_t dropped_requests() const { return dropped_requests_; }
@@ -117,6 +143,8 @@ class ServiceReplica {
   double forced_up_until_ = 0.0;
   double gray_factor_ = 1.0;
   double gray_until_ = 0.0;
+  bool retired_ = false;
+  int epoch_ = 0;
   LieMode lie_mode_ = LieMode::kNone;
   double lie_until_ = 0.0;
   double busy_until_ = 0.0;

@@ -99,6 +99,19 @@ bool ServiceConfig::validate(int num_servers) const {
   if (batch < 1) reject("batch", batch);
   if (threads < 0) reject("threads", threads);
   if (lie_tolerance < 0) reject("lie_tolerance", lie_tolerance);
+  if (view_fetch_delay < 0.0) reject("view_fetch_delay", view_fetch_delay);
+  if (max_view_fetches < 0) reject("max_view_fetches", max_view_fetches);
+  if (epochs != nullptr) {
+    if (!epochs->validate()) {
+      ok = false;
+    } else if (epochs->num_logical != num_servers) {
+      std::fprintf(stderr,
+                   "ServiceConfig: epoch schedule spans %d logical servers, "
+                   "fleet has %d\n",
+                   epochs->num_logical, num_servers);
+      ok = false;
+    }
+  }
   if (!plan.validate(num_clients, num_servers)) ok = false;
   return ok;
 }
@@ -106,23 +119,39 @@ bool ServiceConfig::validate(int num_servers) const {
 ServiceRunner::ServiceRunner(const QuorumFamily& family,
                              const ServiceConfig& config)
     : config_(config),
-      transport_(config.num_clients, family.universe_size(), config.network,
-                 Rng(config.seed).split("network")),
+      transport_(config.num_clients,
+                 config.epochs != nullptr ? config.epochs->num_logical
+                                          : family.universe_size(),
+                 config.network, Rng(config.seed).split("network")),
       strategy_(family.make_probe_strategy()),
       op_rng_base_(Rng(config.seed).split("ops")),
       fault_timeline_(config.plan.events),
       lat_bounds_(service_latency_bounds()) {
-  assert(config.validate(family.universe_size()));
+  // In epoch mode the fleet spans every logical id the schedule ever uses,
+  // and the ctor family must be epoch 0's family (same universe size).
+  const int world = config.epochs != nullptr ? config.epochs->num_logical
+                                             : family.universe_size();
+  assert(config.validate(world));
   const Rng server_base = Rng(config.seed).split("servers");
-  replicas_.reserve(static_cast<std::size_t>(family.universe_size()));
-  for (int i = 0; i < family.universe_size(); ++i)
+  replicas_.reserve(static_cast<std::size_t>(world));
+  for (int i = 0; i < world; ++i)
     replicas_.emplace_back(i, config.server, server_base.split(
                                                  static_cast<std::uint64_t>(i)));
+  if (config_.epochs != nullptr) {
+    const EpochedFamily& sched = *config_.epochs;
+    assert(sched.entry(0).family->universe_size() == family.universe_size());
+    epoch_strategies_.reserve(sched.epochs.size());
+    for (const EpochEntry& e : sched.epochs)
+      epoch_strategies_.push_back(e.family->make_probe_strategy());
+    for (std::size_t i = 0; i < replicas_.size(); ++i)
+      replicas_[i].set_member(sched.entry(0).view.contains(static_cast<int>(i)));
+  }
   std::stable_sort(fault_timeline_.begin(), fault_timeline_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.at < b.at;
                    });
   replies_.resize(replicas_.size());
+  reply_retired_.assign(replicas_.size(), 0);
   lat_counts_.assign(lat_bounds_.size() + 1, 0);
   if (config.timeline_window_us > 0)
     timeline_ = obs::Timeline(config.timeline_window_us,
@@ -191,6 +220,52 @@ void ServiceRunner::apply_faults_until(double now) {
   }
 }
 
+void ServiceRunner::apply_epochs_until(double now) {
+  if (config_.epochs == nullptr) return;
+  const EpochedFamily& sched = *config_.epochs;
+  while (next_epoch_ < sched.num_epochs() && sched.entry(next_epoch_).at <= now) {
+    const int e = next_epoch_++;
+    const MembershipView& prev = sched.entry(e - 1).view;
+    const MembershipView& next = sched.entry(e).view;
+    // Drain-on-leave: every leaver's register moves to every member of the
+    // new view before the leaver is fenced, so an acked write never strands
+    // on a retired replica (the no-lost-acked-write invariant across epoch
+    // boundaries). Mirrors the sim harness's transition event: instant,
+    // rng-free, and applied in arrival order from the solo stage.
+    for (int id : prev.members) {
+      if (next.contains(id)) continue;
+      const Timestamp ts = replicas_[static_cast<std::size_t>(id)].timestamp(0);
+      if (!(Timestamp{} < ts)) continue;
+      const std::uint64_t value =
+          replicas_[static_cast<std::size_t>(id)].value(0);
+      for (int dst : next.members)
+        replicas_[static_cast<std::size_t>(dst)].adopt_state(ts, value, 0);
+    }
+    // Join-sync: joiners adopt the highest state the previous view holds.
+    Timestamp best;
+    std::uint64_t best_value = 0;
+    for (int id : prev.members) {
+      const Timestamp ts = replicas_[static_cast<std::size_t>(id)].timestamp(0);
+      if (best < ts) {
+        best = ts;
+        best_value = replicas_[static_cast<std::size_t>(id)].value(0);
+      }
+    }
+    for (int id : next.members) {
+      if (prev.contains(id) || !(Timestamp{} < best)) continue;
+      replicas_[static_cast<std::size_t>(id)].adopt_state(best, best_value, 0);
+    }
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      replicas_[i].set_member(next.contains(static_cast<int>(i)));
+      replicas_[i].set_epoch(e);
+    }
+    current_epoch_ = e;
+    ++totals_.epoch_transitions;
+    obs::flight(obs::FlightKind::kEpochTransition, obs::kNoOp,
+                us(sched.entry(e).at), -1, static_cast<std::uint64_t>(e));
+  }
+}
+
 void ServiceRunner::pop_completed_writes(double now) {
   while (!pending_writes_.empty() && pending_writes_.top().finish <= now) {
     frontier_ts_ = std::max(frontier_ts_, pending_writes_.top().ts);
@@ -214,6 +289,7 @@ Reply ServiceRunner::execute_op(const Request& req) {
   const double arrival = req.arrival();
   last_arrival_ = std::max(last_arrival_, arrival);
   apply_faults_until(arrival);
+  apply_epochs_until(arrival);
   pop_completed_writes(arrival);
 
   const obs::OpId op = obs::make_op_id(obs::kServiceStream, req.seq);
@@ -236,60 +312,136 @@ Reply ServiceRunner::execute_op(const Request& req) {
   // Acquisition: sequential timeout probing in virtual time, the SimClient
   // loop evaluated synchronously. A probe's round trip is to-server leg +
   // replica queueing/service + to-client leg; replies later than
-  // probe_timeout count as failures (the server still did the work).
+  // probe_timeout count as failures (the server still did the work). In
+  // epoch mode the runner probes under its own (possibly stale) adopted
+  // view: family indices map to logical replicas through the view, retired
+  // replicas fence probes with an observable epoch rejection, and a failed
+  // acquisition with epoch evidence re-probes under a freshly fetched view
+  // (bounded, fixed-cost, rng-free — bit-identity holds at any thread
+  // count because all of this is solo-stage arrival-ordered state).
   const double timeout = config_.probe_timeout;
+  const bool epoch_mode = config_.epochs != nullptr;
   Rng op_rng = op_rng_base_.split(req.seq);
-  strategy_->reset(&op_rng);
-  for (int s : touched_) replies_[static_cast<std::size_t>(s)].reset();
-  touched_.clear();
   double t = arrival;
   std::uint32_t probes = 0;
-  while (strategy_->status() == ProbeStatus::kInProgress) {
-    const int s = strategy_->next_server();
-    ++probes;
-    const double t0 = t;
-    bool reached = false;
-    bool cert_rejected = false;
-    const Transport::Delivery to =
-        transport_.attempt(static_cast<int>(req.client), s, t);
-    if (to.delivered) {
-      if (auto served = replicas_[static_cast<std::size_t>(s)].serve_read(
-              0, t + to.latency, arrival, static_cast<int>(req.client))) {
-        const Transport::Delivery back = transport_.attempt(
-            static_cast<int>(req.client), s, served->done);
-        if (back.delivered) {
-          const double rtt = served->done + back.latency - t;
-          if (rtt <= timeout) {
-            // The reply arrived in time; it joins the quorum only if its
-            // certificate matches what it reports. A lying replica signs
-            // its true state, so its fabrication fails here and the probe
-            // counts as a miss (the client spent the rtt, not the timeout).
-            if (!config_.verify_replica_certs ||
-                served->cert == replica_cert(s, served->ts, served->value)) {
-              reached = true;
-              replies_[static_cast<std::size_t>(s)] = {served->ts,
-                                                       served->value};
-              touched_.push_back(s);
-            } else {
-              cert_rejected = true;
-              ++totals_.cert_rejects;
+  bool acquired = false;
+  bool saw_newer_epoch = false;
+  int view_fetches = 0;
+  ProbeStrategy* strategy = strategy_.get();
+  const MembershipView* view = nullptr;
+  for (;;) {
+    if (epoch_mode) {
+      strategy =
+          epoch_strategies_[static_cast<std::size_t>(view_epoch_)].get();
+      view = &config_.epochs->entry(view_epoch_).view;
+      saw_newer_epoch = false;
+    }
+    strategy->reset(&op_rng);
+    for (int s : touched_) {
+      replies_[static_cast<std::size_t>(s)].reset();
+      reply_retired_[static_cast<std::size_t>(s)] = 0;
+    }
+    touched_.clear();
+    while (strategy->status() == ProbeStatus::kInProgress) {
+      const int s = strategy->next_server();
+      const int dst =
+          view != nullptr ? view->members[static_cast<std::size_t>(s)] : s;
+      ++probes;
+      const double t0 = t;
+      bool reached = false;
+      bool answered = false;  // timely reply (data, fence, or bad cert)
+      const Transport::Delivery to =
+          transport_.attempt(static_cast<int>(req.client), dst, t);
+      if (to.delivered) {
+        ServiceReplica& replica = replicas_[static_cast<std::size_t>(dst)];
+        if (replica.fences_requests()) {
+          // Epoch fence: the retired replica answers — at normal queueing
+          // cost — with a rejection carrying its epoch. Negative evidence
+          // for this view's quorum, positive evidence of staleness.
+          if (auto done = replica.serve_fence(t + to.latency, arrival)) {
+            const Transport::Delivery back = transport_.attempt(
+                static_cast<int>(req.client), dst, *done);
+            if (back.delivered) {
+              const double rtt = *done + back.latency - t;
+              if (rtt <= timeout) {
+                answered = true;
+                saw_newer_epoch = true;
+                ++totals_.epoch_rejects;
+                obs::flight(obs::FlightKind::kEpochFenced, op, us(t0), dst,
+                            static_cast<std::uint64_t>(replica.epoch()));
+                t += rtt;
+              }
             }
-            t += rtt;
+          } else {
+            ++op_drops;
           }
+        } else if (auto served = replica.serve_read(
+                       0, t + to.latency, arrival,
+                       static_cast<int>(req.client))) {
+          const Transport::Delivery back = transport_.attempt(
+              static_cast<int>(req.client), dst, served->done);
+          if (back.delivered) {
+            const double rtt = served->done + back.latency - t;
+            if (rtt <= timeout) {
+              // The reply arrived in time; it joins the quorum only if its
+              // certificate matches what it reports. A lying replica signs
+              // its true state, so its fabrication fails here and the probe
+              // counts as a miss (the client spent the rtt, not the
+              // timeout).
+              answered = true;
+              if (!config_.verify_replica_certs ||
+                  served->cert ==
+                      replica_cert(dst, served->ts, served->value)) {
+                reached = true;
+                replies_[static_cast<std::size_t>(s)] = {served->ts,
+                                                         served->value};
+                reply_retired_[static_cast<std::size_t>(s)] =
+                    replica.retired() ? 1 : 0;
+                touched_.push_back(s);
+                if (epoch_mode && replica.epoch() > view_epoch_)
+                  saw_newer_epoch = true;
+              } else {
+                ++totals_.cert_rejects;
+              }
+              t += rtt;
+            }
+          }
+        } else {
+          ++op_drops;
         }
-      } else {
-        ++op_drops;
       }
+      if (!answered) t += timeout;
+      if (reached) {
+        obs::flight(obs::FlightKind::kProbe, op, us(t0), dst, us(t - t0));
+      } else {
+        obs::flight(obs::FlightKind::kProbeMiss, op, us(t0), dst,
+                    us(timeout));
+      }
+      strategy->observe(s, reached);
     }
-    if (!reached && !cert_rejected) t += timeout;
-    if (reached) {
-      obs::flight(obs::FlightKind::kProbe, op, us(t0), s, us(t - t0));
-    } else {
-      obs::flight(obs::FlightKind::kProbeMiss, op, us(t0), s, us(timeout));
-    }
-    strategy_->observe(s, reached);
+    acquired = strategy->status() == ProbeStatus::kAcquired;
+    if (acquired || !epoch_mode || !saw_newer_epoch ||
+        !config_.refresh_views || current_epoch_ <= view_epoch_ ||
+        view_fetches >= config_.max_view_fetches)
+      break;
+    // Stale-view recovery: a failed acquisition with epoch evidence fetches
+    // the current view (fixed delay, no rng draw) and re-probes under it.
+    ++view_fetches;
+    ++totals_.view_refreshes;
+    t += config_.view_fetch_delay;
+    view_epoch_ = current_epoch_;
+    obs::flight(obs::FlightKind::kViewRefresh, op, us(t), -1,
+                static_cast<std::uint64_t>(view_epoch_));
   }
-  const bool acquired = strategy_->status() == ProbeStatus::kAcquired;
+  // A completed op (either outcome) that saw epoch evidence refreshes the
+  // runner's view for subsequent ops — the asynchronous learn path.
+  if (epoch_mode && saw_newer_epoch && config_.refresh_views &&
+      current_epoch_ > view_epoch_) {
+    ++totals_.view_refreshes;
+    view_epoch_ = current_epoch_;
+    obs::flight(obs::FlightKind::kViewRefresh, op, us(t), -1,
+                static_cast<std::uint64_t>(view_epoch_));
+  }
   obs::flight(acquired ? obs::FlightKind::kQuorumAcquired
                        : obs::FlightKind::kQuorumFailed,
               op, us(t), -1, probes);
@@ -343,6 +495,23 @@ Reply ServiceRunner::execute_op(const Request& req) {
         ++totals_.fabricated_reads;
         obs::flight(obs::FlightKind::kFabricatedRead, op, us(t), -1, value);
       }
+      // No-read-from-retired-server accounting: adopting state served by a
+      // retired replica means the fence failed — only the
+      // serve_while_retired bug switch can get here.
+      if (epoch_mode) {
+        bool from_retired = false;
+        for (int s : touched_) {
+          const auto& r = replies_[static_cast<std::size_t>(s)];
+          if (r->first == best && r->second == value &&
+              reply_retired_[static_cast<std::size_t>(s)] != 0)
+            from_retired = true;
+        }
+        if (from_retired) {
+          ++totals_.retired_reads;
+          obs::flight(obs::FlightKind::kRetiredRead, op, us(t), -1,
+                      static_cast<std::uint64_t>(best.counter));
+        }
+      }
     }
   } else {
     ++totals_.writes;
@@ -368,24 +537,27 @@ Reply ServiceRunner::execute_op(const Request& req) {
     if (have_ts) {
       ++totals_.writes_ok;
       const Timestamp new_ts{max_ts.counter + 1, static_cast<int>(req.client)};
-      // Push to every reached probed server in ascending id order (the
-      // order install paths use everywhere else); each push resolves at its
-      // ack round trip or at the timeout, and the write completes when the
-      // last target resolves.
+      // Push to every reached probed server in ascending family-index order
+      // (the order install paths use everywhere else; indices map to the
+      // wire through the op's view); each push resolves at its ack round
+      // trip or at the timeout, and the write completes when the last
+      // target resolves.
       std::vector<int> targets(touched_);
       std::sort(targets.begin(), targets.end());
       int acks = 0;
       double end = t;
       for (int s : targets) {
+        const int dst =
+            view != nullptr ? view->members[static_cast<std::size_t>(s)] : s;
         const Transport::Delivery to =
-            transport_.attempt(static_cast<int>(req.client), s, t);
+            transport_.attempt(static_cast<int>(req.client), dst, t);
         double resolve = timeout;
         bool acked = false;
         if (to.delivered) {
-          if (auto done = replicas_[static_cast<std::size_t>(s)].serve_write(
+          if (auto done = replicas_[static_cast<std::size_t>(dst)].serve_write(
                   new_ts, req.value, 0, t + to.latency, arrival)) {
             const Transport::Delivery back = transport_.attempt(
-                static_cast<int>(req.client), s, *done);
+                static_cast<int>(req.client), dst, *done);
             if (back.delivered) {
               const double rtt = *done + back.latency - t;
               if (rtt <= timeout) {
@@ -400,7 +572,7 @@ Reply ServiceRunner::execute_op(const Request& req) {
         }
         obs::flight(acked ? obs::FlightKind::kWriteAck
                           : obs::FlightKind::kWriteNack,
-                    op, us(t), s, us(resolve));
+                    op, us(t), dst, us(resolve));
         end = std::max(end, t + resolve);
       }
       totals_.write_acks += static_cast<std::uint64_t>(acks);
@@ -550,7 +722,13 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
   result.write_acks = totals_.write_acks;
   result.cert_rejects = totals_.cert_rejects;
   result.fabricated_reads = totals_.fabricated_reads;
-  if (totals_.fabricated_reads > 0)
+  result.epoch_transitions = totals_.epoch_transitions;
+  result.view_refreshes = totals_.view_refreshes;
+  result.epoch_rejects = totals_.epoch_rejects;
+  result.retired_reads = totals_.retired_reads;
+  result.current_epoch = current_epoch_;
+  result.view_epoch = view_epoch_;
+  if (totals_.fabricated_reads > 0 || totals_.retired_reads > 0)
     obs::flight(obs::FlightKind::kViolation, obs::kNoOp, us(last_arrival_));
   for (const ServiceReplica& r : replicas_) {
     result.replica_dropped += r.dropped_requests();
@@ -561,11 +739,15 @@ ServiceResult ServiceRunner::serve(const std::vector<std::uint8_t>& requests,
 
   // No-lost-acked-write: the highest acked write timestamp must still be
   // readable on some replica (crashes preserve state; only amnesia can
-  // break this).
+  // break this). In epoch mode only current members count — state stranded
+  // on a retired replica is invisible to every future quorum, so
+  // drain-on-leave must have moved it.
   if (any_acked_write_) {
     bool visible = false;
-    for (const ServiceReplica& r : replicas_)
+    for (const ServiceReplica& r : replicas_) {
+      if (config_.epochs != nullptr && r.retired()) continue;
       if (!(r.timestamp(0) < max_acked_ts_)) visible = true;
+    }
     result.lost_acked_writes = visible ? 0 : 1;
     if (!visible) {
       obs::flight(obs::FlightKind::kLostWrite, obs::kNoOp, us(last_arrival_),

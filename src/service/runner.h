@@ -43,6 +43,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/epoch.h"
 #include "core/quorum_family.h"
 #include "faults/fault_plan.h"
 #include "obs/recorder.h"
@@ -80,6 +81,25 @@ struct ServiceConfig {
   // fails the op. 0 keeps the classic max-timestamp fold.
   int lie_tolerance = 0;
 
+  // --- Epoch reconfiguration (src/core/epoch.h) ---------------------------
+  // Non-null turns on epoch mode: the fleet is sized to epochs->num_logical,
+  // the ctor family must be epoch 0's family, non-epoch-0 members start
+  // retired, and transitions fire from the solo stage as the arrival clock
+  // crosses each entry's time (deterministic — no rng stream moves). The
+  // runner itself is the stale-view client: it keeps probing under its last
+  // adopted view until an op observes epoch evidence (a fenced probe or a
+  // reply stamped with a newer epoch) and refreshes via the bounded
+  // view-fetch path below.
+  std::shared_ptr<const EpochedFamily> epochs;
+  // Stale-view recovery knobs (mirror sim/client.h): a failed acquisition
+  // with epoch evidence re-probes under the fetched view after a fixed
+  // (rng-free) delay, at most max_view_fetches times per op; a successful op
+  // with evidence refreshes asynchronously. refresh_views = false pins the
+  // runner to its stale view forever — the designed-to-fail switch.
+  bool refresh_views = true;
+  double view_fetch_delay = 0.05;
+  int max_view_fetches = 4;
+
   // True iff every knob is usable for a fleet of `num_servers`; complaints
   // go to stderr, one line per bad field.
   bool validate(int num_servers) const;
@@ -113,6 +133,16 @@ struct ServiceResult {
   // replicas; zero under liars too when cert verification and/or a masking
   // lie_tolerance filters them.
   std::uint64_t fabricated_reads = 0;
+  // --- Epoch reconfiguration (zero without config.epochs) -----------------
+  std::uint64_t epoch_transitions = 0;  // schedule entries applied
+  std::uint64_t view_refreshes = 0;     // view fetches (retry + async)
+  std::uint64_t epoch_rejects = 0;      // probes fenced by retired replicas
+  // Ok reads that adopted state served by a retired replica — the
+  // no-read-from-retired-server invariant; only the serve_while_retired bug
+  // switch can make it positive.
+  std::uint64_t retired_reads = 0;
+  int current_epoch = 0;  // epoch in force at the last arrival
+  int view_epoch = 0;     // the runner's adopted view (== current unless stale)
 
   // Virtual op latency (arrival to completion, microseconds) of every
   // decoded op, failures included; quantiles via latency_us.p50() etc.
@@ -170,6 +200,7 @@ class ServiceRunner {
  private:
   struct OpStats;
   void apply_faults_until(double now);
+  void apply_epochs_until(double now);
   void pop_completed_writes(double now);
   Reply execute_op(const Request& req);
 
@@ -182,6 +213,14 @@ class ServiceRunner {
   // Fault timeline, sorted by time; cursor advances with the arrivals.
   std::vector<FaultEvent> fault_timeline_;
   std::size_t next_fault_ = 0;
+
+  // Epoch mode (config_.epochs != nullptr): one probe strategy per epoch's
+  // family, an arrival-driven cursor like next_fault_, and the runner's own
+  // (possibly stale) adopted view. All solo-owned.
+  std::vector<std::unique_ptr<ProbeStrategy>> epoch_strategies_;
+  int next_epoch_ = 1;
+  int current_epoch_ = 0;
+  int view_epoch_ = 0;
 
   // Register frontier: ok writes complete at a virtual finish time; a read
   // is judged stale against the max timestamp among writes completed before
@@ -201,14 +240,19 @@ class ServiceRunner {
   bool any_acked_write_ = false;
   double last_arrival_ = 0.0;
 
-  // Solo-owned per-op scratch and lifetime totals.
+  // Solo-owned per-op scratch and lifetime totals. replies_ / touched_ are
+  // indexed in FAMILY-INDEX space (== logical ids outside epoch mode); the
+  // current view maps indices to logical replicas at every wire site.
   std::vector<std::optional<std::pair<Timestamp, std::uint64_t>>> replies_;
+  std::vector<char> reply_retired_;  // reply came from a retired replica
   std::vector<int> touched_;
   struct Totals {
     std::uint64_t requests = 0, decode_failures = 0;
     std::uint64_t reads = 0, reads_ok = 0, writes = 0, writes_ok = 0;
     std::uint64_t stale_reads = 0, probes = 0, write_acks = 0;
     std::uint64_t cert_rejects = 0, fabricated_reads = 0;
+    std::uint64_t epoch_transitions = 0, view_refreshes = 0;
+    std::uint64_t epoch_rejects = 0, retired_reads = 0;
   } totals_;
   // (counter, writer, value) bindings of every ok write, solo-owned. The
   // solo stage runs in arrival order, so a read can only observe a binding

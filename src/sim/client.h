@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/epoch.h"
 #include "core/quorum_family.h"
 #include "obs/recorder.h"
 #include "sim/network.h"
@@ -83,6 +84,22 @@ struct ClientConfig {
   // and the result carries deadline_exceeded.
   double op_deadline = 0.0;
 
+  // --- stale views under reconfiguration (epoch mode only) --------------
+  // A client holds the membership view of some epoch and learns it is
+  // stale observably: retired servers fence its probes with an epoch
+  // rejection, and replies from live servers carry the current epoch
+  // stamp. When a *failed* attempt saw such evidence the client fetches
+  // the current view (a fixed view_fetch_delay round trip — no rng draw,
+  // so churn stays stream-neutral) and re-probes under the new family;
+  // the fetch does not consume an acquisition attempt but is bounded by
+  // max_view_fetches per operation. A *successful* attempt with stale
+  // evidence refreshes asynchronously after the op completes. Turning
+  // refresh_views off makes the client stale forever — the designed-to-
+  // fail chaos scenario.
+  bool refresh_views = true;
+  double view_fetch_delay = 0.05;
+  int max_view_fetches = 4;
+
   // True iff timeouts/attempt counts/fractions are usable; complaints go
   // to stderr, one line per bad field.
   bool validate() const;
@@ -100,8 +117,21 @@ struct AcquisitionResult {
   int attempts = 1;
   bool deadline_exceeded = false;
   double latency = 0.0;  // whole operation, first attempt start to done
-  // Reply snapshot per server (only reached servers have values).
+  // Reply snapshot per server (only reached servers have values). In epoch
+  // mode the index space is the *family's* (map to logical ids via `view`).
   std::vector<std::optional<std::pair<Timestamp, std::uint64_t>>> replies;
+  // Parallel to `replies`: nonzero when the reply was served by a replica
+  // that was already retired AT SERVE TIME (only possible under the
+  // serve_while_retired bug switch). Captured with the reply, not at
+  // adoption time — a server legitimately serving just before its epoch
+  // boundary is not a retired read.
+  std::vector<char> reply_retired;
+  // Epoch mode: the membership view the final attempt probed under (owned
+  // by the run's EpochedFamily, which outlives every operation); nullptr
+  // for classic fixed-universe acquisitions.
+  const MembershipView* view = nullptr;
+  int view_fetches = 0;   // bounded view-refresh round trips this op took
+  int epoch_rejects = 0;  // probes fenced by retired servers
 };
 
 struct ReadResult {
@@ -132,11 +162,20 @@ struct WriteResult {
 
 class SimClient {
  public:
+  // `epochs` (optional) switches the client into epoch mode: the default
+  // acquire/read/write overloads resolve family and membership from the
+  // client's own — possibly stale — view epoch instead of `family`.
   SimClient(Simulator* sim, Network* net, std::vector<SimServer>* servers,
             int id, const QuorumFamily* family, const ClientConfig& config,
-            Rng rng);
+            Rng rng, const EpochState* epochs = nullptr);
 
   int id() const { return id_; }
+
+  // Epoch mode introspection (0 / zero counters in classic mode).
+  int view_epoch() const { return view_epoch_; }
+  std::uint64_t view_refreshes() const { return view_refreshes_; }
+  std::uint64_t epoch_rejects() const { return epoch_rejects_; }
+  std::uint64_t retired_reads() const { return retired_reads_; }
 
   // Runs the probe strategy to completion; `done` fires exactly once.
   // The default overloads use the client's configured family and object 0;
@@ -158,12 +197,21 @@ class SimClient {
 
  private:
   struct Acquisition;
+  void start_op(const QuorumFamily* family, int object,
+                std::function<void(AcquisitionResult)> done);
   void start_attempt(std::shared_ptr<Acquisition> acq);
   void issue_next_probe(std::shared_ptr<Acquisition> acq);
   void finish_probe(std::shared_ptr<Acquisition> acq, std::uint64_t seq,
-                    int server,
-                    std::optional<std::pair<Timestamp, std::uint64_t>> reply);
+                    int server, int target,
+                    std::optional<std::pair<Timestamp, std::uint64_t>> reply,
+                    bool served_retired);
+  void finish_probe_fenced(std::shared_ptr<Acquisition> acq,
+                           std::uint64_t seq, int server, int target);
   void finish_attempt(std::shared_ptr<Acquisition> acq, bool acquired);
+  void finish_read(int object, AcquisitionResult acq,
+                   const std::function<void(ReadResult)>& done);
+  void finish_write(int object, std::uint64_t value, AcquisitionResult acq,
+                    const std::function<void(WriteResult)>& done);
 
   Simulator* sim_;
   Network* net_;
@@ -172,6 +220,11 @@ class SimClient {
   const QuorumFamily* family_;
   ClientConfig config_;
   Rng rng_;
+  const EpochState* epochs_ = nullptr;  // non-null in epoch mode
+  int view_epoch_ = 0;                  // the epoch this client believes in
+  std::uint64_t view_refreshes_ = 0;
+  std::uint64_t epoch_rejects_ = 0;
+  std::uint64_t retired_reads_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_op_ = 0;  // per-client op sequence (OpId low bits)
   double ewma_rtt_ = 0.0;

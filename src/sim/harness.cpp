@@ -40,6 +40,8 @@ struct Experiment {
   std::vector<SimServer> servers;
   std::vector<SimClient> clients;
   Rng rng;
+  // Epoch mode: the mutable cursor all clients compare their view against.
+  EpochState epoch_state;
   RegisterExperimentResult result;
   Timestamp max_completed_write_ts;
   // Highest timestamp of a write that was acked by at least one server:
@@ -69,6 +71,57 @@ struct Experiment {
     if (ok)
       latency_hists[static_cast<std::size_t>(client_idx)].record(
           static_cast<std::uint64_t>(latency * 1e6));
+  }
+
+  // Crosses the boundary into epoch `e_idx`: state transfer first (so no
+  // window exists in which the new view lacks the old view's writes), then
+  // membership flips. Everything here is deterministic — adopt_state and the
+  // membership setters draw no randomness — so a churn schedule never shifts
+  // the load's rng streams.
+  void apply_epoch_transition(int e_idx) {
+    const EpochedFamily& sched = *config.epochs;
+    const MembershipView& prev = sched.entry(e_idx - 1).view;
+    const MembershipView& next = sched.entry(e_idx).view;
+    // Drain-on-leave: every departing server's register is adopted by every
+    // member of the new view. A write acked only by a leaver must survive
+    // its retirement (no-lost-acked-write across epoch boundaries).
+    for (int id : prev.members) {
+      if (next.contains(id)) continue;
+      const SimServer& leaver = servers[static_cast<std::size_t>(id)];
+      const Timestamp ts = leaver.timestamp(0);
+      if (!(Timestamp{} < ts)) continue;
+      const std::uint64_t value = leaver.value(0);
+      for (int dst : next.members)
+        servers[static_cast<std::size_t>(dst)].adopt_state(ts, value, 0);
+    }
+    // Join-sync: joiners adopt the newest state held anywhere in the old
+    // view, so a fresh server never serves the unwritten register while the
+    // rest of its epoch has history.
+    Timestamp best;
+    std::uint64_t best_value = 0;
+    for (int id : prev.members) {
+      const Timestamp ts = servers[static_cast<std::size_t>(id)].timestamp(0);
+      if (best < ts) {
+        best = ts;
+        best_value = servers[static_cast<std::size_t>(id)].value(0);
+      }
+    }
+    for (int id : next.members) {
+      if (prev.contains(id)) continue;
+      if (Timestamp{} < best)
+        servers[static_cast<std::size_t>(id)].adopt_state(best, best_value, 0);
+    }
+    // Flip membership and stamp every server with the new epoch; stale
+    // clients now see either fences (retired servers) or newer epoch stamps
+    // in replies — both observable triggers for a view refresh.
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      servers[i].set_member(next.contains(static_cast<int>(i)));
+      servers[i].set_epoch(e_idx);
+    }
+    epoch_state.current = e_idx;
+    ++result.epoch_transitions;
+    obs::flight(obs::FlightKind::kEpochTransition, obs::kNoOp,
+                sim_us(sim.now()), -1, static_cast<std::uint64_t>(e_idx));
   }
 
   void schedule_next_op(int client_idx) {
@@ -165,6 +218,7 @@ bool RegisterExperimentConfig::validate() const {
   if (!network.validate()) ok = false;
   if (!server.validate()) ok = false;
   if (!client.validate()) ok = false;
+  if (epochs != nullptr && !epochs->validate()) ok = false;
   return ok;
 }
 
@@ -182,7 +236,11 @@ RegisterExperimentResult run_register_experiment(
     for (int c = 0; c < config.num_clients; ++c)
       e.latency_hists.push_back(client_latency_histogram(c));
   }
-  const int n = family.universe_size();
+  // Epoch mode sizes the fleet to every logical id the schedule will ever
+  // use; `family` is epoch 0's family (clients resolve the active family
+  // from their own view, so it only seeds the classic code path).
+  const bool epoch_mode = config.epochs != nullptr;
+  const int n = epoch_mode ? config.epochs->num_logical : family.universe_size();
 
   e.net = std::make_unique<Network>(&e.sim, config.num_clients, n,
                                     config.network, e.rng.split("network"));
@@ -190,11 +248,20 @@ RegisterExperimentResult run_register_experiment(
   for (int i = 0; i < n; ++i)
     e.servers.emplace_back(&e.sim, i, config.server,
                            e.rng.split(1000 + static_cast<std::uint64_t>(i)));
+  if (epoch_mode) {
+    e.epoch_state.schedule = config.epochs.get();
+    e.epoch_state.current = 0;
+    // Servers that only join in a later epoch start retired.
+    const MembershipView& initial = config.epochs->entry(0).view;
+    for (int i = 0; i < n; ++i)
+      e.servers[static_cast<std::size_t>(i)].set_member(initial.contains(i));
+  }
   e.clients.reserve(static_cast<std::size_t>(config.num_clients));
   for (int c = 0; c < config.num_clients; ++c)
     e.clients.emplace_back(&e.sim, e.net.get(), &e.servers, c, &family,
                            config.client,
-                           e.rng.split(2000 + static_cast<std::uint64_t>(c)));
+                           e.rng.split(2000 + static_cast<std::uint64_t>(c)),
+                           epoch_mode ? &e.epoch_state : nullptr);
   e.last_read_ts.assign(static_cast<std::size_t>(config.num_clients),
                         Timestamp{});
 
@@ -202,6 +269,15 @@ RegisterExperimentResult run_register_experiment(
   // draws no randomness, so runs with and without it consume identical
   // rng streams for everything else.
   if (config.fault_hook) config.fault_hook(e.sim, *e.net, e.servers);
+
+  // Schedule the epoch transitions (entry times are strictly increasing and
+  // sim.now() is still 0, so the delay is the absolute time).
+  if (epoch_mode) {
+    for (int ei = 1; ei < config.epochs->num_epochs(); ++ei) {
+      const double at = config.epochs->entry(ei).at;
+      e.sim.schedule(at, [&e, ei] { e.apply_epoch_transition(ei); });
+    }
+  }
 
   for (int c = 0; c < config.num_clients; ++c) e.schedule_next_op(c);
 
@@ -229,12 +305,19 @@ RegisterExperimentResult run_register_experiment(
 
   // End-of-run invariant evidence. A write acked by >= 1 server must still
   // be visible in some server's register: crash failures preserve state,
-  // so only an assumption-breaking scenario (amnesia) can lose it.
+  // so only an assumption-breaking scenario (amnesia) can lose it. Under
+  // churn the bar is higher: the frontier must be visible among the *final
+  // epoch's members* — state stranded on a retired server is lost to every
+  // future quorum, which is exactly what drain-on-leave must prevent.
+  const MembershipView* final_view =
+      epoch_mode ? &config.epochs->entry(config.epochs->final_epoch()).view
+                 : nullptr;
   Timestamp best_server_ts;
   for (const SimServer& s : e.servers) {
     e.result.server_ts_regressions +=
         static_cast<long>(s.ts_regressions());
     e.result.server_dropped_requests += s.dropped_requests();
+    if (final_view != nullptr && !final_view->contains(s.id())) continue;
     const Timestamp ts = s.timestamp(0);
     if (best_server_ts < ts) best_server_ts = ts;
   }
@@ -255,6 +338,18 @@ RegisterExperimentResult run_register_experiment(
       ++e.result.fabricated_reads;
       obs::flight(obs::FlightKind::kFabricatedRead, seen.op, sim_us(e.sim.now()),
                   -1, seen.value);
+    }
+  }
+  // Churn telemetry and the view-refresh-converges evidence: a client left
+  // holding a pre-final view at the end of a run is a convergence failure
+  // candidate (chaos decides whether the scenario allows it).
+  if (epoch_mode) {
+    const int final_epoch = config.epochs->final_epoch();
+    for (const SimClient& c : e.clients) {
+      e.result.view_refreshes += static_cast<long>(c.view_refreshes());
+      e.result.epoch_rejects += static_cast<long>(c.epoch_rejects());
+      e.result.retired_reads += static_cast<long>(c.retired_reads());
+      if (c.view_epoch() != final_epoch) ++e.result.stale_views_at_end;
     }
   }
   e.result.net_delivered = e.net->messages_delivered();

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/epoch.h"
 #include "core/quorum_family.h"
 #include "runtime/run_trials.h"
 #include "sim/client.h"
@@ -44,6 +46,14 @@ struct RegisterExperimentConfig {
   // installing a plan never perturbs the load's random streams and the
   // same plan + seed reproduces a bit-identical run.
   std::function<void(Simulator&, Network&, std::vector<SimServer>&)> fault_hook;
+  // Epoch-based reconfiguration (nullptr = classic fixed universe). The
+  // fleet is sized to epochs->num_logical; servers outside epoch 0's view
+  // start retired. At each entry's `at` the harness performs the membership
+  // transition deterministically (join-sync and drain-on-leave move state
+  // via adopt_state, which draws no randomness), so churn runs consume the
+  // same rng streams as churn-free ones. Clients start on epoch 0's view
+  // and only learn of newer epochs observably (see ClientConfig).
+  std::shared_ptr<const EpochedFamily> epochs;
 
   // True iff every duration/fraction is usable (delegates to the network/
   // server/client validators); complaints go to stderr.
@@ -68,6 +78,15 @@ struct RegisterExperimentResult {
   long fabricated_reads = 0;  // ok reads whose (ts, value) binding no genuine
                               // write ever produced (Byzantine evidence; a
                               // masking-voting client must keep this at 0)
+  // Epoch/churn telemetry (all zero in classic mode):
+  long epoch_transitions = 0;  // membership boundaries crossed during the run
+  long view_refreshes = 0;     // client view fetches that completed
+  long epoch_rejects = 0;      // probes fenced by retired servers
+  long retired_reads = 0;      // ok reads that adopted a retired server's reply
+                               // (must be 0: fences make this impossible unless
+                               // serve_while_retired re-opens the hole)
+  long stale_views_at_end = 0;  // clients not on the final epoch when the run
+                                // ended (view-refresh-converges evidence)
   // Network/server drop totals for the run (always on, mirrors sim.net.*).
   std::uint64_t net_delivered = 0;
   std::uint64_t net_dropped = 0;
@@ -98,6 +117,8 @@ struct RegisterExperimentResult {
 };
 
 // Runs the experiment; the family's universe_size() fixes the server count.
+// In epoch mode (config.epochs set) `family` must be epoch 0's family and the
+// fleet is sized to epochs->num_logical instead.
 RegisterExperimentResult run_register_experiment(
     const QuorumFamily& family, const RegisterExperimentConfig& config);
 

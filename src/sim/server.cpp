@@ -80,6 +80,10 @@ std::optional<std::pair<Timestamp, std::uint64_t>> SimServer::handle_read(
     ServerMetrics::get().dropped.add(1);
     return std::nullopt;
   }
+  // Clients detect the fence before reading (sim/client.cpp) and get an
+  // explicit epoch rejection; this backstop makes a forgotten check look
+  // like a drop rather than a stale read.
+  if (fences_requests()) return std::nullopt;
   const Cell& cell = objects_[object];
   const auto max_it = max_ts_seen_.find(object);
   if (max_it != max_ts_seen_.end() && cell.ts < max_it->second) {
@@ -104,6 +108,9 @@ bool SimServer::handle_write(const Timestamp& ts, std::uint64_t value,
     ServerMetrics::get().dropped.add(1);
     return false;
   }
+  // Retired servers must not absorb (or ack) writes: an acked write landing
+  // only on retired replicas would vanish from the new epoch's quorums.
+  if (fences_requests()) return false;
   if (lie_active() && lie_mode_ == LieMode::kFabricateAck) {
     // Ack without applying: the client counts this server toward write
     // durability, but the state was dropped on the floor.
@@ -137,6 +144,17 @@ void SimServer::set_gray(double factor, double duration) {
 void SimServer::set_lie(LieMode mode, double duration) {
   lie_mode_ = mode;
   lie_until_ = sim_->now() + duration;
+}
+
+void SimServer::adopt_state(const Timestamp& ts, std::uint64_t value,
+                            int object) {
+  Cell& cell = objects_[object];
+  if (cell.ts < ts) {
+    cell.ts = ts;
+    cell.value = value;
+  }
+  Timestamp& max_seen = max_ts_seen_[object];
+  max_seen = std::max(max_seen, ts);
 }
 
 Timestamp SimServer::timestamp(int object) const {

@@ -103,6 +103,11 @@ struct ServerConfig {
   // paper assumes crash (state-preserving) failures; amnesia shows what the
   // probabilistic guarantee costs when that assumption is broken too.
   bool amnesia_on_recovery = false;
+  // Reconfiguration bug switch: a retired server keeps serving reads and
+  // writes instead of fencing them with an epoch rejection. Off is correct
+  // behaviour; on exists so the chaos harness can prove its
+  // no-read-from-retired-server invariant has teeth.
+  bool serve_while_retired = false;
   double stationary_down() const { return mean_down / (mean_up + mean_down); }
   // True iff every duration is usable (positive means and a non-negative
   // service time); complaints go to stderr, one line per bad field.
@@ -155,6 +160,27 @@ class SimServer {
     return config_.service_time * (gray_active() ? gray_factor_ : 1.0);
   }
 
+  // --- Epoch membership (reconfiguration, src/core/epoch.h) ---------------
+  // Membership and the epoch stamp are set only by scheduled transition
+  // events in the harness; neither touches any rng stream. A server that is
+  // not a member of the current epoch is *retired*: it fences requests with
+  // an epoch rejection (observable by the client, unlike a crash) unless
+  // the serve_while_retired bug switch is on.
+  void set_member(bool member) { retired_ = !member; }
+  bool retired() const { return retired_; }
+  void set_epoch(int epoch) { epoch_ = epoch; }
+  int epoch() const { return epoch_; }
+  bool fences_requests() const {
+    return retired_ && !config_.serve_while_retired;
+  }
+
+  // State transfer at an epoch boundary (join-sync / drain-on-leave):
+  // adopts (ts, value) if it advances the cell. Applied directly by the
+  // transition event — instantaneous, draws no randomness, and works even
+  // while the destination is crashed (the transfer is modeled as completing
+  // on recovery).
+  void adopt_state(const Timestamp& ts, std::uint64_t value, int object = 0);
+
   Timestamp timestamp(int object = 0) const;
   std::uint64_t value(int object = 0) const;
 
@@ -180,6 +206,8 @@ class SimServer {
   double forced_up_until_ = 0.0;
   double gray_factor_ = 1.0;
   double gray_until_ = 0.0;
+  bool retired_ = false;
+  int epoch_ = 0;
   LieMode lie_mode_ = LieMode::kNone;
   double lie_until_ = 0.0;
   std::uint64_t lies_told_ = 0;

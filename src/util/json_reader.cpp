@@ -1,0 +1,362 @@
+#include "util/json_reader.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace sqs {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult r;
+    skip_ws();
+    if (!parse_value(&r.value, &r)) return r;
+    skip_ws();
+    if (pos_ < text_.size()) {
+      fail(&r, "trailing characters after JSON document");
+      return r;
+    }
+    r.ok = true;
+    return r;
+  }
+
+ private:
+  bool parse_value(JsonValue* out, JsonParseResult* r) {
+    if (pos_ >= text_.size()) return fail(r, "unexpected end of input");
+    out->line = line_;
+    out->col = col_;
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out, r);
+      case '[':
+        return parse_array(out, r);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->string, r);
+      case 't':
+        if (!expect_word("true", r)) return false;
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return true;
+      case 'f':
+        if (!expect_word("false", r)) return false;
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return true;
+      case 'n':
+        if (!expect_word("null", r)) return false;
+        out->kind = JsonValue::Kind::kNull;
+        return true;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out, r);
+        return fail(r, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  bool parse_object(JsonValue* out, JsonParseResult* r) {
+    out->kind = JsonValue::Kind::kObject;
+    advance();  // '{'
+    skip_ws();
+    if (peek_is('}')) {
+      advance();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail(r, "expected '\"' to start object key");
+      const int key_line = line_;
+      const int key_col = col_;
+      std::string key;
+      if (!parse_string(&key, r)) return false;
+      for (const auto& m : out->members)
+        if (m.first == key)
+          return fail(r, "duplicate key \"" + key + "\"", key_line, key_col);
+      skip_ws();
+      if (!peek_is(':')) return fail(r, "expected ':' after object key");
+      advance();
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v, r)) return false;
+      out->members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (peek_is(',')) {
+        advance();
+        continue;
+      }
+      if (peek_is('}')) {
+        advance();
+        return true;
+      }
+      return fail(r, "expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue* out, JsonParseResult* r) {
+    out->kind = JsonValue::Kind::kArray;
+    advance();  // '['
+    skip_ws();
+    if (peek_is(']')) {
+      advance();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v, r)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (peek_is(',')) {
+        advance();
+        continue;
+      }
+      if (peek_is(']')) {
+        advance();
+        return true;
+      }
+      return fail(r, "expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string* out, JsonParseResult* r) {
+    advance();  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail(r, "unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        advance();
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail(r, "unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(c);
+        advance();
+        continue;
+      }
+      advance();  // backslash
+      if (pos_ >= text_.size()) return fail(r, "unterminated escape");
+      const char e = text_[pos_];
+      advance();
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) return fail(r, "truncated \\u escape");
+            const char h = text_[pos_];
+            advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail(r, "invalid hex digit in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDFFF)
+            return fail(r, "surrogate \\u escapes are not supported");
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail(r, std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue* out, JsonParseResult* r) {
+    out->kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (peek_is('-')) advance();
+    if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+      return fail(r, "malformed number");
+    if (text_[pos_] == '0') {
+      advance();
+      if (pos_ < text_.size() && is_digit(text_[pos_]))
+        return fail(r, "numbers may not have leading zeros");
+    } else {
+      while (pos_ < text_.size() && is_digit(text_[pos_])) advance();
+    }
+    if (peek_is('.')) {
+      advance();
+      if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+        return fail(r, "expected digits after decimal point");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) advance();
+    }
+    if (peek_is('e') || peek_is('E')) {
+      advance();
+      if (peek_is('+') || peek_is('-')) advance();
+      if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+        return fail(r, "expected digits in exponent");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) advance();
+    }
+    out->number_raw.assign(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    out->number = std::strtod(out->number_raw.c_str(), &end);
+    if (end != out->number_raw.c_str() + out->number_raw.size() || errno == ERANGE)
+      return fail(r, "number out of range");
+    return true;
+  }
+
+  bool expect_word(const char* word, JsonParseResult* r) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p)
+        return fail(r, std::string("invalid literal (expected \"") + word + "\")");
+      advance();
+    }
+    return true;
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+  bool peek_is(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  bool fail(JsonParseResult* r, const std::string& message) {
+    return fail(r, message, line_, col_);
+  }
+
+  bool fail(JsonParseResult* r, const std::string& message, int line, int col) {
+    // Keep the first error; later frames unwinding must not overwrite it.
+    if (r->error.empty()) {
+      r->line = line;
+      r->col = col;
+      r->error = "line " + std::to_string(line) + ", col " +
+                 std::to_string(col) + ": " + message;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+const char* JsonValue::kind_name() const {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& m : members)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+bool JsonValue::as_u64(std::uint64_t* out) const {
+  if (kind != Kind::kNumber || number_raw.empty()) return false;
+  for (const char c : number_raw)
+    if (c < '0' || c > '9') return false;  // no sign, fraction, or exponent
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(number_raw.c_str(), &end, 10);
+  if (errno == ERANGE || end != number_raw.c_str() + number_raw.size())
+    return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool JsonValue::as_i64(std::int64_t* out) const {
+  if (kind != Kind::kNumber || number_raw.empty()) return false;
+  std::size_t i = number_raw[0] == '-' ? 1 : 0;
+  if (i >= number_raw.size()) return false;
+  for (; i < number_raw.size(); ++i)
+    if (number_raw[i] < '0' || number_raw[i] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(number_raw.c_str(), &end, 10);
+  if (errno == ERANGE || end != number_raw.c_str() + number_raw.size())
+    return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool JsonValue::as_int(int* out) const {
+  std::int64_t v = 0;
+  if (!as_i64(&v)) return false;
+  if (v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max())
+    return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+bool load_json_file(const std::string& path, JsonValue* out,
+                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open file";
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonParseResult r = parse_json(text);
+  if (!r.ok) {
+    if (error != nullptr)
+      *error = path + ":" + std::to_string(r.line) + ":" +
+               std::to_string(r.col) + ": " + r.error.substr(r.error.find(": ") + 2);
+    return false;
+  }
+  *out = std::move(r.value);
+  return true;
+}
+
+}  // namespace sqs

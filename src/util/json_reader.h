@@ -1,0 +1,75 @@
+// Minimal strict JSON reader — the counterpart to JsonWriter.
+//
+// The scenario loader replays ChaosScenario/FaultPlan/ChurnPlan files without
+// recompiling, so parse errors must be precise and loud: every value carries
+// the line/column where it started, duplicate object keys and trailing
+// garbage are rejected at parse time, and numbers keep their raw lexeme so
+// integer fields (seeds) round-trip exactly through uint64 instead of
+// detouring through a double.
+//
+// Deliberately NOT a general-purpose JSON library: no comments, no NaN/Inf,
+// no \u surrogate pairs beyond the BMP, objects keep insertion order.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sqs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  // Raw lexeme of a number, e.g. "18446744073709551615" — used to recover
+  // exact unsigned 64-bit integers that do not survive a double.
+  std::string number_raw;
+  std::string string;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+  // 1-based position of the first character of this value in the input.
+  int line = 1;
+  int col = 1;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  const char* kind_name() const;
+
+  // Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  // Strict integer extraction from the raw lexeme: fails on fractions,
+  // exponents, negatives (for u64), and out-of-range values.
+  bool as_u64(std::uint64_t* out) const;
+  bool as_i64(std::int64_t* out) const;
+  bool as_int(int* out) const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;  // "line L, col C: message" when !ok
+  int line = 0;
+  int col = 0;
+};
+
+// Parses exactly one JSON document; trailing non-whitespace is an error.
+JsonParseResult parse_json(std::string_view text);
+
+// Reads `path` and parses it. On failure `*error` is set to
+// "<path>:<line>:<col>: message" (or "<path>: message" for I/O errors).
+bool load_json_file(const std::string& path, JsonValue* out,
+                    std::string* error);
+
+}  // namespace sqs

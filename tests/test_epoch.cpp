@@ -1,0 +1,236 @@
+// Epoch-based reconfiguration (src/core/epoch): membership views, schedule
+// validation, and the cross-epoch intersection checker — exact on small
+// strict universes, Monte Carlo (deterministic, fixed seed) elsewhere. Also
+// the Bitset/Configuration reshape primitive the harness leans on when the
+// universe size changes across an epoch boundary (65 -> 64 -> 63 and back,
+// straddling the word boundary).
+
+#include "core/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/constructions.h"
+#include "core/signed_set.h"
+#include "uqs/majority.h"
+#include "util/bitset.h"
+
+namespace sqs {
+namespace {
+
+MembershipView view(int epoch, std::vector<int> members) {
+  MembershipView v;
+  v.epoch = epoch;
+  v.members = std::move(members);
+  return v;
+}
+
+EpochEntry entry(double at, MembershipView v,
+                 std::shared_ptr<const QuorumFamily> family) {
+  EpochEntry e;
+  e.at = at;
+  e.view = std::move(v);
+  e.family = std::move(family);
+  return e;
+}
+
+TEST(Epoch, MembershipViewMapsFamilyIndicesToLogicalIds) {
+  const MembershipView v = view(1, {5, 6, 7, 3, 4});
+  EXPECT_EQ(v.universe_size(), 5);
+  EXPECT_TRUE(v.contains(5));
+  EXPECT_TRUE(v.contains(3));
+  EXPECT_FALSE(v.contains(0));
+  EXPECT_FALSE(v.contains(8));
+  EXPECT_EQ(v.index_of(5), 0);
+  EXPECT_EQ(v.index_of(4), 4);
+  EXPECT_EQ(v.index_of(0), -1);
+}
+
+EpochedFamily replace_schedule() {
+  // Epoch 0: {0..5}; epoch 1 replaces logical 0 with 6 at t=10. Even n on
+  // purpose: majorities of 4 over 6 servers keep >= 3 of the 5 shared
+  // members on each side, and 3 + 3 > 5 forces cross-epoch intersection.
+  // (Odd n is genuinely tight — 5-server majorities of 3 share only 4
+  // servers and 2 + 2 = 4 admits disjoint quorums; see the Detects test.)
+  EpochedFamily sched;
+  sched.num_logical = 7;
+  sched.epochs.push_back(
+      entry(0.0, view(0, {0, 1, 2, 3, 4, 5}),
+            std::make_shared<MajorityFamily>(6)));
+  sched.epochs.push_back(
+      entry(10.0, view(1, {6, 1, 2, 3, 4, 5}),
+            std::make_shared<MajorityFamily>(6)));
+  return sched;
+}
+
+TEST(Epoch, ValidateAcceptsAWellFormedSchedule) {
+  EXPECT_TRUE(replace_schedule().validate());
+}
+
+TEST(Epoch, ValidateRejectsMalformedSchedules) {
+  {
+    EpochedFamily sched = replace_schedule();
+    sched.epochs[0].at = 1.0;  // epoch 0 must start at t=0
+    EXPECT_FALSE(sched.validate());
+  }
+  {
+    EpochedFamily sched = replace_schedule();
+    sched.epochs[1].at = 0.0;  // times must strictly increase
+    EXPECT_FALSE(sched.validate());
+  }
+  {
+    EpochedFamily sched = replace_schedule();
+    sched.epochs[1].family = std::make_shared<MajorityFamily>(7);  // size mismatch
+    EXPECT_FALSE(sched.validate());
+  }
+  {
+    EpochedFamily sched = replace_schedule();
+    sched.epochs[1].view.members = {1, 1, 2, 3, 4, 5};  // duplicate logical id
+    EXPECT_FALSE(sched.validate());
+  }
+  {
+    EpochedFamily sched = replace_schedule();
+    sched.epochs[1].view.members = {9, 1, 2, 3, 4, 5};  // id >= num_logical
+    EXPECT_FALSE(sched.validate());
+  }
+  {
+    EpochedFamily sched;
+    sched.num_logical = 0;  // empty schedule
+    EXPECT_FALSE(sched.validate());
+  }
+}
+
+TEST(Epoch, EpochAtPicksTheLastTransitionNotAfterT) {
+  const EpochedFamily sched = replace_schedule();
+  EXPECT_EQ(sched.epoch_at(0.0), 0);
+  EXPECT_EQ(sched.epoch_at(9.999), 0);
+  EXPECT_EQ(sched.epoch_at(10.0), 1);
+  EXPECT_EQ(sched.epoch_at(1e9), 1);
+  EXPECT_EQ(sched.final_epoch(), 1);
+  EXPECT_TRUE(sched.is_member(0, 0));
+  EXPECT_FALSE(sched.is_member(1, 0));
+  EXPECT_TRUE(sched.is_member(1, 6));
+}
+
+TEST(Epoch, CrossEpochExactGuaranteeForSingleReplacement) {
+  // Majorities of size 3 over 5 servers sharing 4 members: any stale quorum
+  // keeps >= 2 of the shared servers, any new quorum >= 2 — they intersect.
+  const EpochedFamily sched = replace_schedule();
+  const CrossEpochCheck check = check_cross_epoch_intersection(
+      sched.entry(0), sched.entry(1), sched.num_logical);
+  EXPECT_TRUE(check.exact);
+  EXPECT_TRUE(check.guaranteed);
+  EXPECT_GT(check.pairs_checked, 0u);
+  EXPECT_DOUBLE_EQ(check.mc_nonintersection, 0.0);
+}
+
+TEST(Epoch, CrossEpochExactDetectsDisjointQuorums) {
+  // Replacing 3 of 5 servers at once: the stale majority {0,1,2} and the
+  // new majority {5,6,7} are disjoint in logical space — exactly the
+  // configuration the checker exists to reject.
+  EpochedFamily sched;
+  sched.num_logical = 8;
+  sched.epochs.push_back(
+      entry(0.0, view(0, {0, 1, 2, 3, 4}), std::make_shared<MajorityFamily>(5)));
+  sched.epochs.push_back(
+      entry(10.0, view(1, {5, 6, 7, 3, 4}), std::make_shared<MajorityFamily>(5)));
+  ASSERT_TRUE(sched.validate());
+  const CrossEpochCheck check = check_cross_epoch_intersection(
+      sched.entry(0), sched.entry(1), sched.num_logical);
+  EXPECT_TRUE(check.exact);
+  EXPECT_FALSE(check.guaranteed);
+  EXPECT_FALSE(check.detail.empty());
+}
+
+TEST(Epoch, CrossEpochMonteCarloIsDeterministic) {
+  // Probabilistic (signed) families fall back to the MC path; the fixed
+  // seed makes the estimate a pure function of its inputs.
+  EpochedFamily sched;
+  sched.num_logical = 13;
+  std::vector<int> first(12), second(12);
+  for (int i = 0; i < 12; ++i) first[i] = i;
+  second = first;
+  second[0] = 12;
+  sched.epochs.push_back(
+      entry(0.0, view(0, first), std::make_shared<OptDFamily>(12, 2)));
+  sched.epochs.push_back(
+      entry(50.0, view(1, second), std::make_shared<OptDFamily>(12, 2)));
+  ASSERT_TRUE(sched.validate());
+  const CrossEpochCheck a = check_cross_epoch_intersection(
+      sched.entry(0), sched.entry(1), sched.num_logical);
+  const CrossEpochCheck b = check_cross_epoch_intersection(
+      sched.entry(0), sched.entry(1), sched.num_logical);
+  EXPECT_FALSE(a.exact);
+  EXPECT_GT(a.mc_trials, 0u);
+  EXPECT_EQ(a.mc_nonintersection, b.mc_nonintersection);
+  EXPECT_EQ(a.mc_trials, b.mc_trials);
+  // One replaced server out of 12 should make nonintersection rare.
+  EXPECT_LT(a.mc_nonintersection, 0.05);
+}
+
+// --- reshape across epoch-boundary sizes ------------------------------------
+
+TEST(Epoch, BitsetReshapeAcrossWordBoundarySizes) {
+  Bitset b(65);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  ASSERT_EQ(b.count(), 3u);
+  // 65 -> 64: all-clear at the new size, bit 64 gone with the size.
+  b.reshape(64);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(63);
+  // 64 -> 63: the stale high bit must not survive the shrink.
+  b.reshape(63);
+  EXPECT_EQ(b.size(), 63u);
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 63; ++i) b.set(i);
+  EXPECT_EQ(b.count(), 63u);
+  // 63 -> 65: grow back across the word boundary; the new positions are
+  // clear and reshape is observably identical to a fresh Bitset(65).
+  b.reshape(65);
+  EXPECT_EQ(b.size(), 65u);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(64);
+  EXPECT_TRUE(b.test(64));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Epoch, BitsetReshapeMatchesFreshConstruction) {
+  for (const std::size_t from : {65u, 64u, 63u}) {
+    for (const std::size_t to : {63u, 64u, 65u}) {
+      Bitset reused = Bitset::all_set(from);
+      reused.reshape(to);
+      const Bitset fresh(to);
+      EXPECT_TRUE(reused == fresh) << from << " -> " << to;
+    }
+  }
+}
+
+TEST(Epoch, ConfigurationReshapeAcrossEpochBoundarySizes) {
+  Configuration c(Bitset::all_set(65));
+  EXPECT_EQ(c.universe_size(), 65);
+  EXPECT_EQ(c.num_up(), 65u);
+  c.reshape(64);
+  EXPECT_EQ(c.universe_size(), 64);
+  EXPECT_EQ(c.num_up(), 0u);
+  c.set_up(63, true);
+  EXPECT_TRUE(c.is_up(63));
+  c.reshape(63);
+  EXPECT_EQ(c.universe_size(), 63);
+  EXPECT_EQ(c.num_up(), 0u);
+  // assign_mask re-targets and loads in one step (n <= 64).
+  c.assign_mask(64, ~0ull);
+  EXPECT_EQ(c.universe_size(), 64);
+  EXPECT_EQ(c.num_up(), 64u);
+  c.reshape(65);
+  EXPECT_EQ(c.universe_size(), 65);
+  EXPECT_EQ(c.num_down(), 65u);
+  EXPECT_TRUE(c == Configuration(Bitset(65)));
+}
+
+}  // namespace
+}  // namespace sqs

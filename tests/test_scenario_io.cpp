@@ -1,0 +1,197 @@
+// Scenario files (src/faults/scenario_io): byte-for-byte round trips for
+// the whole builtin grid, file-based load with path:line:col errors, and
+// malformed-input hardening — truncated documents, duplicate keys, wrong
+// types, unknown keys, bad enum values, and out-of-range fields are all
+// rejected loudly with the position of the offending value.
+
+#include "faults/scenario_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "faults/chaos.h"
+#include "faults/family_spec.h"
+#include "util/json_reader.h"
+
+namespace sqs {
+namespace {
+
+FamilySpec majority12() {
+  FamilySpec spec;
+  spec.kind = "majority";
+  spec.n = 12;
+  spec.alpha = 2;
+  return spec;
+}
+
+// Serialize -> parse -> re-serialize must reproduce the exact bytes, and the
+// parsed scenario must compare equal field by field.
+void expect_round_trip(const ChaosScenario& scenario) {
+  const std::string text = serialize_chaos_scenario(scenario);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  const JsonParseResult parsed = parse_json(text);
+  ASSERT_TRUE(parsed.ok) << scenario.name << ": " << parsed.error;
+  ChaosScenario loaded;
+  std::string error;
+  ASSERT_TRUE(parse_chaos_scenario(parsed.value, &loaded, &error))
+      << scenario.name << ": " << error;
+  EXPECT_TRUE(scenario_equal(scenario, loaded)) << scenario.name;
+  EXPECT_EQ(serialize_chaos_scenario(loaded), text) << scenario.name;
+}
+
+TEST(ScenarioLoad, BuiltinGridRoundTripsByteForByte) {
+  const FamilySpec spec = majority12();
+  std::vector<ChaosScenario> scenarios = builtin_chaos_scenarios(spec);
+  ASSERT_GE(scenarios.size(), 7u);
+  scenarios.push_back(stale_view_chaos_scenario(spec));
+  for (const ChaosScenario& scenario : scenarios) {
+    ASSERT_FALSE(scenario.family.empty()) << scenario.name;
+    expect_round_trip(scenario);
+  }
+}
+
+TEST(ScenarioLoad, SerializationIsByteDeterministic) {
+  const ChaosScenario scenario =
+      churn_replace_chaos_scenario(majority12());
+  EXPECT_EQ(serialize_chaos_scenario(scenario),
+            serialize_chaos_scenario(scenario));
+}
+
+TEST(ScenarioLoad, WriteAndLoadThroughAFile) {
+  const std::string path = testing::TempDir() + "sqs_scenario_rt.json";
+  const ChaosScenario scenario = churn_resize_chaos_scenario(majority12());
+  ASSERT_TRUE(write_chaos_scenario(scenario, path));
+  ChaosScenario loaded;
+  std::string error;
+  ASSERT_TRUE(load_chaos_scenario(path, &loaded, &error)) << error;
+  EXPECT_TRUE(scenario_equal(scenario, loaded));
+  EXPECT_EQ(serialize_chaos_scenario(loaded),
+            serialize_chaos_scenario(scenario));
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioLoad, MissingFileReportsThePath) {
+  ChaosScenario loaded;
+  std::string error;
+  EXPECT_FALSE(
+      load_chaos_scenario("/nonexistent/sqs_scenario.json", &loaded, &error));
+  EXPECT_NE(error.find("/nonexistent/sqs_scenario.json"), std::string::npos);
+}
+
+// --- malformed-input hardening ----------------------------------------------
+
+// The canonical text every mutation below starts from.
+std::string canonical_text() {
+  return serialize_chaos_scenario(churn_replace_chaos_scenario(majority12()));
+}
+
+// Applies a single textual substitution; the needle must exist.
+std::string mutate(const std::string& text, const std::string& needle,
+                   const std::string& replacement) {
+  const std::size_t pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "needle not found: " << needle;
+  std::string out = text;
+  out.replace(pos, needle.size(), replacement);
+  return out;
+}
+
+// Expects the mutated document to be rejected with a positioned error
+// ("line L, col C" from the parser, or "L:C: message" from the loader).
+void expect_rejected(const std::string& text, const std::string& what) {
+  const JsonParseResult parsed = parse_json(text);
+  if (!parsed.ok) {
+    EXPECT_GT(parsed.line, 0) << what;
+    EXPECT_GT(parsed.col, 0) << what;
+    return;  // rejected at the JSON layer, position attached
+  }
+  ChaosScenario loaded;
+  std::string error;
+  EXPECT_FALSE(parse_chaos_scenario(parsed.value, &loaded, &error)) << what;
+  // "<line>:<col>: message"
+  EXPECT_NE(error.find(':'), std::string::npos) << what;
+  EXPECT_TRUE(!error.empty() && std::isdigit(error.front()))
+      << what << ": " << error;
+}
+
+TEST(ScenarioLoad, TruncatedDocumentRejected) {
+  const std::string text = canonical_text();
+  expect_rejected(text.substr(0, text.size() / 2), "truncated");
+  expect_rejected("", "empty");
+  expect_rejected("{", "bare brace");
+}
+
+TEST(ScenarioLoad, TrailingGarbageRejected) {
+  expect_rejected(canonical_text() + "{}", "trailing garbage");
+}
+
+TEST(ScenarioLoad, DuplicateKeysRejected) {
+  const std::string text =
+      mutate(canonical_text(), "\"name\":\"churn_replace\"",
+             "\"name\":\"a\",\"name\":\"b\"");
+  expect_rejected(text, "duplicate key");
+}
+
+TEST(ScenarioLoad, WrongTypeRejected) {
+  expect_rejected(mutate(canonical_text(), "\"duration\":400",
+                         "\"duration\":\"long\""),
+                  "string where number expected");
+  expect_rejected(mutate(canonical_text(), "\"num_clients\":6",
+                         "\"num_clients\":6.5"),
+                  "fraction where integer expected");
+  expect_rejected(mutate(canonical_text(), "\"faults\":[]",
+                         "\"faults\":{}"),
+                  "object where array expected");
+}
+
+TEST(ScenarioLoad, UnknownKeysRejected) {
+  expect_rejected(mutate(canonical_text(), "\"check_cross_epoch\":",
+                         "\"bogus\":1,\"check_cross_epoch\":"),
+                  "unknown invariant key");
+  expect_rejected(mutate(canonical_text(), "\"schema\":",
+                         "\"extra\":true,\"schema\":"),
+                  "unknown top-level key");
+}
+
+TEST(ScenarioLoad, WrongSchemaTagRejected) {
+  expect_rejected(mutate(canonical_text(), "sqs-chaos-scenario-v1",
+                         "sqs-chaos-scenario-v0"),
+                  "schema tag");
+}
+
+TEST(ScenarioLoad, BadChurnEventsRejected) {
+  expect_rejected(mutate(canonical_text(), "\"kind\":\"replace\"",
+                         "\"kind\":\"explode\""),
+                  "unknown churn kind");
+  expect_rejected(mutate(canonical_text(), "{\"kind\":\"replace\",\"at\":80,",
+                         "{\"kind\":\"replace\",\"at\":-80,"),
+                  "churn at t <= 0");
+  expect_rejected(mutate(canonical_text(), "\"server\":0,\"count\":1",
+                         "\"server\":0,\"count\":0"),
+                  "churn count < 1");
+  expect_rejected(mutate(canonical_text(), "\"server\":0,\"count\":1",
+                         "\"server\":-7,\"count\":1"),
+                  "replace without a server id");
+}
+
+TEST(ScenarioLoad, LoaderPrefixesErrorsWithThePath) {
+  const std::string path = testing::TempDir() + "sqs_scenario_bad.json";
+  {
+    std::ofstream out(path);
+    out << mutate(canonical_text(), "\"duration\":400",
+                  "\"duration\":\"long\"");
+  }
+  ChaosScenario loaded;
+  std::string error;
+  EXPECT_FALSE(load_chaos_scenario(path, &loaded, &error));
+  EXPECT_EQ(error.rfind(path + ":", 0), 0u) << error;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sqs

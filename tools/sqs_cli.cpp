@@ -24,9 +24,17 @@
 // `chaos` sweeps fault-injection scenarios (src/faults) through the
 // register-experiment harness and checks the paper's invariants per
 // scenario: availability above the exact-DP floor, stale reads within the
-// epsilon^2alpha envelope, timestamp monotonicity, no lost acked write.
-// Exit code 1 if any invariant is violated. `--scenario all` runs the whole
-// grid; `--list` names the shipped scenarios.
+// epsilon^2alpha envelope, timestamp monotonicity, no lost acked write, and
+// — for churn scenarios — the reconfiguration invariants (no lost acked
+// write across epochs, no read from a retired server, view-refresh
+// convergence, cross-epoch quorum intersection). Exit code 1 if any
+// invariant is violated. `--scenario all` runs the whole grid; `--list`
+// names the shipped scenarios and `--list-scenarios` tabulates their
+// invariant budgets. Scenarios are data: `--dump-scenarios DIR` writes the
+// grid as strict JSON (scenarios/ holds the checked-in set, schema in
+// scenarios/README.md) and `--scenario-file F` replays one without
+// recompiling; `serve --scenario-file F` replays the same file through the
+// staged service, churn included.
 //
 // `sweep` flattens the whole grid (every cell × every trial-chunk) into one
 // submission on the shared thread pool; results are bit-identical to running
@@ -77,6 +85,7 @@
 #include "core/masking.h"
 #include "analysis/profile.h"
 #include "faults/chaos.h"
+#include "faults/scenario_io.h"
 #include "core/explicit_sqs.h"
 #include "core/witness.h"
 #include "mismatch/exact.h"
@@ -180,6 +189,25 @@ std::shared_ptr<QuorumFamily> make_family(const std::string& spec, const Args& a
                                                       alpha, args.geti("b", 1));
   std::fprintf(stderr, "unknown family '%s'\n", spec.c_str());
   std::exit(2);
+}
+
+// The data form of the --family flags (src/faults/family_spec.h): the same
+// parameters make_family reads, captured by value so chaos scenarios can
+// name their family, re-instantiate it at churned sizes, and serialize it.
+FamilySpec spec_from_args(const std::string& kind, const Args& args) {
+  FamilySpec spec;
+  spec.kind = kind;
+  spec.n = args.geti("n", 50);
+  spec.alpha = args.geti("alpha", 2);
+  spec.b = args.geti("b", 1);
+  spec.k = args.geti("k", 9);
+  spec.l = args.geti("l", 4);
+  spec.pqs_l = args.getd("l", 1.0);
+  spec.depth = args.geti("depth", 5);
+  spec.q = args.geti("q", 5);
+  spec.w = args.geti("w", 8);
+  spec.side = args.geti("side", 0);
+  return spec;
 }
 
 int cmd_avail(const Args& args) {
@@ -511,18 +539,93 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_chaos(const Args& args) {
-  auto family = make_family(args.gets("family", "optd"), args);
-  std::vector<ChaosScenario> scenarios = builtin_chaos_scenarios(*family);
-
+  std::shared_ptr<const QuorumFamily> family;
+  std::vector<ChaosScenario> scenarios;
   const std::string pick = args.gets("scenario", "all");
+  const std::string file = args.gets("scenario-file", "");
 
-  // Plain families carry no byzantine cell in the builtin grid (no masking
-  // vote to survive the liars); naming it explicitly builds one anyway with
-  // --b liars (default 1) — the designed-to-fail run that demonstrates the
-  // fabricated-write invariant tripping and dumping a black box.
-  if (family->masking_b() == 0 &&
-      (pick == "byzantine" || args.flags.count("list")))
-    scenarios.push_back(byzantine_chaos_scenario(*family, args.geti("b", 1)));
+  if (!file.empty()) {
+    // Data-driven replay: the scenario comes from a JSON file written by
+    // --dump-scenarios (or by hand against scenarios/README.md); malformed
+    // input is rejected with a path:line:col complaint and exit code 2.
+    ChaosScenario loaded;
+    std::string error;
+    if (!load_chaos_scenario(file, &loaded, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    family = loaded.family.empty()
+                 ? std::shared_ptr<const QuorumFamily>(
+                       make_family(args.gets("family", "optd"), args))
+                 : loaded.family.make();
+    if (family == nullptr) return 2;
+    scenarios.push_back(std::move(loaded));
+  } else {
+    const FamilySpec spec = spec_from_args(args.gets("family", "optd"), args);
+    family = spec.make();
+    if (family == nullptr) return 2;
+    scenarios = builtin_chaos_scenarios(spec);
+
+    // Plain families carry no byzantine cell in the builtin grid (no
+    // masking vote to survive the liars); naming it explicitly builds one
+    // anyway with --b liars (default 1) — the designed-to-fail run that
+    // demonstrates the fabricated-write invariant tripping and dumping a
+    // black box.
+    if (family->masking_b() == 0 &&
+        (pick == "byzantine" || args.flags.count("list") ||
+         args.flags.count("list-scenarios"))) {
+      scenarios.push_back(byzantine_chaos_scenario(*family, args.geti("b", 1)));
+      scenarios.back().family = spec;
+    }
+    // The stale-view detector check is explicit-only (it is designed to
+    // fail): build it when named or when dumping the scenario set.
+    if (spec.resizable() &&
+        (pick == "stale_view_forever" || args.flags.count("dump-scenarios")))
+      scenarios.push_back(stale_view_chaos_scenario(spec));
+  }
+
+  // --list-scenarios: the machine-facing inventory (name, family,
+  // invariant budget, plan sizes) of everything buildable here.
+  if (args.flags.count("list-scenarios")) {
+    Table table({"scenario", "family", "floor", "envelope", "faults", "churn",
+                 "invariants"});
+    for (const ChaosScenario& s : scenarios) {
+      std::string inv;
+      if (s.invariants.expect_ts_regressions) inv += "expect-regr ";
+      if (s.invariants.allow_lost_writes) inv += "allow-lost ";
+      if (s.invariants.require_view_convergence) inv += "view-conv ";
+      if (s.invariants.check_cross_epoch) inv += "cross-epoch ";
+      if (inv.empty()) inv = "-";
+      table.add_row({s.name,
+                     s.family.empty() ? family->name() : s.family.label(),
+                     Table::fmt(s.invariants.availability_floor, 4),
+                     Table::fmt_sci(s.invariants.stale_envelope),
+                     std::to_string(s.plan.events.size()),
+                     std::to_string(s.churn.events.size()), inv});
+    }
+    table.print("chaos scenario grid (" + family->name() + ")");
+    return 0;
+  }
+
+  // --dump-scenarios DIR: write every buildable scenario as a JSON file
+  // (byte-deterministic; reload with --scenario-file). The directory must
+  // exist.
+  if (args.flags.count("dump-scenarios")) {
+    const std::string dir = args.gets("dump-scenarios", "");
+    if (dir.empty() || dir == "1") {
+      std::fprintf(stderr, "--dump-scenarios needs a directory operand\n");
+      return 2;
+    }
+    int written = 0;
+    for (const ChaosScenario& s : scenarios) {
+      if (s.family.empty()) continue;  // nothing to name in the file
+      const std::string path = dir + "/" + s.name + ".json";
+      if (!write_chaos_scenario(s, path)) return 1;
+      std::printf("wrote %s\n", path.c_str());
+      ++written;
+    }
+    return written > 0 ? 0 : 1;
+  }
 
   // CI smoke hook: an impossible availability floor trips every scenario,
   // proving the violation path (exit 1 + black-box dump) end to end.
@@ -533,7 +636,7 @@ int cmd_chaos(const Args& args) {
       std::printf("%-16s %s\n", s.name.c_str(), s.description.c_str());
     return 0;
   }
-  if (pick != "all") {
+  if (pick != "all" && file.empty()) {
     std::vector<ChaosScenario> chosen;
     for (ChaosScenario& s : scenarios)
       if (s.name == pick) chosen.push_back(std::move(s));
@@ -579,6 +682,13 @@ int cmd_chaos(const Args& args) {
   table.print("chaos invariants (" + std::to_string(replicates) +
               " replicates per scenario)");
   for (const ChaosCellResult& cell : results)
+    if (cell.epoch_transitions > 0 || cell.epoch_rejects > 0)
+      std::printf("churn %-18s transitions=%ld refreshes=%ld rejects=%ld "
+                  "retired_reads=%ld stale_views_at_end=%ld\n",
+                  cell.scenario.c_str(), cell.epoch_transitions,
+                  cell.view_refreshes, cell.epoch_rejects, cell.retired_reads,
+                  cell.stale_views_at_end);
+  for (const ChaosCellResult& cell : results)
     for (const ChaosViolation& v : cell.violations)
       std::printf("VIOLATION %s/%s: %s\n", cell.scenario.c_str(),
                   v.invariant.c_str(), v.detail.c_str());
@@ -586,12 +696,36 @@ int cmd_chaos(const Args& args) {
 }
 
 int cmd_serve(const Args& args) {
-  auto family = make_family(args.gets("family", "optd"), args);
+  // --scenario-file replays a chaos scenario's data (family, fault plan,
+  // churn plan, knobs) through the staged service; explicit flags still
+  // override the file's values. Mutually exclusive with --scenario.
+  const std::string file = args.gets("scenario-file", "");
+  ChaosScenario from_file;
+  const bool have_file = !file.empty();
+  if (have_file) {
+    std::string error;
+    if (!load_chaos_scenario(file, &from_file, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    if (args.flags.count("scenario")) {
+      std::fprintf(stderr, "--scenario and --scenario-file are exclusive\n");
+      return 2;
+    }
+  }
+  std::shared_ptr<const QuorumFamily> family =
+      have_file && !from_file.family.empty()
+          ? from_file.family.make()
+          : std::shared_ptr<const QuorumFamily>(
+                make_family(args.gets("family", "optd"), args));
+  if (family == nullptr) return 2;
 
   // --rate / --duration go through the validating parser: a malformed value
   // is rejected on stderr and the command exits, mirroring how --threads and
   // SQS_THREADS share parse_thread_count (which init_threads_from_args
-  // already applied; threads = 0 below picks up that default).
+  // already applied; threads = 0 below picks up that default). A scenario
+  // file supplies the duration/clients/seed defaults so the replayed fault
+  // and churn timelines land where the scenario placed them.
   LoadGenConfig load;
   if (args.flags.count("rate")) {
     load.rate = parse_positive_double("--rate", args.gets("rate", "").c_str());
@@ -604,25 +738,48 @@ int cmd_serve(const Args& args) {
         parse_positive_double("--duration", args.gets("duration", "").c_str());
     if (load.duration == 0.0) return 2;
   } else {
-    load.duration = 5.0;
+    load.duration = have_file ? from_file.config.duration : 5.0;
   }
-  load.read_fraction = args.getd("read-fraction", 0.8);
-  load.num_clients = args.geti("clients", 64);
-  load.seed = static_cast<std::uint64_t>(args.geti("seed", 1));
+  load.read_fraction =
+      args.getd("read-fraction", have_file ? from_file.config.read_fraction : 0.8);
+  load.num_clients =
+      args.geti("clients", have_file ? from_file.config.num_clients : 64);
+  load.seed = static_cast<std::uint64_t>(args.geti(
+      "seed", have_file ? static_cast<int>(from_file.config.seed) : 1));
 
   ServiceConfig config;
+  if (have_file) {
+    config.network = from_file.config.network;
+    config.server = from_file.config.server;
+    config.lie_tolerance = from_file.config.client.lie_tolerance;
+    config.refresh_views = from_file.config.client.refresh_views;
+    config.view_fetch_delay = from_file.config.client.view_fetch_delay;
+    config.max_view_fetches = from_file.config.client.max_view_fetches;
+    config.plan = from_file.plan;
+    if (!from_file.churn.empty()) {
+      config.epochs =
+          build_epoch_schedule(from_file.churn, family_factory(from_file.family),
+                               family->universe_size());
+      if (config.epochs == nullptr) return 2;
+    }
+  }
   config.num_clients = load.num_clients;
-  config.probe_timeout = args.getd("timeout", 0.25);
+  config.probe_timeout = args.getd(
+      "timeout", have_file ? from_file.config.client.probe_timeout : 0.25);
   config.batch = args.geti("batch", 256);
   config.seed = load.seed;
-  config.server.mean_up = args.getd("mean-up", 95.0);
-  config.server.mean_down = args.getd("mean-down", 5.0);
-  config.server.service_time = args.getd("service-time", 0.001);
+  config.server.mean_up = args.getd("mean-up", config.server.mean_up);
+  config.server.mean_down = args.getd("mean-down", config.server.mean_down);
+  config.server.service_time =
+      args.getd("service-time", config.server.service_time);
 
   const int n = family->universe_size();
   const double d = load.duration;
-  const std::string scenario = args.gets("scenario", "none");
-  if (scenario == "partition") {
+  const std::string scenario =
+      have_file ? from_file.name : args.gets("scenario", "none");
+  if (have_file) {
+    // plan/churn already installed above
+  } else if (scenario == "partition") {
     config.plan.server_partition(0.3 * d, 0, 0.3 * d);
   } else if (scenario == "churn") {
     config.plan = make_churn_plan(n, 0.1 * d, 0.2 * d, std::max(1, n / 6),
@@ -648,7 +805,9 @@ int cmd_serve(const Args& args) {
   }
   if (args.flags.count("no-verify-certs")) config.verify_replica_certs = false;
 
-  if (!load.validate() || !config.validate(n)) return 2;
+  const int world =
+      config.epochs != nullptr ? config.epochs->num_logical : n;
+  if (!load.validate() || !config.validate(world)) return 2;
 
   // Windowed time-series (--timeline FILE [--timeline-window-ms N]) and the
   // always-on flight recorder: serve runs record the black box so a lost
@@ -683,6 +842,15 @@ int cmd_serve(const Args& args) {
   table.add_row({"cert rejects", std::to_string(r.cert_rejects)});
   table.add_row({"fabricated reads", std::to_string(r.fabricated_reads)});
   table.add_row({"lost acked writes", std::to_string(r.lost_acked_writes)});
+  if (config.epochs != nullptr) {
+    table.add_row({"epoch transitions", std::to_string(r.epoch_transitions)});
+    table.add_row({"view refreshes", std::to_string(r.view_refreshes)});
+    table.add_row({"epoch rejects", std::to_string(r.epoch_rejects)});
+    table.add_row({"retired reads", std::to_string(r.retired_reads)});
+    table.add_row({"view epoch / current", std::to_string(r.view_epoch) +
+                                               " / " +
+                                               std::to_string(r.current_epoch)});
+  }
   table.add_row({"wall ms", Table::fmt(r.wall_ms, 1)});
   table.add_row({"wall ops/s", Table::fmt(r.wall_ops_per_sec(), 0)});
   table.print("served " + family->name() + " at " + Table::fmt(load.rate, 0) +
@@ -695,14 +863,19 @@ int cmd_serve(const Args& args) {
     if (!runner.timeline().write_jsonl(targs.timeline_path)) return 1;
     std::printf("[obs] timeline JSONL -> %s\n", targs.timeline_path.c_str());
   }
-  if (r.lost_acked_writes > 0 || r.fabricated_reads > 0) {
+  if (r.lost_acked_writes > 0 || r.fabricated_reads > 0 ||
+      r.retired_reads > 0) {
     const std::string blackbox = args.gets("blackbox", "serve_blackbox.jsonl");
     const char* why = r.lost_acked_writes > 0 ? "serve: lost acked write"
-                                              : "serve: fabricated read";
+                     : r.fabricated_reads > 0 ? "serve: fabricated read"
+                                              : "serve: read from retired replica";
     if (obs::write_flight_recorder(blackbox, why))
       std::printf("[serve] flight recorder dump -> %s\n", blackbox.c_str());
   }
-  return r.lost_acked_writes > 0 || r.fabricated_reads > 0 ? 1 : 0;
+  return r.lost_acked_writes > 0 || r.fabricated_reads > 0 ||
+                 r.retired_reads > 0
+             ? 1
+             : 0;
 }
 
 int usage() {
@@ -718,11 +891,14 @@ int usage() {
                "trial)\n"
                "  chaos: --scenario NAME|all "
                "--replicates R --family F --n N --alpha A (--list)\n"
+               "         --scenario-file F.json --list-scenarios "
+               "--dump-scenarios DIR\n"
                "         --blackbox FILE --force-violation (byzantine: --b "
                "liars on plain families)\n  serve: "
                "--rate R --duration S --clients C --scenario "
                "none|partition|churn|gray|lossy|byzantine\n         "
-               "--timeline FILE "
+               "--scenario-file F.json (replays family+faults+churn) "
+               "--timeline FILE\n         "
                "--timeline-window-ms N --blackbox FILE --no-verify-certs\n"
                "  families incl. masking-majority|masking-opta|masking-comp "
                "(--b liars, default 1)\n  see the "
